@@ -1,0 +1,72 @@
+// Ablation: on-demand pooling vs static pre-assignment.
+//
+// The paper's load-balancing claim: "the data organization component, along
+// with the pooling based job distribution enables fairness in load
+// balancing. As the slaves request jobs using an on-demand basis, the slave
+// nodes that have higher throughput … would naturally be ensured to process
+// more jobs." This bench runs the alternative — every chunk pre-assigned
+// round-robin at start — across increasing node-speed heterogeneity and
+// shows the pooling advantage the paper relies on.
+#include "paper_common.hpp"
+
+#include "middleware/runtime.hpp"
+
+namespace {
+
+using namespace cloudburst;
+
+middleware::RunResult run_knn(double jitter, bool static_assignment,
+                              double local_fraction = 0.5) {
+  cluster::PlatformSpec spec = cluster::PlatformSpec::paper_testbed(16, 16);
+  spec.node_speed_jitter = jitter;
+  cluster::Platform platform(spec);
+  const storage::DataLayout layout =
+      apps::paper_layout(apps::PaperApp::Knn, local_fraction, platform.local_store_id(),
+                         platform.cloud_store_id());
+  middleware::RunOptions options = apps::paper_run_options(apps::PaperApp::Knn);
+  options.static_assignment = static_assignment;
+  return middleware::run_distributed(platform, layout, options);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cloudburst;
+
+  AsciiTable table({"node speed jitter", "pooling (paper)", "static pre-assignment",
+                    "pooling advantage"});
+  for (double jitter : {0.0, 0.03, 0.10, 0.20}) {
+    const auto pooled = run_knn(jitter, false);
+    const auto fixed = run_knn(jitter, true);
+    table.add_row({AsciiTable::pct(jitter, 0), AsciiTable::num(pooled.total_time, 2),
+                   AsciiTable::num(fixed.total_time, 2),
+                   AsciiTable::pct(fixed.total_time / pooled.total_time - 1.0, 1)});
+  }
+  std::printf("%s\n",
+              table.render("Ablation — on-demand pooling vs static round-robin "
+                           "pre-assignment (knn env-50/50; heterogeneous m1.large "
+                           "instances vs 8-core Xeons)")
+                  .c_str());
+  std::printf("node-level: static's fixed split wins slightly on homogeneous nodes\n"
+              "(no request round trips, perfect sequential reads) and loses once\n"
+              "heterogeneity grows — the slowest node sets its tail.\n\n");
+
+  // Cluster-level imbalance is where pooling is decisive: with skewed data,
+  // static assignment cannot steal, so the data-heavy side sets the runtime.
+  AsciiTable skew({"data split", "pooling (paper)", "static pre-assignment",
+                   "pooling advantage"});
+  for (double fraction : {0.5, 1.0 / 3, 1.0 / 6}) {
+    const auto pooled = run_knn(0.03, false, fraction);
+    const auto fixed = run_knn(0.03, true, fraction);
+    skew.add_row({AsciiTable::pct(fraction, 0) + " local",
+                  AsciiTable::num(pooled.total_time, 2),
+                  AsciiTable::num(fixed.total_time, 2),
+                  AsciiTable::pct(fixed.total_time / pooled.total_time - 1.0, 1)});
+  }
+  std::printf("%s\n", skew.render("Ablation — pooling vs static under data skew "
+                                  "(knn, 3% jitter)")
+                          .c_str());
+  std::printf("cluster-level: without pooling there is no stealing — the S3-heavy\n"
+              "side sets the runtime while the other cluster idles.\n\n");
+  return 0;
+}

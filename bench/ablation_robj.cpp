@@ -1,0 +1,40 @@
+// Ablation: reduction-object size sweep.
+//
+// The paper's conclusion: "if the reduction object size increases relative
+// to input data size, it may not be feasible to use cloud bursting due to
+// the increasing costs of transferring the reduction object." This sweep
+// regenerates that frontier: hybrid slowdown vs robj size for the pagerank
+// configuration.
+#include "paper_common.hpp"
+
+#include "common/units.hpp"
+
+int main() {
+  using namespace cloudburst;
+  using namespace cloudburst::units;
+
+  AsciiTable table({"robj size", "env-local", "env-50/50", "sync local", "sync cloud",
+                    "slowdown"});
+  for (std::uint64_t robj : {MiB(1), MiB(16), MiB(64), MiB(256), GiB(1)}) {
+    auto tweak = [robj](cluster::PlatformSpec&, middleware::RunOptions& o) {
+      o.profile.robj_bytes = robj;
+    };
+    const auto base = apps::run_env(apps::Env::Local, apps::PaperApp::PageRank, tweak);
+    const auto hybrid =
+        apps::run_env(apps::Env::Hybrid5050, apps::PaperApp::PageRank, tweak);
+    table.add_row(
+        {units::format_bytes(robj), AsciiTable::num(base.total_time, 1),
+         AsciiTable::num(hybrid.total_time, 1),
+         AsciiTable::num(hybrid.side(cluster::ClusterSide::Local).sync, 1),
+         AsciiTable::num(hybrid.side(cluster::ClusterSide::Cloud).sync, 1),
+         AsciiTable::pct(hybrid.total_time / base.total_time - 1.0, 1)});
+  }
+  std::printf("%s\n",
+              table.render("Ablation — reduction-object size vs bursting feasibility "
+                           "(pagerank, env-50/50, seconds)")
+                  .c_str());
+  std::printf("paper: \"if the reduction object size increases relative to input data "
+              "size,\nit may not be feasible to use cloud bursting\" — the slowdown "
+              "column shows the frontier.\n\n");
+  return 0;
+}

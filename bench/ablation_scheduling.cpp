@@ -1,0 +1,107 @@
+// Ablation: the head node's job-selection optimizations.
+//
+//  * consecutive batches — sequential reads at the storage node ("allows the
+//    compute units to sequentially read jobs from the files"). Measured as
+//    storage-node seek counts and as execution time on a seek-expensive
+//    array (a contended SATA array under queueing, where a non-sequential
+//    access costs ~100 ms of repositioning + queue delay).
+//  * remote-file selection — min-contention vs random vs sequential
+//    ("remote jobs are chosen from files which the minimum number of nodes
+//    are currently processing"). Measured as the spread of stolen jobs
+//    across files: the heuristic's job is to avoid piling readers onto one
+//    file.
+#include "paper_common.hpp"
+
+#include <map>
+
+#include "common/units.hpp"
+#include "middleware/runtime.hpp"
+#include "storage/data_layout.hpp"
+
+namespace {
+
+using namespace cloudburst;
+using namespace cloudburst::units;
+
+struct SeekRun {
+  double exec_time = 0.0;
+  std::uint64_t seeks = 0;
+};
+
+/// env-local with an explicit platform so the store stats stay reachable.
+SeekRun run_local(bench::PaperApp app, bool consecutive, des::SimDuration seek_latency) {
+  cluster::PlatformSpec spec = cluster::PlatformSpec::paper_testbed(32, 0);
+  spec.disk_seek_latency = seek_latency;
+  cluster::Platform platform(spec);
+  storage::DataLayout layout = apps::paper_layout(app, 1.0, platform.local_store_id(),
+                                                  platform.cloud_store_id());
+  middleware::RunOptions options = apps::paper_run_options(app);
+  options.policy.consecutive_batches = consecutive;
+  SeekRun out;
+  out.exec_time = middleware::run_distributed(platform, layout, options).total_time;
+  out.seeks = platform.store(platform.local_store_id()).stats().seeks;
+  return out;
+}
+
+/// Max stolen jobs drawn from any single remote file under a selection policy.
+std::uint32_t max_file_pile(middleware::RemoteSelection selection) {
+  // All data on S3, two clusters: the local side steals everything it
+  // processes; count how its steals spread over files via the pool itself.
+  const auto layout = apps::paper_layout(bench::PaperApp::Knn, 0.0, 0, 1);
+  middleware::SchedulerPolicy policy;
+  policy.remote_selection = selection;
+  policy.steal_batch_size = 1;
+  middleware::JobPool pool(layout, policy);
+  std::map<storage::FileId, std::uint32_t> per_file;
+  for (int i = 0; i < 48; ++i) {  // half the pool stolen one job at a time
+    const auto batch = pool.take_batch(/*preferred=*/0, 1);
+    if (batch.empty()) break;
+    ++per_file[layout.chunk(batch.front()).file];
+  }
+  std::uint32_t peak = 0;
+  for (const auto& [f, n] : per_file) peak = std::max(peak, n);
+  return peak;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cloudburst;
+
+  AsciiTable seeks({"app", "variant", "storage-node seeks", "exec (8ms seek)",
+                    "exec (100ms seek)"});
+  for (bench::PaperApp app :
+       {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
+    for (bool consecutive : {true, false}) {
+      const auto fast = run_local(app, consecutive, des::from_seconds(ms(8)));
+      const auto slow = run_local(app, consecutive, des::from_seconds(ms(100)));
+      seeks.add_row({apps::to_string(app),
+                     consecutive ? "consecutive batches" : "one chunk per grant",
+                     std::to_string(fast.seeks), AsciiTable::num(fast.exec_time, 2),
+                     AsciiTable::num(slow.exec_time, 2)});
+    }
+    seeks.add_separator();
+  }
+  std::printf("%s\n", seeks.render("Ablation — consecutive-job batching on env-local "
+                                   "(seek counts & execution time)")
+                          .c_str());
+  std::printf(
+      "finding: with the paper's 3-chunks-per-file geometry and more readers than\n"
+      "chunks per file, consecutive batches into a shared pool still interleave\n"
+      "across slaves; single-chunk min-contention grants converge to one reader per\n"
+      "file and nearly eliminate seeks. The optimization's value depends on the\n"
+      "chunk-to-reader ratio (see ablation_chunks).\n\n");
+
+  AsciiTable spread({"remote selection", "max stolen jobs piled on one file"});
+  spread.add_row({"min-contention (paper)",
+                  std::to_string(max_file_pile(middleware::RemoteSelection::MinContention))});
+  spread.add_row({"random",
+                  std::to_string(max_file_pile(middleware::RemoteSelection::Random))});
+  spread.add_row({"sequential",
+                  std::to_string(max_file_pile(middleware::RemoteSelection::Sequential))});
+  std::printf("%s\n",
+              spread.render("Ablation — remote-file selection (file-contention proxy: "
+                            "48 single-job steals over 32 files)")
+                  .c_str());
+  return 0;
+}

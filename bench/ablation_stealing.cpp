@@ -1,0 +1,39 @@
+// Ablation: inter-cluster work stealing on/off, plus the endgame steal
+// reservation.
+//
+// The paper credits pooling-based load balancing + stealing for absorbing
+// uneven data distributions; this bench quantifies it per application and
+// skew, and also isolates the endgame reservation heuristic (this
+// reproduction's addition — see DESIGN.md).
+#include "paper_common.hpp"
+
+int main() {
+  using namespace cloudburst;
+  AsciiTable table({"app", "env", "full policy", "no reservation", "no stealing",
+                    "stealing benefit"});
+  for (bench::PaperApp app :
+       {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
+    for (apps::Env env : {apps::Env::Hybrid3367, apps::Env::Hybrid1783}) {
+      const auto base = apps::run_env(env, app);
+      const auto no_reserve =
+          apps::run_env(env, app, [](cluster::PlatformSpec&, middleware::RunOptions& o) {
+            o.policy.steal_reserve = 0;
+          });
+      const auto no_steal =
+          apps::run_env(env, app, [](cluster::PlatformSpec&, middleware::RunOptions& o) {
+            o.policy.allow_stealing = false;
+          });
+      table.add_row({apps::to_string(app), apps::env_config(env, app).name,
+                     AsciiTable::num(base.total_time, 1),
+                     AsciiTable::num(no_reserve.total_time, 1),
+                     AsciiTable::num(no_steal.total_time, 1),
+                     AsciiTable::pct(no_steal.total_time / base.total_time - 1.0, 1)});
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n",
+              table.render("Ablation — work stealing & endgame reservation "
+                           "(execution time, seconds)")
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation: WAN bandwidth sweep — the bursting feasibility frontier.
+//
+// The paper's motivation notes that "the available bandwidth to cloud-based
+// storage is quite limited today" but expects dedicated links to close the
+// gap. This sweep shows how the hybrid slowdown of each application depends
+// on the organization <-> cloud bandwidth (env-17/83, the steal-heavy skew).
+#include "paper_common.hpp"
+
+#include "common/units.hpp"
+
+int main() {
+  using namespace cloudburst;
+  using namespace cloudburst::units;
+
+  AsciiTable table({"WAN", "knn slowdown", "kmeans slowdown", "pagerank slowdown"});
+  for (double mbit : {100.0, 250.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0}) {
+    std::vector<std::string> row = {AsciiTable::num(mbit, 0) + " Mb/s"};
+    for (bench::PaperApp app :
+         {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
+      auto tweak = [mbit](cluster::PlatformSpec& spec, middleware::RunOptions&) {
+        spec.wan_bandwidth = mbps(mbit);
+      };
+      const auto base = apps::run_env(apps::Env::Local, app, tweak);
+      const auto hybrid = apps::run_env(apps::Env::Hybrid1783, app, tweak);
+      row.push_back(AsciiTable::pct(hybrid.total_time / base.total_time - 1.0, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render("Ablation — WAN bandwidth vs hybrid slowdown "
+                                   "(env-17/83)")
+                          .c_str());
+  return 0;
+}

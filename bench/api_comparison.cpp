@@ -1,0 +1,155 @@
+// Generalized Reduction vs Map-Reduce vs Map-Reduce+combine — real engines,
+// real kernels (google-benchmark).
+//
+// Reproduces the paper's §III-A argument quantitatively: the GR API avoids
+// the intermediate (key, value) materialization, sorting/grouping, and
+// shuffle of Map-Reduce. Counters report live intermediate pairs and shuffle
+// bytes so the memory claim is visible next to the time.
+#include <benchmark/benchmark.h>
+
+#include "apps/datagen.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/knn.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/wordcount.hpp"
+#include "engine/gr_engine.hpp"
+#include "engine/mr_engine.hpp"
+
+namespace {
+
+using namespace cloudburst;
+using engine::GrEngineOptions;
+using engine::MemoryDataset;
+using engine::MrEngineOptions;
+
+constexpr std::size_t kThreads = 4;
+
+const MemoryDataset& word_data() {
+  static const MemoryDataset data = [] {
+    apps::WordGenSpec spec;
+    spec.count = 400000;
+    spec.vocabulary = 10000;
+    return apps::generate_words(spec);
+  }();
+  return data;
+}
+
+const MemoryDataset& point_data() {
+  static const MemoryDataset data = [] {
+    apps::PointGenSpec spec;
+    spec.count = 200000;
+    spec.dim = 8;
+    spec.mixture_components = 8;
+    return apps::generate_points(spec);
+  }();
+  return data;
+}
+
+const MemoryDataset& edge_data() {
+  static const MemoryDataset data = [] {
+    apps::GraphGenSpec spec;
+    spec.pages = 50000;
+    spec.edges = 400000;
+    return apps::generate_edges(spec);
+  }();
+  return data;
+}
+
+/// Shared task instances (construction is not what we measure).
+apps::WordCountTask& wordcount_task() {
+  static apps::WordCountTask task;
+  return task;
+}
+apps::KnnTask& knn_task() {
+  static apps::KnnTask task(100, std::vector<float>(8, 0.0f));
+  return task;
+}
+apps::KmeansTask& kmeans_task() {
+  static apps::KmeansTask task([] {
+    apps::PointGenSpec spec;
+    spec.count = 1;
+    spec.dim = 8;
+    spec.mixture_components = 8;
+    return apps::mixture_centers(spec);
+  }());
+  return task;
+}
+apps::PageRankTask& pagerank_task() {
+  static apps::PageRankTask task = [] {
+    const auto deg = apps::out_degrees(edge_data(), 50000);
+    return apps::PageRankTask(std::vector<double>(50000, 1.0 / 50000), deg);
+  }();
+  return task;
+}
+
+template <typename Task>
+void run_gr(benchmark::State& state, const Task& task, const MemoryDataset& data) {
+  GrEngineOptions options;
+  options.threads = kThreads;
+  engine::GrRunStats stats;
+  for (auto _ : state) {
+    auto robj = engine::gr_run(task, data, options, &stats);
+    benchmark::DoNotOptimize(robj);
+  }
+  state.counters["robj_bytes"] = static_cast<double>(stats.robj_bytes);
+  state.counters["intermediate_pairs"] = 0;
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(data.size_bytes()) / 1e6, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+template <typename Task>
+void run_mr(benchmark::State& state, const Task& task, const MemoryDataset& data,
+            bool combine) {
+  MrEngineOptions options;
+  options.threads = kThreads;
+  options.use_combiner = combine;
+  options.combine_flush_pairs = 1 << 14;
+  engine::MrRunStats stats;
+  for (auto _ : state) {
+    auto out = engine::mr_run(task, data, options, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["intermediate_pairs"] = static_cast<double>(stats.peak_intermediate_pairs);
+  state.counters["shuffle_MB"] = static_cast<double>(stats.shuffle_bytes) / 1e6;
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(data.size_bytes()) / 1e6, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_Wordcount_GR(benchmark::State& s) { run_gr(s, wordcount_task(), word_data()); }
+void BM_Wordcount_MR(benchmark::State& s) { run_mr(s, wordcount_task(), word_data(), false); }
+void BM_Wordcount_MRCombine(benchmark::State& s) {
+  run_mr(s, wordcount_task(), word_data(), true);
+}
+
+void BM_Knn_GR(benchmark::State& s) { run_gr(s, knn_task(), point_data()); }
+void BM_Knn_MR(benchmark::State& s) { run_mr(s, knn_task(), point_data(), false); }
+void BM_Knn_MRCombine(benchmark::State& s) { run_mr(s, knn_task(), point_data(), true); }
+
+void BM_Kmeans_GR(benchmark::State& s) { run_gr(s, kmeans_task(), point_data()); }
+void BM_Kmeans_MR(benchmark::State& s) { run_mr(s, kmeans_task(), point_data(), false); }
+void BM_Kmeans_MRCombine(benchmark::State& s) {
+  run_mr(s, kmeans_task(), point_data(), true);
+}
+
+void BM_Pagerank_GR(benchmark::State& s) { run_gr(s, pagerank_task(), edge_data()); }
+void BM_Pagerank_MR(benchmark::State& s) { run_mr(s, pagerank_task(), edge_data(), false); }
+void BM_Pagerank_MRCombine(benchmark::State& s) {
+  run_mr(s, pagerank_task(), edge_data(), true);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Wordcount_GR)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Wordcount_MR)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Wordcount_MRCombine)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Knn_GR)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Knn_MR)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Knn_MRCombine)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Kmeans_GR)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Kmeans_MR)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Kmeans_MRCombine)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Pagerank_GR)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Pagerank_MR)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Pagerank_MRCombine)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Extension bench: the time/cost tradeoff of cloud bursting.
+//
+// The paper frames bursting as "flexibility in combining limited local
+// resources with pay-as-you-go cloud resources"; the authors' follow-up
+// work optimizes execution under time or dollar constraints. This bench
+// regenerates that tradeoff: for each application, sweep the rented cloud
+// capacity (16 local cores fixed, 33% of the data local) and report
+// simulated execution time against 2011 AWS dollars, then let the planner
+// answer deadline- and budget-constrained provisioning queries.
+#include "paper_common.hpp"
+
+#include "cost/planner.hpp"
+
+int main() {
+  using namespace cloudburst;
+
+  for (bench::PaperApp app :
+       {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
+    AsciiTable table({"cloud cores", "instances", "exec time", "instance $", "GETs $",
+                      "transfer $", "total $"});
+    std::vector<cost::PlanPoint> points;
+    for (unsigned cores : {0u, 8u, 16u, 32u, 64u}) {
+      const auto run = apps::run_custom(app, 1.0 / 3, 16, cores);
+      points.push_back(cost::PlanPoint{cores, run.result.total_time, run.cost});
+      table.add_row({std::to_string(cores), std::to_string((cores + 1) / 2),
+                     AsciiTable::num(run.result.total_time, 1),
+                     AsciiTable::num(run.cost.instance_usd, 3),
+                     AsciiTable::num(run.cost.requests_usd, 3),
+                     AsciiTable::num(run.cost.transfer_usd, 3),
+                     AsciiTable::num(run.cost.total_usd(), 3)});
+    }
+    std::printf("%s", table.render(std::string("Time/cost tradeoff — ") +
+                                   apps::to_string(app) +
+                                   " (16 local cores, 33% data local, AWS 2011 prices)")
+                          .c_str());
+
+    const double fastest = points.back().exec_seconds;
+    const double slowest = points.front().exec_seconds;
+    const double deadline = fastest + 0.25 * (slowest - fastest);
+    if (const auto plan = cost::plan_for_deadline(points, deadline)) {
+      std::printf("planner: deadline %.1fs -> rent %u cloud cores ($%.3f, %.1fs)\n",
+                  deadline, plan->cloud_cores, plan->cost.total_usd(),
+                  plan->exec_seconds);
+    }
+    const double budget = points[2].cost.total_usd();
+    if (const auto plan = cost::plan_for_budget(points, budget)) {
+      std::printf("planner: budget $%.3f -> rent %u cloud cores (%.1fs)\n\n", budget,
+                  plan->cloud_cores, plan->exec_seconds);
+    }
+  }
+  return 0;
+}

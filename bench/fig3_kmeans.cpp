@@ -1,0 +1,12 @@
+// Reproduces Figure 3(b): kmeans over the five cloud-bursting environments
+// (cloud cores rebalanced to 44/22 as in the paper).
+#include "paper_common.hpp"
+
+int main() {
+  using namespace cloudburst;
+  const auto sweep = bench::run_env_sweep(bench::PaperApp::Kmeans);
+  bench::print_fig3(bench::PaperApp::Kmeans, sweep, "Figure 3(b)");
+  std::printf("average hybrid slowdown vs env-local: %.1f%%\n\n",
+              bench::average_hybrid_slowdown(sweep) * 100.0);
+  return 0;
+}

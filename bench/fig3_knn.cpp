@@ -1,0 +1,11 @@
+// Reproduces Figure 3(a): knn over the five cloud-bursting environments.
+#include "paper_common.hpp"
+
+int main() {
+  using namespace cloudburst;
+  const auto sweep = bench::run_env_sweep(bench::PaperApp::Knn);
+  bench::print_fig3(bench::PaperApp::Knn, sweep, "Figure 3(a)");
+  std::printf("average hybrid slowdown vs env-local: %.1f%%\n\n",
+              bench::average_hybrid_slowdown(sweep) * 100.0);
+  return 0;
+}

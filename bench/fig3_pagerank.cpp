@@ -1,0 +1,12 @@
+// Reproduces Figure 3(c): pagerank over the five cloud-bursting
+// environments; the large reduction object drives the sync overhead.
+#include "paper_common.hpp"
+
+int main() {
+  using namespace cloudburst;
+  const auto sweep = bench::run_env_sweep(bench::PaperApp::PageRank);
+  bench::print_fig3(bench::PaperApp::PageRank, sweep, "Figure 3(c)");
+  std::printf("average hybrid slowdown vs env-local: %.1f%%\n\n",
+              bench::average_hybrid_slowdown(sweep) * 100.0);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// The paper's two headline numbers:
+//  * average slowdown of cloud-bursting execution vs centralized processing
+//    across all applications and hybrid data distributions (paper: 15.55%),
+//  * average scaling efficiency per doubling of compute resources
+//    (paper: 81%).
+#include "paper_common.hpp"
+
+int main() {
+  using namespace cloudburst;
+
+  double slowdown_sum = 0.0;
+  int slowdown_n = 0;
+  for (bench::PaperApp app :
+       {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
+    const auto baseline = apps::run_env(apps::Env::Local, app);
+    for (apps::Env env : apps::kHybridEnvs) {
+      const auto result = apps::run_env(env, app);
+      slowdown_sum += result.total_time / baseline.total_time - 1.0;
+      ++slowdown_n;
+    }
+  }
+
+  double efficiency_sum = 0.0;
+  int efficiency_n = 0;
+  for (bench::PaperApp app :
+       {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
+    double previous = 0.0;
+    for (unsigned cores : {4u, 8u, 16u, 32u}) {
+      const auto result = apps::run_scalability(app, cores);
+      if (previous > 0.0) {
+        efficiency_sum += previous / (2.0 * result.total_time);
+        ++efficiency_n;
+      }
+      previous = result.total_time;
+    }
+  }
+
+  cloudburst::AsciiTable table({"metric", "paper", "this reproduction"});
+  table.add_row({"avg hybrid slowdown vs centralized", "15.55%",
+                 AsciiTable::pct(slowdown_sum / slowdown_n, 2)});
+  table.add_row({"avg scaling efficiency per doubling", "81%",
+                 AsciiTable::pct(efficiency_sum / efficiency_n, 1)});
+  std::printf("%s\n", table.render("Headline results").c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Extension bench: instance-type selection.
+//
+// For a fixed aggregate cloud budget-of-cores, which 2011 EC2 instance type
+// should a bursting user rent? Compute-bound work wants the compute-
+// optimized c1 family; I/O-bound work wants NIC bandwidth per dollar. The
+// sweep rents ~16 cores worth of each type (knn & kmeans, 33% data local,
+// 16 local cores) and reports time and cost.
+#include "paper_common.hpp"
+
+#include "cluster/instance_types.hpp"
+
+int main() {
+  using namespace cloudburst;
+
+  for (bench::PaperApp app : {bench::PaperApp::Knn, bench::PaperApp::Kmeans}) {
+    AsciiTable table({"type", "instances", "cores", "$/h each", "exec time",
+                      "instance $", "total $"});
+    for (const auto& type : cluster::ec2_catalog_2011()) {
+      const unsigned count = std::max(1u, 16u / type.cores);
+      const auto run = apps::run_custom_typed(app, 1.0 / 3, 16, type, count);
+      table.add_row({type.name, std::to_string(count),
+                     std::to_string(count * type.cores),
+                     AsciiTable::num(type.hourly_usd, 3),
+                     AsciiTable::num(run.result.total_time, 1),
+                     AsciiTable::num(run.cost.instance_usd, 3),
+                     AsciiTable::num(run.cost.total_usd(), 3)});
+    }
+    std::printf("%s\n", table.render(std::string("Instance-type sweep — ") +
+                                     apps::to_string(app) +
+                                     " (16 local cores + ~16 cloud cores, 33% data "
+                                     "local, 2011 prices)")
+                            .c_str());
+  }
+  return 0;
+}

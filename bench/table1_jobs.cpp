@@ -1,0 +1,27 @@
+// Reproduces Table I: jobs processed per cluster, split into jobs whose data
+// was on the cluster's own store ("Local") and jobs fetched from the remote
+// store ("stolen"), for every application and hybrid environment.
+#include "paper_common.hpp"
+
+int main() {
+  using namespace cloudburst;
+  AsciiTable table({"app", "env", "local: own (stolen)", "cloud: own (stolen)", "total"});
+  for (bench::PaperApp app :
+       {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
+    for (apps::Env env : apps::kHybridEnvs) {
+      const auto config = apps::env_config(env, app);
+      const auto result = apps::run_env(env, app);
+      const auto& local = result.side(cluster::ClusterSide::Local);
+      const auto& cloud = result.side(cluster::ClusterSide::Cloud);
+      table.add_row({apps::to_string(app), config.name,
+                     std::to_string(local.jobs_local) + " (" +
+                         std::to_string(local.jobs_stolen) + ")",
+                     std::to_string(cloud.jobs_local) + " (" +
+                         std::to_string(cloud.jobs_stolen) + ")",
+                     std::to_string(result.total_jobs())});
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n", table.render("Table I — job assignment per application").c_str());
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces Table II: per-application, per-hybrid-environment overheads —
+// global reduction time, end-of-run idle time per cluster, and the total
+// slowdown versus env-local (seconds and percent).
+#include "paper_common.hpp"
+
+int main() {
+  using namespace cloudburst;
+  AsciiTable table({"app", "env", "global reduction (s)", "idle local (s)",
+                    "idle cloud (s)", "total slowdown (s)", "slowdown"});
+  for (bench::PaperApp app :
+       {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
+    const auto baseline = apps::run_env(apps::Env::Local, app);
+    for (apps::Env env : apps::kHybridEnvs) {
+      const auto config = apps::env_config(env, app);
+      const auto result = apps::run_env(env, app);
+      const double slowdown_s = result.total_time - baseline.total_time;
+      table.add_row(
+          {apps::to_string(app), config.name,
+           AsciiTable::num(result.global_reduction_time, 2),
+           AsciiTable::num(result.side(cluster::ClusterSide::Local).idle_time, 2),
+           AsciiTable::num(result.side(cluster::ClusterSide::Cloud).idle_time, 2),
+           AsciiTable::num(slowdown_s, 2),
+           AsciiTable::pct(slowdown_s / baseline.total_time, 1)});
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n",
+              table.render("Table II — slowdowns of the applications with respect to "
+                           "data distribution (baseline: env-local)")
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Quickstart: the Generalized Reduction API in one file.
+//
+// Defines a tiny custom application — per-sensor mean temperature — against
+// the GR interface, runs it on the shared-memory engine, and then runs the
+// very same task through the full cloud-bursting middleware (simulated local
+// cluster + cloud + S3) to show that the API is identical in both worlds.
+//
+//   ./quickstart [threads=4] [readings=200000]
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "api/combiners.hpp"
+#include "api/generalized_reduction.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "engine/gr_engine.hpp"
+#include "middleware/runtime.hpp"
+
+using namespace cloudburst;
+
+namespace {
+
+// One fixed-size data unit: a sensor reading.
+struct Reading {
+  std::uint32_t sensor;
+  float temperature;
+};
+static_assert(sizeof(Reading) == 8);
+
+constexpr std::uint32_t kSensors = 16;
+
+// The whole application: a reduction object shape (per-sensor sum + count),
+// a local reduction (fold one run of readings), and the library merge.
+class MeanTemperature final : public api::GRTask {
+ public:
+  std::string name() const override { return "mean-temperature"; }
+  std::size_t unit_bytes() const override { return sizeof(Reading); }
+
+  api::RobjPtr create_robj() const override {
+    return api::make_vector_sum(2 * kSensors);  // [sum_0, n_0, sum_1, n_1, ...]
+  }
+
+  void process(const std::byte* data, std::size_t unit_count,
+               api::ReductionObject& robj) const override {
+    auto& sums = dynamic_cast<api::VectorFoldRobj&>(robj);
+    for (std::size_t i = 0; i < unit_count; ++i) {
+      Reading r;
+      std::memcpy(&r, data + i * sizeof(Reading), sizeof r);
+      sums.accumulate(2 * r.sensor, r.temperature);
+      sums.accumulate(2 * r.sensor + 1, 1.0);
+    }
+  }
+
+  void finalize(api::ReductionObject& robj) const override {
+    auto& sums = dynamic_cast<api::VectorFoldRobj&>(robj);
+    for (std::uint32_t s = 0; s < kSensors; ++s) {
+      const double n = sums.at(2 * s + 1);
+      if (n > 0) sums.at(2 * s) /= n;
+    }
+  }
+};
+
+engine::MemoryDataset make_readings(std::size_t count) {
+  std::vector<Reading> readings(count);
+  Rng rng(2026);
+  for (auto& r : readings) {
+    r.sensor = static_cast<std::uint32_t>(rng.next_below(kSensors));
+    // Each sensor sits at a different baseline.
+    r.temperature = static_cast<float>(15.0 + r.sensor + rng.normal(0.0, 2.0));
+  }
+  return engine::MemoryDataset::from_records(readings);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const auto threads = static_cast<std::size_t>(cfg.get_int("threads", 4));
+  const auto readings = static_cast<std::size_t>(cfg.get_int("readings", 200000));
+
+  const auto data = make_readings(readings);
+  MeanTemperature task;
+
+  // --- 1. shared-memory engine ----------------------------------------------
+  engine::GrEngineOptions options;
+  options.threads = threads;
+  engine::GrRunStats stats;
+  const api::RobjPtr robj = engine::gr_run(task, data, options, &stats);
+  const auto& means = dynamic_cast<const api::VectorFoldRobj&>(*robj);
+
+  std::printf("shared-memory engine: %zu readings, %zu threads, %.1f ms\n",
+              readings, threads, stats.wall_seconds * 1e3);
+  for (std::uint32_t s = 0; s < kSensors; s += 4) {
+    std::printf("  sensor %2u: mean %.2f C (expect ~%.1f)\n", s, means.at(2 * s),
+                15.0 + s);
+  }
+
+  // --- 2. the same task on the cloud-bursting middleware ----------------------
+  cluster::Platform platform(cluster::PlatformSpec::paper_testbed(16, 16));
+  storage::DataLayout layout = storage::build_layout_for_units(
+      data.units(), data.unit_bytes(), /*num_files=*/8, /*chunks_per_file=*/3);
+  storage::assign_stores_by_fraction(layout, 0.5, platform.local_store_id(),
+                                     platform.cloud_store_id());
+
+  middleware::RunOptions run;
+  run.profile.name = task.name();
+  run.profile.unit_bytes = data.unit_bytes();
+  run.profile.bytes_per_second_per_core = units::MBps(40);
+  run.profile.robj_bytes = 0;  // charge the real serialized robj
+  run.task = &task;
+  run.dataset = &data;
+
+  const auto result = middleware::run_distributed(platform, layout, run);
+  const auto& dist_means = dynamic_cast<const api::VectorFoldRobj&>(*result.robj);
+
+  std::printf("\ncloud bursting (16 local + 16 cloud cores, 50/50 data split):\n");
+  std::printf("  simulated execution time: %.3f s over %u jobs\n", result.total_time,
+              result.total_jobs());
+  double max_diff = 0.0;
+  for (std::uint32_t s = 0; s < kSensors; ++s) {
+    max_diff = std::max(max_diff, std::abs(dist_means.at(2 * s) - means.at(2 * s)));
+  }
+  std::printf("  max |distributed - shared-memory| mean difference: %.2e\n", max_diff);
+  std::printf("  (identical results: the middleware routed every chunk exactly once)\n");
+  return 0;
+}

@@ -1,0 +1,218 @@
+#include "api/combiners.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cloudburst::api {
+
+namespace {
+
+template <typename T>
+const T& cast_other(const ReductionObject& other, const char* what) {
+  const auto* p = dynamic_cast<const T*>(&other);
+  if (!p) throw std::invalid_argument(std::string("merge_from: type mismatch for ") + what);
+  return *p;
+}
+
+}  // namespace
+
+// --- VectorFoldRobj ---------------------------------------------------------
+
+VectorFoldRobj::VectorFoldRobj(std::size_t size, VectorFold fold)
+    : fold_(fold), values_(size, 0.0) {
+  std::fill(values_.begin(), values_.end(), identity());
+}
+
+double VectorFoldRobj::identity() const {
+  switch (fold_) {
+    case VectorFold::Sum: return 0.0;
+    case VectorFold::Min: return std::numeric_limits<double>::infinity();
+    case VectorFold::Max: return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+void VectorFoldRobj::accumulate(std::size_t i, double v) {
+  double& slot = values_.at(i);
+  switch (fold_) {
+    case VectorFold::Sum: slot += v; break;
+    case VectorFold::Min: slot = std::min(slot, v); break;
+    case VectorFold::Max: slot = std::max(slot, v); break;
+  }
+}
+
+RobjPtr VectorFoldRobj::clone_empty() const {
+  return std::make_unique<VectorFoldRobj>(values_.size(), fold_);
+}
+
+void VectorFoldRobj::merge_from(const ReductionObject& other) {
+  const auto& o = cast_other<VectorFoldRobj>(other, "VectorFoldRobj");
+  if (o.values_.size() != values_.size() || o.fold_ != fold_) {
+    throw std::invalid_argument("VectorFoldRobj: shape mismatch in merge");
+  }
+  for (std::size_t i = 0; i < values_.size(); ++i) accumulate(i, o.values_[i]);
+}
+
+std::uint64_t VectorFoldRobj::byte_size() const {
+  return sizeof(std::uint64_t) + values_.size() * sizeof(double);
+}
+
+void VectorFoldRobj::serialize(BufferWriter& out) const {
+  out.write_u8(static_cast<std::uint8_t>(fold_));
+  out.write_pod_vector(values_);
+}
+
+void VectorFoldRobj::deserialize(BufferReader& in) {
+  fold_ = static_cast<VectorFold>(in.read_u8());
+  values_ = in.read_pod_vector<double>();
+}
+
+// --- TopKMinRobj -------------------------------------------------------------
+
+TopKMinRobj::TopKMinRobj(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("TopKMinRobj: k must be > 0");
+  heap_.reserve(k);
+}
+
+void TopKMinRobj::offer(double score, std::uint64_t id) {
+  const Entry e{score, id};
+  if (heap_.size() < k_) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end());
+    return;
+  }
+  if (e < heap_.front()) {  // strictly better than the current worst
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.back() = e;
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+}
+
+std::vector<TopKMinRobj::Entry> TopKMinRobj::sorted_entries() const {
+  std::vector<Entry> out = heap_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RobjPtr TopKMinRobj::clone_empty() const { return std::make_unique<TopKMinRobj>(k_); }
+
+void TopKMinRobj::merge_from(const ReductionObject& other) {
+  const auto& o = cast_other<TopKMinRobj>(other, "TopKMinRobj");
+  for (const Entry& e : o.heap_) offer(e.score, e.id);
+}
+
+std::uint64_t TopKMinRobj::byte_size() const {
+  return sizeof(std::uint64_t) + heap_.size() * sizeof(Entry);
+}
+
+void TopKMinRobj::serialize(BufferWriter& out) const {
+  out.write_u64(k_);
+  out.write_u64(heap_.size());
+  for (const Entry& e : heap_) {
+    out.write_f64(e.score);
+    out.write_u64(e.id);
+  }
+}
+
+void TopKMinRobj::deserialize(BufferReader& in) {
+  k_ = in.read_u64();
+  const std::uint64_t n = in.read_u64();
+  heap_.clear();
+  heap_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double score = in.read_f64();
+    const std::uint64_t id = in.read_u64();
+    heap_.push_back(Entry{score, id});
+  }
+  std::make_heap(heap_.begin(), heap_.end());
+}
+
+// --- HashCountRobj -----------------------------------------------------------
+
+double HashCountRobj::get(std::uint64_t key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0.0 : it->second;
+}
+
+RobjPtr HashCountRobj::clone_empty() const { return std::make_unique<HashCountRobj>(); }
+
+void HashCountRobj::merge_from(const ReductionObject& other) {
+  const auto& o = cast_other<HashCountRobj>(other, "HashCountRobj");
+  for (const auto& [k, v] : o.counts_) counts_[k] += v;
+}
+
+std::uint64_t HashCountRobj::byte_size() const {
+  return sizeof(std::uint64_t) + counts_.size() * (sizeof(std::uint64_t) + sizeof(double));
+}
+
+void HashCountRobj::serialize(BufferWriter& out) const {
+  // Sorted order: serialized form is canonical regardless of hash layout.
+  std::vector<std::pair<std::uint64_t, double>> items(counts_.begin(), counts_.end());
+  std::sort(items.begin(), items.end());
+  out.write_u64(items.size());
+  for (const auto& [k, v] : items) {
+    out.write_u64(k);
+    out.write_f64(v);
+  }
+}
+
+void HashCountRobj::deserialize(BufferReader& in) {
+  counts_.clear();
+  const std::uint64_t n = in.read_u64();
+  counts_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t k = in.read_u64();
+    counts_[k] = in.read_f64();
+  }
+}
+
+// --- ConcatRobj ---------------------------------------------------------------
+
+void ConcatRobj::append(const double* record) {
+  data_.insert(data_.end(), record, record + record_doubles_);
+}
+
+std::vector<double> ConcatRobj::sorted_records() const {
+  // Sort record-wise (lexicographic) for a canonical view.
+  const std::size_t n = records();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::lexicographical_compare(
+        data_.begin() + a * record_doubles_, data_.begin() + (a + 1) * record_doubles_,
+        data_.begin() + b * record_doubles_, data_.begin() + (b + 1) * record_doubles_);
+  });
+  std::vector<double> out;
+  out.reserve(data_.size());
+  for (std::size_t i : order) {
+    out.insert(out.end(), data_.begin() + i * record_doubles_,
+               data_.begin() + (i + 1) * record_doubles_);
+  }
+  return out;
+}
+
+RobjPtr ConcatRobj::clone_empty() const { return std::make_unique<ConcatRobj>(record_doubles_); }
+
+void ConcatRobj::merge_from(const ReductionObject& other) {
+  const auto& o = cast_other<ConcatRobj>(other, "ConcatRobj");
+  if (o.record_doubles_ != record_doubles_) {
+    throw std::invalid_argument("ConcatRobj: record size mismatch in merge");
+  }
+  data_.insert(data_.end(), o.data_.begin(), o.data_.end());
+}
+
+std::uint64_t ConcatRobj::byte_size() const {
+  return 2 * sizeof(std::uint64_t) + data_.size() * sizeof(double);
+}
+
+void ConcatRobj::serialize(BufferWriter& out) const {
+  out.write_u64(record_doubles_);
+  out.write_pod_vector(data_);
+}
+
+void ConcatRobj::deserialize(BufferReader& in) {
+  record_doubles_ = in.read_u64();
+  data_ = in.read_pod_vector<double>();
+}
+
+}  // namespace cloudburst::api

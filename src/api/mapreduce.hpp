@@ -1,0 +1,63 @@
+// The Map-Reduce programming API — the baseline the paper compares against
+// (§III-A, Figure 1): map -> [combine] -> shuffle -> reduce.
+//
+// Keys are 64-bit integers; values are small double vectors, which covers
+// the evaluation applications (knn: (distance, id); kmeans: point + count;
+// pagerank: rank mass; wordcount: counts). The engine materializes the
+// intermediate (key, value) pairs exactly as a Map-Reduce implementation
+// must, so the memory/shuffle overheads the Generalized Reduction API avoids
+// are real and measurable in bench/api_comparison.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cloudburst::api {
+
+struct KeyValue {
+  std::uint64_t key = 0;
+  std::vector<double> value;
+
+  bool operator==(const KeyValue&) const = default;
+};
+
+/// Sink the map (and combine/reduce) functions emit into.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void emit(std::uint64_t key, std::vector<double> value) = 0;
+};
+
+class MRTask {
+ public:
+  virtual ~MRTask() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t unit_bytes() const = 0;
+
+  /// Map `unit_count` consecutive units starting at `data`, emitting
+  /// intermediate pairs.
+  virtual void map(const std::byte* data, std::size_t unit_count, Emitter& emit) const = 0;
+
+  /// Reduce all values observed for `key` into zero or more output pairs.
+  virtual void reduce(std::uint64_t key, const std::vector<std::vector<double>>& values,
+                      Emitter& emit) const = 0;
+
+  /// Optional combiner; by default reuses reduce (valid whenever reduce is
+  /// associative+commutative over partial value sets, true for our apps).
+  virtual void combine(std::uint64_t key, const std::vector<std::vector<double>>& values,
+                       Emitter& emit) const {
+    reduce(key, values, emit);
+  }
+
+  /// Optional final pass over the reduced pairs (e.g. kmeans centroid
+  /// division). Default: identity.
+  virtual std::vector<KeyValue> finalize(std::vector<KeyValue> reduced) const {
+    return reduced;
+  }
+};
+
+}  // namespace cloudburst::api

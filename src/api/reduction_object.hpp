@@ -1,0 +1,44 @@
+// Reduction objects.
+//
+// The central abstraction of the Generalized Reduction API (paper §III-A):
+// an application-defined accumulator that is
+//  * updated in place after each data element (local reduction),
+//  * cloned empty per processing thread / node,
+//  * merged pairwise during the global reduction phase,
+//  * serialized when it crosses cluster boundaries (its byte size is what
+//    the middleware charges to the network — pagerank's very large robj is
+//    the source of its sync overhead).
+// Memory allocation and access are managed by the runtime, per the paper;
+// applications only define the update and merge rules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/serialize.hpp"
+
+namespace cloudburst::api {
+
+class ReductionObject {
+ public:
+  virtual ~ReductionObject() = default;
+
+  /// A fresh object of the same shape holding the reduction identity
+  /// (so merge(clone_empty(), x) == x).
+  virtual std::unique_ptr<ReductionObject> clone_empty() const = 0;
+
+  /// Global reduction step: fold `other` into *this. Must be associative
+  /// and commutative across objects produced from disjoint element sets —
+  /// the runtime chooses the merge order.
+  virtual void merge_from(const ReductionObject& other) = 0;
+
+  /// Serialized size; used for robj transfer cost accounting.
+  virtual std::uint64_t byte_size() const = 0;
+
+  virtual void serialize(BufferWriter& out) const = 0;
+  virtual void deserialize(BufferReader& in) = 0;
+};
+
+using RobjPtr = std::unique_ptr<ReductionObject>;
+
+}  // namespace cloudburst::api

@@ -1,0 +1,94 @@
+#include "apps/datagen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace cloudburst::apps {
+
+std::vector<std::vector<float>> mixture_centers(const PointGenSpec& spec) {
+  // Centers on a deterministic lattice-ish arrangement scaled by spread.
+  Rng rng = Rng::substream(spec.seed, 0xce17e5);
+  std::vector<std::vector<float>> centers(spec.mixture_components);
+  for (auto& c : centers) {
+    c.resize(spec.dim);
+    for (auto& v : c) {
+      v = static_cast<float>(rng.uniform(-spec.component_spread, spec.component_spread));
+    }
+  }
+  return centers;
+}
+
+engine::MemoryDataset generate_points(const PointGenSpec& spec) {
+  if (spec.count == 0 || spec.dim == 0 || spec.mixture_components == 0) {
+    throw std::invalid_argument("generate_points: count, dim, components must be > 0");
+  }
+  const auto centers = mixture_centers(spec);
+  const std::size_t unit = point_record_bytes(spec.dim);
+  std::vector<std::byte> bytes(spec.count * unit);
+
+  Rng rng = Rng::substream(spec.seed, 0x9017);
+  std::vector<float> coords(spec.dim);
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    const auto& center = centers[rng.next_below(centers.size())];
+    for (std::size_t d = 0; d < spec.dim; ++d) {
+      coords[d] = center[d] + static_cast<float>(rng.normal(0.0, spec.noise_sigma));
+    }
+    write_point(bytes.data() + i * unit, i, coords.data(), spec.dim);
+  }
+  return engine::MemoryDataset(std::move(bytes), unit);
+}
+
+engine::MemoryDataset generate_edges(const GraphGenSpec& spec) {
+  if (spec.pages == 0) throw std::invalid_argument("generate_edges: pages must be > 0");
+  if (spec.edges < spec.pages) {
+    throw std::invalid_argument("generate_edges: need at least one edge per page");
+  }
+  std::vector<EdgeRecord> edges;
+  edges.reserve(spec.edges);
+
+  Rng rng = Rng::substream(spec.seed, 0xed9e);
+  // Guaranteed out-edge per page (no dangling mass, see datagen.hpp).
+  for (std::uint32_t p = 0; p < spec.pages; ++p) {
+    std::uint32_t dst = static_cast<std::uint32_t>(rng.zipf(spec.pages, spec.popularity_skew));
+    if (dst == p) dst = (dst + 1) % spec.pages;  // no self-loop
+    edges.push_back(EdgeRecord{p, dst});
+  }
+  for (std::uint64_t e = spec.pages; e < spec.edges; ++e) {
+    const auto src = static_cast<std::uint32_t>(rng.next_below(spec.pages));
+    std::uint32_t dst = static_cast<std::uint32_t>(rng.zipf(spec.pages, spec.popularity_skew));
+    if (dst == src) dst = (dst + 1) % spec.pages;
+    edges.push_back(EdgeRecord{src, dst});
+  }
+  return engine::MemoryDataset::from_records(edges);
+}
+
+std::vector<std::uint32_t> out_degrees(const engine::MemoryDataset& edges,
+                                       std::uint32_t pages) {
+  if (edges.unit_bytes() != sizeof(EdgeRecord)) {
+    throw std::invalid_argument("out_degrees: dataset is not an edge list");
+  }
+  std::vector<std::uint32_t> deg(pages, 0);
+  for (std::size_t i = 0; i < edges.units(); ++i) {
+    EdgeRecord e;
+    std::memcpy(&e, edges.unit(i), sizeof e);
+    if (e.src >= pages) throw std::out_of_range("out_degrees: edge source out of range");
+    ++deg[e.src];
+  }
+  return deg;
+}
+
+engine::MemoryDataset generate_words(const WordGenSpec& spec) {
+  if (spec.count == 0 || spec.vocabulary == 0) {
+    throw std::invalid_argument("generate_words: count and vocabulary must be > 0");
+  }
+  std::vector<WordRecord> words(spec.count);
+  Rng rng = Rng::substream(spec.seed, 0x30bd);
+  for (auto& w : words) {
+    w.word_id = rng.zipf(spec.vocabulary, spec.zipf_s);
+  }
+  return engine::MemoryDataset::from_records(words);
+}
+
+}  // namespace cloudburst::apps

@@ -1,0 +1,59 @@
+// Synthetic dataset generators.
+//
+// The paper's 12 GB datasets are not public; these generators produce
+// structurally equivalent inputs (see DESIGN.md): Gaussian-mixture points
+// for knn/kmeans (so clustering has real structure), a Zipf-in-degree web
+// graph with minimum out-degree 1 for pagerank (no dangling pages, matching
+// the driver's damping treatment), and Zipf word streams for wordcount.
+// Everything is deterministic from the seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "apps/records.hpp"
+#include "engine/memory_dataset.hpp"
+
+namespace cloudburst::apps {
+
+struct PointGenSpec {
+  std::size_t count = 0;
+  std::size_t dim = 8;
+  std::size_t mixture_components = 8;  ///< Gaussian mixture modes
+  double component_spread = 10.0;      ///< distance scale between modes
+  double noise_sigma = 1.0;            ///< within-mode spread
+  std::uint64_t seed = 1;
+};
+
+/// Id-bearing point records; ids are the element index.
+engine::MemoryDataset generate_points(const PointGenSpec& spec);
+
+/// The mixture-mode centers the generator used (ground truth for tests).
+std::vector<std::vector<float>> mixture_centers(const PointGenSpec& spec);
+
+struct GraphGenSpec {
+  std::uint32_t pages = 0;
+  std::uint64_t edges = 0;  ///< must be >= pages (min out-degree 1)
+  double popularity_skew = 1.1;  ///< Zipf exponent for destination popularity
+  std::uint64_t seed = 1;
+};
+
+/// Directed edges: every page gets one guaranteed out-edge, the rest go from
+/// uniform sources to Zipf-popular destinations.
+engine::MemoryDataset generate_edges(const GraphGenSpec& spec);
+
+/// Out-degree per page for a generated edge set (pagerank needs it).
+std::vector<std::uint32_t> out_degrees(const engine::MemoryDataset& edges,
+                                       std::uint32_t pages);
+
+struct WordGenSpec {
+  std::size_t count = 0;
+  std::uint64_t vocabulary = 10000;
+  double zipf_s = 1.05;
+  std::uint64_t seed = 1;
+};
+
+engine::MemoryDataset generate_words(const WordGenSpec& spec);
+
+}  // namespace cloudburst::apps

@@ -1,0 +1,166 @@
+#include "apps/experiments.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "apps/records.hpp"
+#include "common/units.hpp"
+#include "middleware/runtime.hpp"
+
+namespace cloudburst::apps {
+
+using namespace cloudburst::units;
+
+const char* to_string(PaperApp app) {
+  switch (app) {
+    case PaperApp::Knn: return "knn";
+    case PaperApp::Kmeans: return "kmeans";
+    case PaperApp::PageRank: return "pagerank";
+  }
+  return "?";
+}
+
+middleware::AppProfile paper_profile(PaperApp app) {
+  middleware::AppProfile p;
+  p.name = to_string(app);
+  switch (app) {
+    case PaperApp::Knn:
+      // Low computation, medium/high I/O, small reduction object (k=1000
+      // neighbor entries).
+      p.unit_bytes = point_record_bytes(8);
+      p.bytes_per_second_per_core = MBps(60);
+      p.robj_bytes = KiB(24);
+      break;
+    case PaperApp::Kmeans:
+      // Heavy computation, low/medium I/O, small reduction object
+      // (k centroids * (dim+1) doubles).
+      p.unit_bytes = point_record_bytes(8);
+      p.bytes_per_second_per_core = MBps(1.2);
+      p.robj_bytes = KiB(8);
+      break;
+    case PaperApp::PageRank:
+      // Low/medium computation, high I/O, very large reduction object (the
+      // full rank-mass vector).
+      p.unit_bytes = sizeof(EdgeRecord);
+      p.bytes_per_second_per_core = MBps(40);
+      p.robj_bytes = MiB(48);
+      break;
+  }
+  return p;
+}
+
+EnvConfig env_config(Env env, PaperApp app) {
+  // kmeans is compute-bound; the paper balanced throughput empirically with
+  // 22 cloud cores per 16 local cores.
+  const bool rebalance = app == PaperApp::Kmeans;
+  switch (env) {
+    case Env::Local: return {"env-local", 1.0, 32, 0};
+    case Env::Cloud: return {"env-cloud", 0.0, 0, rebalance ? 44u : 32u};
+    case Env::Hybrid5050: return {"env-50/50", 0.50, 16, rebalance ? 22u : 16u};
+    case Env::Hybrid3367: return {"env-33/67", 1.0 / 3.0, 16, rebalance ? 22u : 16u};
+    case Env::Hybrid1783: return {"env-17/83", 1.0 / 6.0, 16, rebalance ? 22u : 16u};
+  }
+  throw std::invalid_argument("unknown env");
+}
+
+storage::DataLayout paper_layout(PaperApp app, double local_fraction,
+                                 storage::StoreId local_store,
+                                 storage::StoreId cloud_store) {
+  storage::LayoutSpec spec;
+  spec.total_bytes = GiB(12);
+  spec.num_files = 32;
+  spec.chunks_per_file = 3;  // 96 jobs
+  spec.unit_bytes = paper_profile(app).unit_bytes;
+  spec.file_prefix = to_string(app);
+  storage::DataLayout layout = storage::build_layout(spec);
+  storage::assign_stores_by_fraction(layout, local_fraction, local_store, cloud_store);
+  return layout;
+}
+
+middleware::RunOptions paper_run_options(PaperApp app) {
+  middleware::RunOptions options;
+  options.profile = paper_profile(app);
+  options.policy = middleware::SchedulerPolicy{};  // paper defaults
+  if (app == PaperApp::Kmeans) {
+    // Compute-bound: a job costs roughly the same wherever it runs, so the
+    // endgame steal reservation only creates idle time — disable it.
+    options.policy.steal_reserve = 0;
+  }
+  options.retrieval_streams = 8;
+  options.pipeline_depth = 1;
+  return options;
+}
+
+middleware::RunResult run_env(Env env, PaperApp app) {
+  return run_env(env, app, [](cluster::PlatformSpec&, middleware::RunOptions&) {});
+}
+
+middleware::RunResult run_env(
+    Env env, PaperApp app,
+    const std::function<void(cluster::PlatformSpec&, middleware::RunOptions&)>& tweak) {
+  const EnvConfig config = env_config(env, app);
+  cluster::PlatformSpec spec =
+      cluster::PlatformSpec::paper_testbed(config.local_cores, config.cloud_cores);
+  middleware::RunOptions options = paper_run_options(app);
+  tweak(spec, options);
+
+  cluster::Platform platform(spec);
+  const storage::DataLayout layout = paper_layout(
+      app, config.local_data_fraction, platform.local_store_id(), platform.cloud_store_id());
+  return middleware::run_distributed(platform, layout, options);
+}
+
+middleware::RunResult run_scalability(PaperApp app, unsigned cores_per_side) {
+  return run_scalability(app, cores_per_side,
+                         [](cluster::PlatformSpec&, middleware::RunOptions&) {});
+}
+
+middleware::RunResult run_scalability(
+    PaperApp app, unsigned cores_per_side,
+    const std::function<void(cluster::PlatformSpec&, middleware::RunOptions&)>& tweak) {
+  cluster::PlatformSpec spec =
+      cluster::PlatformSpec::paper_testbed(cores_per_side, cores_per_side);
+  middleware::RunOptions options = paper_run_options(app);
+  tweak(spec, options);
+
+  cluster::Platform platform(spec);
+  // "We placed all data sets in S3."
+  const storage::DataLayout layout =
+      paper_layout(app, 0.0, platform.local_store_id(), platform.cloud_store_id());
+  return middleware::run_distributed(platform, layout, options);
+}
+
+CustomRun run_custom(PaperApp app, double local_fraction, unsigned local_cores,
+                     unsigned cloud_cores, const cost::CloudPricing& pricing) {
+  const cluster::PlatformSpec spec =
+      cluster::PlatformSpec::paper_testbed(local_cores, cloud_cores);
+  const middleware::RunOptions options = paper_run_options(app);
+
+  cluster::Platform platform(spec);
+  const storage::DataLayout layout = paper_layout(
+      app, local_fraction, platform.local_store_id(), platform.cloud_store_id());
+  CustomRun out;
+  out.result = middleware::run_distributed(platform, layout, options);
+  out.cost = cost::price_run(out.result, platform, layout, options, pricing);
+  return out;
+}
+
+CustomRun run_custom_typed(PaperApp app, double local_fraction, unsigned local_cores,
+                           const cluster::InstanceType& type, unsigned count) {
+  const cluster::PlatformSpec spec =
+      cluster::paper_testbed_typed(local_cores, type, count);
+  const middleware::RunOptions options = paper_run_options(app);
+
+  cost::CloudPricing pricing = cost::CloudPricing::aws_2011();
+  pricing.instance_hour_usd = type.hourly_usd;
+
+  cluster::Platform platform(spec);
+  const storage::DataLayout layout = paper_layout(
+      app, local_fraction, platform.local_store_id(), platform.cloud_store_id());
+  CustomRun out;
+  out.result = middleware::run_distributed(platform, layout, options);
+  out.cost = cost::price_run(out.result, platform, layout, options, pricing);
+  return out;
+}
+
+}  // namespace cloudburst::apps

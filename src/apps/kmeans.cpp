@@ -1,0 +1,150 @@
+#include "apps/kmeans.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "engine/gr_engine.hpp"
+
+namespace cloudburst::apps {
+
+KmeansTask::KmeansTask(std::vector<std::vector<float>> centroids)
+    : centroids_(std::move(centroids)) {
+  if (centroids_.empty() || centroids_.front().empty()) {
+    throw std::invalid_argument("KmeansTask: need at least one centroid with dim > 0");
+  }
+  for (const auto& c : centroids_) {
+    if (c.size() != centroids_.front().size()) {
+      throw std::invalid_argument("KmeansTask: inconsistent centroid dimensions");
+    }
+  }
+}
+
+std::size_t KmeansTask::nearest_centroid(const float* coords) const {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    double acc = 0.0;
+    for (std::size_t d = 0; d < dim(); ++d) {
+      const double diff = static_cast<double>(coords[d]) - static_cast<double>(centroids_[c][d]);
+      acc += diff * diff;
+    }
+    if (acc < best_dist) {
+      best_dist = acc;
+      best = c;
+    }
+  }
+  return best;
+}
+
+api::RobjPtr KmeansTask::create_robj() const {
+  // Layout: cluster c occupies slots [c*(dim+1), (c+1)*(dim+1)):
+  // dim coordinate sums followed by the point count.
+  return api::make_vector_sum(k() * (dim() + 1));
+}
+
+void KmeansTask::process(const std::byte* data, std::size_t unit_count,
+                         api::ReductionObject& robj) const {
+  auto& sums = dynamic_cast<api::VectorFoldRobj&>(robj);
+  const std::size_t stride = unit_bytes();
+  const std::size_t row = dim() + 1;
+  for (std::size_t i = 0; i < unit_count; ++i) {
+    const float* coords = point_coords(data + i * stride);
+    const std::size_t c = nearest_centroid(coords);
+    for (std::size_t d = 0; d < dim(); ++d) {
+      sums.accumulate(c * row + d, coords[d]);
+    }
+    sums.accumulate(c * row + dim(), 1.0);
+  }
+}
+
+void KmeansTask::finalize(api::ReductionObject& robj) const {
+  auto& sums = dynamic_cast<api::VectorFoldRobj&>(robj);
+  const std::size_t row = dim() + 1;
+  for (std::size_t c = 0; c < k(); ++c) {
+    const double count = sums.at(c * row + dim());
+    if (count > 0.0) {
+      for (std::size_t d = 0; d < dim(); ++d) sums.at(c * row + d) /= count;
+    } else {
+      // Empty cluster: keep the previous centroid.
+      for (std::size_t d = 0; d < dim(); ++d) sums.at(c * row + d) = centroids_[c][d];
+    }
+  }
+}
+
+void KmeansTask::map(const std::byte* data, std::size_t unit_count,
+                     api::Emitter& emit) const {
+  const std::size_t stride = unit_bytes();
+  std::vector<double> value(dim() + 1);
+  for (std::size_t i = 0; i < unit_count; ++i) {
+    const float* coords = point_coords(data + i * stride);
+    const std::size_t c = nearest_centroid(coords);
+    for (std::size_t d = 0; d < dim(); ++d) value[d] = coords[d];
+    value[dim()] = 1.0;
+    emit.emit(c, value);
+  }
+}
+
+void KmeansTask::reduce(std::uint64_t key, const std::vector<std::vector<double>>& values,
+                        api::Emitter& emit) const {
+  std::vector<double> acc(dim() + 1, 0.0);
+  for (const auto& v : values) {
+    if (v.size() != acc.size()) throw std::invalid_argument("kmeans reduce: malformed value");
+    for (std::size_t d = 0; d < acc.size(); ++d) acc[d] += v[d];
+  }
+  emit.emit(key, std::move(acc));
+}
+
+std::vector<api::KeyValue> KmeansTask::finalize(std::vector<api::KeyValue> reduced) const {
+  for (auto& kv : reduced) {
+    const double count = kv.value.back();
+    if (count > 0.0) {
+      for (std::size_t d = 0; d + 1 < kv.value.size(); ++d) kv.value[d] /= count;
+    }
+  }
+  return reduced;
+}
+
+std::vector<std::vector<double>> KmeansTask::centroids_from(
+    const api::ReductionObject& robj) const {
+  const auto& sums = dynamic_cast<const api::VectorFoldRobj&>(robj);
+  const std::size_t row = dim() + 1;
+  std::vector<std::vector<double>> out(k(), std::vector<double>(dim()));
+  for (std::size_t c = 0; c < k(); ++c) {
+    for (std::size_t d = 0; d < dim(); ++d) out[c][d] = sums.at(c * row + d);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> KmeansTask::centroids_from(
+    const std::vector<api::KeyValue>& out_pairs) const {
+  std::vector<std::vector<double>> out(k(), std::vector<double>(dim()));
+  // Clusters absent from the MR output were empty: keep the old centroid.
+  for (std::size_t c = 0; c < k(); ++c) {
+    for (std::size_t d = 0; d < dim(); ++d) out[c][d] = centroids_[c][d];
+  }
+  for (const auto& kv : out_pairs) {
+    if (kv.key >= k()) throw std::out_of_range("kmeans output: cluster out of range");
+    for (std::size_t d = 0; d < dim(); ++d) out[kv.key][d] = kv.value[d];
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> kmeans_iterate(const engine::MemoryDataset& points,
+                                               std::vector<std::vector<float>> centroids,
+                                               std::size_t iterations, std::size_t threads) {
+  for (std::size_t it = 0; it < iterations; ++it) {
+    KmeansTask task(centroids);
+    engine::GrEngineOptions options;
+    options.threads = threads;
+    const api::RobjPtr robj = engine::gr_run(task, points, options);
+    const auto next = task.centroids_from(*robj);
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      for (std::size_t d = 0; d < centroids[c].size(); ++d) {
+        centroids[c][d] = static_cast<float>(next[c][d]);
+      }
+    }
+  }
+  return centroids;
+}
+
+}  // namespace cloudburst::apps

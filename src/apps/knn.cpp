@@ -1,0 +1,75 @@
+#include "apps/knn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cloudburst::apps {
+
+KnnTask::KnnTask(std::size_t k, std::vector<float> query)
+    : k_(k), query_(std::move(query)) {
+  if (k_ == 0 || query_.empty()) {
+    throw std::invalid_argument("KnnTask: k and query dimension must be > 0");
+  }
+}
+
+double KnnTask::squared_distance(const std::byte* unit) const {
+  const float* coords = point_coords(unit);
+  double acc = 0.0;
+  for (std::size_t d = 0; d < query_.size(); ++d) {
+    const double diff = static_cast<double>(coords[d]) - static_cast<double>(query_[d]);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+api::RobjPtr KnnTask::create_robj() const { return std::make_unique<api::TopKMinRobj>(k_); }
+
+void KnnTask::process(const std::byte* data, std::size_t unit_count,
+                      api::ReductionObject& robj) const {
+  auto& top = dynamic_cast<api::TopKMinRobj&>(robj);
+  const std::size_t stride = unit_bytes();
+  for (std::size_t i = 0; i < unit_count; ++i) {
+    const std::byte* unit = data + i * stride;
+    top.offer(squared_distance(unit), point_id(unit));
+  }
+}
+
+void KnnTask::map(const std::byte* data, std::size_t unit_count, api::Emitter& emit) const {
+  const std::size_t stride = unit_bytes();
+  for (std::size_t i = 0; i < unit_count; ++i) {
+    const std::byte* unit = data + i * stride;
+    emit.emit(0, {squared_distance(unit), static_cast<double>(point_id(unit))});
+  }
+}
+
+void KnnTask::reduce(std::uint64_t key, const std::vector<std::vector<double>>& values,
+                     api::Emitter& emit) const {
+  // Fold all candidate (distance, id) pairs through a TopK accumulator and
+  // re-emit the survivors; valid as a combiner too (associative, commutative).
+  api::TopKMinRobj top(k_);
+  for (const auto& v : values) {
+    if (v.size() != 2) throw std::invalid_argument("knn reduce: malformed value");
+    top.offer(v[0], static_cast<std::uint64_t>(v[1]));
+  }
+  for (const auto& e : top.sorted_entries()) {
+    emit.emit(key, {e.score, static_cast<double>(e.id)});
+  }
+}
+
+std::vector<api::TopKMinRobj::Entry> KnnTask::neighbors(const api::ReductionObject& robj) {
+  return dynamic_cast<const api::TopKMinRobj&>(robj).sorted_entries();
+}
+
+std::vector<api::TopKMinRobj::Entry> KnnTask::neighbors(
+    const std::vector<api::KeyValue>& out) {
+  std::vector<api::TopKMinRobj::Entry> entries;
+  entries.reserve(out.size());
+  for (const auto& kv : out) {
+    if (kv.value.size() != 2) throw std::invalid_argument("knn output: malformed value");
+    entries.push_back({kv.value[0], static_cast<std::uint64_t>(kv.value[1])});
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+}  // namespace cloudburst::apps

@@ -1,0 +1,50 @@
+// On-disk/in-memory record layouts for the evaluation applications.
+//
+// Every application processes fixed-size atomic data units (paper §III-B):
+//  * PointRecord<D>: an id-bearing D-dimensional float point (knn, kmeans),
+//  * EdgeRecord: one directed graph edge (pagerank),
+//  * WordRecord: one tokenized word id (wordcount).
+// The point layout is runtime-dimensioned: a unit is 8 bytes of id followed
+// by `dim` floats; helpers below read fields out of raw chunk bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace cloudburst::apps {
+
+/// Unit size of an id + dim-float point record.
+constexpr std::size_t point_record_bytes(std::size_t dim) {
+  return sizeof(std::uint64_t) + dim * sizeof(float);
+}
+
+inline std::uint64_t point_id(const std::byte* unit) {
+  std::uint64_t id;
+  std::memcpy(&id, unit, sizeof id);
+  return id;
+}
+
+/// Pointer to the coordinate array of a point record.
+inline const float* point_coords(const std::byte* unit) {
+  return reinterpret_cast<const float*>(unit + sizeof(std::uint64_t));
+}
+
+inline void write_point(std::byte* unit, std::uint64_t id, const float* coords,
+                        std::size_t dim) {
+  std::memcpy(unit, &id, sizeof id);
+  std::memcpy(unit + sizeof id, coords, dim * sizeof(float));
+}
+
+struct EdgeRecord {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+};
+static_assert(sizeof(EdgeRecord) == 8);
+
+struct WordRecord {
+  std::uint64_t word_id = 0;
+};
+static_assert(sizeof(WordRecord) == 8);
+
+}  // namespace cloudburst::apps

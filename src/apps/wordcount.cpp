@@ -1,0 +1,41 @@
+#include "apps/wordcount.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace cloudburst::apps {
+
+api::RobjPtr WordCountTask::create_robj() const {
+  return std::make_unique<api::HashCountRobj>();
+}
+
+void WordCountTask::process(const std::byte* data, std::size_t unit_count,
+                            api::ReductionObject& robj) const {
+  auto& counts = dynamic_cast<api::HashCountRobj&>(robj);
+  for (std::size_t i = 0; i < unit_count; ++i) {
+    WordRecord w;
+    std::memcpy(&w, data + i * sizeof(WordRecord), sizeof w);
+    counts.add(w.word_id, 1.0);
+  }
+}
+
+void WordCountTask::map(const std::byte* data, std::size_t unit_count,
+                        api::Emitter& emit) const {
+  for (std::size_t i = 0; i < unit_count; ++i) {
+    WordRecord w;
+    std::memcpy(&w, data + i * sizeof(WordRecord), sizeof w);
+    emit.emit(w.word_id, {1.0});
+  }
+}
+
+void WordCountTask::reduce(std::uint64_t key, const std::vector<std::vector<double>>& values,
+                           api::Emitter& emit) const {
+  double acc = 0.0;
+  for (const auto& v : values) {
+    if (v.size() != 1) throw std::invalid_argument("wordcount reduce: malformed value");
+    acc += v[0];
+  }
+  emit.emit(key, {acc});
+}
+
+}  // namespace cloudburst::apps

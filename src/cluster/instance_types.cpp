@@ -1,0 +1,40 @@
+#include "cluster/instance_types.hpp"
+
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace cloudburst::cluster {
+
+using namespace cloudburst::units;
+
+const std::vector<InstanceType>& ec2_catalog_2011() {
+  // Speeds: 0.365 per ECU (calibrated from the paper's m1.large balancing);
+  // NICs: standard instances shipped ~gigabit, compute-optimized better.
+  static const std::vector<InstanceType> catalog = {
+      {"m1.small", 1, 0.365, MBps(60), 0.085},
+      {"m1.large", 2, 0.730, MBps(160), 0.340},
+      {"m1.xlarge", 4, 0.730, MBps(200), 0.680},
+      {"c1.medium", 2, 0.913, MBps(120), 0.170},
+      {"c1.xlarge", 8, 0.913, MBps(250), 0.680},
+  };
+  return catalog;
+}
+
+const InstanceType& instance_type(const std::string& name) {
+  for (const auto& t : ec2_catalog_2011()) {
+    if (t.name == name) return t;
+  }
+  throw std::invalid_argument("unknown instance type: " + name);
+}
+
+PlatformSpec paper_testbed_typed(unsigned local_cores, const InstanceType& type,
+                                 unsigned count) {
+  PlatformSpec spec = PlatformSpec::paper_testbed(local_cores, 0);
+  spec.cloud = ClusterSpec::uniform("cloud", count, NodeSpec{type.cores, type.core_speed},
+                                    type.nic_bandwidth,
+                                    des::from_seconds(us(200)));
+  return spec;
+}
+
+}  // namespace cloudburst::cluster

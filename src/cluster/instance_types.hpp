@@ -1,0 +1,37 @@
+// Cloud instance catalog (2011-era EC2).
+//
+// The paper used m1.large; its follow-up work provisions across instance
+// types to trade time against cost. Speeds are relative to the local Xeon
+// reference core and follow the ECU ratings (1 ECU ~ a 1.0-1.2 GHz 2007
+// Opteron; the paper's calibration pegs an m1.large core at ~0.73 of the
+// local Xeon, i.e. ~0.365 per ECU).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/platform.hpp"
+
+namespace cloudburst::cluster {
+
+struct InstanceType {
+  std::string name;
+  unsigned cores = 1;
+  double core_speed = 1.0;      ///< per-core throughput vs the local reference
+  double nic_bandwidth = 0.0;   ///< bytes/sec
+  double hourly_usd = 0.0;      ///< on-demand price (us-east, 2011)
+};
+
+/// The 2011 on-demand catalog used by the typed planner.
+const std::vector<InstanceType>& ec2_catalog_2011();
+
+/// Look up a type by name; throws if unknown.
+const InstanceType& instance_type(const std::string& name);
+
+/// The paper testbed with the cloud side built from `count` instances of
+/// `type` instead of m1.large.
+PlatformSpec paper_testbed_typed(unsigned local_cores, const InstanceType& type,
+                                 unsigned count);
+
+}  // namespace cloudburst::cluster

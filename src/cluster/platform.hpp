@@ -1,0 +1,143 @@
+// Platform: the simulated deployment the middleware runs on.
+//
+// A platform is two compute clusters (the organization's local cluster and
+// the cloud), two storage services (the local storage node and the S3-style
+// object store), and the network connecting them:
+//
+//     [local nodes]--NIC--(local fabric)--+--WAN--+--(aws fabric)--NIC--[cloud nodes]
+//     [storage node disk]-----------------+       +------------------[S3 front end]
+//
+// Intra-cluster paths cross only the two NICs involved; cross-cluster paths
+// and local-cluster S3 reads cross the shared WAN; cloud S3 reads cross the
+// AWS-internal fabric. All constants live in PlatformSpec so benches can
+// sweep them (WAN bandwidth ablation, etc.).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "net/network.hpp"
+#include "storage/local_store.hpp"
+#include "storage/object_store.hpp"
+
+namespace cloudburst::cluster {
+
+/// Index of a compute cluster within the platform.
+enum class ClusterSide : std::uint32_t { Local = 0, Cloud = 1 };
+constexpr std::size_t kClusterCount = 2;
+
+inline const char* to_string(ClusterSide side) {
+  return side == ClusterSide::Local ? "local" : "cloud";
+}
+
+struct NodeSpec {
+  unsigned cores = 1;
+  /// Per-core throughput relative to the reference core the AppProfiles are
+  /// calibrated against (local Xeon == 1.0).
+  double core_speed = 1.0;
+};
+
+struct ClusterSpec {
+  std::string name;
+  std::vector<NodeSpec> nodes;
+  double nic_bandwidth = 0.0;        ///< bytes/sec per node
+  des::SimDuration nic_latency = 0;  ///< per-NIC latency contribution
+
+  /// Convenience: `count` identical nodes.
+  static ClusterSpec uniform(std::string name, std::size_t count, NodeSpec node,
+                             double nic_bandwidth, des::SimDuration nic_latency);
+
+  unsigned total_cores() const;
+};
+
+struct PlatformSpec {
+  ClusterSpec local;
+  ClusterSpec cloud;
+
+  // Wide-area path between the organization and the cloud provider.
+  double wan_bandwidth = 0.0;
+  des::SimDuration wan_latency = 0;
+
+  // Local storage node (disk channel feeding the cluster fabric).
+  double disk_bandwidth = 0.0;
+  double disk_per_stream_bandwidth = 0.0;  ///< cap per concurrent reader (0 = none)
+  des::SimDuration disk_seek_latency = 0;
+
+  /// Two-cloud-provider deployments (paper §II: "our solution will also be
+  /// applicable if the data and/or processing power is spread across two
+  /// different cloud providers"): when set, the "local" side's store is an
+  /// object store too (capacity = disk_bandwidth, request latency and
+  /// per-connection cap shared with the S3 parameters) instead of a
+  /// disk-backed storage node.
+  bool local_store_is_object = false;
+
+  // S3-style object store.
+  double s3_front_bandwidth = 0.0;        ///< aggregate capacity of the store
+  des::SimDuration s3_request_latency = 0;
+  double s3_per_connection_bandwidth = 0; ///< cap per retrieval stream
+  double aws_fabric_bandwidth = 0.0;      ///< cloud-internal path to S3
+  des::SimDuration aws_fabric_latency = 0;
+
+  /// Relative stddev of per-node speed jitter (the paper's "slight
+  /// variations in processing throughput among the slave nodes"); applied
+  /// deterministically from `jitter_seed`.
+  double node_speed_jitter = 0.0;
+  std::uint64_t jitter_seed = 0x5eed;
+
+  /// Deployment used throughout the paper's evaluation (OSU cluster + EC2
+  /// m1.large + S3), with `local_cores` / `cloud_cores` compute power.
+  /// Local nodes have 8 cores; cloud instances have 2 (m1.large).
+  static PlatformSpec paper_testbed(unsigned local_cores, unsigned cloud_cores);
+};
+
+/// A compute node's runtime identity within a built platform.
+struct NodeHandle {
+  ClusterSide cluster;
+  std::uint32_t index_in_cluster = 0;
+  unsigned cores = 1;
+  double core_speed = 1.0;
+  net::EndpointId endpoint = 0;
+  std::string name;
+};
+
+/// Builds and owns the simulated deployment: simulator, network, stores.
+class Platform {
+ public:
+  explicit Platform(const PlatformSpec& spec);
+
+  des::Simulator& sim() { return sim_; }
+  net::Network& network() { return *network_; }
+  const PlatformSpec& spec() const { return spec_; }
+
+  const std::vector<NodeHandle>& nodes(ClusterSide side) const {
+    return nodes_[static_cast<std::size_t>(side)];
+  }
+  std::size_t total_nodes() const;
+
+  storage::StoreService& store(storage::StoreId id);
+  storage::StoreId local_store_id() const { return 0; }
+  storage::StoreId cloud_store_id() const { return 1; }
+
+  /// Control-plane endpoints. The head runs at the local site (it owns the
+  /// data index, per the paper's Figure 2); each cluster has a master.
+  net::EndpointId head_endpoint() const { return head_ep_; }
+  net::EndpointId master_endpoint(ClusterSide side) const {
+    return master_ep_[static_cast<std::size_t>(side)];
+  }
+
+ private:
+  void build_cluster(ClusterSide side, const ClusterSpec& cspec, net::SiteId site);
+
+  PlatformSpec spec_;
+  des::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<NodeHandle> nodes_[kClusterCount];
+  net::EndpointId head_ep_ = 0;
+  net::EndpointId master_ep_[kClusterCount] = {0, 0};
+  std::unique_ptr<storage::StoreService> local_store_;
+  std::unique_ptr<storage::StoreService> object_store_;
+};
+
+}  // namespace cloudburst::cluster

@@ -1,0 +1,43 @@
+// key=value configuration parsing.
+//
+// Examples and benches accept small overrides ("wan_bandwidth_mbps=200")
+// either from argv or from a config file; Config centralizes parsing and
+// typed lookup with defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cloudburst {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" tokens (unrecognized tokens throw). Later tokens
+  /// override earlier ones.
+  static Config from_args(const std::vector<std::string>& args);
+  static Config from_args(int argc, char** argv);
+
+  /// Parse a file of "key=value" lines; '#' starts a comment; blank lines ok.
+  static Config from_string(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+  bool contains(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All keys in sorted order (for echoing effective configs).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cloudburst

@@ -1,0 +1,39 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+
+namespace cloudburst::log {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::Warn)};
+std::mutex g_sink_mutex;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO ";
+    case Level::Warn: return "WARN ";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+bool enabled(Level lvl) { return static_cast<int>(lvl) >= g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, std::string_view component, std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(lvl),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace cloudburst::log

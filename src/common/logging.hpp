@@ -1,0 +1,69 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded but the real engines are not, so the sink
+// is mutex-guarded. Log level is a process-wide setting; benches default to
+// Warn so their stdout stays a clean table.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cloudburst::log {
+
+enum class Level : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_level(Level level);
+Level level();
+
+/// True when a message at `lvl` would actually be emitted.
+bool enabled(Level lvl);
+
+/// Emit a single already-formatted line (thread-safe).
+void write(Level lvl, std::string_view component, std::string_view message);
+
+namespace detail {
+
+inline void append_all(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  append_all(os, rest...);
+}
+
+template <typename... Args>
+void emit(Level lvl, std::string_view component, const Args&... args) {
+  if (!enabled(lvl)) return;
+  std::ostringstream os;
+  append_all(os, args...);
+  write(lvl, component, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void trace(std::string_view component, const Args&... args) {
+  detail::emit(Level::Trace, component, args...);
+}
+template <typename... Args>
+void debug(std::string_view component, const Args&... args) {
+  detail::emit(Level::Debug, component, args...);
+}
+template <typename... Args>
+void info(std::string_view component, const Args&... args) {
+  detail::emit(Level::Info, component, args...);
+}
+template <typename... Args>
+void warn(std::string_view component, const Args&... args) {
+  detail::emit(Level::Warn, component, args...);
+}
+template <typename... Args>
+void error(std::string_view component, const Args&... args) {
+  detail::emit(Level::Error, component, args...);
+}
+
+}  // namespace cloudburst::log

@@ -1,0 +1,50 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace cloudburst {
+
+double Rng::normal(double mean, double stddev) {
+  // Marsaglia polar method; we discard the second variate to keep the
+  // generator stateless w.r.t. caller interleaving.
+  while (true) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::exponential(double rate) {
+  // Inverse CDF; 1 - U in (0,1] avoids log(0).
+  return -std::log(1.0 - next_double()) / rate;
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  // Rejection-inversion sampling (W. Hormann & G. Derflinger). Good for the
+  // skewed key/file popularity draws used by workload generators.
+  if (n <= 1) return 0;
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) {
+    return s == 1.0 ? std::log(x) : (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_inv = [s](double x) {
+    return s == 1.0 ? std::exp(x) : std::pow(1.0 + x * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hx0 = h(0.5) - 1.0;  // extend envelope below 1
+  const double hn = h(nd + 0.5);
+  while (true) {
+    const double u = hx0 + next_double() * (hn - hx0);
+    const double x = h_inv(u);
+    const std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    const std::uint64_t clamped = k < 1 ? 1 : (k > n ? n : k);
+    const double kd = static_cast<double>(clamped);
+    if (u >= h(kd + 0.5) - std::pow(kd, -s)) {
+      return clamped - 1;  // zero-based rank
+    }
+  }
+}
+
+}  // namespace cloudburst

@@ -1,0 +1,68 @@
+// Streaming statistics and fixed-bin histograms.
+//
+// Used for run-result accounting (per-node busy/idle times), workload
+// characterization, and bench table summaries. Welford's algorithm keeps the
+// accumulator numerically stable for long runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cloudburst {
+
+/// Streaming mean / variance / min / max accumulator (Welford).
+class StatAccumulator {
+ public:
+  void add(double x);
+  void merge(const StatAccumulator& other);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? m_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double m_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp into
+/// the first/last bin so totals always match count().
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t count() const { return total_; }
+  std::size_t bin_count(std::size_t bin) const { return bins_.at(bin); }
+  std::size_t bins() const { return bins_.size(); }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Linear-interpolated quantile estimate, q in [0,1].
+  double quantile(double q) const;
+
+  /// Multi-line ASCII rendering ("[lo, hi) ####  12").
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> bins_;
+  std::size_t total_ = 0;
+};
+
+/// Exact-quantile helper for small sample sets (sorts a copy).
+double exact_quantile(std::vector<double> samples, double q);
+
+}  // namespace cloudburst

@@ -1,0 +1,34 @@
+// ASCII table printer for bench output.
+//
+// Every bench binary regenerates one of the paper's tables/figures as text;
+// this keeps the formatting consistent (fixed-width columns, right-aligned
+// numerics, optional title and footnote rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cloudburst {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Add one data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for building cells from doubles ("%.2f" by default).
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Insert a horizontal separator after the current last row.
+  void add_separator();
+
+  std::string render(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+}  // namespace cloudburst

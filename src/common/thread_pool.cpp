@@ -1,0 +1,58 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cloudburst {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) throw std::invalid_argument("ThreadPool requires >= 1 thread");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] {
+      while (auto task = queue_.pop()) {
+        (*task)();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.close();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) { queue_.push(std::move(task)); }
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t workers = std::min(size(), (n + grain - 1) / grain);
+
+  std::vector<std::future<void>> done;
+  done.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    done.push_back(submit_task([next, n, grain, &body] {
+      while (true) {
+        const std::size_t begin = next->fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= n) break;
+        const std::size_t end = std::min(begin + grain, n);
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }
+    }));
+  }
+  for (auto& f : done) f.get();
+}
+
+void ThreadPool::run_on_all(std::size_t k, const std::function<void(std::size_t)>& body) {
+  std::vector<std::future<void>> done;
+  done.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    done.push_back(submit_task([i, &body] { body(i); }));
+  }
+  for (auto& f : done) f.get();
+}
+
+}  // namespace cloudburst

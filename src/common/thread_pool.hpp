@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The real engines (engine/gr_engine, engine/mr_engine) use this to model the
+// paper's slave threads within one node. Work is dynamic-chunked so faster
+// threads naturally take more work — the same on-demand pooling idea the
+// middleware uses between nodes and clusters.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.hpp"
+
+namespace cloudburst {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Fire-and-forget task.
+  void submit(std::function<void()> task);
+
+  /// Submit and get a future for the result.
+  template <typename F>
+  auto submit_task(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    submit([task] { (*task)(); });
+    return task->get_future();
+  }
+
+  /// Run body(i) for i in [0, n) across the pool with dynamic chunking;
+  /// blocks until every index has been processed. `grain` indices are
+  /// claimed at a time to amortize the shared counter.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Run body(thread_index) once on each of `k` workers concurrently and
+  /// wait. Used for per-thread reduction-object setups.
+  void run_on_all(std::size_t k, const std::function<void(std::size_t)>& body);
+
+ private:
+  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cloudburst

@@ -1,0 +1,55 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace cloudburst::units {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t idx = 0;
+  while (value >= 1024.0 && idx + 1 < kSuffix.size()) {
+    value /= 1024.0;
+    ++idx;
+  }
+  char buf[64];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, kSuffix[idx]);
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 0) {
+    std::snprintf(buf, sizeof(buf), "-%s", format_seconds(-seconds).c_str());
+  } else if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  char buf[64];
+  if (bytes_per_second >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB/s", bytes_per_second / 1e9);
+  } else if (bytes_per_second >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB/s", bytes_per_second / 1e6);
+  } else if (bytes_per_second >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB/s", bytes_per_second / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f B/s", bytes_per_second);
+  }
+  return buf;
+}
+
+}  // namespace cloudburst::units

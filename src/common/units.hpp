@@ -1,0 +1,52 @@
+// Byte, time, and bandwidth unit helpers used throughout cloudburst.
+//
+// Simulated time is kept in integer nanoseconds (see des/sim_time.hpp);
+// human-facing configuration uses doubles in SI units (seconds, bytes/second).
+// The helpers here make unit provenance explicit at call sites, e.g.
+// `units::MiB(128)` or `units::mbps(100.0)`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cloudburst::units {
+
+// --- byte sizes -----------------------------------------------------------
+
+constexpr std::uint64_t KiB(std::uint64_t n) { return n << 10; }
+constexpr std::uint64_t MiB(std::uint64_t n) { return n << 20; }
+constexpr std::uint64_t GiB(std::uint64_t n) { return n << 30; }
+
+constexpr std::uint64_t KB(std::uint64_t n) { return n * 1000ULL; }
+constexpr std::uint64_t MB(std::uint64_t n) { return n * 1000ULL * 1000ULL; }
+constexpr std::uint64_t GB(std::uint64_t n) { return n * 1000ULL * 1000ULL * 1000ULL; }
+
+// --- bandwidth (bytes per second) -----------------------------------------
+
+/// Megabits per second -> bytes per second.
+constexpr double mbps(double v) { return v * 1e6 / 8.0; }
+/// Gigabits per second -> bytes per second.
+constexpr double gbps(double v) { return v * 1e9 / 8.0; }
+/// Megabytes per second -> bytes per second.
+constexpr double MBps(double v) { return v * 1e6; }
+/// Gibibytes per second -> bytes per second.
+constexpr double GiBps(double v) { return v * 1073741824.0; }
+
+// --- time (seconds) --------------------------------------------------------
+
+constexpr double ms(double v) { return v * 1e-3; }
+constexpr double us(double v) { return v * 1e-6; }
+constexpr double minutes(double v) { return v * 60.0; }
+
+// --- formatting ------------------------------------------------------------
+
+/// "12.0 GiB", "128.0 MiB", "512 B" — for log lines and bench tables.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "123.4 s", "56.7 ms" — seconds in, human string out.
+std::string format_seconds(double seconds);
+
+/// "1.25 GB/s", "100.0 Mb/s" style bandwidth formatting (bytes/sec in).
+std::string format_bandwidth(double bytes_per_second);
+
+}  // namespace cloudburst::units

@@ -1,0 +1,81 @@
+#include "cost/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cloudburst::cost {
+
+std::string CostReport::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "compute $%.3f (%.1f inst-h) + requests $%.3f (%llu GETs) + "
+                "transfer $%.3f (%.2f GB out) + storage $%.4f = $%.3f",
+                instance_usd, instance_hours, requests_usd,
+                static_cast<unsigned long long>(get_requests), transfer_usd,
+                transfer_out_gb, storage_usd, total_usd());
+  return buf;
+}
+
+CostReport price(const CostInputs& inputs, const CloudPricing& pricing) {
+  CostReport report;
+
+  // Per-started-hour billing: every instance pays ceil(duration) hours.
+  if (!inputs.instance_seconds.empty()) {
+    report.instance_hours = 0.0;
+    for (double s : inputs.instance_seconds) {
+      // Launching bills the first hour even if the job finished before the
+      // instance came up (cancel-at-boot still pays).
+      report.instance_hours += std::max(1.0, std::ceil(s / 3600.0));
+    }
+  } else {
+    const double hours = inputs.run_seconds / 3600.0;
+    report.instance_hours =
+        std::ceil(hours) * static_cast<double>(inputs.cloud_instances);
+  }
+  report.instance_usd = report.instance_hours * pricing.instance_hour_usd;
+
+  report.get_requests = inputs.s3_get_requests;
+  report.requests_usd =
+      static_cast<double>(inputs.s3_get_requests) / 1000.0 * pricing.get_per_1000_usd;
+
+  report.transfer_out_gb = static_cast<double>(inputs.bytes_out_of_cloud) / 1e9;
+  report.transfer_usd = report.transfer_out_gb * pricing.transfer_out_per_gb_usd;
+
+  report.storage_gb = static_cast<double>(inputs.s3_resident_bytes) / 1e9;
+  const double months = inputs.run_seconds / (30.0 * 24.0 * 3600.0);
+  report.storage_usd = report.storage_gb * months * pricing.storage_gb_month_usd;
+  return report;
+}
+
+CostReport price_run(const middleware::RunResult& result, cluster::Platform& platform,
+                     const storage::DataLayout& layout,
+                     const middleware::RunOptions& options, const CloudPricing& pricing) {
+  CostInputs inputs;
+  inputs.run_seconds = result.total_time;
+  inputs.cloud_instances =
+      static_cast<std::uint32_t>(result.cloud_instance_starts.size());
+  for (double start : result.cloud_instance_starts) {
+    inputs.instance_seconds.push_back(std::max(0.0, result.total_time - start));
+  }
+
+  // Every S3 chunk fetch issues `retrieval_streams` range GETs.
+  const auto& s3_stats = platform.store(platform.cloud_store_id()).stats();
+  inputs.s3_get_requests = s3_stats.requests * std::max(1u, options.retrieval_streams);
+
+  // Transfer out of the provider: S3 chunks stolen by the local cluster plus
+  // the cloud's reduction object shipped to the head across the WAN. Stored
+  // chunks move compressed.
+  const auto& local = result.side(cluster::ClusterSide::Local);
+  const double ratio = std::max(1.0, options.profile.compression_ratio);
+  inputs.bytes_out_of_cloud =
+      static_cast<std::uint64_t>(static_cast<double>(local.bytes_stolen) / ratio);
+  if (result.side(cluster::ClusterSide::Cloud).nodes > 0) {
+    inputs.bytes_out_of_cloud += options.profile.robj_bytes;
+  }
+
+  inputs.s3_resident_bytes = layout.bytes_on(platform.cloud_store_id());
+  return price(inputs, pricing);
+}
+
+}  // namespace cloudburst::cost

@@ -1,0 +1,45 @@
+// Pricing a distributed run.
+//
+// Consumes the run result plus platform/store statistics and produces an
+// itemized CostReport:
+//  * compute — cloud instances × ceil(run duration in hours), per 2011 EC2
+//    per-started-hour billing;
+//  * requests — S3 range GETs (each chunk fetch issues `streams` GETs);
+//  * transfer out — bytes that left the provider: chunks the local cluster
+//    stole from S3 plus the cloud master's reduction object crossing the
+//    WAN to the head;
+//  * storage — the S3-resident dataset fraction, prorated to the run.
+#pragma once
+
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "cost/pricing.hpp"
+#include "middleware/run_context.hpp"
+#include "middleware/run_result.hpp"
+#include "storage/data_layout.hpp"
+
+namespace cloudburst::cost {
+
+struct CostInputs {
+  double run_seconds = 0.0;
+  std::uint32_t cloud_instances = 0;
+  /// Per-instance rented durations (elastic runs bill from activation).
+  /// When non-empty this overrides `cloud_instances` x run_seconds.
+  std::vector<double> instance_seconds;
+  std::uint64_t s3_get_requests = 0;
+  std::uint64_t bytes_out_of_cloud = 0;  ///< transfer-out volume
+  std::uint64_t s3_resident_bytes = 0;   ///< dataset bytes stored in S3
+};
+
+/// Price raw usage numbers.
+CostReport price(const CostInputs& inputs, const CloudPricing& pricing);
+
+/// Derive usage from a finished run on `platform` with `layout` and price it.
+/// `options` supplies the retrieval stream count (GETs per fetch) and the
+/// robj size (WAN transfer-out during the global reduction).
+CostReport price_run(const middleware::RunResult& result, cluster::Platform& platform,
+                     const storage::DataLayout& layout,
+                     const middleware::RunOptions& options, const CloudPricing& pricing);
+
+}  // namespace cloudburst::cost

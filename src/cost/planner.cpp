@@ -1,0 +1,36 @@
+#include "cost/planner.hpp"
+
+#include <limits>
+
+namespace cloudburst::cost {
+
+std::vector<PlanPoint> sweep(const PlannerConfig& config, const RunFn& run) {
+  std::vector<PlanPoint> points;
+  for (unsigned cores = 0; cores <= config.max_cloud_cores; cores += config.core_step) {
+    points.push_back(run(cores));
+    if (config.core_step == 0) break;  // degenerate config: single point
+  }
+  return points;
+}
+
+std::optional<PlanPoint> plan_for_deadline(const std::vector<PlanPoint>& points,
+                                           double deadline_seconds) {
+  std::optional<PlanPoint> best;
+  for (const auto& p : points) {
+    if (p.exec_seconds > deadline_seconds) continue;
+    if (!best || p.cost.total_usd() < best->cost.total_usd()) best = p;
+  }
+  return best;
+}
+
+std::optional<PlanPoint> plan_for_budget(const std::vector<PlanPoint>& points,
+                                         double budget_usd) {
+  std::optional<PlanPoint> best;
+  for (const auto& p : points) {
+    if (p.cost.total_usd() > budget_usd) continue;
+    if (!best || p.exec_seconds < best->exec_seconds) best = p;
+  }
+  return best;
+}
+
+}  // namespace cloudburst::cost

@@ -1,0 +1,53 @@
+// Time/cost-constrained provisioning planner.
+//
+// Answers the operational questions cloud bursting raises: *how many cloud
+// instances should I rent?*
+//  * plan_for_deadline — cheapest cloud core count whose simulated execution
+//    time meets a deadline;
+//  * plan_for_budget  — fastest cloud core count whose dollar cost stays
+//    within budget.
+// Both sweep candidate allocations through the full simulator, so every
+// effect the middleware models (stealing, WAN contention, robj sync, job
+// granularity) is reflected in the plan.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "middleware/run_result.hpp"
+
+namespace cloudburst::cost {
+
+struct PlanPoint {
+  unsigned cloud_cores = 0;
+  double exec_seconds = 0.0;
+  CostReport cost;
+};
+
+struct PlannerConfig {
+  unsigned local_cores = 16;        ///< fixed in-house capacity
+  double local_data_fraction = 0.5; ///< dataset split
+  unsigned max_cloud_cores = 64;
+  unsigned core_step = 4;           ///< sweep granularity (m1.large = 2 cores)
+  CloudPricing pricing = CloudPricing::aws_2011();
+};
+
+/// One simulated run per candidate allocation; `run` must execute the
+/// workload on a platform with (local_cores, cloud_cores) and report the
+/// result (apps::run_env-style helpers satisfy this).
+using RunFn = std::function<PlanPoint(unsigned cloud_cores)>;
+
+/// Evaluate the whole sweep (cloud_cores = 0, step, 2*step, ...).
+std::vector<PlanPoint> sweep(const PlannerConfig& config, const RunFn& run);
+
+/// Cheapest point meeting `deadline_seconds`; nullopt if none does.
+std::optional<PlanPoint> plan_for_deadline(const std::vector<PlanPoint>& points,
+                                           double deadline_seconds);
+
+/// Fastest point with cost <= `budget_usd`; nullopt if none qualifies.
+std::optional<PlanPoint> plan_for_budget(const std::vector<PlanPoint>& points,
+                                         double budget_usd);
+
+}  // namespace cloudburst::cost

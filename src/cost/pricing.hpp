@@ -1,0 +1,52 @@
+// Pay-as-you-go cloud pricing model.
+//
+// The paper's conclusion motivates cloud bursting as "combining limited
+// local resources with pay-as-you-go cloud resources"; the authors' own
+// follow-up work (Bicer et al., "Time and Cost Sensitive Data-Intensive
+// Computing on Hybrid Clouds") makes the dollar cost a first-class
+// objective. This module prices a simulated run with the 2011-era AWS
+// billing rules: per-started-instance-hour compute, per-request S3 GETs,
+// and per-GB data transfer *out* of the provider (inbound was free).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cloudburst::cost {
+
+struct CloudPricing {
+  /// USD per instance-hour, billed per *started* hour (EC2 2011 rules).
+  double instance_hour_usd = 0.34;  // m1.large, us-east, 2011
+
+  /// USD per 1,000 GET requests against the object store.
+  double get_per_1000_usd = 0.01;
+
+  /// USD per GB transferred out of the cloud provider to the internet.
+  double transfer_out_per_gb_usd = 0.12;
+
+  /// USD per GB-month of object storage (charged for the dataset fraction
+  /// hosted in the cloud, prorated to the run duration).
+  double storage_gb_month_usd = 0.14;
+
+  static CloudPricing aws_2011() { return CloudPricing{}; }
+};
+
+/// Itemized cost of one distributed run.
+struct CostReport {
+  double instance_hours = 0.0;  ///< billed (rounded-up) instance hours
+  double instance_usd = 0.0;
+  std::uint64_t get_requests = 0;
+  double requests_usd = 0.0;
+  double transfer_out_gb = 0.0;
+  double transfer_usd = 0.0;
+  double storage_gb = 0.0;
+  double storage_usd = 0.0;
+
+  double total_usd() const {
+    return instance_usd + requests_usd + transfer_usd + storage_usd;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace cloudburst::cost

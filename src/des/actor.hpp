@@ -1,0 +1,47 @@
+// Actor base for simulated system components.
+//
+// Head, master, and slave nodes (and the storage services) are actors: named
+// entities bound to a Simulator that exchange messages through the network
+// layer. The base class only carries identity and scheduling convenience;
+// message delivery is defined by net::Network to keep the DES kernel free of
+// topology concerns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "des/simulator.hpp"
+
+namespace cloudburst::des {
+
+/// Opaque identifier for an actor / network endpoint.
+using ActorId = std::uint32_t;
+constexpr ActorId kInvalidActor = static_cast<ActorId>(-1);
+
+class Actor {
+ public:
+  Actor(Simulator& sim, ActorId id, std::string name)
+      : sim_(sim), id_(id), name_(std::move(name)) {}
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  ActorId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Simulator& sim() { return sim_; }
+  SimTime now() const { return sim_.now(); }
+
+ protected:
+  EventHandle after(SimDuration delay, std::function<void()> fn) {
+    return sim_.schedule(delay, std::move(fn));
+  }
+
+ private:
+  Simulator& sim_;
+  ActorId id_;
+  std::string name_;
+};
+
+}  // namespace cloudburst::des

@@ -1,0 +1,70 @@
+#include "des/simulator.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace cloudburst::des {
+
+std::string format(SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds(t));
+  return buf;
+}
+
+void EventHandle::cancel() {
+  if (alive_) *alive_ = false;
+}
+
+bool EventHandle::pending() const { return alive_ && *alive_; }
+
+EventHandle Simulator::schedule(SimDuration delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("Simulator::schedule: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{when, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (!*ev.alive) continue;  // cancelled
+    *ev.alive = false;         // mark fired so handles report !pending()
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+SimTime Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    // Skip cancelled events without advancing the clock.
+    if (!*queue_.top().alive) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > deadline) break;
+    step();
+  }
+  if (now_ < deadline && queue_.empty()) {
+    // Queue drained before the deadline: clock stays at the last event.
+    return now_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace cloudburst::des

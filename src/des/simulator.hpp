@@ -1,0 +1,87 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a priority queue of (time, sequence, callback) events.
+// Ties on time break by insertion sequence, which makes every run fully
+// deterministic. Events may be cancelled via the EventHandle returned at
+// scheduling time (used by the network layer when fair-share rates change
+// and flow completion times must be re-estimated).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "des/sim_time.hpp"
+
+namespace cloudburst::des {
+
+class Simulator;
+
+/// Cancellation token for a scheduled event. Copyable; cancelling twice is a
+/// no-op, as is cancelling an event that already fired.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevent the event from firing. Safe after the event has run.
+  void cancel();
+
+  /// True if the event has neither fired nor been cancelled.
+  bool pending() const;
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at now() + delay (delay >= 0).
+  EventHandle schedule(SimDuration delay, std::function<void()> fn);
+
+  /// Schedule at an absolute time >= now().
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Run until the event queue drains. Returns the final simulated time.
+  SimTime run();
+
+  /// Run events with time <= deadline; the clock ends at
+  /// min(deadline, last-event time). Returns the final simulated time.
+  SimTime run_until(SimTime deadline);
+
+  /// Execute at most one event. False if the queue was empty.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = kSimStart;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace cloudburst::des

@@ -1,0 +1,66 @@
+#include "engine/gr_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace cloudburst::engine {
+
+api::RobjPtr gr_run(const api::GRTask& task, const MemoryDataset& data,
+                    const GrEngineOptions& options, GrRunStats* stats) {
+  if (options.threads == 0) throw std::invalid_argument("gr_run: threads must be > 0");
+  if (data.unit_bytes() != task.unit_bytes()) {
+    throw std::invalid_argument("gr_run: dataset unit size does not match task");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::size_t group_units = data.units_per_group(options.cache_bytes);
+  const std::size_t total_units = data.units();
+  const std::size_t groups = total_units == 0 ? 0 : (total_units + group_units - 1) / group_units;
+
+  // Per-thread private robj copies; workers claim groups from a shared
+  // counter so faster threads naturally take more work.
+  std::vector<api::RobjPtr> robjs(options.threads);
+  std::atomic<std::size_t> next_group{0};
+  std::atomic<std::size_t> processed_groups{0};
+
+  {
+    ThreadPool pool(options.threads);
+    pool.run_on_all(options.threads, [&](std::size_t worker) {
+      api::RobjPtr robj = task.create_robj();
+      while (true) {
+        const std::size_t g = next_group.fetch_add(1, std::memory_order_relaxed);
+        if (g >= groups) break;
+        const std::size_t begin = g * group_units;
+        const std::size_t count = std::min(group_units, total_units - begin);
+        task.process(data.unit(begin), count, *robj);
+        processed_groups.fetch_add(1, std::memory_order_relaxed);
+      }
+      robjs[worker] = std::move(robj);
+    });
+  }
+
+  // Global reduction: fold the per-thread copies into one.
+  api::RobjPtr result = std::move(robjs[0]);
+  std::size_t merges = 0;
+  for (std::size_t i = 1; i < robjs.size(); ++i) {
+    result->merge_from(*robjs[i]);
+    ++merges;
+  }
+  task.finalize(*result);
+
+  if (stats) {
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    stats->groups_processed = processed_groups.load();
+    stats->robj_merges = merges;
+    stats->robj_bytes = result->byte_size();
+  }
+  return result;
+}
+
+}  // namespace cloudburst::engine

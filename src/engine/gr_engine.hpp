@@ -1,0 +1,36 @@
+// Shared-memory Generalized Reduction engine.
+//
+// The in-process form of the paper's processing structure (Figure 1, right):
+// each worker thread owns a private reduction-object copy, claims cache-sized
+// unit groups on demand (the same pooling idea the middleware uses between
+// nodes), folds every element into its robj immediately, and the engine
+// merges the per-thread robjs at the end. No intermediate (key, value)
+// pairs, no shuffle.
+#pragma once
+
+#include <cstddef>
+
+#include "api/generalized_reduction.hpp"
+#include "engine/memory_dataset.hpp"
+
+namespace cloudburst::engine {
+
+struct GrEngineOptions {
+  std::size_t threads = 1;
+  /// Bytes of data per processing group; sized to the worker's cache
+  /// (paper: "the data units maximize the cache utilization").
+  std::size_t cache_bytes = 1 << 20;
+};
+
+struct GrRunStats {
+  double wall_seconds = 0.0;
+  std::size_t groups_processed = 0;
+  std::size_t robj_merges = 0;
+  std::uint64_t robj_bytes = 0;  ///< serialized size of the final robj
+};
+
+/// Run `task` over `data` and return the finalized global reduction object.
+api::RobjPtr gr_run(const api::GRTask& task, const MemoryDataset& data,
+                    const GrEngineOptions& options, GrRunStats* stats = nullptr);
+
+}  // namespace cloudburst::engine

@@ -1,0 +1,53 @@
+// In-memory dataset for the real (shared-memory) engines.
+//
+// A flat byte buffer of fixed-size units — the in-process analogue of a
+// chunk read into a slave's memory. The engines split it into cache-sized
+// unit groups exactly as the middleware's reduction layer does (paper
+// §III-B "Data Organization").
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace cloudburst::engine {
+
+class MemoryDataset {
+ public:
+  MemoryDataset(std::vector<std::byte> bytes, std::size_t unit_bytes)
+      : bytes_(std::move(bytes)), unit_bytes_(unit_bytes) {
+    if (unit_bytes_ == 0) throw std::invalid_argument("unit_bytes must be > 0");
+    if (bytes_.size() % unit_bytes_ != 0) {
+      throw std::invalid_argument("dataset size must be a multiple of unit_bytes");
+    }
+  }
+
+  /// Build from a vector of trivially-copyable records.
+  template <typename T>
+  static MemoryDataset from_records(const std::vector<T>& records) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(records.size() * sizeof(T));
+    std::memcpy(bytes.data(), records.data(), bytes.size());
+    return MemoryDataset(std::move(bytes), sizeof(T));
+  }
+
+  std::size_t unit_bytes() const { return unit_bytes_; }
+  std::size_t units() const { return bytes_.size() / unit_bytes_; }
+  std::size_t size_bytes() const { return bytes_.size(); }
+
+  const std::byte* unit(std::size_t index) const { return bytes_.data() + index * unit_bytes_; }
+  const std::byte* data() const { return bytes_.data(); }
+
+  /// Number of units per cache-sized processing group (>= 1).
+  std::size_t units_per_group(std::size_t cache_bytes) const {
+    const std::size_t n = cache_bytes / unit_bytes_;
+    return n == 0 ? 1 : n;
+  }
+
+ private:
+  std::vector<std::byte> bytes_;
+  std::size_t unit_bytes_;
+};
+
+}  // namespace cloudburst::engine

@@ -1,0 +1,177 @@
+#include "engine/mr_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/thread_pool.hpp"
+
+namespace cloudburst::engine {
+
+namespace {
+
+using api::Emitter;
+using api::KeyValue;
+
+class VectorEmitter final : public Emitter {
+ public:
+  void emit(std::uint64_t key, std::vector<double> value) override {
+    pairs.push_back(KeyValue{key, std::move(value)});
+  }
+  std::vector<KeyValue> pairs;
+};
+
+std::uint64_t payload_bytes(const std::vector<KeyValue>& pairs) {
+  std::uint64_t total = 0;
+  for (const auto& kv : pairs) {
+    total += sizeof(kv.key) + kv.value.size() * sizeof(double);
+  }
+  return total;
+}
+
+/// Group-by-key then apply `fold` (combine or reduce); returns the folded pairs.
+std::vector<KeyValue> fold_by_key(
+    const api::MRTask& task, std::vector<KeyValue> pairs, bool reduce_phase) {
+  // Sort-based grouping: deterministic and cache-friendly for large buffers.
+  std::sort(pairs.begin(), pairs.end(), [](const KeyValue& a, const KeyValue& b) {
+    return a.key < b.key;
+  });
+  VectorEmitter out;
+  std::vector<std::vector<double>> values;
+  std::size_t i = 0;
+  while (i < pairs.size()) {
+    const std::uint64_t key = pairs[i].key;
+    values.clear();
+    while (i < pairs.size() && pairs[i].key == key) {
+      values.push_back(std::move(pairs[i].value));
+      ++i;
+    }
+    if (reduce_phase) {
+      task.reduce(key, values, out);
+    } else {
+      task.combine(key, values, out);
+    }
+  }
+  return std::move(out.pairs);
+}
+
+std::size_t partition_of(std::uint64_t key, std::size_t partitions) {
+  // Fibonacci hashing spreads sequential keys across partitions.
+  return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> 32) % partitions;
+}
+
+}  // namespace
+
+std::vector<KeyValue> mr_run(const api::MRTask& task, const MemoryDataset& data,
+                             const MrEngineOptions& options, MrRunStats* stats) {
+  if (options.threads == 0) throw std::invalid_argument("mr_run: threads must be > 0");
+  if (data.unit_bytes() != task.unit_bytes()) {
+    throw std::invalid_argument("mr_run: dataset unit size does not match task");
+  }
+  const std::size_t partitions =
+      options.reduce_partitions ? options.reduce_partitions : options.threads;
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // ---- map (+ optional combiner) ------------------------------------------
+  const std::size_t group_units = std::max<std::size_t>(options.map_group_units, 1);
+  const std::size_t total_units = data.units();
+  const std::size_t groups = total_units == 0 ? 0 : (total_units + group_units - 1) / group_units;
+
+  std::vector<std::vector<KeyValue>> worker_pairs(options.threads);
+  std::atomic<std::size_t> next_group{0};
+  std::atomic<std::size_t> pairs_emitted{0};
+  std::atomic<std::size_t> peak_pairs{0};
+  std::atomic<std::int64_t> live_pairs{0};
+
+  auto note_live = [&](std::int64_t delta) {
+    const std::int64_t now = live_pairs.fetch_add(delta, std::memory_order_relaxed) + delta;
+    const auto now_sz = now > 0 ? static_cast<std::size_t>(now) : 0;
+    std::size_t prev = peak_pairs.load(std::memory_order_relaxed);
+    while (now_sz > prev && !peak_pairs.compare_exchange_weak(prev, now_sz)) {
+    }
+  };
+
+  {
+    ThreadPool pool(options.threads);
+    pool.run_on_all(options.threads, [&](std::size_t worker) {
+      VectorEmitter buffer;
+      while (true) {
+        const std::size_t g = next_group.fetch_add(1, std::memory_order_relaxed);
+        if (g >= groups) break;
+        const std::size_t begin = g * group_units;
+        const std::size_t count = std::min(group_units, total_units - begin);
+        const std::size_t before = buffer.pairs.size();
+        task.map(data.unit(begin), count, buffer);
+        const std::size_t emitted = buffer.pairs.size() - before;
+        pairs_emitted.fetch_add(emitted, std::memory_order_relaxed);
+        note_live(static_cast<std::ptrdiff_t>(emitted));
+
+        if (options.use_combiner && buffer.pairs.size() >= options.combine_flush_pairs) {
+          const std::size_t held = buffer.pairs.size();
+          buffer.pairs = fold_by_key(task, std::move(buffer.pairs), /*reduce_phase=*/false);
+          note_live(static_cast<std::ptrdiff_t>(buffer.pairs.size()) -
+                    static_cast<std::ptrdiff_t>(held));
+        }
+      }
+      if (options.use_combiner && !buffer.pairs.empty()) {
+        const std::size_t held = buffer.pairs.size();
+        buffer.pairs = fold_by_key(task, std::move(buffer.pairs), /*reduce_phase=*/false);
+        note_live(static_cast<std::ptrdiff_t>(buffer.pairs.size()) -
+                  static_cast<std::ptrdiff_t>(held));
+      }
+      worker_pairs[worker] = std::move(buffer.pairs);
+    });
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // ---- shuffle: hash-partition every worker's pairs -------------------------
+  std::vector<std::vector<KeyValue>> buckets(partitions);
+  std::size_t shuffled = 0;
+  std::uint64_t shuffle_bytes = 0;
+  for (auto& wp : worker_pairs) {
+    shuffled += wp.size();
+    shuffle_bytes += payload_bytes(wp);
+    for (auto& kv : wp) {
+      buckets[partition_of(kv.key, partitions)].push_back(std::move(kv));
+    }
+    wp.clear();
+    wp.shrink_to_fit();
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+
+  // ---- reduce ---------------------------------------------------------------
+  std::vector<std::vector<KeyValue>> reduced(partitions);
+  {
+    ThreadPool pool(options.threads);
+    pool.parallel_for(partitions, 1, [&](std::size_t p) {
+      reduced[p] = fold_by_key(task, std::move(buckets[p]), /*reduce_phase=*/true);
+    });
+  }
+
+  std::vector<KeyValue> result;
+  for (auto& r : reduced) {
+    result.insert(result.end(), std::make_move_iterator(r.begin()),
+                  std::make_move_iterator(r.end()));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+  result = task.finalize(std::move(result));
+  const auto t3 = std::chrono::steady_clock::now();
+
+  if (stats) {
+    stats->wall_seconds = std::chrono::duration<double>(t3 - t0).count();
+    stats->map_seconds = std::chrono::duration<double>(t1 - t0).count();
+    stats->shuffle_seconds = std::chrono::duration<double>(t2 - t1).count();
+    stats->reduce_seconds = std::chrono::duration<double>(t3 - t2).count();
+    stats->pairs_emitted = pairs_emitted.load();
+    stats->pairs_shuffled = shuffled;
+    stats->peak_intermediate_pairs = peak_pairs.load();
+    stats->shuffle_bytes = shuffle_bytes;
+  }
+  return result;
+}
+
+}  // namespace cloudburst::engine

@@ -1,0 +1,47 @@
+// Shared-memory Map-Reduce engine — the baseline processing structure.
+//
+// Faithful to Figure 1 (left/middle): map emits intermediate (key, value)
+// pairs into per-worker buffers; with the combiner enabled, buffers are
+// group-by-key combined whenever they exceed the flush threshold; the
+// shuffle hash-partitions pairs across reduce partitions; reduce groups by
+// key and folds. The engine tracks the peak number of live intermediate
+// pairs and shuffle volume, which is what bench/api_comparison uses to
+// reproduce the paper's argument for the Generalized Reduction API.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "api/mapreduce.hpp"
+#include "engine/memory_dataset.hpp"
+
+namespace cloudburst::engine {
+
+struct MrEngineOptions {
+  std::size_t threads = 1;
+  bool use_combiner = false;
+  /// Combine the map-side buffer whenever it holds at least this many pairs.
+  std::size_t combine_flush_pairs = 1 << 16;
+  /// Number of reduce partitions (0 = same as threads).
+  std::size_t reduce_partitions = 0;
+  /// Units mapped per map invocation (cache-sized groups).
+  std::size_t map_group_units = 4096;
+};
+
+struct MrRunStats {
+  double wall_seconds = 0.0;
+  double map_seconds = 0.0;
+  double shuffle_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  std::size_t pairs_emitted = 0;          ///< total pairs produced by map
+  std::size_t pairs_shuffled = 0;         ///< pairs crossing the shuffle
+  std::size_t peak_intermediate_pairs = 0;///< max pairs alive at once
+  std::uint64_t shuffle_bytes = 0;        ///< payload bytes crossing the shuffle
+};
+
+/// Run `task` over `data`; returns reduced pairs sorted by key.
+std::vector<api::KeyValue> mr_run(const api::MRTask& task, const MemoryDataset& data,
+                                  const MrEngineOptions& options, MrRunStats* stats = nullptr);
+
+}  // namespace cloudburst::engine

@@ -1,0 +1,160 @@
+#include "io/dataset_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace cloudburst::io {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43424446;  // "CBDF"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
+
+struct Header {
+  std::uint64_t unit_bytes = 0;
+  std::uint64_t unit_count = 0;
+};
+
+void write_header(std::ofstream& out, const Header& h) {
+  out.write(reinterpret_cast<const char*>(&kMagic), 4);
+  out.write(reinterpret_cast<const char*>(&kVersion), 4);
+  out.write(reinterpret_cast<const char*>(&h.unit_bytes), 8);
+  out.write(reinterpret_cast<const char*>(&h.unit_count), 8);
+}
+
+Header read_header(std::ifstream& in, const std::filesystem::path& path) {
+  std::uint32_t magic = 0, version = 0;
+  Header h;
+  in.read(reinterpret_cast<char*>(&magic), 4);
+  in.read(reinterpret_cast<char*>(&version), 4);
+  in.read(reinterpret_cast<char*>(&h.unit_bytes), 8);
+  in.read(reinterpret_cast<char*>(&h.unit_count), 8);
+  if (!in) throw std::runtime_error("dataset file truncated header: " + path.string());
+  if (magic != kMagic) throw std::runtime_error("not a dataset file: " + path.string());
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported dataset version: " + path.string());
+  }
+  if (h.unit_bytes == 0) throw std::runtime_error("corrupt header: " + path.string());
+  return h;
+}
+
+}  // namespace
+
+void write_dataset_file(const std::filesystem::path& path, const std::byte* units,
+                        std::uint64_t unit_count, std::uint64_t unit_bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot create dataset file: " + path.string());
+  write_header(out, Header{unit_bytes, unit_count});
+  out.write(reinterpret_cast<const char*>(units),
+            static_cast<std::streamsize>(unit_count * unit_bytes));
+  if (!out) throw std::runtime_error("short write to dataset file: " + path.string());
+}
+
+engine::MemoryDataset read_dataset_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open dataset file: " + path.string());
+  const Header h = read_header(in, path);
+  std::vector<std::byte> bytes(h.unit_count * h.unit_bytes);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in) throw std::runtime_error("dataset file truncated: " + path.string());
+  return engine::MemoryDataset(std::move(bytes), static_cast<std::size_t>(h.unit_bytes));
+}
+
+std::vector<std::byte> read_unit_range(const std::filesystem::path& path,
+                                       std::uint64_t first_unit, std::uint64_t count) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open dataset file: " + path.string());
+  const Header h = read_header(in, path);
+  if (first_unit + count > h.unit_count) {
+    throw std::out_of_range("read_unit_range: beyond end of " + path.string());
+  }
+  in.seekg(static_cast<std::streamoff>(kHeaderBytes + first_unit * h.unit_bytes));
+  std::vector<std::byte> bytes(count * h.unit_bytes);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in) throw std::runtime_error("dataset file truncated: " + path.string());
+  return bytes;
+}
+
+DatasetFileInfo stat_dataset_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open dataset file: " + path.string());
+  const Header h = read_header(in, path);
+  return DatasetFileInfo{h.unit_bytes, h.unit_count};
+}
+
+void export_dataset(const std::filesystem::path& dir, const engine::MemoryDataset& data,
+                    const storage::DataLayout& layout) {
+  if (layout.total_units() != data.units()) {
+    throw std::invalid_argument("export_dataset: layout units do not tile the dataset");
+  }
+  std::filesystem::create_directories(dir);
+  std::uint64_t offset = 0;
+  for (const auto& file : layout.files()) {
+    std::uint64_t file_units = 0;
+    for (std::uint32_t k = 0; k < file.chunk_count; ++k) {
+      file_units += layout.chunk(file.first_chunk + k).units;
+    }
+    write_dataset_file(dir / file.name, data.unit(offset), file_units,
+                       data.unit_bytes());
+    offset += file_units;
+  }
+  write_index_file(dir / "index.cbx", layout);
+}
+
+engine::MemoryDataset import_dataset(const std::filesystem::path& dir,
+                                     const storage::DataLayout& layout) {
+  std::vector<std::byte> bytes;
+  std::size_t unit_bytes = 0;
+  for (const auto& file : layout.files()) {
+    const engine::MemoryDataset part = read_dataset_file(dir / file.name);
+    if (unit_bytes == 0) {
+      unit_bytes = part.unit_bytes();
+    } else if (unit_bytes != part.unit_bytes()) {
+      throw std::runtime_error("import_dataset: inconsistent unit sizes");
+    }
+    bytes.insert(bytes.end(), part.data(), part.data() + part.size_bytes());
+  }
+  return engine::MemoryDataset(std::move(bytes), unit_bytes);
+}
+
+std::vector<std::byte> read_chunk(const std::filesystem::path& dir,
+                                  const storage::DataLayout& layout,
+                                  storage::ChunkId chunk) {
+  const auto& info = layout.chunk(chunk);
+  const auto& file = layout.file(info.file);
+  // Unit offset of the chunk within its file.
+  std::uint64_t first = 0;
+  for (std::uint32_t k = 0; k < info.index_in_file; ++k) {
+    first += layout.chunk(file.first_chunk + k).units;
+  }
+  return read_unit_range(dir / file.name, first, info.units);
+}
+
+void write_index_file(const std::filesystem::path& path,
+                      const storage::DataLayout& layout) {
+  BufferWriter writer;
+  storage::serialize_index(layout, writer);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot create index file: " + path.string());
+  out.write(reinterpret_cast<const char*>(writer.buffer().data()),
+            static_cast<std::streamsize>(writer.size()));
+  if (!out) throw std::runtime_error("short write to index file: " + path.string());
+}
+
+storage::DataLayout read_index_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open index file: " + path.string());
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("index file truncated: " + path.string());
+  BufferReader reader(bytes);
+  return storage::parse_index(reader);
+}
+
+}  // namespace cloudburst::io

@@ -1,0 +1,60 @@
+// On-disk dataset I/O — the file side of the paper's data organization.
+//
+// The paper's datasets live as files on the storage node / S3, described by
+// an index the head node reads at startup. This module makes that concrete:
+//  * a dataset file format (magic/version/unit-size header + raw units),
+//  * export: split an in-memory dataset into the files of a DataLayout and
+//    write them plus the serialized index into a directory,
+//  * import: read it all back (whole files or chunk ranges — the slave's
+//    read pattern),
+//  * index file read/write.
+// Everything validates sizes and headers; corruption is loud.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "engine/memory_dataset.hpp"
+#include "storage/data_layout.hpp"
+
+namespace cloudburst::io {
+
+/// Write one dataset file (header + units).
+void write_dataset_file(const std::filesystem::path& path,
+                        const std::byte* units, std::uint64_t unit_count,
+                        std::uint64_t unit_bytes);
+
+/// Read a whole dataset file back.
+engine::MemoryDataset read_dataset_file(const std::filesystem::path& path);
+
+/// Read `count` units starting at `first_unit` — a chunk fetch.
+std::vector<std::byte> read_unit_range(const std::filesystem::path& path,
+                                       std::uint64_t first_unit, std::uint64_t count);
+
+/// Unit metadata without reading the payload.
+struct DatasetFileInfo {
+  std::uint64_t unit_bytes = 0;
+  std::uint64_t unit_count = 0;
+};
+DatasetFileInfo stat_dataset_file(const std::filesystem::path& path);
+
+/// The data organizer: split `data` into the layout's files under `dir`
+/// (using each FileInfo::name) and write the index as "index.cbx".
+/// The layout's units must tile the dataset exactly.
+void export_dataset(const std::filesystem::path& dir, const engine::MemoryDataset& data,
+                    const storage::DataLayout& layout);
+
+/// Rebuild the full in-memory dataset from an exported directory.
+engine::MemoryDataset import_dataset(const std::filesystem::path& dir,
+                                     const storage::DataLayout& layout);
+
+/// Read the units of one chunk from an exported directory.
+std::vector<std::byte> read_chunk(const std::filesystem::path& dir,
+                                  const storage::DataLayout& layout,
+                                  storage::ChunkId chunk);
+
+void write_index_file(const std::filesystem::path& path,
+                      const storage::DataLayout& layout);
+storage::DataLayout read_index_file(const std::filesystem::path& path);
+
+}  // namespace cloudburst::io

@@ -1,0 +1,64 @@
+#include "io/file_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace cloudburst::io {
+
+api::RobjPtr gr_run_files(const api::GRTask& task, const std::filesystem::path& dir,
+                          const storage::DataLayout& layout,
+                          const FileRunOptions& options, FileRunStats* stats) {
+  if (options.threads == 0) throw std::invalid_argument("gr_run_files: threads must be > 0");
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::size_t unit_bytes = task.unit_bytes();
+  const std::size_t group_units =
+      std::max<std::size_t>(1, options.cache_bytes / unit_bytes);
+  const auto total_chunks = layout.chunks().size();
+
+  std::vector<api::RobjPtr> robjs(options.threads);
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> chunks_read{0};
+
+  {
+    ThreadPool pool(options.threads);
+    pool.run_on_all(options.threads, [&](std::size_t worker) {
+      api::RobjPtr robj = task.create_robj();
+      while (true) {
+        const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= total_chunks) break;
+        const auto chunk_id = static_cast<storage::ChunkId>(c);
+        const std::vector<std::byte> bytes = read_chunk(dir, layout, chunk_id);
+        if (bytes.size() % unit_bytes != 0) {
+          throw std::runtime_error("gr_run_files: chunk size not a unit multiple");
+        }
+        const std::size_t units = bytes.size() / unit_bytes;
+        for (std::size_t begin = 0; begin < units; begin += group_units) {
+          const std::size_t count = std::min(group_units, units - begin);
+          task.process(bytes.data() + begin * unit_bytes, count, *robj);
+        }
+        bytes_read.fetch_add(bytes.size(), std::memory_order_relaxed);
+        chunks_read.fetch_add(1, std::memory_order_relaxed);
+      }
+      robjs[worker] = std::move(robj);
+    });
+  }
+
+  api::RobjPtr result = std::move(robjs[0]);
+  for (std::size_t i = 1; i < robjs.size(); ++i) result->merge_from(*robjs[i]);
+  task.finalize(*result);
+
+  if (stats) {
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    stats->chunks_read = chunks_read.load();
+    stats->bytes_read = bytes_read.load();
+  }
+  return result;
+}
+
+}  // namespace cloudburst::io

@@ -1,0 +1,38 @@
+// Out-of-core Generalized Reduction over an exported dataset directory.
+//
+// Mirrors the slave's processing structure on real files: worker threads
+// claim chunks from the layout on demand, read each chunk from its dataset
+// file (a real ranged read), fold it into a thread-private reduction object
+// in cache-sized unit groups, and the engine merges the per-thread robjs.
+// Memory use is bounded by threads x chunk size, so datasets far larger
+// than RAM stream through.
+#pragma once
+
+#include <filesystem>
+
+#include "api/generalized_reduction.hpp"
+#include "io/dataset_io.hpp"
+#include "storage/data_layout.hpp"
+
+namespace cloudburst::io {
+
+struct FileRunOptions {
+  std::size_t threads = 1;
+  /// Bytes of data per processing group (cache sizing), as in GrEngineOptions.
+  std::size_t cache_bytes = 1 << 20;
+};
+
+struct FileRunStats {
+  double wall_seconds = 0.0;
+  std::uint64_t chunks_read = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+/// Run `task` over the dataset exported at `dir` (per `layout`); returns the
+/// finalized global reduction object. Results are identical to an in-memory
+/// gr_run over the same data.
+api::RobjPtr gr_run_files(const api::GRTask& task, const std::filesystem::path& dir,
+                          const storage::DataLayout& layout, const FileRunOptions& options,
+                          FileRunStats* stats = nullptr);
+
+}  // namespace cloudburst::io

@@ -1,0 +1,84 @@
+#include "middleware/head_node.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace cloudburst::middleware {
+
+HeadNode::HeadNode(RunContext& ctx, net::EndpointId self, JobPool pool,
+                   std::vector<MasterInfo> masters, const api::GRTask* task)
+    : ctx_(ctx), self_(self), pool_(std::move(pool)), masters_(std::move(masters)),
+      task_(task), robjs_expected_(static_cast<std::uint32_t>(masters_.size())) {}
+
+void HeadNode::handle(net::EndpointId from, Message msg) {
+  switch (msg.type) {
+    case MsgType::BatchRequest: {
+      const auto it = std::find_if(masters_.begin(), masters_.end(),
+                                   [&](const MasterInfo& m) { return m.endpoint == from; });
+      if (it == masters_.end()) throw std::logic_error("HeadNode: request from unknown master");
+      // The endgame reservation applies only while another cluster that
+      // prefers the remote store is still in the run.
+      bool reserve_remote = false;
+      for (const auto& m : masters_) {
+        if (m.endpoint != from && m.preferred_store != it->preferred_store) {
+          reserve_remote = true;
+        }
+      }
+      Message reply;
+      reply.type = MsgType::BatchAssign;
+      reply.batch = pool_.take_batch(it->preferred_store, msg.want, reserve_remote);
+      // An empty batch means this master can get nothing further — either
+      // the pool is drained or stealing is disabled and its side is done.
+      reply.exhausted = reply.batch.empty();
+      ctx_.postman.send(self_, from, kControlMessageBytes, std::move(reply));
+      break;
+    }
+    case MsgType::MasterRobj:
+      merge_robj(std::move(msg));
+      break;
+    default:
+      throw std::logic_error("HeadNode: unexpected message type");
+  }
+}
+
+void HeadNode::merge_robj(Message msg) {
+  // Merges serialize on the head node and cost robj_bytes / merge rate.
+  const AppProfile& profile = ctx_.options.profile;
+  const std::uint64_t robj_bytes =
+      profile.robj_bytes ? profile.robj_bytes
+                         : std::max<std::uint64_t>(msg.robj_payload.size(), 64);
+  const double merge_seconds =
+      profile.merge_bytes_per_second > 0.0
+          ? static_cast<double>(robj_bytes) / profile.merge_bytes_per_second
+          : 0.0;
+  const double now = ctx_.now_seconds();
+  merge_free_at_ = std::max(merge_free_at_, now) + merge_seconds;
+  const double done_at = merge_free_at_;
+
+  auto payload = std::make_shared<std::vector<std::uint8_t>>(std::move(msg.robj_payload));
+  ctx_.sim().schedule(des::from_seconds(done_at - now), [this, payload] {
+    if (!payload->empty() && task_) {
+      BufferReader reader(*payload);
+      api::RobjPtr incoming = task_->create_robj();
+      incoming->deserialize(reader);
+      if (!robj_) {
+        robj_ = std::move(incoming);
+      } else {
+        robj_->merge_from(*incoming);
+      }
+    }
+    ctx_.trace(trace::EventKind::RobjMerged, "head");
+    ++robjs_merged_;
+    if (robjs_merged_ == robjs_expected_) finish_run();
+  });
+}
+
+void HeadNode::finish_run() {
+  if (robj_ && task_) task_->finalize(*robj_);
+  ctx_.recorder.end_time = ctx_.now_seconds();
+  ctx_.recorder.finished = true;
+  ctx_.trace(trace::EventKind::RunEnd, "head");
+}
+
+}  // namespace cloudburst::middleware

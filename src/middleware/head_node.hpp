@@ -1,0 +1,53 @@
+// Head node: global job assignment and the final global reduction
+// (paper §III-B, Figure 2).
+//
+// The head reads the data index, generates the job pool, and serves masters'
+// batch requests through the JobPool policies (locality, consecutive
+// batches, stealing, min-contention). After all jobs are processed it
+// collects each cluster's reduction object and folds them into the final
+// result; merges are charged compute time and serialize on the head.
+#pragma once
+
+#include <vector>
+
+#include "middleware/run_context.hpp"
+#include "middleware/scheduler.hpp"
+
+namespace cloudburst::middleware {
+
+class HeadNode {
+ public:
+  struct MasterInfo {
+    net::EndpointId endpoint = 0;
+    storage::StoreId preferred_store = storage::kInvalidStore;
+  };
+
+  HeadNode(RunContext& ctx, net::EndpointId self, JobPool pool,
+           std::vector<MasterInfo> masters, const api::GRTask* task);
+
+  void handle(net::EndpointId from, Message msg);
+
+  const JobPool& pool() const { return pool_; }
+  net::EndpointId endpoint() const { return self_; }
+
+  /// Final reduction object of a real-execution run (null otherwise);
+  /// valid once the run finished.
+  api::RobjPtr take_robj() { return std::move(robj_); }
+
+ private:
+  void merge_robj(Message msg);
+  void finish_run();
+
+  RunContext& ctx_;
+  net::EndpointId self_;
+  JobPool pool_;
+  std::vector<MasterInfo> masters_;
+  const api::GRTask* task_;
+
+  std::uint32_t robjs_expected_;
+  std::uint32_t robjs_merged_ = 0;
+  double merge_free_at_ = 0.0;  ///< head merges serialize on one core
+  api::RobjPtr robj_;
+};
+
+}  // namespace cloudburst::middleware

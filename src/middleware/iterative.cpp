@@ -1,0 +1,85 @@
+#include "middleware/iterative.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace cloudburst::middleware {
+
+namespace {
+
+using SlaveList = std::shared_ptr<const std::vector<net::EndpointId>>;
+
+/// Start binomial-broadcast flows from slave `rank` to its subtree.
+/// Children of rank r are r + 2^k for bits below r's lowest set bit (rank 0
+/// spans everything) — the reverse of the reduction tree. The slave list is
+/// shared-owned by every completion callback (they outlive this frame).
+void broadcast_subtree(net::Network& net, const SlaveList& slaves, std::uint32_t rank,
+                       std::uint64_t bytes) {
+  const auto n = static_cast<std::uint32_t>(slaves->size());
+  for (std::uint32_t bit = 1; bit < n; bit <<= 1) {
+    if (rank & bit) break;
+    const std::uint32_t child = rank + bit;
+    if (child >= n) continue;
+    net.start_flow((*slaves)[rank], (*slaves)[child], bytes, 0.0,
+                   [&net, slaves, child, bytes] {
+                     broadcast_subtree(net, slaves, child, bytes);
+                   });
+  }
+}
+
+}  // namespace
+
+double simulate_broadcast(const cluster::PlatformSpec& spec, std::uint64_t robj_bytes) {
+  cluster::Platform platform(spec);
+  net::Network& net = platform.network();
+
+  for (const cluster::ClusterSide side :
+       {cluster::ClusterSide::Local, cluster::ClusterSide::Cloud}) {
+    const auto& nodes = platform.nodes(side);
+    if (nodes.empty()) continue;
+    auto slaves = std::make_shared<std::vector<net::EndpointId>>();
+    for (const auto& node : nodes) slaves->push_back(node.endpoint);
+    // head -> master (WAN for the cloud side), master -> slave tree.
+    net.start_flow(platform.head_endpoint(), platform.master_endpoint(side), robj_bytes,
+                   0.0, [&net, &platform, side, slaves, robj_bytes] {
+                     net.start_flow(platform.master_endpoint(side), (*slaves)[0],
+                                    robj_bytes, 0.0, [&net, slaves, robj_bytes] {
+                                      broadcast_subtree(net, slaves, 0, robj_bytes);
+                                    });
+                   });
+  }
+  return des::to_seconds(platform.sim().run());
+}
+
+IterativeResult run_iterative(IterativeRequest request) {
+  if (!request.layout) throw std::invalid_argument("run_iterative: layout is required");
+  if (request.iterations == 0) {
+    throw std::invalid_argument("run_iterative: need at least one iteration");
+  }
+
+  IterativeResult out;
+  const std::uint64_t robj_bytes =
+      request.options.profile.robj_bytes ? request.options.profile.robj_bytes : 0;
+  // The broadcast topology is identical every pass; simulate it once.
+  const double broadcast =
+      robj_bytes ? simulate_broadcast(request.platform_spec, robj_bytes) : 0.0;
+
+  for (std::size_t iter = 0; iter < request.iterations; ++iter) {
+    cluster::Platform platform(request.platform_spec);
+    RunResult pass = run_distributed(platform, *request.layout, request.options);
+    out.compute_seconds += pass.total_time;
+    if (iter + 1 < request.iterations) out.broadcast_seconds += broadcast;
+
+    if (request.next_task) {
+      const api::GRTask* next = request.next_task(iter, pass.robj.get());
+      if (!next) throw std::invalid_argument("run_iterative: next_task returned null");
+      request.options.task = next;
+    }
+    out.final_robj = std::move(pass.robj);
+    out.passes.push_back(std::move(pass));
+  }
+  out.total_seconds = out.compute_seconds + out.broadcast_seconds;
+  return out;
+}
+
+}  // namespace cloudburst::middleware

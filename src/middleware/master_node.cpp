@@ -1,0 +1,274 @@
+#include "middleware/master_node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cloudburst::middleware {
+
+MasterNode::MasterNode(RunContext& ctx, cluster::ClusterSide side, net::EndpointId self,
+                       net::EndpointId head, std::vector<net::EndpointId> slaves,
+                       storage::StoreId preferred_store)
+    : ctx_(ctx), side_(side), self_(self), head_(head), slaves_(std::move(slaves)),
+      preferred_store_(preferred_store) {}
+
+void MasterNode::handle(net::EndpointId from, Message msg) {
+  switch (msg.type) {
+    case MsgType::SlaveJobRequest: {
+      if (dead_.count(from)) break;  // late message from a crashed node
+      if (!pool_.empty()) {
+        waiting_slaves_.push_back(from);
+        serve_waiting();
+      } else if (no_more_) {
+        Message reply;
+        reply.type = MsgType::NoMoreJobs;
+        ctx_.postman.send(self_, from, kControlMessageBytes, std::move(reply));
+      } else {
+        waiting_slaves_.push_back(from);
+      }
+      maybe_refill();
+      break;
+    }
+    case MsgType::BatchAssign: {
+      refill_outstanding_ = false;
+      ctx_.trace(trace::EventKind::BatchGranted,
+                 side_ == cluster::ClusterSide::Local ? "master-local" : "master-cloud",
+                 msg.batch.size(), msg.exhausted ? 1 : 0);
+      for (storage::ChunkId c : msg.batch) pool_.push_back(c);
+      if (msg.exhausted) no_more_ = true;
+      serve_waiting();
+      maybe_refill();
+      if (!ctx_.options.reduction_tree) maybe_commit();
+      break;
+    }
+    case MsgType::JobDone: {
+      if (dead_.count(from)) break;
+      auto& inflight = inflight_[from];
+      const auto it = std::find(inflight.begin(), inflight.end(), msg.chunk);
+      if (it != inflight.end()) {
+        done_unchk_[from].push_back(*it);
+        inflight.erase(it);
+        --outstanding_total_;
+      }
+      maybe_commit();
+      break;
+    }
+    case MsgType::SlaveRobj: {
+      if (ctx_.options.reduction_tree) {
+        // Rank 0 of the binomial tree delivers the merged cluster robj.
+        merge_slave_robj(msg);
+        ++tree_robjs_received_;
+        if (tree_robjs_received_ == 1) send_cluster_robj();
+      } else {
+        if (dead_.count(from)) break;  // lost robj: its chunks get re-run
+        merge_slave_robj(msg);
+        done_unchk_[from].clear();  // robj receipt == checkpoint of done work
+        // Only robjs of the current commit round count toward completion;
+        // periodic-checkpoint robjs (round 0) and stale rounds just merge.
+        if (msg.want != commit_round_) break;
+        ++robjs_received_;
+        if (committing_ && robjs_received_ == robjs_expected_) {
+          committing_ = false;
+          // If a failure re-opened work while we were committing, keep
+          // going; otherwise the cluster is done.
+          if (pool_.empty() && outstanding_total_ == 0 && no_more_) {
+            send_cluster_robj();
+          } else {
+            maybe_commit();
+          }
+        }
+      }
+      break;
+    }
+    default:
+      throw std::logic_error("MasterNode: unexpected message type");
+  }
+}
+
+void MasterNode::start() {
+  if (ctx_.options.reduction_tree || ctx_.options.checkpoint_interval_seconds <= 0.0) {
+    return;
+  }
+  ctx_.sim().schedule(des::from_seconds(ctx_.options.checkpoint_interval_seconds),
+                      [this] { checkpoint_tick(); });
+}
+
+void MasterNode::checkpoint_tick() {
+  if (cluster_robj_sent_) return;  // run over for this cluster
+  for (net::EndpointId s : slaves_) {
+    if (dead_.count(s)) continue;
+    if (done_unchk_[s].empty()) continue;  // nothing new to protect
+    Message msg;
+    msg.type = MsgType::RobjRequest;
+    msg.want = 0;  // periodic round
+    ctx_.postman.send(self_, s, kControlMessageBytes, std::move(msg));
+  }
+  ctx_.sim().schedule(des::from_seconds(ctx_.options.checkpoint_interval_seconds),
+                      [this] { checkpoint_tick(); });
+}
+
+void MasterNode::assign_static(
+    const std::vector<std::pair<net::EndpointId, storage::ChunkId>>& plan) {
+  no_more_ = true;  // nothing will ever be pulled from the head
+  for (const auto& [slave, chunk] : plan) push_assign(chunk, slave);
+}
+
+void MasterNode::on_slave_failed(net::EndpointId slave) {
+  if (dead_.count(slave)) return;
+  dead_.insert(slave);
+  waiting_slaves_.erase(
+      std::remove(waiting_slaves_.begin(), waiting_slaves_.end(), slave),
+      waiting_slaves_.end());
+
+  // Work not covered by a received robj is lost with the dead node's robj;
+  // re-enqueue and push it to the survivors.
+  std::vector<storage::ChunkId> lost = std::move(done_unchk_[slave]);
+  auto& inflight = inflight_[slave];
+  outstanding_total_ -= static_cast<std::uint32_t>(inflight.size());
+  lost.insert(lost.end(), inflight.begin(), inflight.end());
+  inflight.clear();
+  done_unchk_[slave].clear();
+
+  if (!lost.empty()) {
+    reexecuted_jobs_ += static_cast<std::uint32_t>(lost.size());
+    std::vector<net::EndpointId> live;
+    for (net::EndpointId s : slaves_) {
+      if (!dead_.count(s)) live.push_back(s);
+    }
+    if (live.empty()) {
+      throw std::runtime_error("MasterNode: all slaves of a cluster failed");
+    }
+    for (storage::ChunkId c : lost) {
+      push_assign(c, live[push_cursor_++ % live.size()]);
+    }
+  }
+  maybe_commit();
+}
+
+void MasterNode::maybe_refill() {
+  if (refill_outstanding_ || no_more_) return;
+  if (pool_.size() > ctx_.options.refill_watermark && waiting_slaves_.empty()) return;
+  refill_outstanding_ = true;
+  Message msg;
+  msg.type = MsgType::BatchRequest;
+  ctx_.trace(trace::EventKind::BatchRequested,
+             side_ == cluster::ClusterSide::Local ? "master-local" : "master-cloud",
+             std::max<std::uint32_t>(ctx_.options.policy.batch_size,
+                                     static_cast<std::uint32_t>(waiting_slaves_.size())));
+  msg.want = std::max<std::uint32_t>(ctx_.options.policy.batch_size,
+                                     static_cast<std::uint32_t>(waiting_slaves_.size()));
+  ctx_.postman.send(self_, head_, kControlMessageBytes, std::move(msg));
+}
+
+void MasterNode::serve_waiting() {
+  while (!waiting_slaves_.empty() && !pool_.empty()) {
+    assign_to(waiting_slaves_.front());
+    waiting_slaves_.pop_front();
+  }
+  if (no_more_ && pool_.empty()) {
+    while (!waiting_slaves_.empty()) {
+      Message reply;
+      reply.type = MsgType::NoMoreJobs;
+      ctx_.postman.send(self_, waiting_slaves_.front(), kControlMessageBytes,
+                        std::move(reply));
+      waiting_slaves_.pop_front();
+    }
+  }
+}
+
+void MasterNode::assign_to(net::EndpointId slave) {
+  // File affinity: continue the slave's sequential read if the pool holds
+  // the successor chunk of what it last processed; otherwise take the front.
+  auto pick = pool_.begin();
+  if (const auto it = last_read_.find(slave); it != last_read_.end()) {
+    for (auto p = pool_.begin(); p != pool_.end(); ++p) {
+      const storage::ChunkInfo& info = ctx_.layout.chunk(*p);
+      if (info.file == it->second.first && info.index_in_file == it->second.second) {
+        pick = p;
+        break;
+      }
+    }
+  }
+  const storage::ChunkId chunk = *pick;
+  pool_.erase(pick);
+  push_assign(chunk, slave);
+}
+
+void MasterNode::push_assign(storage::ChunkId chunk, net::EndpointId slave) {
+  const storage::ChunkInfo& info = ctx_.layout.chunk(chunk);
+  last_read_[slave] = {info.file, info.index_in_file + 1};
+  account_assignment(chunk);
+  if (!ctx_.options.reduction_tree) {
+    inflight_[slave].push_back(chunk);
+    ++outstanding_total_;
+  }
+  Message msg;
+  msg.type = MsgType::AssignJob;
+  msg.chunk = chunk;
+  ctx_.postman.send(self_, slave, kControlMessageBytes, std::move(msg));
+}
+
+void MasterNode::account_assignment(storage::ChunkId chunk) {
+  const auto idx = static_cast<std::size_t>(side_);
+  const storage::ChunkInfo& info = ctx_.layout.chunk(chunk);
+  if (ctx_.layout.store_of(chunk) == preferred_store_) {
+    ++ctx_.recorder.jobs_local[idx];
+    ctx_.recorder.bytes_local[idx] += info.bytes;
+  } else {
+    ++ctx_.recorder.jobs_stolen[idx];
+    ctx_.recorder.bytes_stolen[idx] += info.bytes;
+  }
+}
+
+void MasterNode::merge_slave_robj(const Message& msg) {
+  if (msg.robj_payload.empty() || !ctx_.options.task) return;
+  BufferReader reader(msg.robj_payload);
+  api::RobjPtr incoming = ctx_.options.task->create_robj();
+  incoming->deserialize(reader);
+  if (!robj_) {
+    robj_ = std::move(incoming);
+  } else {
+    robj_->merge_from(*incoming);
+  }
+}
+
+void MasterNode::maybe_commit() {
+  if (ctx_.options.reduction_tree || committing_ || cluster_robj_sent_) return;
+  if (!no_more_ || !pool_.empty() || outstanding_total_ != 0) return;
+  // Two-phase commit: ask every live slave for its reduction object.
+  committing_ = true;
+  ++commit_round_;
+  robjs_expected_ = 0;
+  robjs_received_ = 0;
+  for (net::EndpointId s : slaves_) {
+    if (dead_.count(s)) continue;
+    ++robjs_expected_;
+    Message msg;
+    msg.type = MsgType::RobjRequest;
+    msg.want = commit_round_;
+    ctx_.postman.send(self_, s, kControlMessageBytes, std::move(msg));
+  }
+  if (robjs_expected_ == 0) {
+    throw std::runtime_error("MasterNode: no live slaves left to commit");
+  }
+}
+
+void MasterNode::send_cluster_robj() {
+  if (cluster_robj_sent_) return;
+  cluster_robj_sent_ = true;
+  Message up;
+  up.type = MsgType::MasterRobj;
+  if (robj_) {
+    BufferWriter writer;
+    robj_->serialize(writer);
+    up.robj_payload = writer.take();
+  }
+  const std::uint64_t bytes = ctx_.options.profile.robj_bytes
+                                  ? ctx_.options.profile.robj_bytes
+                                  : std::max<std::uint64_t>(up.robj_payload.size(), 64);
+  ctx_.trace(trace::EventKind::RobjSent,
+             side_ == cluster::ClusterSide::Local ? "master-local" : "master-cloud",
+             bytes);
+  ctx_.postman.send(self_, head_, bytes, std::move(up));
+}
+
+}  // namespace cloudburst::middleware

@@ -1,0 +1,104 @@
+// Master node: per-cluster job pool manager (paper §III-B).
+//
+// "The master monitors the cluster's job pool, and when it senses that it is
+// depleted, it will request a new group of jobs from the head" — the pool is
+// refilled from the head at a low watermark; slaves pull jobs one at a time,
+// which is the on-demand pooling that load-balances heterogeneous nodes.
+// Assignment is file-affine: a slave preferentially continues the file it
+// last read so the storage node sees sequential access.
+//
+// Reduction & fault tolerance:
+//  * tree mode (default): the binomial tree over the slaves delivers one
+//    merged cluster robj from rank 0; the master forwards it to the head.
+//  * direct mode: the master tracks per-slave assignments and JobDone acks;
+//    when the cluster's work drains it requests robjs from all live slaves
+//    (two-phase commit) and merges them. Receiving a slave's robj
+//    *checkpoints* that slave's chunks; if a slave dies, every chunk
+//    assigned since its last checkpoint is re-enqueued and push-assigned to
+//    the surviving slaves — the lost robj covered exactly those chunks.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "middleware/run_context.hpp"
+
+namespace cloudburst::middleware {
+
+class MasterNode {
+ public:
+  MasterNode(RunContext& ctx, cluster::ClusterSide side, net::EndpointId self,
+             net::EndpointId head, std::vector<net::EndpointId> slaves,
+             storage::StoreId preferred_store);
+
+  void handle(net::EndpointId from, Message msg);
+
+  /// Arm periodic robj checkpointing (direct mode with
+  /// checkpoint_interval_seconds > 0); called once by the runtime.
+  void start();
+
+  /// Static-assignment baseline: push `chunks[i]` to `slaves[i]` and mark
+  /// the pool permanently exhausted (no on-demand pulls, no stealing).
+  void assign_static(const std::vector<std::pair<net::EndpointId, storage::ChunkId>>& plan);
+
+  /// Heartbeat timeout fired for `slave`: reclaim its un-checkpointed work.
+  void on_slave_failed(net::EndpointId slave);
+
+  net::EndpointId endpoint() const { return self_; }
+  cluster::ClusterSide side() const { return side_; }
+  std::uint32_t reexecuted_jobs() const { return reexecuted_jobs_; }
+
+ private:
+  void maybe_refill();
+  void serve_waiting();
+  void assign_to(net::EndpointId slave);
+  void push_assign(storage::ChunkId chunk, net::EndpointId slave);
+  void account_assignment(storage::ChunkId chunk);
+  void merge_slave_robj(const Message& msg);
+  void maybe_commit();
+  void checkpoint_tick();
+  void send_cluster_robj();
+
+  RunContext& ctx_;
+  cluster::ClusterSide side_;
+  net::EndpointId self_;
+  net::EndpointId head_;
+  std::vector<net::EndpointId> slaves_;
+  storage::StoreId preferred_store_;
+
+  std::deque<storage::ChunkId> pool_;
+  std::deque<net::EndpointId> waiting_slaves_;
+  bool refill_outstanding_ = false;
+  bool no_more_ = false;
+
+  /// Last (file, next index) each slave read — assignment prefers the chunk
+  /// that continues a slave's sequential position so the storage node sees
+  /// sequential reads ("compute units sequentially read jobs from files").
+  std::map<net::EndpointId, std::pair<storage::FileId, std::uint32_t>> last_read_;
+
+  // --- direct-mode / fault-tolerance bookkeeping ----------------------------
+  std::set<net::EndpointId> dead_;
+  /// Chunks assigned but not yet JobDone'd (in flight on the slave).
+  std::map<net::EndpointId, std::vector<storage::ChunkId>> inflight_;
+  /// Chunks JobDone'd but not yet covered by a received robj. Only these are
+  /// cleared when the slave's robj arrives: a job pushed after the robj was
+  /// requested stays tracked until the *next* checkpoint.
+  std::map<net::EndpointId, std::vector<storage::ChunkId>> done_unchk_;
+  std::uint32_t outstanding_total_ = 0;
+  bool committing_ = false;
+  std::uint32_t commit_round_ = 0;   ///< ids >= 1; periodic checkpoints use 0
+  std::uint32_t robjs_expected_ = 0;
+  std::uint32_t robjs_received_ = 0;
+  bool cluster_robj_sent_ = false;
+  std::uint32_t reexecuted_jobs_ = 0;
+  std::size_t push_cursor_ = 0;  ///< round-robin over live slaves
+
+  // tree mode: count of cluster robjs (rank 0 sends exactly one)
+  std::uint32_t tree_robjs_received_ = 0;
+
+  api::RobjPtr robj_;  ///< merged cluster robj (real runs)
+};
+
+}  // namespace cloudburst::middleware

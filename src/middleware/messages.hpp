@@ -1,0 +1,60 @@
+// Control-plane protocol between head, masters, and slaves (paper Fig. 2).
+//
+//   slave  -> master : SlaveJobRequest        (on-demand pooling)
+//   master -> slave  : AssignJob | NoMoreJobs
+//   master -> head   : BatchRequest           (cluster pool refill)
+//   head   -> master : BatchAssign            (locality/consecutive batch,
+//                                              exhausted flag)
+//   slave  -> master : SlaveRobj              (intra-cluster reduction)
+//   master -> head   : MasterRobj             (global reduction input)
+//
+// Messages ride the simulated network: control messages charge a small
+// fixed size, robj messages charge the application's robj_bytes — which is
+// why pagerank's global reduction is expensive across the WAN.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/data_layout.hpp"
+
+namespace cloudburst::middleware {
+
+enum class MsgType : std::uint8_t {
+  SlaveJobRequest,
+  AssignJob,
+  NoMoreJobs,
+  BatchRequest,
+  BatchAssign,
+  SlaveRobj,
+  MasterRobj,
+  // Fault-tolerant (direct-reduction) protocol additions:
+  JobDone,      ///< slave -> master: chunk finished (completion tracking)
+  RobjRequest,  ///< master -> slave: ship your reduction object now
+};
+
+struct Message {
+  MsgType type = MsgType::SlaveJobRequest;
+
+  // AssignJob
+  storage::ChunkId chunk = 0;
+
+  // BatchRequest: jobs wanted. RobjRequest/SlaveRobj: checkpoint round id
+  // (the slave echoes it so the master can tell a commit-round robj from a
+  // periodic-checkpoint robj).
+  std::uint32_t want = 0;
+
+  // BatchAssign
+  std::vector<storage::ChunkId> batch;
+  bool exhausted = false;
+
+  // SlaveRobj / MasterRobj: payload travels by size only in the timing
+  // model; when a real task is attached (RunOptions::task) the serialized
+  // robj rides along here.
+  std::vector<std::uint8_t> robj_payload;
+};
+
+/// Declared wire size of a control message (bytes charged to the network).
+constexpr std::uint64_t kControlMessageBytes = 256;
+
+}  // namespace cloudburst::middleware

@@ -1,0 +1,128 @@
+// Shared state of one distributed run: wiring (simulator, network, postman),
+// configuration, and the recorder the actors write their accounting into.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/generalized_reduction.hpp"
+#include "cluster/platform.hpp"
+#include "engine/memory_dataset.hpp"
+#include "middleware/app_profile.hpp"
+#include "middleware/messages.hpp"
+#include "middleware/run_result.hpp"
+#include "middleware/scheduler.hpp"
+#include "net/messaging.hpp"
+#include "trace/trace.hpp"
+
+namespace cloudburst::middleware {
+
+struct RunOptions {
+  AppProfile profile;
+  SchedulerPolicy policy;
+
+  /// Parallel retrieval streams per chunk fetch (the slave's "multiple
+  /// retrieval threads"); only object stores honor > 1.
+  unsigned retrieval_streams = 8;
+
+  /// Jobs a slave may hold concurrently. 1 == strict fetch-then-process
+  /// (matches the paper's stacked time decomposition); > 1 prefetches.
+  unsigned pipeline_depth = 1;
+
+  /// Baseline ablation: pre-assign every chunk round-robin at start instead
+  /// of on-demand pooling ("the pooling based job distribution enables
+  /// fairness in load balancing" — this is the alternative it beats).
+  /// Chunks stay on their own side's cluster; no stealing can happen.
+  bool static_assignment = false;
+
+  /// Master refills its pool when it drops to this many jobs.
+  std::uint32_t refill_watermark = 0;
+
+  /// Optional *real* execution: when both are set, slaves actually run the
+  /// task kernel over the dataset's unit ranges while the clock is simulated,
+  /// and RunResult::robj carries the finalized global reduction object. The
+  /// layout's unit counts must tile `dataset` exactly.
+  const api::GRTask* task = nullptr;
+  const engine::MemoryDataset* dataset = nullptr;
+
+  /// Intra-cluster reduction topology. true: binomial tree over the slaves
+  /// (fast, default). false: master-driven two-phase commit (JobDone
+  /// tracking + RobjRequest) — required when failures are injected, since
+  /// the master must know which work a dead slave's lost robj covered.
+  bool reduction_tree = true;
+
+  /// Simulated slave crash: the node goes silent at `at_seconds`; its master
+  /// notices after `failure_detection_seconds` (heartbeat timeout) and
+  /// re-executes every chunk the dead slave had been assigned since its last
+  /// reduction-object checkpoint.
+  struct FailureEvent {
+    cluster::ClusterSide side = cluster::ClusterSide::Local;
+    std::uint32_t node_index = 0;
+    double at_seconds = 0.0;
+  };
+  std::vector<FailureEvent> failures;
+  double failure_detection_seconds = 1.0;
+
+  /// Periodic robj checkpointing (direct mode only; 0 = off): every interval
+  /// the master pulls each live slave's delta robj, bounding the work a
+  /// crash can lose to one interval instead of the whole run.
+  double checkpoint_interval_seconds = 0.0;
+
+  /// Elastic bursting (Elastic Site-style, from the paper's related work):
+  /// start with `initial_cloud_nodes` cloud instances; a controller checks
+  /// progress every `check_interval_seconds` and, when the projected
+  /// completion misses `deadline_seconds`, boots `activation_step` more
+  /// dormant instances (each taking `boot_seconds` to come up). Requires
+  /// reduction_tree = false (dormant instances answer the commit with
+  /// identity robjs) and initial_cloud_nodes >= 1.
+  struct ElasticPolicy {
+    bool enabled = false;
+    double deadline_seconds = 0.0;
+    std::uint32_t initial_cloud_nodes = 1;
+    double check_interval_seconds = 5.0;
+    double boot_seconds = 60.0;
+    std::uint32_t activation_step = 1;
+  };
+  ElasticPolicy elastic;
+
+  /// Optional event tracer (owned by the caller); records assignments,
+  /// fetches, processing, robj movement, failures, activations.
+  trace::Tracer* tracer = nullptr;
+};
+
+/// Mutable per-run recorder; actors write, the runtime aggregates.
+struct RunRecorder {
+  std::vector<NodeTimes> nodes;  ///< one per slave, global index order
+  /// Activation time of each billed cloud instance (0.0 for initial ones).
+  std::vector<double> cloud_instance_starts;
+  std::uint32_t elastic_activations = 0;
+  double proc_end[cluster::kClusterCount] = {0.0, 0.0};
+  std::uint32_t jobs_local[cluster::kClusterCount] = {0, 0};
+  std::uint32_t jobs_stolen[cluster::kClusterCount] = {0, 0};
+  std::uint64_t bytes_local[cluster::kClusterCount] = {0, 0};
+  std::uint64_t bytes_stolen[cluster::kClusterCount] = {0, 0};
+  double end_time = 0.0;
+  bool finished = false;
+};
+
+struct RunContext {
+  cluster::Platform& platform;
+  const storage::DataLayout& layout;
+  const RunOptions& options;
+  net::Postman<Message>& postman;
+  RunRecorder recorder;
+
+  /// Global unit offset of each chunk (prefix sums over chunk ids); only
+  /// populated for real-execution runs.
+  std::vector<std::uint64_t> chunk_unit_offset;
+
+  des::Simulator& sim() { return platform.sim(); }
+  double now_seconds() const { return des::to_seconds(platform.sim().now()); }
+
+  void trace(trace::EventKind kind, const std::string& actor, std::uint64_t a = 0,
+             std::uint64_t b = 0) {
+    if (options.tracer) options.tracer->record(now_seconds(), kind, actor, a, b);
+  }
+};
+
+}  // namespace cloudburst::middleware

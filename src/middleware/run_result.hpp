@@ -1,0 +1,70 @@
+// Timing decomposition of a distributed run.
+//
+// Mirrors the paper's reporting: per-cluster stacked processing / data
+// retrieval / sync time (Figure 3), per-cluster local vs stolen job counts
+// (Table I), and global-reduction / idle-time / total-slowdown components
+// (Table II).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/reduction_object.hpp"
+#include "cluster/platform.hpp"
+
+namespace cloudburst::middleware {
+
+struct NodeTimes {
+  std::string name;
+  cluster::ClusterSide cluster = cluster::ClusterSide::Local;
+  double processing = 0.0;  ///< seconds busy computing
+  double retrieval = 0.0;   ///< seconds with an outstanding chunk fetch
+  double wait = 0.0;        ///< seconds idle waiting for a job assignment
+  double finish_time = 0.0; ///< when the node completed its last job
+  std::uint32_t jobs = 0;
+};
+
+struct ClusterResult {
+  /// Mean per-node seconds (the stacked bar of Figure 3).
+  double processing = 0.0;
+  double retrieval = 0.0;
+  double sync = 0.0;  ///< barrier wait + reduction transfers + merge
+
+  std::uint32_t jobs_local = 0;   ///< jobs whose data was on this side's store
+  std::uint32_t jobs_stolen = 0;  ///< jobs fetched from the remote store
+  std::uint64_t bytes_local = 0;
+  std::uint64_t bytes_stolen = 0;
+
+  double proc_end_time = 0.0;  ///< when the cluster's last slave finished processing
+  double idle_time = 0.0;      ///< waiting for the other cluster at the end
+  std::uint32_t nodes = 0;
+};
+
+struct RunResult {
+  double total_time = 0.0;             ///< wall-clock of the whole job (sim seconds)
+  double global_reduction_time = 0.0;  ///< after the last cluster finished processing
+  ClusterResult clusters[cluster::kClusterCount];
+  std::vector<NodeTimes> nodes;
+
+  /// Activation time of each *billed* cloud instance (0.0 = rented from the
+  /// start). For non-elastic runs this is one zero per cloud instance;
+  /// elastic runs append booted instances at their activation times.
+  std::vector<double> cloud_instance_starts;
+  std::uint32_t elastic_activations = 0;  ///< instances booted mid-run
+
+  /// Present when RunOptions carried a real task: the finalized global robj.
+  api::RobjPtr robj;
+
+  const ClusterResult& side(cluster::ClusterSide s) const {
+    return clusters[static_cast<std::size_t>(s)];
+  }
+
+  std::uint32_t total_jobs() const {
+    std::uint32_t n = 0;
+    for (const auto& c : clusters) n += c.jobs_local + c.jobs_stolen;
+    return n;
+  }
+};
+
+}  // namespace cloudburst::middleware

@@ -1,0 +1,315 @@
+#include "middleware/runtime.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "middleware/head_node.hpp"
+#include "middleware/master_node.hpp"
+#include "middleware/slave_node.hpp"
+#include "net/messaging.hpp"
+
+namespace cloudburst::middleware {
+
+namespace {
+
+storage::StoreId preferred_store(const cluster::Platform& platform,
+                                 cluster::ClusterSide side) {
+  return side == cluster::ClusterSide::Local ? platform.local_store_id()
+                                             : platform.cloud_store_id();
+}
+
+}  // namespace
+
+RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout& layout,
+                          const RunOptions& options) {
+  if ((options.task == nullptr) != (options.dataset == nullptr)) {
+    throw std::invalid_argument("run_distributed: task and dataset must be set together");
+  }
+  if (platform.nodes(cluster::ClusterSide::Local).empty() &&
+      platform.nodes(cluster::ClusterSide::Cloud).empty()) {
+    throw std::invalid_argument("run_distributed: platform has no compute nodes");
+  }
+  if (layout.chunks().empty()) {
+    throw std::invalid_argument("run_distributed: layout has no chunks");
+  }
+  if (options.checkpoint_interval_seconds > 0.0 && options.reduction_tree) {
+    throw std::invalid_argument(
+        "run_distributed: periodic checkpointing requires reduction_tree = false");
+  }
+  if (!options.failures.empty() && options.reduction_tree) {
+    throw std::invalid_argument(
+        "run_distributed: failure injection requires reduction_tree = false "
+        "(the master must track per-slave work)");
+  }
+  if (options.elastic.enabled) {
+    if (options.reduction_tree) {
+      throw std::invalid_argument(
+          "run_distributed: elastic bursting requires reduction_tree = false");
+    }
+    const auto cloud_nodes = platform.nodes(cluster::ClusterSide::Cloud).size();
+    if (cloud_nodes > 0 && options.elastic.initial_cloud_nodes == 0) {
+      throw std::invalid_argument(
+          "run_distributed: elastic bursting needs at least one initial cloud node");
+    }
+    if (options.elastic.check_interval_seconds <= 0.0) {
+      throw std::invalid_argument("run_distributed: elastic check interval must be > 0");
+    }
+  }
+  for (const auto& f : options.failures) {
+    const auto& nodes = platform.nodes(f.side);
+    if (f.node_index >= nodes.size()) {
+      throw std::invalid_argument("run_distributed: failure names an unknown node");
+    }
+    std::size_t failing_here = 0;
+    for (const auto& g : options.failures) {
+      if (g.side == f.side) ++failing_here;
+    }
+    if (failing_here >= nodes.size()) {
+      throw std::invalid_argument(
+          "run_distributed: failures would leave a cluster with no live slaves");
+    }
+  }
+
+  net::Postman<Message> postman(platform.network());
+  RunContext ctx{platform, layout, options, postman, RunRecorder{}, {}};
+
+  // Real execution: map chunk ids to dataset unit offsets.
+  if (options.task) {
+    if (options.task->unit_bytes() != options.dataset->unit_bytes()) {
+      throw std::invalid_argument("run_distributed: task/dataset unit size mismatch");
+    }
+    ctx.chunk_unit_offset.resize(layout.chunks().size());
+    std::uint64_t offset = 0;
+    for (const auto& chunk : layout.chunks()) {
+      ctx.chunk_unit_offset[chunk.id] = offset;
+      offset += chunk.units;
+    }
+    if (offset != options.dataset->units()) {
+      throw std::invalid_argument(
+          "run_distributed: layout units do not tile the dataset exactly");
+    }
+  }
+
+  // --- build actors ----------------------------------------------------------
+  std::vector<HeadNode::MasterInfo> master_infos;
+  std::vector<std::unique_ptr<MasterNode>> masters;
+  std::vector<std::unique_ptr<SlaveNode>> slaves;
+
+  for (const cluster::ClusterSide side :
+       {cluster::ClusterSide::Local, cluster::ClusterSide::Cloud}) {
+    const auto& nodes = platform.nodes(side);
+    if (nodes.empty()) continue;
+    const net::EndpointId master_ep = platform.master_endpoint(side);
+    master_infos.push_back(
+        HeadNode::MasterInfo{master_ep, preferred_store(platform, side)});
+    auto peers = std::make_shared<std::vector<net::EndpointId>>();
+    for (const auto& node : nodes) peers->push_back(node.endpoint);
+    masters.push_back(std::make_unique<MasterNode>(
+        ctx, side, master_ep, platform.head_endpoint(), *peers,
+        preferred_store(platform, side)));
+    std::uint32_t rank = 0;
+    for (const auto& node : nodes) {
+      const std::size_t stat_index = ctx.recorder.nodes.size();
+      NodeTimes times;
+      times.name = node.name;
+      times.cluster = side;
+      ctx.recorder.nodes.push_back(std::move(times));
+      slaves.push_back(
+          std::make_unique<SlaveNode>(ctx, node, master_ep, stat_index, rank++, peers));
+    }
+  }
+
+  HeadNode head(ctx, platform.head_endpoint(), JobPool(layout, options.policy),
+                master_infos, options.task);
+
+  // --- wire mailboxes ---------------------------------------------------------
+  postman.register_mailbox(head.endpoint(),
+                           [&head](net::EndpointId from, Message msg) {
+                             head.handle(from, std::move(msg));
+                           });
+  for (auto& master : masters) {
+    MasterNode* m = master.get();
+    postman.register_mailbox(
+        m->endpoint(), [m](net::EndpointId from, Message msg) { m->handle(from, std::move(msg)); });
+  }
+  for (auto& slave : slaves) {
+    SlaveNode* s = slave.get();
+    postman.register_mailbox(
+        s->endpoint(), [s](net::EndpointId from, Message msg) { s->handle(from, std::move(msg)); });
+  }
+
+  // --- static assignment baseline -------------------------------------------------
+  if (options.static_assignment) {
+    if (!options.failures.empty() || options.elastic.enabled) {
+      throw std::invalid_argument(
+          "run_distributed: static assignment excludes failures and elastic mode");
+    }
+    for (auto& master : masters) {
+      const auto side = master->side();
+      const auto& nodes = platform.nodes(side);
+      const storage::StoreId own = preferred_store(platform, side);
+      const bool other_side_active =
+          !platform.nodes(side == cluster::ClusterSide::Local
+                              ? cluster::ClusterSide::Cloud
+                              : cluster::ClusterSide::Local)
+               .empty();
+      std::vector<std::pair<net::EndpointId, storage::ChunkId>> plan;
+      std::size_t cursor = 0;
+      for (const auto& chunk : layout.chunks()) {
+        const bool mine = layout.store_of(chunk.id) == own ||
+                          !other_side_active;  // lone cluster takes everything
+        if (!mine) continue;
+        plan.emplace_back(nodes[cursor++ % nodes.size()].endpoint, chunk.id);
+      }
+      master->assign_static(plan);
+    }
+  }
+
+  // --- failure injection --------------------------------------------------------
+  for (const auto& f : options.failures) {
+    // Locate the victim slave and its master.
+    const auto& nodes = platform.nodes(f.side);
+    const net::EndpointId victim_ep = nodes.at(f.node_index).endpoint;
+    SlaveNode* victim = nullptr;
+    for (auto& s : slaves) {
+      if (s->endpoint() == victim_ep) victim = s.get();
+    }
+    MasterNode* master = nullptr;
+    for (auto& m : masters) {
+      if (m->side() == f.side) master = m.get();
+    }
+    if (!victim || !master) {
+      throw std::logic_error("run_distributed: failure target not instantiated");
+    }
+    platform.sim().schedule(des::from_seconds(f.at_seconds), [victim, &ctx] {
+      ctx.trace(trace::EventKind::SlaveFailed, "node", 0, 0);
+      victim->kill();
+    });
+    platform.sim().schedule(
+        des::from_seconds(f.at_seconds + options.failure_detection_seconds),
+        [master, victim_ep] { master->on_slave_failed(victim_ep); });
+  }
+
+  // --- elastic bursting -----------------------------------------------------------
+  // Cloud slaves beyond the initial allocation start dormant; the controller
+  // watches progress and boots them when the deadline is at risk.
+  std::vector<SlaveNode*> dormant;
+  std::vector<SlaveNode*> initial_active;
+  for (auto& slave : slaves) initial_active.push_back(slave.get());
+  if (options.elastic.enabled) {
+    initial_active.clear();
+    std::uint32_t cloud_seen = 0;
+    for (auto& slave : slaves) {
+      bool is_cloud = false;
+      for (const auto& node : platform.nodes(cluster::ClusterSide::Cloud)) {
+        if (node.endpoint == slave->endpoint()) is_cloud = true;
+      }
+      if (is_cloud && cloud_seen++ >= options.elastic.initial_cloud_nodes) {
+        dormant.push_back(slave.get());
+      } else {
+        initial_active.push_back(slave.get());
+        if (is_cloud) ctx.recorder.cloud_instance_starts.push_back(0.0);
+      }
+    }
+
+    const auto total_chunks = layout.chunks().size();
+    auto next_dormant = std::make_shared<std::size_t>(0);
+    auto controller = std::make_shared<std::function<void()>>();
+    *controller = [&ctx, &platform, &options, &dormant, next_dormant, controller,
+                   total_chunks] {
+      if (ctx.recorder.finished) return;  // run over: stop rescheduling
+      const double now = ctx.now_seconds();
+      std::size_t done = 0;
+      for (const auto& n : ctx.recorder.nodes) done += n.jobs;
+      if (done < total_chunks && *next_dormant < dormant.size()) {
+        // Projected completion at the current throughput. Before the first
+        // job lands the projection is unknown: scale only once the deadline
+        // itself has already slipped.
+        const double rate = now > 0.0 ? static_cast<double>(done) / now : 0.0;
+        const double remaining = static_cast<double>(total_chunks - done);
+        const bool misses_deadline =
+            rate > 0.0 ? now + remaining / rate > options.elastic.deadline_seconds
+                       : now > options.elastic.deadline_seconds;
+        if (misses_deadline) {
+          for (std::uint32_t k = 0;
+               k < options.elastic.activation_step && *next_dormant < dormant.size();
+               ++k) {
+            SlaveNode* booting = dormant[(*next_dormant)++];
+            const double up_at = now + options.elastic.boot_seconds;
+            ctx.recorder.cloud_instance_starts.push_back(up_at);
+            ++ctx.recorder.elastic_activations;
+            ctx.sim().schedule(des::from_seconds(options.elastic.boot_seconds),
+                               [booting, &ctx] {
+                                 ctx.trace(trace::EventKind::InstanceActivated, "node");
+                                 booting->start();
+                               });
+          }
+        }
+      }
+      ctx.sim().schedule(des::from_seconds(options.elastic.check_interval_seconds),
+                         [controller] { (*controller)(); });
+    };
+    platform.sim().schedule(des::from_seconds(options.elastic.check_interval_seconds),
+                            [controller] { (*controller)(); });
+  } else {
+    ctx.recorder.cloud_instance_starts.assign(
+        platform.nodes(cluster::ClusterSide::Cloud).size(), 0.0);
+  }
+
+  // --- run ---------------------------------------------------------------------
+  for (auto& master : masters) master->start();
+  for (SlaveNode* slave : initial_active) slave->start();
+  platform.sim().run();
+
+  if (!ctx.recorder.finished) {
+    throw std::runtime_error("run_distributed: simulation drained without completing the run");
+  }
+
+  // --- aggregate ----------------------------------------------------------------
+  RunResult result;
+  result.total_time = ctx.recorder.end_time;
+  result.nodes = ctx.recorder.nodes;
+  result.robj = head.take_robj();
+  result.cloud_instance_starts = ctx.recorder.cloud_instance_starts;
+  result.elastic_activations = ctx.recorder.elastic_activations;
+
+  for (const auto& node : result.nodes) {
+    auto& c = result.clusters[static_cast<std::size_t>(node.cluster)];
+    c.processing += node.processing;
+    c.retrieval += node.retrieval;
+    // Sync: waiting for assignments during the run plus the tail between the
+    // node's last job and the end of the global reduction.
+    c.sync += node.wait + (result.total_time - node.finish_time);
+    c.proc_end_time = std::max(c.proc_end_time, node.finish_time);
+    ++c.nodes;
+  }
+  for (auto& c : result.clusters) {
+    if (c.nodes > 0) {
+      c.processing /= c.nodes;
+      c.retrieval /= c.nodes;
+      c.sync /= c.nodes;
+    }
+  }
+  for (std::size_t side = 0; side < cluster::kClusterCount; ++side) {
+    auto& c = result.clusters[side];
+    c.jobs_local = ctx.recorder.jobs_local[side];
+    c.jobs_stolen = ctx.recorder.jobs_stolen[side];
+    c.bytes_local = ctx.recorder.bytes_local[side];
+    c.bytes_stolen = ctx.recorder.bytes_stolen[side];
+  }
+
+  // Idle time: how long each cluster waited for the other to finish
+  // processing; global reduction time: the tail after the later one.
+  double last_proc_end = 0.0;
+  for (const auto& c : result.clusters) {
+    if (c.nodes > 0) last_proc_end = std::max(last_proc_end, c.proc_end_time);
+  }
+  for (auto& c : result.clusters) {
+    c.idle_time = c.nodes > 0 ? last_proc_end - c.proc_end_time : 0.0;
+  }
+  result.global_reduction_time = result.total_time - last_proc_end;
+  return result;
+}
+
+}  // namespace cloudburst::middleware

@@ -1,0 +1,22 @@
+// Run orchestration: build the actor tree on a Platform, execute the
+// discrete-event simulation to completion, aggregate the RunResult.
+//
+// This is the public entry point of the middleware: given a platform
+// (clusters + stores + network), a data layout (which files live where), and
+// run options (application profile, scheduling policy, optionally a real
+// task + dataset), it performs one complete cloud-bursting execution.
+#pragma once
+
+#include "cluster/platform.hpp"
+#include "middleware/run_context.hpp"
+#include "middleware/run_result.hpp"
+#include "storage/data_layout.hpp"
+
+namespace cloudburst::middleware {
+
+/// Execute one distributed run. Throws if the run cannot complete (e.g. the
+/// simulation deadlocks before all jobs are processed).
+RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout& layout,
+                          const RunOptions& options);
+
+}  // namespace cloudburst::middleware

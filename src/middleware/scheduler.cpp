@@ -1,0 +1,139 @@
+#include "middleware/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cloudburst::middleware {
+
+JobPool::JobPool(const storage::DataLayout& layout, SchedulerPolicy policy)
+    : layout_(layout), policy_(policy), files_(layout.files().size()),
+      rng_(Rng::substream(policy.random_seed, 0x5c4ed)) {
+  for (const auto& chunk : layout.chunks()) {
+    files_[chunk.file].chunks.push_back(chunk.id);
+    ++remaining_;
+  }
+  // Chunks arrive in id order which is index order within a file; assert the
+  // invariant the consecutive-batch optimization relies on.
+  for (auto& f : files_) {
+    for (std::size_t i = 1; i < f.chunks.size(); ++i) {
+      if (layout.chunk(f.chunks[i - 1]).index_in_file + 1 !=
+          layout.chunk(f.chunks[i]).index_in_file) {
+        throw std::invalid_argument("JobPool: chunks of a file must be consecutive");
+      }
+    }
+  }
+}
+
+std::uint64_t JobPool::remaining_on(storage::StoreId store) const {
+  std::uint64_t n = 0;
+  for (std::size_t f = 0; f < files_.size(); ++f) {
+    if (layout_.file(static_cast<storage::FileId>(f)).store == store) {
+      n += files_[f].chunks.size();
+    }
+  }
+  return n;
+}
+
+std::uint32_t JobPool::readers(storage::FileId file) const { return files_.at(file).readers; }
+
+void JobPool::take_from_file(storage::FileId file, std::uint32_t want,
+                             std::vector<storage::ChunkId>& out) {
+  auto& state = files_.at(file);
+  const std::uint32_t take =
+      std::min<std::uint32_t>(want, static_cast<std::uint32_t>(state.chunks.size()));
+  for (std::uint32_t i = 0; i < take; ++i) {
+    out.push_back(state.chunks.front());
+    state.chunks.pop_front();
+    --remaining_;
+  }
+  if (take > 0) ++state.readers;
+}
+
+storage::FileId JobPool::pick_remote_file(const std::vector<storage::FileId>& candidates) {
+  switch (policy_.remote_selection) {
+    case RemoteSelection::Sequential:
+      return candidates.front();
+    case RemoteSelection::Random:
+      return candidates[rng_.next_below(candidates.size())];
+    case RemoteSelection::MinContention: {
+      // "The remote jobs are chosen from files which the minimum number of
+      // nodes are currently processing."
+      storage::FileId best = candidates.front();
+      std::uint32_t best_readers = std::numeric_limits<std::uint32_t>::max();
+      for (storage::FileId f : candidates) {
+        if (files_[f].readers < best_readers) {
+          best_readers = files_[f].readers;
+          best = f;
+        }
+      }
+      return best;
+    }
+  }
+  return candidates.front();
+}
+
+std::vector<storage::ChunkId> JobPool::take_batch(storage::StoreId preferred,
+                                                  std::uint32_t want, bool reserve_remote) {
+  std::vector<storage::ChunkId> out;
+  if (want == 0 || remaining_ == 0) return out;
+  out.reserve(want);
+
+  auto files_with_jobs = [&](bool on_preferred) {
+    std::vector<storage::FileId> ids;
+    for (std::size_t f = 0; f < files_.size(); ++f) {
+      if (files_[f].chunks.empty()) continue;
+      const bool is_pref = layout_.file(static_cast<storage::FileId>(f)).store == preferred;
+      if (is_pref == on_preferred) ids.push_back(static_cast<storage::FileId>(f));
+    }
+    return ids;
+  };
+
+  // Phase 1: locality — serve from the requester's own store first.
+  if (policy_.prefer_locality) {
+    while (out.size() < want) {
+      const auto local_files = files_with_jobs(true);
+      if (local_files.empty()) break;
+      // Continue the file with the fewest readers among local files too; for
+      // a single requesting cluster this degenerates to sequential files.
+      const storage::FileId file = pick_remote_file(local_files);
+      const auto remaining_want = static_cast<std::uint32_t>(want - out.size());
+      take_from_file(file, policy_.consecutive_batches ? remaining_want : 1, out);
+    }
+  } else {
+    // Locality off (ablation): treat all files uniformly in phase 2.
+  }
+
+  // Phase 2: stealing — jobs from the other store, capped per request.
+  if (out.size() < want && (policy_.allow_stealing || !policy_.prefer_locality)) {
+    // Compute the steal budget: per-request cap, minus the endgame reserve
+    // (the owner's last `steal_reserve` jobs stay off limits while it is
+    // still active).
+    std::size_t budget = want - out.size();
+    if (policy_.prefer_locality) {
+      budget = std::min<std::size_t>(budget, policy_.steal_batch_size);
+      if (reserve_remote) {
+        const std::uint64_t remote_avail = remaining_ - remaining_on(preferred);
+        const std::uint64_t stealable =
+            remote_avail > policy_.steal_reserve ? remote_avail - policy_.steal_reserve : 0;
+        budget = std::min<std::size_t>(budget, stealable);
+      }
+    }
+    const std::size_t target = out.size() + budget;
+    while (out.size() < target) {
+      auto candidates = files_with_jobs(false);
+      if (!policy_.prefer_locality) {
+        const auto also_local = files_with_jobs(true);
+        candidates.insert(candidates.end(), also_local.begin(), also_local.end());
+        std::sort(candidates.begin(), candidates.end());
+      }
+      if (candidates.empty()) break;
+      const storage::FileId file = pick_remote_file(candidates);
+      const auto remaining_want = static_cast<std::uint32_t>(target - out.size());
+      take_from_file(file, policy_.consecutive_batches ? remaining_want : 1, out);
+    }
+  }
+  return out;
+}
+
+}  // namespace cloudburst::middleware

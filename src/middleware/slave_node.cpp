@@ -1,0 +1,213 @@
+#include "middleware/slave_node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace cloudburst::middleware {
+
+SlaveNode::SlaveNode(RunContext& ctx, const cluster::NodeHandle& node,
+                     net::EndpointId master, std::size_t stat_index, std::uint32_t rank,
+                     std::shared_ptr<const std::vector<net::EndpointId>> peers)
+    : ctx_(ctx), node_(node), master_(master), stat_index_(stat_index), rank_(rank),
+      peers_(std::move(peers)) {
+  if (ctx_.options.task) robj_ = ctx_.options.task->create_robj();
+}
+
+std::uint32_t SlaveNode::expected_children() const {
+  // Binomial tree over ranks [0, n): rank r's children are r + 2^k for every
+  // k with 2^k below r's lowest set bit (rank 0 spans the whole tree).
+  const auto n = static_cast<std::uint32_t>(peers_->size());
+  std::uint32_t count = 0;
+  for (std::uint32_t bit = 1; bit < n; bit <<= 1) {
+    if (rank_ & bit) break;
+    if (rank_ + bit < n) ++count;
+  }
+  return count;
+}
+
+std::uint32_t SlaveNode::parent_rank() const {
+  // Parent clears the lowest set bit; rank 0 has no slave parent.
+  return rank_ & (rank_ - 1);
+}
+
+void SlaveNode::start() {
+  idle_since_ = ctx_.now_seconds();
+  top_up_requests();
+}
+
+void SlaveNode::top_up_requests() {
+  const unsigned depth = std::max(1u, ctx_.options.pipeline_depth);
+  while (!no_more_ && active_jobs_ + outstanding_requests_ < depth) {
+    ++outstanding_requests_;
+    Message msg;
+    msg.type = MsgType::SlaveJobRequest;
+    ctx_.postman.send(node_.endpoint, master_, kControlMessageBytes, std::move(msg));
+  }
+}
+
+void SlaveNode::handle(net::EndpointId from, Message msg) {
+  (void)from;
+  if (!alive_) return;  // crashed: silently drop everything
+  switch (msg.type) {
+    case MsgType::AssignJob:
+      // Pushed recovery assignments arrive without a matching request.
+      if (outstanding_requests_ > 0) --outstanding_requests_;
+      on_assigned(msg.chunk);
+      break;
+    case MsgType::NoMoreJobs:
+      if (outstanding_requests_ > 0) --outstanding_requests_;
+      no_more_ = true;
+      if (ctx_.options.reduction_tree) maybe_finish_tree();
+      break;
+    case MsgType::SlaveRobj:
+      on_child_robj(std::move(msg));
+      break;
+    case MsgType::RobjRequest:
+      // Direct mode: ship the current robj (echoing the request's round id),
+      // then start a fresh delta so checkpoint bookkeeping stays exact.
+      send_robj(master_, msg.want);
+      if (robj_) robj_ = ctx_.options.task->create_robj();
+      break;
+    default:
+      throw std::logic_error("SlaveNode: unexpected message type");
+  }
+}
+
+void SlaveNode::on_assigned(storage::ChunkId chunk) {
+  if (active_jobs_ == 0 && !processing_) {
+    // Leaving idle: account the time spent waiting for the assignment.
+    stats().wait += ctx_.now_seconds() - idle_since_;
+  }
+  ++active_jobs_;
+  top_up_requests();
+  ctx_.trace(trace::EventKind::JobAssigned, node_.name, chunk);
+
+  storage::ChunkInfo info = ctx_.layout.chunk(chunk);
+  // Compressed storage: fewer bytes move; decompression is charged to the
+  // processing phase below.
+  const double ratio = std::max(1.0, ctx_.options.profile.compression_ratio);
+  info.bytes = static_cast<std::uint64_t>(static_cast<double>(info.bytes) / ratio);
+  fetch_start_[chunk] = ctx_.now_seconds();
+  ctx_.trace(trace::EventKind::FetchStart, node_.name, chunk,
+             ctx_.layout.store_of(chunk));
+  storage::StoreService& store = ctx_.platform.store(ctx_.layout.store_of(chunk));
+  store.fetch(node_.endpoint, info, ctx_.options.retrieval_streams, [this, chunk] {
+    if (alive_) on_fetched(chunk);
+  });
+}
+
+void SlaveNode::on_fetched(storage::ChunkId chunk) {
+  ctx_.trace(trace::EventKind::FetchEnd, node_.name, chunk);
+  const auto it = fetch_start_.find(chunk);
+  stats().retrieval += ctx_.now_seconds() - it->second;
+  fetch_start_.erase(it);
+  ready_.push_back(chunk);
+  maybe_process();
+}
+
+void SlaveNode::maybe_process() {
+  if (processing_ || ready_.empty()) return;
+  processing_ = true;
+  const storage::ChunkId chunk = ready_.front();
+  ready_.pop_front();
+
+  const storage::ChunkInfo& info = ctx_.layout.chunk(chunk);
+  const AppProfile& profile = ctx_.options.profile;
+  const double cores = node_.core_speed * static_cast<double>(node_.cores);
+  const double rate = profile.bytes_per_second_per_core * cores;
+  double duration =
+      static_cast<double>(info.bytes) / rate + profile.per_job_overhead_seconds;
+  if (profile.compression_ratio > 1.0 &&
+      profile.decompress_bytes_per_second_per_core > 0.0) {
+    // Decompress the full (uncompressed) chunk before the kernel sees it.
+    duration += static_cast<double>(info.bytes) /
+                (profile.decompress_bytes_per_second_per_core * cores);
+  }
+  ctx_.trace(trace::EventKind::ProcessStart, node_.name, chunk);
+
+  ctx_.sim().schedule(des::from_seconds(duration), [this, chunk, duration] {
+    if (alive_) on_processed(chunk, duration);
+  });
+}
+
+void SlaveNode::on_processed(storage::ChunkId chunk, double duration) {
+  // Real execution: fold the chunk's unit range into this node's robj.
+  if (ctx_.options.task) {
+    const storage::ChunkInfo& info = ctx_.layout.chunk(chunk);
+    const std::uint64_t offset = ctx_.chunk_unit_offset.at(chunk);
+    ctx_.options.task->process(
+        ctx_.options.dataset->unit(offset), static_cast<std::size_t>(info.units), *robj_);
+  }
+
+  ctx_.trace(trace::EventKind::ProcessEnd, node_.name, chunk);
+  processing_ = false;
+  --active_jobs_;
+  stats().processing += duration;
+  stats().finish_time = ctx_.now_seconds();
+  ++stats().jobs;
+
+  if (!ctx_.options.reduction_tree) {
+    Message done;
+    done.type = MsgType::JobDone;
+    done.chunk = chunk;
+    ctx_.postman.send(node_.endpoint, master_, kControlMessageBytes, std::move(done));
+  }
+
+  top_up_requests();
+  maybe_process();
+  if (active_jobs_ == 0 && !processing_) idle_since_ = ctx_.now_seconds();
+  if (ctx_.options.reduction_tree) maybe_finish_tree();
+}
+
+void SlaveNode::on_child_robj(Message msg) {
+  // Charge the local-merge compute before counting the child.
+  const AppProfile& profile = ctx_.options.profile;
+  const std::uint64_t robj_bytes = profile.robj_bytes
+                                       ? profile.robj_bytes
+                                       : std::max<std::uint64_t>(msg.robj_payload.size(), 64);
+  const double merge_seconds =
+      profile.merge_bytes_per_second > 0.0
+          ? static_cast<double>(robj_bytes) / profile.merge_bytes_per_second
+          : 0.0;
+  auto boxed = std::make_shared<Message>(std::move(msg));
+  ctx_.sim().schedule(des::from_seconds(merge_seconds), [this, boxed] {
+    if (!alive_) return;
+    if (!boxed->robj_payload.empty() && robj_) {
+      BufferReader reader(boxed->robj_payload);
+      api::RobjPtr incoming = ctx_.options.task->create_robj();
+      incoming->deserialize(reader);
+      robj_->merge_from(*incoming);
+    }
+    ++children_received_;
+    maybe_finish_tree();
+  });
+}
+
+void SlaveNode::maybe_finish_tree() {
+  if (robj_sent_ || !no_more_ || active_jobs_ != 0 || outstanding_requests_ != 0 ||
+      children_received_ != expected_children()) {
+    return;
+  }
+  robj_sent_ = true;
+  send_robj(rank_ == 0 ? master_ : (*peers_)[parent_rank()], 0);
+}
+
+void SlaveNode::send_robj(net::EndpointId dst, std::uint32_t round) {
+  Message msg;
+  msg.type = MsgType::SlaveRobj;
+  msg.want = round;
+  if (robj_) {
+    BufferWriter writer;
+    robj_->serialize(writer);
+    msg.robj_payload = writer.take();
+  }
+  const std::uint64_t bytes = ctx_.options.profile.robj_bytes
+                                  ? ctx_.options.profile.robj_bytes
+                                  : std::max<std::uint64_t>(msg.robj_payload.size(), 64);
+  ctx_.trace(trace::EventKind::RobjSent, node_.name, bytes);
+  ctx_.postman.send(node_.endpoint, dst, bytes, std::move(msg));
+}
+
+}  // namespace cloudburst::middleware

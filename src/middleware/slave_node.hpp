@@ -1,0 +1,92 @@
+// Slave node: retrieves and processes jobs (paper §III-B).
+//
+// Life cycle: request a job from the master; on assignment, fetch the chunk
+// from whichever store hosts it (multi-stream for object stores — "each
+// slave retrieves jobs using multiple retrieval threads"); process it —
+// cache-sized unit groups folded into the node's private reduction object;
+// repeat until the master says NoMoreJobs. With pipeline_depth > 1 the slave
+// keeps several jobs in flight, overlapping retrieval with computation.
+//
+// Reduction modes:
+//  * tree (default): once done, the slave participates in a binomial tree
+//    over its cluster peers — robjs hop between slave NICs (the paper's
+//    "all-to-all collective operation") and rank 0 ships the cluster robj
+//    to the master.
+//  * direct (fault-tolerant): the slave reports JobDone per chunk and ships
+//    its robj only when the master sends RobjRequest, starting a fresh
+//    (delta) robj afterwards — the master checkpoint-tracks work per robj.
+//
+// A slave can be kill()ed mid-run: it goes silent (all pending callbacks are
+// inert) and whatever its robj accumulated is lost, exactly the failure
+// semantics a reduction-object runtime has.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "des/sim_time.hpp"
+#include "middleware/run_context.hpp"
+
+namespace cloudburst::middleware {
+
+class SlaveNode {
+ public:
+  /// `peers` are the endpoints of all slaves in this cluster (rank order);
+  /// used by the tree reduction. `rank` is this slave's position.
+  SlaveNode(RunContext& ctx, const cluster::NodeHandle& node, net::EndpointId master,
+            std::size_t stat_index, std::uint32_t rank,
+            std::shared_ptr<const std::vector<net::EndpointId>> peers);
+
+  /// Kick off the first job request(s).
+  void start();
+
+  /// Postman delivery entry point.
+  void handle(net::EndpointId from, Message msg);
+
+  /// Simulated crash: drop everything, go silent.
+  void kill() { alive_ = false; }
+  bool alive() const { return alive_; }
+
+  net::EndpointId endpoint() const { return node_.endpoint; }
+
+ private:
+  void top_up_requests();
+  void on_assigned(storage::ChunkId chunk);
+  void on_fetched(storage::ChunkId chunk);
+  void maybe_process();
+  void on_processed(storage::ChunkId chunk, double duration);
+  void on_child_robj(Message msg);
+  void maybe_finish_tree();
+  void send_robj(net::EndpointId dst, std::uint32_t round = 0);
+
+  /// Number of binomial-tree children this rank waits for, and the parent
+  /// rank it reports to (rank 0 reports to the master).
+  std::uint32_t expected_children() const;
+  std::uint32_t parent_rank() const;
+
+  NodeTimes& stats() { return ctx_.recorder.nodes[stat_index_]; }
+
+  RunContext& ctx_;
+  cluster::NodeHandle node_;
+  net::EndpointId master_;
+  std::size_t stat_index_;
+  std::uint32_t rank_;
+  std::shared_ptr<const std::vector<net::EndpointId>> peers_;
+
+  bool alive_ = true;
+  unsigned outstanding_requests_ = 0;
+  unsigned active_jobs_ = 0;  ///< assigned but not fully processed
+  bool no_more_ = false;
+  bool processing_ = false;
+  bool robj_sent_ = false;  ///< tree mode: cluster robj shipped up the tree
+  std::uint32_t children_received_ = 0;
+  double idle_since_ = 0.0;
+  std::deque<storage::ChunkId> ready_;                       ///< fetched, awaiting CPU
+  std::unordered_map<storage::ChunkId, double> fetch_start_; ///< per-chunk timer
+
+  api::RobjPtr robj_;  ///< real-execution accumulator (may be null)
+};
+
+}  // namespace cloudburst::middleware

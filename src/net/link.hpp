@@ -1,0 +1,28 @@
+// Link and identifier types for the flow-level network model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "des/sim_time.hpp"
+
+namespace cloudburst::net {
+
+using LinkId = std::uint32_t;
+using SiteId = std::uint32_t;
+using EndpointId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+constexpr FlowId kInvalidFlow = static_cast<FlowId>(-1);
+
+/// A unidirectional transmission resource: a NIC, a disk channel, a LAN
+/// backbone, or the WAN between the local cluster and the cloud. Capacity is
+/// shared max-min fairly between the flows crossing it.
+struct Link {
+  std::string name;
+  double bandwidth = 0.0;          ///< bytes per second
+  des::SimDuration latency = 0;    ///< one-way propagation delay
+  double bytes_carried = 0.0;      ///< cumulative settled bytes (stats)
+};
+
+}  // namespace cloudburst::net

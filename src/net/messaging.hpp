@@ -1,0 +1,54 @@
+// Typed message passing on top of the flow model.
+//
+// Middleware actors (head/master/slave) exchange small control messages and
+// large reduction-object payloads. A Mailbox binds an endpoint to a handler;
+// Postman serializes nothing — payloads are moved through the callback — but
+// charges the declared byte size to the network, so control traffic and robj
+// exchanges contend with data retrieval exactly as in the paper's system.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace cloudburst::net {
+
+template <typename Message>
+class Postman {
+ public:
+  explicit Postman(Network& network) : network_(network) {}
+
+  using Handler = std::function<void(EndpointId from, Message msg)>;
+
+  /// Bind `handler` to receive messages addressed to `ep`.
+  void register_mailbox(EndpointId ep, Handler handler) {
+    if (mailboxes_.size() <= ep) mailboxes_.resize(ep + 1);
+    mailboxes_[ep] = std::move(handler);
+  }
+
+  /// Send `msg` from src to dst, charging `bytes` on the network path.
+  /// Delivery happens when the simulated transfer completes.
+  void send(EndpointId src, EndpointId dst, std::uint64_t bytes, Message msg) {
+    auto boxed = std::make_shared<Message>(std::move(msg));
+    network_.start_flow(src, dst, bytes, /*rate_cap=*/0.0, [this, src, dst, boxed] {
+      deliver(src, dst, std::move(*boxed));
+    });
+  }
+
+  Network& network() { return network_; }
+
+ private:
+  void deliver(EndpointId from, EndpointId to, Message msg) {
+    if (to < mailboxes_.size() && mailboxes_[to]) {
+      mailboxes_[to](from, std::move(msg));
+    }
+  }
+
+  Network& network_;
+  std::vector<Handler> mailboxes_;
+};
+
+}  // namespace cloudburst::net

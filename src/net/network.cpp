@@ -1,0 +1,245 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace cloudburst::net {
+
+namespace {
+// Residual bytes below this count as "delivered" — absorbs double rounding
+// from settling at recomputed rates.
+constexpr double kByteEpsilon = 1e-6;
+}  // namespace
+
+SiteId Network::add_site(std::string name) {
+  sites_.push_back(std::move(name));
+  return static_cast<SiteId>(sites_.size() - 1);
+}
+
+LinkId Network::add_link(std::string name, double bandwidth_bytes_per_sec,
+                         des::SimDuration latency) {
+  if (bandwidth_bytes_per_sec <= 0.0) {
+    throw std::invalid_argument("link bandwidth must be positive: " + name);
+  }
+  if (latency < 0) throw std::invalid_argument("link latency must be >= 0: " + name);
+  links_.push_back(Link{std::move(name), bandwidth_bytes_per_sec, latency, 0});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+EndpointId Network::add_endpoint(std::string name, SiteId site) {
+  if (site >= sites_.size()) throw std::out_of_range("unknown site for endpoint " + name);
+  endpoints_.push_back(Endpoint{std::move(name), site, {}});
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+void Network::set_access_path(EndpointId ep, std::vector<LinkId> links) {
+  endpoints_.at(ep).access = std::move(links);
+}
+
+void Network::set_route(SiteId from, SiteId to, std::vector<LinkId> links) {
+  routes_[{from, to}] = std::move(links);
+}
+
+void Network::set_route_symmetric(SiteId a, SiteId b, std::vector<LinkId> links) {
+  routes_[{a, b}] = links;
+  std::reverse(links.begin(), links.end());
+  routes_[{b, a}] = std::move(links);
+}
+
+std::vector<LinkId> Network::path(EndpointId src, EndpointId dst) const {
+  if (src == dst) return {};  // loopback: no links, no latency
+  const Endpoint& s = endpoints_.at(src);
+  const Endpoint& d = endpoints_.at(dst);
+  std::vector<LinkId> p = s.access;
+  if (s.site != d.site) {
+    const auto it = routes_.find({s.site, d.site});
+    if (it == routes_.end()) {
+      throw std::runtime_error("no route from site " + sites_.at(s.site) + " to " +
+                               sites_.at(d.site));
+    }
+    p.insert(p.end(), it->second.begin(), it->second.end());
+  }
+  p.insert(p.end(), d.access.rbegin(), d.access.rend());
+  return p;
+}
+
+des::SimDuration Network::path_latency(EndpointId src, EndpointId dst) const {
+  des::SimDuration total = 0;
+  for (LinkId l : path(src, dst)) total += links_.at(l).latency;
+  return total;
+}
+
+FlowId Network::start_flow(EndpointId src, EndpointId dst, std::uint64_t bytes,
+                           double rate_cap, std::function<void()> on_complete) {
+  const FlowId id = next_flow_id_++;
+  Flow flow;
+  flow.id = id;
+  flow.links = path(src, dst);
+  flow.remaining = static_cast<double>(bytes);
+  flow.rate_cap = rate_cap;
+  flow.on_complete = std::move(on_complete);
+  flow.last_update = sim_.now();
+
+  const des::SimDuration latency = path_latency(src, dst);
+  auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  (void)inserted;
+  it->second.activation = sim_.schedule(latency, [this, id] { activate_flow(id); });
+  return id;
+}
+
+void Network::activate_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;  // cancelled during latency phase
+  settle();
+  it->second.active = true;
+  it->second.last_update = sim_.now();
+  if (it->second.remaining <= kByteEpsilon) {
+    finish_flow(id);
+    return;
+  }
+  rebalance();
+}
+
+void Network::cancel_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  settle();
+  it->second.activation.cancel();
+  it->second.completion.cancel();
+  flows_.erase(it);
+  rebalance();
+}
+
+double Network::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void Network::settle() {
+  const des::SimTime now = sim_.now();
+  for (auto& [id, flow] : flows_) {
+    if (!flow.active) continue;
+    const double dt = des::to_seconds(now - flow.last_update);
+    if (dt > 0.0 && flow.rate > 0.0) {
+      const double moved = std::min(flow.remaining, flow.rate * dt);
+      flow.remaining -= moved;
+      for (LinkId l : flow.links) {
+        links_[l].bytes_carried += moved;
+      }
+    }
+    flow.last_update = now;
+  }
+  last_settle_ = now;
+}
+
+void Network::rebalance() {
+  // Progressive filling (water-filling): raise every unfrozen flow's rate in
+  // lock-step until a link saturates or a flow hits its cap; freeze and
+  // repeat. Produces the max-min fair allocation with per-flow caps.
+  std::vector<double> link_residual(links_.size());
+  for (std::size_t l = 0; l < links_.size(); ++l) link_residual[l] = links_[l].bandwidth;
+
+  std::vector<Flow*> unfrozen;
+  for (auto& [id, flow] : flows_) {
+    if (!flow.active) continue;
+    flow.rate = 0.0;
+    unfrozen.push_back(&flow);
+  }
+
+  std::vector<std::uint32_t> link_load(links_.size(), 0);
+  while (!unfrozen.empty()) {
+    std::fill(link_load.begin(), link_load.end(), 0);
+    for (const Flow* f : unfrozen) {
+      for (LinkId l : f->links) ++link_load[l];
+    }
+
+    // Largest uniform rate increment every unfrozen flow can take.
+    double inc = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      if (link_load[l] > 0) {
+        inc = std::min(inc, link_residual[l] / static_cast<double>(link_load[l]));
+      }
+    }
+    for (const Flow* f : unfrozen) {
+      if (f->rate_cap > 0.0) inc = std::min(inc, f->rate_cap - f->rate);
+    }
+    if (!std::isfinite(inc)) {
+      // Flows with empty paths (same endpoint) — treat as infinitely fast;
+      // give them an effectively unbounded rate.
+      for (Flow* f : unfrozen) f->rate = 1e18;
+      break;
+    }
+    inc = std::max(inc, 0.0);
+
+    for (Flow* f : unfrozen) {
+      f->rate += inc;
+      for (LinkId l : f->links) link_residual[l] -= inc;
+    }
+
+    // Freeze flows at their cap or crossing a saturated link.
+    std::vector<Flow*> still;
+    still.reserve(unfrozen.size());
+    for (Flow* f : unfrozen) {
+      bool frozen = f->rate_cap > 0.0 && f->rate >= f->rate_cap - 1e-12;
+      if (!frozen) {
+        for (LinkId l : f->links) {
+          if (link_residual[l] <= 1e-9 * links_[l].bandwidth) {
+            frozen = true;
+            break;
+          }
+        }
+      }
+      if (!frozen) still.push_back(f);
+    }
+    if (still.size() == unfrozen.size()) {
+      // Numerical stall guard: freeze everything rather than loop forever.
+      break;
+    }
+    unfrozen.swap(still);
+  }
+
+  // Re-arm completion events at the new rates.
+  for (auto& [id, flow] : flows_) {
+    if (!flow.active) continue;
+    flow.completion.cancel();
+    if (flow.remaining <= kByteEpsilon) {
+      const FlowId fid = id;
+      flow.completion = sim_.schedule(0, [this, fid] { finish_flow(fid); });
+    } else if (flow.rate > 0.0) {
+      const double secs = flow.remaining / flow.rate;
+      const FlowId fid = id;
+      flow.completion =
+          sim_.schedule(std::max<des::SimDuration>(des::from_seconds(secs), 0),
+                        [this, fid] { finish_flow(fid); });
+    }
+    // rate == 0 (fully starved): no completion until a rebalance frees capacity.
+  }
+}
+
+void Network::finish_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  settle();
+  Flow& flow = it->second;
+  if (flow.remaining > kByteEpsilon) {
+    // Rates changed since this event was armed; re-estimate.
+    if (flow.rate > 0.0) {
+      const double secs = flow.remaining / flow.rate;
+      const FlowId fid = id;
+      flow.completion = sim_.schedule(
+          std::max<des::SimDuration>(des::from_seconds(secs), 1), [this, fid] { finish_flow(fid); });
+    }
+    return;
+  }
+  auto callback = std::move(flow.on_complete);
+  flow.completion.cancel();
+  flows_.erase(it);
+  rebalance();
+  if (callback) callback();
+}
+
+}  // namespace cloudburst::net

@@ -1,0 +1,123 @@
+// Flow-level network simulation with max-min fair bandwidth sharing.
+//
+// Model
+// -----
+// The platform is a set of *sites* (the local cluster, the cloud, storage
+// services). Every *endpoint* (a node NIC, the S3 front end, the storage
+// node's disk channel) is attached to one site through an ordered list of
+// access links; sites are connected by routes (ordered link lists). The path
+// of a transfer is:
+//
+//     access(src) + route(site(src) -> site(dst)) + reverse(access(dst))
+//
+// A *flow* carries `bytes` along its path. After the path's total latency it
+// becomes active and drains at its max-min fair rate; every flow arrival or
+// departure triggers a re-balance (progressive filling / water-filling),
+// which also re-estimates all completion times. Flows may carry an optional
+// per-flow rate cap — this is how the S3 model expresses its per-connection
+// throughput limit without dedicating a simulated link per connection.
+//
+// Everything is deterministic: flows are kept in id order, and completion
+// events inherit the DES kernel's (time, sequence) total ordering.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "net/link.hpp"
+
+namespace cloudburst::net {
+
+class Network {
+ public:
+  explicit Network(des::Simulator& sim) : sim_(sim) {}
+
+  // --- topology construction ---------------------------------------------
+
+  SiteId add_site(std::string name);
+  LinkId add_link(std::string name, double bandwidth_bytes_per_sec,
+                  des::SimDuration latency);
+  EndpointId add_endpoint(std::string name, SiteId site);
+
+  /// Links crossed from the endpoint to its site's router (may be empty for
+  /// an endpoint sitting directly on the site fabric).
+  void set_access_path(EndpointId ep, std::vector<LinkId> links);
+
+  /// Directed route between two sites. Routes within a site are implicit
+  /// (empty). Call twice for asymmetric paths; set_route_symmetric for the
+  /// common case.
+  void set_route(SiteId from, SiteId to, std::vector<LinkId> links);
+  void set_route_symmetric(SiteId a, SiteId b, std::vector<LinkId> links);
+
+  // --- transfers -----------------------------------------------------------
+
+  /// Begin moving `bytes` from src to dst. `rate_cap` in bytes/sec limits
+  /// this single flow (0 = unlimited). `on_complete` fires when the last
+  /// byte arrives. Returns a FlowId usable with cancel_flow/flow_rate.
+  FlowId start_flow(EndpointId src, EndpointId dst, std::uint64_t bytes,
+                    double rate_cap, std::function<void()> on_complete);
+
+  /// Abort an in-progress flow; its completion callback never fires.
+  /// Harmless if the flow already finished.
+  void cancel_flow(FlowId id);
+
+  // --- introspection (tests, stats) ---------------------------------------
+
+  /// Current fair-share rate (bytes/sec); 0 while in the latency phase or if
+  /// the flow is unknown/finished.
+  double flow_rate(FlowId id) const;
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+  std::vector<LinkId> path(EndpointId src, EndpointId dst) const;
+  des::SimDuration path_latency(EndpointId src, EndpointId dst) const;
+
+  const Link& link(LinkId id) const { return links_.at(id); }
+  SiteId site_of(EndpointId ep) const { return endpoints_.at(ep).site; }
+  std::size_t link_count() const { return links_.size(); }
+
+ private:
+  struct Endpoint {
+    std::string name;
+    SiteId site;
+    std::vector<LinkId> access;
+  };
+
+  struct Flow {
+    FlowId id;
+    std::vector<LinkId> links;
+    double remaining;  ///< bytes still to drain once active
+    double rate_cap;   ///< 0 = uncapped
+    double rate = 0.0;
+    bool active = false;  ///< false during the latency phase
+    des::SimTime last_update = 0;
+    des::EventHandle completion;
+    des::EventHandle activation;
+    std::function<void()> on_complete;
+  };
+
+  /// Charge elapsed drain time to every active flow; updates link stats.
+  void settle();
+
+  /// Recompute max-min fair rates and re-arm completion events. Must be
+  /// called with flows settled.
+  void rebalance();
+
+  void activate_flow(FlowId id);
+  void finish_flow(FlowId id);
+
+  des::Simulator& sim_;
+  std::vector<std::string> sites_;
+  std::vector<Link> links_;
+  std::vector<Endpoint> endpoints_;
+  std::map<std::pair<SiteId, SiteId>, std::vector<LinkId>> routes_;
+  std::map<FlowId, Flow> flows_;  // id order => deterministic iteration
+  FlowId next_flow_id_ = 0;
+  des::SimTime last_settle_ = 0;
+};
+
+}  // namespace cloudburst::net

@@ -1,0 +1,28 @@
+#include "storage/local_store.hpp"
+
+namespace cloudburst::storage {
+
+void LocalStore::fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
+                       std::function<void()> on_complete) {
+  (void)streams;  // one spindle: parallel streams do not help a local disk
+  ++stats_.requests;
+  stats_.bytes_served += chunk.bytes;
+
+  // Sequential-read detection: continuing the same file at the next chunk
+  // index from the same reader avoids the seek.
+  auto& pos = positions_[chunk.file];
+  const bool sequential = pos.reader == dst && pos.next_index == chunk.index_in_file;
+  if (!sequential) ++stats_.seeks;
+  pos.reader = dst;
+  pos.next_index = chunk.index_in_file + 1;
+
+  des::SimDuration delay = params_.request_latency;
+  if (!sequential) delay += params_.seek_latency;
+
+  const std::uint64_t bytes = chunk.bytes;
+  sim_.schedule(delay, [this, dst, bytes, cb = std::move(on_complete)]() mutable {
+    net_.start_flow(endpoint_, dst, bytes, params_.per_stream_bandwidth, std::move(cb));
+  });
+}
+
+}  // namespace cloudburst::storage

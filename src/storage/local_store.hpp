@@ -1,0 +1,55 @@
+// LocalStore: the cluster's dedicated storage node.
+//
+// Models a single storage server (the paper's 4 TB SATA node) whose disk
+// bandwidth is the access link created by the platform builder. On top of
+// the link-level sharing it adds a *seek penalty*: a read that does not
+// continue the previous sequential position of its file (different reader or
+// non-consecutive chunk) pays `seek_latency` before bytes start moving.
+// This is what makes the head node's consecutive-job batching and
+// minimum-contention file selection measurable optimizations.
+#pragma once
+
+#include <unordered_map>
+
+#include "des/simulator.hpp"
+#include "storage/store_service.hpp"
+
+namespace cloudburst::storage {
+
+class LocalStore final : public StoreService {
+ public:
+  struct Params {
+    des::SimDuration seek_latency = 0;     ///< cost of a non-sequential access
+    des::SimDuration request_latency = 0;  ///< fixed per-request service time
+    /// Per-read-stream throughput cap (a single reader cannot saturate the
+    /// array; 0 = uncapped). The aggregate is still bounded by the disk link.
+    double per_stream_bandwidth = 0.0;
+  };
+
+  LocalStore(StoreId id, des::Simulator& sim, net::Network& net, net::EndpointId ep,
+             Params params)
+      : id_(id), sim_(sim), net_(net), endpoint_(ep), params_(params) {}
+
+  void fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
+             std::function<void()> on_complete) override;
+
+  net::EndpointId endpoint() const override { return endpoint_; }
+  const Stats& stats() const override { return stats_; }
+  StoreId id() const override { return id_; }
+
+ private:
+  struct FilePosition {
+    net::EndpointId reader = static_cast<net::EndpointId>(-1);
+    std::uint32_t next_index = 0;  ///< chunk index that would be sequential
+  };
+
+  StoreId id_;
+  des::Simulator& sim_;
+  net::Network& net_;
+  net::EndpointId endpoint_;
+  Params params_;
+  Stats stats_;
+  std::unordered_map<FileId, FilePosition> positions_;
+};
+
+}  // namespace cloudburst::storage

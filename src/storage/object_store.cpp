@@ -1,0 +1,34 @@
+#include "storage/object_store.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace cloudburst::storage {
+
+void ObjectStore::fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
+                        std::function<void()> on_complete) {
+  streams = std::max(1u, streams);
+  ++stats_.requests;
+  stats_.bytes_served += chunk.bytes;
+
+  // Split the chunk into `streams` range GETs; the completion counter fires
+  // the callback when the final range lands.
+  struct Pending {
+    unsigned remaining;
+    std::function<void()> cb;
+  };
+  auto pending = std::make_shared<Pending>(Pending{streams, std::move(on_complete)});
+
+  const std::uint64_t base = chunk.bytes / streams;
+  const std::uint64_t extra = chunk.bytes % streams;
+  for (unsigned s = 0; s < streams; ++s) {
+    const std::uint64_t part = base + (s < extra ? 1 : 0);
+    sim_.schedule(params_.request_latency, [this, dst, part, pending] {
+      net_.start_flow(endpoint_, dst, part, params_.per_connection_bandwidth, [pending] {
+        if (--pending->remaining == 0 && pending->cb) pending->cb();
+      });
+    });
+  }
+}
+
+}  // namespace cloudburst::storage

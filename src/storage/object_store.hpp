@@ -1,0 +1,45 @@
+// ObjectStore: an S3-style cloud object store.
+//
+// Two properties of S3 matter to the paper's system and are modeled here:
+//  1. each GET pays a per-request latency and is throughput-capped per
+//     connection — a single stream cannot saturate the path;
+//  2. aggregate throughput is high, so *multi-threaded retrieval* (several
+//     concurrent range GETs per chunk) recovers the bandwidth; the paper's
+//     slaves do exactly this.
+// Aggregate capacity is bounded by the store's access link in the platform
+// topology, so many concurrent clients still contend.
+#pragma once
+
+#include "des/simulator.hpp"
+#include "storage/store_service.hpp"
+
+namespace cloudburst::storage {
+
+class ObjectStore final : public StoreService {
+ public:
+  struct Params {
+    des::SimDuration request_latency = 0;  ///< first-byte latency per GET
+    double per_connection_bandwidth = 0.0; ///< bytes/sec cap per stream (0 = uncapped)
+  };
+
+  ObjectStore(StoreId id, des::Simulator& sim, net::Network& net, net::EndpointId ep,
+              Params params)
+      : id_(id), sim_(sim), net_(net), endpoint_(ep), params_(params) {}
+
+  void fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
+             std::function<void()> on_complete) override;
+
+  net::EndpointId endpoint() const override { return endpoint_; }
+  const Stats& stats() const override { return stats_; }
+  StoreId id() const override { return id_; }
+
+ private:
+  StoreId id_;
+  des::Simulator& sim_;
+  net::Network& net_;
+  net::EndpointId endpoint_;
+  Params params_;
+  Stats stats_;
+};
+
+}  // namespace cloudburst::storage

@@ -1,0 +1,40 @@
+// Storage service interface.
+//
+// A store hosts dataset files and serves chunk reads to compute nodes. Two
+// implementations model the paper's setup: LocalStore (the cluster's
+// dedicated storage node and its disk) and ObjectStore (Amazon S3). Both are
+// simulation actors whose transfers ride the shared network, so retrieval
+// contention — the dominant overhead in the evaluation — emerges from the
+// flow model rather than from per-store magic numbers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/network.hpp"
+#include "storage/data_layout.hpp"
+
+namespace cloudburst::storage {
+
+class StoreService {
+ public:
+  virtual ~StoreService() = default;
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t bytes_served = 0;
+    std::uint64_t seeks = 0;  ///< LocalStore only; 0 for object stores
+  };
+
+  /// Deliver `chunk` to endpoint `dst` using up to `streams` parallel
+  /// transfer streams (the slave's retrieval threads). `on_complete` fires
+  /// when the last byte arrives at `dst`.
+  virtual void fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
+                     std::function<void()> on_complete) = 0;
+
+  virtual net::EndpointId endpoint() const = 0;
+  virtual const Stats& stats() const = 0;
+  virtual StoreId id() const = 0;
+};
+
+}  // namespace cloudburst::storage

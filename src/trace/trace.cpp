@@ -1,0 +1,122 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace cloudburst::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::JobAssigned: return "JobAssigned";
+    case EventKind::FetchStart: return "FetchStart";
+    case EventKind::FetchEnd: return "FetchEnd";
+    case EventKind::ProcessStart: return "ProcessStart";
+    case EventKind::ProcessEnd: return "ProcessEnd";
+    case EventKind::RobjSent: return "RobjSent";
+    case EventKind::RobjMerged: return "RobjMerged";
+    case EventKind::BatchRequested: return "BatchRequested";
+    case EventKind::BatchGranted: return "BatchGranted";
+    case EventKind::SlaveFailed: return "SlaveFailed";
+    case EventKind::InstanceActivated: return "InstanceActivated";
+    case EventKind::RunEnd: return "RunEnd";
+  }
+  return "?";
+}
+
+void Tracer::record(double t, EventKind kind, std::string actor, std::uint64_t a,
+                    std::uint64_t b) {
+  events_.push_back(Event{t, kind, std::move(actor), a, b});
+}
+
+std::size_t Tracer::count(EventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const Event& e) { return e.kind == kind; }));
+}
+
+std::string Tracer::to_jsonl() const {
+  std::string out;
+  char line[256];
+  for (const Event& e : events_) {
+    std::snprintf(line, sizeof(line),
+                  "{\"t\":%.6f,\"kind\":\"%s\",\"actor\":\"%s\",\"a\":%llu,\"b\":%llu}\n",
+                  e.t, to_string(e.kind), e.actor.c_str(),
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b));
+    out += line;
+  }
+  return out;
+}
+
+std::string Tracer::render_gantt(std::size_t width) const {
+  if (events_.empty() || width == 0) return "";
+  double t_end = 0.0;
+  for (const Event& e : events_) t_end = std::max(t_end, e.t);
+  if (t_end <= 0.0) return "";
+
+  // Per-actor interval lists for fetch and process activity.
+  struct Row {
+    std::vector<std::pair<double, double>> fetch;
+    std::vector<std::pair<double, double>> process;
+    std::map<std::uint64_t, double> open_fetch;
+    std::map<std::uint64_t, double> open_process;
+  };
+  std::map<std::string, Row> rows;
+  for (const Event& e : events_) {
+    switch (e.kind) {
+      case EventKind::FetchStart: rows[e.actor].open_fetch[e.a] = e.t; break;
+      case EventKind::FetchEnd: {
+        auto& row = rows[e.actor];
+        const auto it = row.open_fetch.find(e.a);
+        if (it != row.open_fetch.end()) {
+          row.fetch.emplace_back(it->second, e.t);
+          row.open_fetch.erase(it);
+        }
+        break;
+      }
+      case EventKind::ProcessStart: rows[e.actor].open_process[e.a] = e.t; break;
+      case EventKind::ProcessEnd: {
+        auto& row = rows[e.actor];
+        const auto it = row.open_process.find(e.a);
+        if (it != row.open_process.end()) {
+          row.process.emplace_back(it->second, e.t);
+          row.open_process.erase(it);
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+
+  auto covers = [&](const std::vector<std::pair<double, double>>& spans, double lo,
+                    double hi) {
+    for (const auto& [b, e] : spans) {
+      if (b < hi && e > lo) return true;
+    }
+    return false;
+  };
+
+  std::string out;
+  char header[64];
+  std::snprintf(header, sizeof(header), "0s%*s%.1fs\n", static_cast<int>(width), "",
+                t_end);
+  out += header;
+  for (const auto& [actor, row] : rows) {
+    if (row.fetch.empty() && row.process.empty()) continue;
+    std::string bar(width, '.');
+    for (std::size_t i = 0; i < width; ++i) {
+      const double lo = t_end * static_cast<double>(i) / static_cast<double>(width);
+      const double hi = t_end * static_cast<double>(i + 1) / static_cast<double>(width);
+      const bool f = covers(row.fetch, lo, hi);
+      const bool p = covers(row.process, lo, hi);
+      bar[i] = f && p ? '*' : (p ? 'P' : (f ? 'f' : '.'));
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-16s |%s|\n", actor.c_str(), bar.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace cloudburst::trace

@@ -1,0 +1,64 @@
+// Run tracing.
+//
+// When a Tracer is attached to a run (RunOptions::tracer), the middleware
+// records every scheduling-relevant event: job assignment, chunk fetch
+// start/end, processing start/end, reduction-object shipments and merges,
+// pool refills, failures, and elastic activations. The trace supports
+//  * machine consumption — one JSON object per line (to_jsonl),
+//  * eyeballing — an ASCII Gantt chart per node (render_gantt),
+//  * tests — counting and pairing events is how the suite audits the
+//    middleware's behavior beyond aggregate timings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cloudburst::trace {
+
+enum class EventKind : std::uint8_t {
+  JobAssigned,    ///< actor = slave, a = chunk id
+  FetchStart,     ///< actor = slave, a = chunk id, b = store id
+  FetchEnd,       ///< actor = slave, a = chunk id
+  ProcessStart,   ///< actor = slave, a = chunk id
+  ProcessEnd,     ///< actor = slave, a = chunk id
+  RobjSent,       ///< actor = sender, a = bytes
+  RobjMerged,     ///< actor = merger
+  BatchRequested, ///< actor = master, a = want
+  BatchGranted,   ///< actor = master, a = jobs granted, b = exhausted flag
+  SlaveFailed,    ///< actor = slave
+  InstanceActivated,  ///< actor = slave
+  RunEnd,         ///< actor = head
+};
+
+const char* to_string(EventKind kind);
+
+struct Event {
+  double t = 0.0;       ///< simulated seconds
+  EventKind kind = EventKind::RunEnd;
+  std::string actor;
+  std::uint64_t a = 0;  ///< kind-specific payload (see EventKind comments)
+  std::uint64_t b = 0;
+};
+
+class Tracer {
+ public:
+  void record(double t, EventKind kind, std::string actor, std::uint64_t a = 0,
+              std::uint64_t b = 0);
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t count(EventKind kind) const;
+  void clear() { events_.clear(); }
+
+  /// One JSON object per line: {"t":1.25,"kind":"FetchStart","actor":...}.
+  std::string to_jsonl() const;
+
+  /// ASCII Gantt: one row per actor that has Fetch/Process events;
+  /// '.' idle, 'f' fetching, 'P' processing, '*' both (pipelined).
+  std::string render_gantt(std::size_t width = 80) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace cloudburst::trace

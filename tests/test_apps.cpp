@@ -1,0 +1,418 @@
+// Tests for the evaluation applications: generator contracts, kernel
+// correctness against brute-force references, and GR == MapReduce
+// equivalence for every app on both engines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "apps/datagen.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/knn.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/wordcount.hpp"
+#include "engine/gr_engine.hpp"
+#include "engine/mr_engine.hpp"
+
+namespace cloudburst::apps {
+namespace {
+
+using engine::GrEngineOptions;
+using engine::gr_run;
+using engine::MemoryDataset;
+using engine::mr_run;
+using engine::MrEngineOptions;
+
+// --- generators -----------------------------------------------------------------
+
+TEST(Datagen, PointsHaveSequentialIds) {
+  PointGenSpec spec;
+  spec.count = 100;
+  spec.dim = 4;
+  const auto data = generate_points(spec);
+  EXPECT_EQ(data.units(), 100u);
+  EXPECT_EQ(data.unit_bytes(), point_record_bytes(4));
+  for (std::size_t i = 0; i < data.units(); ++i) {
+    EXPECT_EQ(point_id(data.unit(i)), i);
+  }
+}
+
+TEST(Datagen, PointsAreDeterministic) {
+  PointGenSpec spec;
+  spec.count = 50;
+  spec.dim = 3;
+  spec.seed = 9;
+  const auto a = generate_points(spec);
+  const auto b = generate_points(spec);
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size_bytes()));
+}
+
+TEST(Datagen, PointsClusterAroundMixtureCenters) {
+  PointGenSpec spec;
+  spec.count = 2000;
+  spec.dim = 4;
+  spec.mixture_components = 3;
+  spec.component_spread = 50.0;
+  spec.noise_sigma = 0.5;
+  const auto data = generate_points(spec);
+  const auto centers = mixture_centers(spec);
+  // Every point should be within a few sigma of SOME center.
+  for (std::size_t i = 0; i < data.units(); i += 37) {
+    const float* coords = point_coords(data.unit(i));
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& c : centers) {
+      double d = 0;
+      for (std::size_t k = 0; k < spec.dim; ++k) {
+        d += (coords[k] - c[k]) * (coords[k] - c[k]);
+      }
+      best = std::min(best, d);
+    }
+    EXPECT_LT(std::sqrt(best), 6 * spec.noise_sigma);
+  }
+}
+
+TEST(Datagen, EdgesRespectRangeAndMinOutDegree) {
+  GraphGenSpec spec;
+  spec.pages = 100;
+  spec.edges = 500;
+  const auto data = generate_edges(spec);
+  EXPECT_EQ(data.units(), 500u);
+  const auto deg = out_degrees(data, spec.pages);
+  for (std::uint32_t p = 0; p < spec.pages; ++p) EXPECT_GE(deg[p], 1u) << "page " << p;
+  for (std::size_t i = 0; i < data.units(); ++i) {
+    EdgeRecord e;
+    std::memcpy(&e, data.unit(i), sizeof e);
+    EXPECT_LT(e.src, spec.pages);
+    EXPECT_LT(e.dst, spec.pages);
+    EXPECT_NE(e.src, e.dst);  // no self-loops
+  }
+}
+
+TEST(Datagen, EdgesRejectTooFew) {
+  GraphGenSpec spec;
+  spec.pages = 10;
+  spec.edges = 5;
+  EXPECT_THROW(generate_edges(spec), std::invalid_argument);
+}
+
+TEST(Datagen, WordsFollowZipfShape) {
+  WordGenSpec spec;
+  spec.count = 20000;
+  spec.vocabulary = 1000;
+  spec.zipf_s = 1.2;
+  const auto data = generate_words(spec);
+  std::size_t low = 0;
+  for (std::size_t i = 0; i < data.units(); ++i) {
+    WordRecord w;
+    std::memcpy(&w, data.unit(i), sizeof w);
+    EXPECT_LT(w.word_id, spec.vocabulary);
+    low += w.word_id < 10;
+  }
+  EXPECT_GT(low, data.units() / 5);
+}
+
+// --- knn --------------------------------------------------------------------------
+
+std::vector<api::TopKMinRobj::Entry> brute_force_knn(const MemoryDataset& data,
+                                                     const std::vector<float>& query,
+                                                     std::size_t k) {
+  std::vector<api::TopKMinRobj::Entry> all;
+  for (std::size_t i = 0; i < data.units(); ++i) {
+    const float* coords = point_coords(data.unit(i));
+    double d = 0;
+    for (std::size_t j = 0; j < query.size(); ++j) {
+      d += (static_cast<double>(coords[j]) - query[j]) *
+           (static_cast<double>(coords[j]) - query[j]);
+    }
+    all.push_back({d, point_id(data.unit(i))});
+  }
+  std::sort(all.begin(), all.end());
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST(Knn, GrMatchesBruteForce) {
+  PointGenSpec spec;
+  spec.count = 5000;
+  spec.dim = 6;
+  spec.seed = 2;
+  const auto data = generate_points(spec);
+  const std::vector<float> query(6, 0.5f);
+  KnnTask task(25, query);
+
+  GrEngineOptions options;
+  options.threads = 4;
+  const auto robj = gr_run(task, data, options);
+  EXPECT_EQ(KnnTask::neighbors(*robj), brute_force_knn(data, query, 25));
+}
+
+TEST(Knn, MrMatchesBruteForce) {
+  PointGenSpec spec;
+  spec.count = 3000;
+  spec.dim = 4;
+  spec.seed = 5;
+  const auto data = generate_points(spec);
+  const std::vector<float> query(4, -1.0f);
+  KnnTask task(10, query);
+
+  MrEngineOptions options;
+  options.threads = 3;
+  options.use_combiner = true;
+  options.combine_flush_pairs = 128;
+  const auto out = mr_run(task, data, options);
+  EXPECT_EQ(KnnTask::neighbors(out), brute_force_knn(data, query, 10));
+}
+
+TEST(Knn, KLargerThanDataset) {
+  PointGenSpec spec;
+  spec.count = 7;
+  spec.dim = 2;
+  const auto data = generate_points(spec);
+  KnnTask task(100, {0.0f, 0.0f});
+  const auto robj = gr_run(task, data, GrEngineOptions{});
+  EXPECT_EQ(KnnTask::neighbors(*robj).size(), 7u);
+}
+
+TEST(Knn, RejectsBadParams) {
+  EXPECT_THROW(KnnTask(0, {1.0f}), std::invalid_argument);
+  EXPECT_THROW(KnnTask(5, {}), std::invalid_argument);
+}
+
+// --- kmeans ------------------------------------------------------------------------
+
+TEST(Kmeans, OneIterationMatchesBruteForce) {
+  PointGenSpec spec;
+  spec.count = 4000;
+  spec.dim = 3;
+  spec.mixture_components = 4;
+  spec.seed = 8;
+  const auto data = generate_points(spec);
+  std::vector<std::vector<float>> centroids = {
+      {0, 0, 0}, {5, 5, 5}, {-5, -5, -5}, {10, -10, 0}};
+  KmeansTask task(centroids);
+
+  // Brute-force assignment.
+  std::vector<std::vector<double>> sum(4, std::vector<double>(3, 0.0));
+  std::vector<double> count(4, 0.0);
+  for (std::size_t i = 0; i < data.units(); ++i) {
+    const float* c = point_coords(data.unit(i));
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < 4; ++j) {
+      double d = 0;
+      for (int k = 0; k < 3; ++k) {
+        d += (static_cast<double>(c[k]) - centroids[j][k]) *
+             (static_cast<double>(c[k]) - centroids[j][k]);
+      }
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    for (int k = 0; k < 3; ++k) sum[best][k] += c[k];
+    count[best] += 1;
+  }
+
+  GrEngineOptions options;
+  options.threads = 4;
+  const auto robj = gr_run(task, data, options);
+  const auto got = task.centroids_from(*robj);
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (int k = 0; k < 3; ++k) {
+      const double expected = count[j] > 0 ? sum[j][k] / count[j] : centroids[j][k];
+      EXPECT_NEAR(got[j][k], expected, 1e-6) << "cluster " << j << " dim " << k;
+    }
+  }
+}
+
+TEST(Kmeans, GrAndMrAgree) {
+  PointGenSpec spec;
+  spec.count = 3000;
+  spec.dim = 4;
+  spec.mixture_components = 3;
+  spec.seed = 12;
+  const auto data = generate_points(spec);
+  std::vector<std::vector<float>> centroids = {{0, 0, 0, 0}, {3, 3, 3, 3}, {-3, 0, 3, 0}};
+  KmeansTask task(centroids);
+
+  GrEngineOptions gr_options;
+  gr_options.threads = 2;
+  const auto robj = gr_run(task, data, gr_options);
+  const auto gr_centroids = task.centroids_from(*robj);
+
+  MrEngineOptions mr_options;
+  mr_options.threads = 3;
+  mr_options.use_combiner = true;
+  const auto mr_centroids = task.centroids_from(mr_run(task, data, mr_options));
+
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_NEAR(gr_centroids[j][k], mr_centroids[j][k], 1e-6);
+    }
+  }
+}
+
+TEST(Kmeans, IterationConvergesTowardMixtureCenters) {
+  PointGenSpec spec;
+  spec.count = 6000;
+  spec.dim = 2;
+  spec.mixture_components = 3;
+  spec.component_spread = 20.0;
+  spec.noise_sigma = 0.5;
+  spec.seed = 31;
+  const auto data = generate_points(spec);
+  const auto truth = mixture_centers(spec);
+
+  // Start centroids perturbed from the truth; Lloyd should snap them back.
+  std::vector<std::vector<float>> start;
+  for (const auto& c : truth) {
+    std::vector<float> s = c;
+    for (auto& v : s) v += 2.0f;
+    start.push_back(s);
+  }
+  const auto final_centroids = kmeans_iterate(data, start, 8, 4);
+  for (std::size_t j = 0; j < truth.size(); ++j) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& t : truth) {
+      double d = 0;
+      for (std::size_t k = 0; k < 2; ++k) {
+        d += (final_centroids[j][k] - t[k]) * (final_centroids[j][k] - t[k]);
+      }
+      best = std::min(best, d);
+    }
+    EXPECT_LT(std::sqrt(best), 0.5) << "centroid " << j;
+  }
+}
+
+TEST(Kmeans, EmptyClusterKeepsOldCentroid) {
+  std::vector<std::uint64_t> ids = {0};
+  // One point at the origin and a far-away centroid that captures nothing.
+  std::vector<std::byte> bytes(point_record_bytes(2));
+  const float coords[2] = {0.0f, 0.0f};
+  write_point(bytes.data(), 0, coords, 2);
+  const MemoryDataset data(std::move(bytes), point_record_bytes(2));
+
+  KmeansTask task({{0.0f, 0.0f}, {100.0f, 100.0f}});
+  const auto robj = gr_run(task, data, GrEngineOptions{});
+  const auto got = task.centroids_from(*robj);
+  EXPECT_NEAR(got[1][0], 100.0, 1e-9);
+  EXPECT_NEAR(got[1][1], 100.0, 1e-9);
+}
+
+TEST(Kmeans, RejectsBadCentroids) {
+  EXPECT_THROW(KmeansTask({}), std::invalid_argument);
+  EXPECT_THROW(KmeansTask({{1.0f, 2.0f}, {1.0f}}), std::invalid_argument);
+}
+
+// --- pagerank ------------------------------------------------------------------------
+
+std::vector<double> brute_force_pagerank_step(const MemoryDataset& edges,
+                                              const std::vector<double>& ranks,
+                                              const std::vector<std::uint32_t>& deg,
+                                              double damping) {
+  std::vector<double> mass(ranks.size(), 0.0);
+  for (std::size_t i = 0; i < edges.units(); ++i) {
+    EdgeRecord e;
+    std::memcpy(&e, edges.unit(i), sizeof e);
+    mass[e.dst] += ranks[e.src] / deg[e.src];
+  }
+  const double base = (1.0 - damping) / static_cast<double>(ranks.size());
+  for (auto& m : mass) m = base + damping * m;
+  return mass;
+}
+
+TEST(PageRank, GrMatchesBruteForce) {
+  GraphGenSpec spec;
+  spec.pages = 500;
+  spec.edges = 5000;
+  spec.seed = 6;
+  const auto edges = generate_edges(spec);
+  const auto deg = out_degrees(edges, spec.pages);
+  std::vector<double> ranks(spec.pages, 1.0 / spec.pages);
+
+  PageRankTask task(ranks, deg);
+  GrEngineOptions options;
+  options.threads = 4;
+  const auto robj = gr_run(task, edges, options);
+  const auto got = task.ranks_from(*robj);
+  const auto expected = brute_force_pagerank_step(edges, ranks, deg, 0.85);
+  for (std::size_t p = 0; p < spec.pages; ++p) EXPECT_NEAR(got[p], expected[p], 1e-12);
+}
+
+TEST(PageRank, MrMatchesGr) {
+  GraphGenSpec spec;
+  spec.pages = 300;
+  spec.edges = 3000;
+  spec.seed = 14;
+  const auto edges = generate_edges(spec);
+  const auto deg = out_degrees(edges, spec.pages);
+  std::vector<double> ranks(spec.pages, 1.0 / spec.pages);
+  PageRankTask task(ranks, deg);
+
+  GrEngineOptions gr_options;
+  gr_options.threads = 2;
+  const auto gr_ranks = task.ranks_from(*gr_run(task, edges, gr_options));
+
+  MrEngineOptions mr_options;
+  mr_options.threads = 4;
+  mr_options.use_combiner = true;
+  const auto mr_ranks = task.ranks_from(mr_run(task, edges, mr_options));
+
+  for (std::size_t p = 0; p < spec.pages; ++p) {
+    EXPECT_NEAR(gr_ranks[p], mr_ranks[p], 1e-9);
+  }
+}
+
+TEST(PageRank, RankMassIsConserved) {
+  GraphGenSpec spec;
+  spec.pages = 200;
+  spec.edges = 2000;
+  const auto edges = generate_edges(spec);
+  const auto ranks = pagerank_iterate(edges, spec.pages, 10, 4);
+  double total = 0.0;
+  for (double r : ranks) {
+    EXPECT_GT(r, 0.0);
+    total += r;
+  }
+  // No dangling pages -> rank mass stays 1 under the damping update.
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRank, PopularPagesRankHigher) {
+  GraphGenSpec spec;
+  spec.pages = 500;
+  spec.edges = 10000;
+  spec.popularity_skew = 1.3;
+  const auto edges = generate_edges(spec);
+  const auto ranks = pagerank_iterate(edges, spec.pages, 15, 4);
+  // Zipf popularity targets low page ids; their mean rank must exceed the
+  // mean rank of the tail.
+  double head = 0, tail = 0;
+  for (std::uint32_t p = 0; p < 10; ++p) head += ranks[p];
+  for (std::uint32_t p = 490; p < 500; ++p) tail += ranks[p];
+  EXPECT_GT(head, 3 * tail);
+}
+
+TEST(PageRank, RejectsBadInputs) {
+  EXPECT_THROW(PageRankTask({}, {}), std::invalid_argument);
+  EXPECT_THROW(PageRankTask({1.0}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(PageRankTask({1.0}, {1}, 1.5), std::invalid_argument);
+}
+
+// --- records -----------------------------------------------------------------------
+
+TEST(Records, PointRoundTrip) {
+  std::vector<std::byte> buf(point_record_bytes(3));
+  const float coords[3] = {1.5f, -2.5f, 3.5f};
+  write_point(buf.data(), 42, coords, 3);
+  EXPECT_EQ(point_id(buf.data()), 42u);
+  const float* back = point_coords(buf.data());
+  EXPECT_EQ(back[0], 1.5f);
+  EXPECT_EQ(back[1], -2.5f);
+  EXPECT_EQ(back[2], 3.5f);
+}
+
+}  // namespace
+}  // namespace cloudburst::apps

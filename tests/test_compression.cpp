@@ -1,0 +1,98 @@
+// Tests for the compressed-storage model: fewer bytes move, decompression
+// compute is charged, and the benefit depends on where the bottleneck is.
+#include <gtest/gtest.h>
+
+#include "apps/datagen.hpp"
+#include "apps/experiments.hpp"
+#include "apps/wordcount.hpp"
+#include "common/units.hpp"
+#include "middleware/runtime.hpp"
+
+namespace cloudburst::middleware {
+namespace {
+
+using namespace cloudburst::units;
+using cluster::ClusterSide;
+
+RunResult run_knn_1783(double ratio, double decomp = 400e6) {
+  return apps::run_env(apps::Env::Hybrid1783, apps::PaperApp::Knn,
+                       [&](cluster::PlatformSpec&, RunOptions& o) {
+                         o.profile.compression_ratio = ratio;
+                         o.profile.decompress_bytes_per_second_per_core = decomp;
+                       });
+}
+
+TEST(Compression, RatioOneIsIdentity) {
+  const auto base = apps::run_env(apps::Env::Hybrid1783, apps::PaperApp::Knn);
+  const auto same = run_knn_1783(1.0);
+  EXPECT_DOUBLE_EQ(base.total_time, same.total_time);
+}
+
+TEST(Compression, HelpsRetrievalBoundWorkloads) {
+  // knn env-17/83 is WAN-retrieval bound: halving the bytes must win even
+  // after paying decompression.
+  const auto plain = run_knn_1783(1.0);
+  const auto packed = run_knn_1783(2.0);
+  EXPECT_LT(packed.total_time, plain.total_time);
+  EXPECT_LT(packed.side(ClusterSide::Local).retrieval,
+            plain.side(ClusterSide::Local).retrieval);
+}
+
+TEST(Compression, HigherRatioHelpsMore) {
+  const auto two = run_knn_1783(2.0);
+  const auto four = run_knn_1783(4.0);
+  EXPECT_LT(four.total_time, two.total_time);
+}
+
+TEST(Compression, SlowDecompressionErasesTheBenefit) {
+  const auto fast_codec = run_knn_1783(2.0, 400e6);
+  const auto slow_codec = run_knn_1783(2.0, 2e6);  // decompression-bound
+  EXPECT_GT(slow_codec.total_time, fast_codec.total_time);
+  const auto plain = run_knn_1783(1.0);
+  EXPECT_GT(slow_codec.total_time, plain.total_time);  // net loss
+}
+
+TEST(Compression, BarelyMattersForComputeBound) {
+  const auto plain = apps::run_env(apps::Env::Hybrid1783, apps::PaperApp::Kmeans);
+  const auto packed =
+      apps::run_env(apps::Env::Hybrid1783, apps::PaperApp::Kmeans,
+                    [](cluster::PlatformSpec&, RunOptions& o) {
+                      o.profile.compression_ratio = 3.0;
+                    });
+  // kmeans is compute-dominated: under 5% change either way.
+  EXPECT_NEAR(packed.total_time / plain.total_time, 1.0, 0.05);
+}
+
+TEST(Compression, RealExecutionUnaffectedByTimingModel) {
+  // Compression changes the clock, never the computed result.
+  apps::WordGenSpec wspec;
+  wspec.count = 6000;
+  wspec.vocabulary = 41;
+  const auto data = apps::generate_words(wspec);
+  apps::WordCountTask task;
+
+  auto run_with = [&](double ratio) {
+    cluster::Platform platform(cluster::PlatformSpec::paper_testbed(16, 16));
+    auto layout = storage::build_layout_for_units(data.units(), data.unit_bytes(), 4, 3);
+    storage::assign_stores_by_fraction(layout, 0.5, platform.local_store_id(),
+                                       platform.cloud_store_id());
+    RunOptions o;
+    o.profile.unit_bytes = data.unit_bytes();
+    o.profile.bytes_per_second_per_core = MBps(10);
+    o.profile.robj_bytes = 0;
+    o.profile.compression_ratio = ratio;
+    o.task = &task;
+    o.dataset = &data;
+    return run_distributed(platform, layout, o);
+  };
+
+  const auto plain = run_with(1.0);
+  const auto packed = run_with(3.0);
+  const auto& a = dynamic_cast<const api::HashCountRobj&>(*plain.robj);
+  const auto& b = dynamic_cast<const api::HashCountRobj&>(*packed.robj);
+  ASSERT_EQ(a.distinct_keys(), b.distinct_keys());
+  for (const auto& [k, v] : a.counts()) EXPECT_DOUBLE_EQ(b.get(k), v);
+}
+
+}  // namespace
+}  // namespace cloudburst::middleware

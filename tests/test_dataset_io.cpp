@@ -1,0 +1,230 @@
+// Tests for on-disk dataset I/O: file format round trips, ranged (chunk)
+// reads, the export/import of a full data-organizer directory, and the
+// corruption/truncation error paths. Uses a per-test temp directory.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "apps/datagen.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/wordcount.hpp"
+#include "engine/gr_engine.hpp"
+#include "io/dataset_io.hpp"
+#include "io/file_engine.hpp"
+
+namespace cloudburst::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cloudburst_io_" + std::to_string(::testing::UnitTest::GetInstance()
+                                                  ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  engine::MemoryDataset make_words(std::size_t n = 6000) {
+    apps::WordGenSpec spec;
+    spec.count = n;
+    spec.vocabulary = 50;
+    spec.seed = 42;
+    return apps::generate_words(spec);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(DatasetIoTest, FileRoundTrip) {
+  const auto data = make_words();
+  const fs::path path = dir_ / "words.dat";
+  write_dataset_file(path, data.data(), data.units(), data.unit_bytes());
+  const auto back = read_dataset_file(path);
+  ASSERT_EQ(back.units(), data.units());
+  ASSERT_EQ(back.unit_bytes(), data.unit_bytes());
+  EXPECT_EQ(0, std::memcmp(back.data(), data.data(), data.size_bytes()));
+}
+
+TEST_F(DatasetIoTest, StatReadsHeaderOnly) {
+  const auto data = make_words(123);
+  const fs::path path = dir_ / "w.dat";
+  write_dataset_file(path, data.data(), data.units(), data.unit_bytes());
+  const auto info = stat_dataset_file(path);
+  EXPECT_EQ(info.unit_count, 123u);
+  EXPECT_EQ(info.unit_bytes, 8u);
+}
+
+TEST_F(DatasetIoTest, RangedReadMatchesSlice) {
+  const auto data = make_words(1000);
+  const fs::path path = dir_ / "w.dat";
+  write_dataset_file(path, data.data(), data.units(), data.unit_bytes());
+  const auto range = read_unit_range(path, 100, 50);
+  ASSERT_EQ(range.size(), 50u * data.unit_bytes());
+  EXPECT_EQ(0, std::memcmp(range.data(), data.unit(100), range.size()));
+}
+
+TEST_F(DatasetIoTest, RangedReadBeyondEndThrows) {
+  const auto data = make_words(10);
+  const fs::path path = dir_ / "w.dat";
+  write_dataset_file(path, data.data(), data.units(), data.unit_bytes());
+  EXPECT_THROW(read_unit_range(path, 5, 6), std::out_of_range);
+}
+
+TEST_F(DatasetIoTest, BadMagicRejected) {
+  const fs::path path = dir_ / "junk.dat";
+  std::ofstream(path, std::ios::binary) << "this is not a dataset file at all";
+  EXPECT_THROW(read_dataset_file(path), std::runtime_error);
+}
+
+TEST_F(DatasetIoTest, TruncatedPayloadRejected) {
+  const auto data = make_words(100);
+  const fs::path path = dir_ / "w.dat";
+  write_dataset_file(path, data.data(), data.units(), data.unit_bytes());
+  fs::resize_file(path, fs::file_size(path) / 2);
+  EXPECT_THROW(read_dataset_file(path), std::runtime_error);
+}
+
+TEST_F(DatasetIoTest, MissingFileRejected) {
+  EXPECT_THROW(read_dataset_file(dir_ / "absent.dat"), std::runtime_error);
+  EXPECT_THROW(read_index_file(dir_ / "absent.cbx"), std::runtime_error);
+}
+
+TEST_F(DatasetIoTest, ExportImportRoundTrip) {
+  const auto data = make_words(6000);
+  const auto layout =
+      storage::build_layout_for_units(data.units(), data.unit_bytes(), 4, 3, "words");
+  export_dataset(dir_, data, layout);
+
+  // Files exist with the layout's names; index is alongside.
+  for (const auto& f : layout.files()) EXPECT_TRUE(fs::exists(dir_ / f.name)) << f.name;
+  EXPECT_TRUE(fs::exists(dir_ / "index.cbx"));
+
+  const auto back = import_dataset(dir_, layout);
+  ASSERT_EQ(back.units(), data.units());
+  EXPECT_EQ(0, std::memcmp(back.data(), data.data(), data.size_bytes()));
+}
+
+TEST_F(DatasetIoTest, IndexFileRoundTrip) {
+  const auto data = make_words(600);
+  auto layout =
+      storage::build_layout_for_units(data.units(), data.unit_bytes(), 3, 2, "w");
+  storage::assign_stores_by_fraction(layout, 0.5, 0, 1);
+  write_index_file(dir_ / "index.cbx", layout);
+  EXPECT_EQ(read_index_file(dir_ / "index.cbx"), layout);
+}
+
+TEST_F(DatasetIoTest, ChunkReadsTileTheDataset) {
+  const auto data = make_words(6000);
+  const auto layout =
+      storage::build_layout_for_units(data.units(), data.unit_bytes(), 4, 3, "words");
+  export_dataset(dir_, data, layout);
+
+  std::vector<std::byte> reassembled;
+  for (const auto& chunk : layout.chunks()) {
+    const auto bytes = read_chunk(dir_, layout, chunk.id);
+    EXPECT_EQ(bytes.size(), chunk.units * data.unit_bytes());
+    reassembled.insert(reassembled.end(), bytes.begin(), bytes.end());
+  }
+  ASSERT_EQ(reassembled.size(), data.size_bytes());
+  EXPECT_EQ(0, std::memcmp(reassembled.data(), data.data(), data.size_bytes()));
+}
+
+TEST_F(DatasetIoTest, ExportRejectsMismatchedLayout) {
+  const auto data = make_words(100);
+  const auto layout = storage::build_layout_for_units(99, data.unit_bytes(), 3, 3);
+  EXPECT_THROW(export_dataset(dir_, data, layout), std::invalid_argument);
+}
+
+// --- out-of-core engine -----------------------------------------------------------
+
+TEST_F(DatasetIoTest, FileEngineMatchesInMemoryEngine) {
+  const auto data = make_words(12000);
+  const auto layout =
+      storage::build_layout_for_units(data.units(), data.unit_bytes(), 5, 3, "w");
+  export_dataset(dir_, data, layout);
+
+  apps::WordCountTask task;
+  engine::GrEngineOptions mem_options;
+  mem_options.threads = 2;
+  const auto mem = engine::gr_run(task, data, mem_options);
+  const auto& mem_counts = dynamic_cast<const api::HashCountRobj&>(*mem);
+
+  FileRunOptions file_options;
+  file_options.threads = 4;
+  file_options.cache_bytes = 512;
+  FileRunStats stats;
+  const auto file = gr_run_files(task, dir_, layout, file_options, &stats);
+  const auto& file_counts = dynamic_cast<const api::HashCountRobj&>(*file);
+
+  ASSERT_EQ(file_counts.distinct_keys(), mem_counts.distinct_keys());
+  for (const auto& [k, v] : mem_counts.counts()) {
+    EXPECT_DOUBLE_EQ(file_counts.get(k), v) << "word " << k;
+  }
+  EXPECT_EQ(stats.chunks_read, layout.chunks().size());
+  EXPECT_EQ(stats.bytes_read, data.size_bytes());
+}
+
+TEST_F(DatasetIoTest, FileEngineThreadInvariance) {
+  const auto data = make_words(4000);
+  const auto layout =
+      storage::build_layout_for_units(data.units(), data.unit_bytes(), 4, 2, "w");
+  export_dataset(dir_, data, layout);
+  apps::WordCountTask task;
+
+  std::unique_ptr<api::ReductionObject> reference;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    FileRunOptions options;
+    options.threads = threads;
+    auto robj = gr_run_files(task, dir_, layout, options);
+    const auto& counts = dynamic_cast<const api::HashCountRobj&>(*robj);
+    if (!reference) {
+      reference = std::move(robj);
+    } else {
+      const auto& ref = dynamic_cast<const api::HashCountRobj&>(*reference);
+      ASSERT_EQ(counts.distinct_keys(), ref.distinct_keys()) << threads;
+      for (const auto& [k, v] : ref.counts()) EXPECT_DOUBLE_EQ(counts.get(k), v);
+    }
+  }
+}
+
+TEST_F(DatasetIoTest, FileEngineRunsKmeansKernel) {
+  apps::PointGenSpec gen;
+  gen.count = 3000;
+  gen.dim = 3;
+  gen.mixture_components = 2;
+  gen.seed = 4;
+  const auto data = apps::generate_points(gen);
+  const auto layout =
+      storage::build_layout_for_units(data.units(), data.unit_bytes(), 3, 2, "pts");
+  export_dataset(dir_, data, layout);
+
+  apps::KmeansTask task({{0, 0, 0}, {10, 10, 10}});
+  engine::GrEngineOptions mem_options;
+  const auto mem = task.centroids_from(*engine::gr_run(task, data, mem_options));
+  FileRunOptions file_options;
+  file_options.threads = 3;
+  const auto file = task.centroids_from(*gr_run_files(task, dir_, layout, file_options));
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t d = 0; d < 3; ++d) EXPECT_DOUBLE_EQ(file[c][d], mem[c][d]);
+  }
+}
+
+TEST_F(DatasetIoTest, FileEngineRejectsZeroThreads) {
+  const auto data = make_words(100);
+  const auto layout =
+      storage::build_layout_for_units(data.units(), data.unit_bytes(), 1, 1, "w");
+  export_dataset(dir_, data, layout);
+  apps::WordCountTask task;
+  FileRunOptions options;
+  options.threads = 0;
+  EXPECT_THROW(gr_run_files(task, dir_, layout, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudburst::io

@@ -1,0 +1,264 @@
+// Tests for the real shared-memory engines: the Generalized Reduction engine
+// and the Map-Reduce baseline. Correctness is checked against serial
+// references, across thread counts and cache-group sizes, with and without
+// the combiner, and the GR-vs-MR memory claim is verified quantitatively.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "api/combiners.hpp"
+#include "apps/datagen.hpp"
+#include "apps/wordcount.hpp"
+#include "engine/gr_engine.hpp"
+#include "engine/mr_engine.hpp"
+
+namespace cloudburst::engine {
+namespace {
+
+using api::HashCountRobj;
+using apps::WordCountTask;
+
+MemoryDataset small_words(std::size_t n = 20000, std::uint64_t seed = 3) {
+  apps::WordGenSpec spec;
+  spec.count = n;
+  spec.vocabulary = 257;
+  spec.seed = seed;
+  return apps::generate_words(spec);
+}
+
+/// Serial reference word counts.
+std::unordered_map<std::uint64_t, double> reference_counts(const MemoryDataset& data) {
+  std::unordered_map<std::uint64_t, double> counts;
+  for (std::size_t i = 0; i < data.units(); ++i) {
+    apps::WordRecord w;
+    std::memcpy(&w, data.unit(i), sizeof w);
+    counts[w.word_id] += 1.0;
+  }
+  return counts;
+}
+
+TEST(MemoryDataset, FromRecords) {
+  std::vector<std::uint64_t> recs = {1, 2, 3};
+  const auto ds = MemoryDataset::from_records(recs);
+  EXPECT_EQ(ds.units(), 3u);
+  EXPECT_EQ(ds.unit_bytes(), 8u);
+  std::uint64_t v;
+  std::memcpy(&v, ds.unit(1), 8);
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(MemoryDataset, RejectsMisalignedBuffer) {
+  EXPECT_THROW(MemoryDataset(std::vector<std::byte>(10), 3), std::invalid_argument);
+  EXPECT_THROW(MemoryDataset(std::vector<std::byte>(10), 0), std::invalid_argument);
+}
+
+TEST(MemoryDataset, UnitsPerGroupNeverZero) {
+  std::vector<std::uint64_t> recs(4);
+  const auto ds = MemoryDataset::from_records(recs);
+  EXPECT_EQ(ds.units_per_group(1), 1u);  // cache smaller than one unit
+  EXPECT_EQ(ds.units_per_group(64), 8u);
+}
+
+TEST(GrEngine, MatchesSerialReference) {
+  const auto data = small_words();
+  const auto ref = reference_counts(data);
+  WordCountTask task;
+  GrEngineOptions options;
+  options.threads = 4;
+  const auto robj = gr_run(task, data, options);
+  const auto& counts = dynamic_cast<const HashCountRobj&>(*robj);
+  EXPECT_EQ(counts.distinct_keys(), ref.size());
+  for (const auto& [k, v] : ref) EXPECT_DOUBLE_EQ(counts.get(k), v);
+}
+
+TEST(GrEngine, EmptyDatasetYieldsIdentity) {
+  const MemoryDataset data(std::vector<std::byte>{}, 8);
+  WordCountTask task;
+  GrEngineOptions options;
+  const auto robj = gr_run(task, data, options);
+  EXPECT_EQ(dynamic_cast<const HashCountRobj&>(*robj).distinct_keys(), 0u);
+}
+
+TEST(GrEngine, RejectsBadOptions) {
+  const auto data = small_words(100);
+  WordCountTask task;
+  GrEngineOptions options;
+  options.threads = 0;
+  EXPECT_THROW(gr_run(task, data, options), std::invalid_argument);
+}
+
+TEST(GrEngine, RejectsUnitSizeMismatch) {
+  std::vector<std::uint32_t> recs(8);  // 4-byte units, task expects 8
+  const auto data = MemoryDataset::from_records(recs);
+  WordCountTask task;
+  EXPECT_THROW(gr_run(task, data, GrEngineOptions{}), std::invalid_argument);
+}
+
+TEST(GrEngine, StatsAreFilled) {
+  const auto data = small_words(10000);
+  WordCountTask task;
+  GrEngineOptions options;
+  options.threads = 2;
+  options.cache_bytes = 1024;  // 128 units per group -> ~79 groups
+  GrRunStats stats;
+  gr_run(task, data, options, &stats);
+  EXPECT_EQ(stats.groups_processed, (10000 + 127) / 128);
+  EXPECT_EQ(stats.robj_merges, 1u);
+  EXPECT_GT(stats.robj_bytes, 0u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+class GrThreadSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GrThreadSweep, ResultIndependentOfThreadsAndGrouping) {
+  const auto [threads, cache_kb] = GetParam();
+  const auto data = small_words();
+  const auto ref = reference_counts(data);
+  WordCountTask task;
+  GrEngineOptions options;
+  options.threads = static_cast<std::size_t>(threads);
+  options.cache_bytes = static_cast<std::size_t>(cache_kb) * 1024;
+  const auto robj = gr_run(task, data, options);
+  const auto& counts = dynamic_cast<const HashCountRobj&>(*robj);
+  ASSERT_EQ(counts.distinct_keys(), ref.size());
+  for (const auto& [k, v] : ref) EXPECT_DOUBLE_EQ(counts.get(k), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GrThreadSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 8),
+                                            ::testing::Values(1, 16, 1024)));
+
+TEST(MrEngine, MatchesSerialReference) {
+  const auto data = small_words();
+  const auto ref = reference_counts(data);
+  WordCountTask task;
+  MrEngineOptions options;
+  options.threads = 4;
+  const auto out = mr_run(task, data, options);
+  ASSERT_EQ(out.size(), ref.size());
+  for (const auto& kv : out) {
+    EXPECT_DOUBLE_EQ(kv.value.at(0), ref.at(kv.key)) << "key " << kv.key;
+  }
+}
+
+TEST(MrEngine, OutputSortedByKey) {
+  const auto data = small_words();
+  WordCountTask task;
+  const auto out = mr_run(task, data, MrEngineOptions{});
+  for (std::size_t i = 1; i < out.size(); ++i) EXPECT_LT(out[i - 1].key, out[i].key);
+}
+
+TEST(MrEngine, CombinerDoesNotChangeResult) {
+  const auto data = small_words();
+  WordCountTask task;
+  MrEngineOptions plain;
+  plain.threads = 4;
+  MrEngineOptions combined = plain;
+  combined.use_combiner = true;
+  combined.combine_flush_pairs = 512;
+  EXPECT_EQ(mr_run(task, data, plain), mr_run(task, data, combined));
+}
+
+TEST(MrEngine, CombinerShrinksShuffleVolume) {
+  const auto data = small_words(50000);
+  WordCountTask task;
+  MrRunStats plain_stats, combined_stats;
+  MrEngineOptions plain;
+  plain.threads = 2;
+  MrEngineOptions combined = plain;
+  combined.use_combiner = true;
+  combined.combine_flush_pairs = 1024;
+  mr_run(task, data, plain, &plain_stats);
+  mr_run(task, data, combined, &combined_stats);
+  EXPECT_EQ(plain_stats.pairs_shuffled, 50000u);
+  // 257-word vocabulary: the combiner collapses nearly everything.
+  EXPECT_LT(combined_stats.pairs_shuffled, plain_stats.pairs_shuffled / 10);
+  EXPECT_LT(combined_stats.shuffle_bytes, plain_stats.shuffle_bytes / 10);
+}
+
+TEST(MrEngine, CombinerBoundsPeakIntermediatePairs) {
+  // This is the paper's §III-A argument made measurable: without a combiner
+  // the map phase materializes one pair per element.
+  const auto data = small_words(50000);
+  WordCountTask task;
+  MrRunStats plain_stats, combined_stats;
+  MrEngineOptions plain;
+  plain.threads = 1;
+  MrEngineOptions combined = plain;
+  combined.use_combiner = true;
+  combined.combine_flush_pairs = 1000;
+  combined.map_group_units = 500;  // flush granularity: peak <= flush + group
+  mr_run(task, data, plain, &plain_stats);
+  mr_run(task, data, combined, &combined_stats);
+  EXPECT_GE(plain_stats.peak_intermediate_pairs, 50000u);
+  EXPECT_LE(combined_stats.peak_intermediate_pairs, 3000u);
+}
+
+TEST(MrEngine, StatsPhaseTimesSumToWall) {
+  const auto data = small_words(20000);
+  WordCountTask task;
+  MrRunStats stats;
+  MrEngineOptions options;
+  options.threads = 2;
+  mr_run(task, data, options, &stats);
+  EXPECT_NEAR(stats.map_seconds + stats.shuffle_seconds + stats.reduce_seconds,
+              stats.wall_seconds, 1e-3);
+  EXPECT_EQ(stats.pairs_emitted, 20000u);
+}
+
+TEST(MrEngine, EmptyDataset) {
+  const MemoryDataset data(std::vector<std::byte>{}, 8);
+  WordCountTask task;
+  EXPECT_TRUE(mr_run(task, data, MrEngineOptions{}).empty());
+}
+
+TEST(MrEngine, RejectsBadOptions) {
+  const auto data = small_words(100);
+  WordCountTask task;
+  MrEngineOptions options;
+  options.threads = 0;
+  EXPECT_THROW(mr_run(task, data, options), std::invalid_argument);
+}
+
+class MrConfigSweep
+    : public ::testing::TestWithParam<std::tuple<int, bool, int>> {};
+
+TEST_P(MrConfigSweep, ResultInvariantUnderConfiguration) {
+  const auto [threads, use_combiner, partitions] = GetParam();
+  const auto data = small_words(8000, 11);
+  const auto ref = reference_counts(data);
+  WordCountTask task;
+  MrEngineOptions options;
+  options.threads = static_cast<std::size_t>(threads);
+  options.use_combiner = use_combiner;
+  options.reduce_partitions = static_cast<std::size_t>(partitions);
+  options.combine_flush_pairs = 256;
+  const auto out = mr_run(task, data, options);
+  ASSERT_EQ(out.size(), ref.size());
+  for (const auto& kv : out) EXPECT_DOUBLE_EQ(kv.value.at(0), ref.at(kv.key));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MrConfigSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Bool(),
+                                            ::testing::Values(1, 3, 8)));
+
+TEST(Engines, GrAndMrAgree) {
+  const auto data = small_words(30000, 17);
+  WordCountTask task;
+  GrEngineOptions gr_options;
+  gr_options.threads = 4;
+  const auto robj = gr_run(task, data, gr_options);
+  const auto& gr_counts = dynamic_cast<const HashCountRobj&>(*robj);
+
+  MrEngineOptions mr_options;
+  mr_options.threads = 4;
+  mr_options.use_combiner = true;
+  const auto mr_out = mr_run(task, data, mr_options);
+
+  ASSERT_EQ(mr_out.size(), gr_counts.distinct_keys());
+  for (const auto& kv : mr_out) EXPECT_DOUBLE_EQ(gr_counts.get(kv.key), kv.value.at(0));
+}
+
+}  // namespace
+}  // namespace cloudburst::engine

@@ -1,0 +1,224 @@
+// Tests for the paper experiment harness: configuration tables, dataset
+// geometry, determinism, and — most importantly — the qualitative *shape*
+// assertions the reproduction must satisfy (slowdown orderings, stealing
+// patterns, scaling behavior). These are the regression guards for the
+// calibration in apps/experiments.cpp.
+#include <gtest/gtest.h>
+
+#include "apps/experiments.hpp"
+#include "common/units.hpp"
+
+namespace cloudburst::apps {
+namespace {
+
+using namespace cloudburst::units;
+using cluster::ClusterSide;
+
+TEST(EnvConfig, MatchesPaperTable) {
+  const auto local = env_config(Env::Local, PaperApp::Knn);
+  EXPECT_EQ(local.local_cores, 32u);
+  EXPECT_EQ(local.cloud_cores, 0u);
+  EXPECT_DOUBLE_EQ(local.local_data_fraction, 1.0);
+
+  const auto cloud_knn = env_config(Env::Cloud, PaperApp::Knn);
+  EXPECT_EQ(cloud_knn.cloud_cores, 32u);
+  const auto cloud_kmeans = env_config(Env::Cloud, PaperApp::Kmeans);
+  EXPECT_EQ(cloud_kmeans.cloud_cores, 44u);  // paper's throughput balancing
+
+  const auto h = env_config(Env::Hybrid3367, PaperApp::PageRank);
+  EXPECT_EQ(h.local_cores, 16u);
+  EXPECT_EQ(h.cloud_cores, 16u);
+  EXPECT_NEAR(h.local_data_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(env_config(Env::Hybrid1783, PaperApp::Kmeans).cloud_cores, 22u);
+}
+
+TEST(PaperLayout, TwelveGiBIn32FilesAnd96Jobs) {
+  const auto layout = paper_layout(PaperApp::Knn, 0.5, 0, 1);
+  EXPECT_EQ(layout.total_bytes(), GiB(12));
+  EXPECT_EQ(layout.files().size(), 32u);
+  EXPECT_EQ(layout.chunks().size(), 96u);
+  // ~128 MiB chunks.
+  EXPECT_NEAR(static_cast<double>(layout.chunk(0).bytes), MiB(128), 2.0);
+}
+
+TEST(PaperLayout, FractionControlsStoreSplit) {
+  const auto layout = paper_layout(PaperApp::Knn, 1.0 / 6, 0, 1);
+  const double frac = static_cast<double>(layout.bytes_on(0)) /
+                      static_cast<double>(layout.total_bytes());
+  EXPECT_NEAR(frac, 1.0 / 6, 1.0 / 32 + 1e-9);
+}
+
+TEST(PaperProfile, CharacterizationsHold) {
+  const auto knn = paper_profile(PaperApp::Knn);
+  const auto kmeans = paper_profile(PaperApp::Kmeans);
+  const auto pagerank = paper_profile(PaperApp::PageRank);
+  // knn: low computation (fastest per-byte rate); kmeans: heavy computation
+  // (slowest); pagerank: in between with a very large reduction object.
+  EXPECT_GT(knn.bytes_per_second_per_core, pagerank.bytes_per_second_per_core);
+  EXPECT_GT(pagerank.bytes_per_second_per_core, kmeans.bytes_per_second_per_core);
+  EXPECT_GT(pagerank.robj_bytes, 100 * knn.robj_bytes);
+  EXPECT_GT(pagerank.robj_bytes, 100 * kmeans.robj_bytes);
+}
+
+TEST(RunEnv, IsDeterministic) {
+  const auto a = run_env(Env::Hybrid5050, PaperApp::Knn);
+  const auto b = run_env(Env::Hybrid5050, PaperApp::Knn);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+}
+
+TEST(RunEnv, ProcessesAll96Jobs) {
+  for (Env env : kAllEnvs) {
+    const auto result = run_env(env, PaperApp::Knn);
+    EXPECT_EQ(result.total_jobs(), 96u) << env_config(env, PaperApp::Knn).name;
+  }
+}
+
+// --- shape assertions (Figure 3 / Tables I-II) --------------------------------
+
+TEST(Shape, KnnSlowdownGrowsWithSkew) {
+  const double base = run_env(Env::Local, PaperApp::Knn).total_time;
+  const double s5050 = run_env(Env::Hybrid5050, PaperApp::Knn).total_time / base - 1.0;
+  const double s3367 = run_env(Env::Hybrid3367, PaperApp::Knn).total_time / base - 1.0;
+  const double s1783 = run_env(Env::Hybrid1783, PaperApp::Knn).total_time / base - 1.0;
+  EXPECT_LT(s5050, 0.10);           // paper: 1.7%
+  EXPECT_LT(s5050, s3367);          // monotone in skew
+  EXPECT_LT(s3367, s1783);
+  EXPECT_GT(s1783, 0.30);           // paper: 45.9%
+  EXPECT_LT(s1783, 0.60);
+}
+
+TEST(Shape, KmeansSlowdownSmallAndFlat) {
+  const double base = run_env(Env::Local, PaperApp::Kmeans).total_time;
+  double worst = 0.0;
+  for (Env env : kHybridEnvs) {
+    const double s = run_env(env, PaperApp::Kmeans).total_time / base - 1.0;
+    worst = std::max(worst, s);
+  }
+  // Paper: compute-intensive apps exploit bursting with very little penalty.
+  EXPECT_LT(worst, 0.15);
+}
+
+TEST(Shape, PagerankSyncExceedsKnnSync) {
+  // The large reduction object must show up as extra synchronization time.
+  const auto pr = run_env(Env::Hybrid5050, PaperApp::PageRank);
+  const auto kn = run_env(Env::Hybrid5050, PaperApp::Knn);
+  const double pr_sync =
+      pr.side(ClusterSide::Local).sync + pr.side(ClusterSide::Cloud).sync;
+  const double kn_sync =
+      kn.side(ClusterSide::Local).sync + kn.side(ClusterSide::Cloud).sync;
+  EXPECT_GT(pr_sync, kn_sync);
+}
+
+TEST(Shape, RetrievalGrowsWithSkewOnLocalCluster) {
+  // "As the proportion of data increases in S3, the retrieval time on both
+  // clusters increases" — dominated by the local side's WAN fetches.
+  const auto r50 = run_env(Env::Hybrid5050, PaperApp::Knn);
+  const auto r17 = run_env(Env::Hybrid1783, PaperApp::Knn);
+  EXPECT_GT(r17.side(ClusterSide::Local).retrieval,
+            r50.side(ClusterSide::Local).retrieval);
+}
+
+TEST(Shape, TableOneStealingPattern) {
+  // Local cluster steals progressively more as data skews to S3; the cloud
+  // never steals in the skewed configs.
+  const auto r3367 = run_env(Env::Hybrid3367, PaperApp::Knn);
+  const auto r1783 = run_env(Env::Hybrid1783, PaperApp::Knn);
+  EXPECT_GT(r1783.side(ClusterSide::Local).jobs_stolen,
+            r3367.side(ClusterSide::Local).jobs_stolen);
+  EXPECT_EQ(r3367.side(ClusterSide::Cloud).jobs_stolen, 0u);
+  EXPECT_EQ(r1783.side(ClusterSide::Cloud).jobs_stolen, 0u);
+}
+
+TEST(Shape, AverageHybridSlowdownNearPaper) {
+  double total = 0.0;
+  int n = 0;
+  for (PaperApp app : {PaperApp::Knn, PaperApp::Kmeans, PaperApp::PageRank}) {
+    const double base = run_env(Env::Local, app).total_time;
+    for (Env env : kHybridEnvs) {
+      total += run_env(env, app).total_time / base - 1.0;
+      ++n;
+    }
+  }
+  const double avg = total / n;
+  // Paper: 15.55%. Allow a generous band — this guards the overall scale.
+  EXPECT_GT(avg, 0.08);
+  EXPECT_LT(avg, 0.32);
+}
+
+// --- shape assertions (Figure 4) -----------------------------------------------
+
+TEST(Shape, EveryAppScalesWithCores) {
+  for (PaperApp app : {PaperApp::Knn, PaperApp::Kmeans, PaperApp::PageRank}) {
+    double prev = 0.0;
+    for (unsigned cores : {4u, 8u, 16u, 32u}) {
+      const double t = run_scalability(app, cores).total_time;
+      if (prev > 0.0) {
+        EXPECT_LT(t, prev) << to_string(app) << " at " << cores;
+      }
+      prev = t;
+    }
+  }
+}
+
+TEST(Shape, AverageScalingEfficiencyNearPaper) {
+  double total = 0.0;
+  int n = 0;
+  for (PaperApp app : {PaperApp::Knn, PaperApp::Kmeans, PaperApp::PageRank}) {
+    double prev = 0.0;
+    for (unsigned cores : {4u, 8u, 16u, 32u}) {
+      const double t = run_scalability(app, cores).total_time;
+      if (prev > 0.0) {
+        total += prev / (2.0 * t);
+        ++n;
+      }
+      prev = t;
+    }
+  }
+  const double avg = total / n;
+  // Paper: 81% average per doubling.
+  EXPECT_GT(avg, 0.70);
+  EXPECT_LT(avg, 0.95);
+}
+
+TEST(Shape, KmeansScalesBest) {
+  auto avg_efficiency = [](PaperApp app) {
+    double total = 0.0;
+    int n = 0;
+    double prev = 0.0;
+    for (unsigned cores : {4u, 8u, 16u, 32u}) {
+      const double t = run_scalability(app, cores).total_time;
+      if (prev > 0.0) {
+        total += prev / (2.0 * t);
+        ++n;
+      }
+      prev = t;
+    }
+    return total / n;
+  };
+  const double kmeans = avg_efficiency(PaperApp::Kmeans);
+  EXPECT_GT(kmeans, avg_efficiency(PaperApp::Knn));
+  EXPECT_GT(kmeans, avg_efficiency(PaperApp::PageRank));
+}
+
+TEST(RunScalability, AllDataOnS3) {
+  const auto result = run_scalability(PaperApp::Knn, 8);
+  // Everything the local cluster processes is stolen; cloud jobs are local.
+  EXPECT_EQ(result.side(ClusterSide::Local).jobs_local, 0u);
+  EXPECT_GT(result.side(ClusterSide::Local).jobs_stolen, 0u);
+  EXPECT_EQ(result.side(ClusterSide::Cloud).jobs_stolen, 0u);
+}
+
+TEST(RunEnv, TweakHookApplies) {
+  // Doubling the WAN latency must not speed anything up; the hook is applied.
+  double base = 0, tweaked = 0;
+  base = run_env(Env::Hybrid1783, PaperApp::Knn).total_time;
+  tweaked = run_env(Env::Hybrid1783, PaperApp::Knn,
+                    [](cluster::PlatformSpec& spec, middleware::RunOptions&) {
+                      spec.wan_bandwidth /= 8.0;
+                    })
+                .total_time;
+  EXPECT_GT(tweaked, base);
+}
+
+}  // namespace
+}  // namespace cloudburst::apps

@@ -1,0 +1,60 @@
+// Tests for the instance-type catalog and typed provisioning runs.
+#include <gtest/gtest.h>
+
+#include "apps/experiments.hpp"
+#include "cluster/instance_types.hpp"
+
+namespace cloudburst::cluster {
+namespace {
+
+TEST(InstanceCatalog, ContainsThe2011Types) {
+  const auto& catalog = ec2_catalog_2011();
+  ASSERT_EQ(catalog.size(), 5u);
+  EXPECT_NO_THROW(instance_type("m1.small"));
+  EXPECT_NO_THROW(instance_type("c1.xlarge"));
+  EXPECT_THROW(instance_type("m5.24xlarge"), std::invalid_argument);
+}
+
+TEST(InstanceCatalog, PaperInstanceMatchesCalibration) {
+  const auto& large = instance_type("m1.large");
+  EXPECT_EQ(large.cores, 2u);
+  EXPECT_DOUBLE_EQ(large.core_speed, 0.73);  // the paper's balancing ratio
+  EXPECT_DOUBLE_EQ(large.hourly_usd, 0.34);
+}
+
+TEST(InstanceCatalog, ComputeFamilyIsFasterPerCore) {
+  EXPECT_GT(instance_type("c1.medium").core_speed, instance_type("m1.large").core_speed);
+}
+
+TEST(TypedTestbed, BuildsRequestedFleet) {
+  const auto spec = paper_testbed_typed(16, instance_type("c1.xlarge"), 3);
+  EXPECT_EQ(spec.cloud.nodes.size(), 3u);
+  EXPECT_EQ(spec.cloud.total_cores(), 24u);
+  EXPECT_DOUBLE_EQ(spec.cloud.nodes[0].core_speed, 0.913);
+  EXPECT_EQ(spec.local.total_cores(), 16u);
+}
+
+TEST(TypedRun, BillsAtTheTypePrice) {
+  const auto& small = apps::run_custom_typed(apps::PaperApp::Knn, 1.0 / 3, 16,
+                                             instance_type("m1.small"), 4);
+  // 4 instances, run well under an hour -> 4 * $0.085.
+  EXPECT_DOUBLE_EQ(small.cost.instance_usd, 4 * 0.085);
+}
+
+TEST(TypedRun, MoreEcusRunComputeBoundFaster) {
+  const auto slow = apps::run_custom_typed(apps::PaperApp::Kmeans, 1.0 / 3, 16,
+                                           instance_type("m1.small"), 8);
+  const auto fast = apps::run_custom_typed(apps::PaperApp::Kmeans, 1.0 / 3, 16,
+                                           instance_type("c1.xlarge"), 8);
+  EXPECT_LT(fast.result.total_time, slow.result.total_time);
+}
+
+TEST(TypedRun, ProcessesAllJobsForEveryType) {
+  for (const auto& type : ec2_catalog_2011()) {
+    const auto run = apps::run_custom_typed(apps::PaperApp::Knn, 0.5, 16, type, 4);
+    EXPECT_EQ(run.result.total_jobs(), 96u) << type.name;
+  }
+}
+
+}  // namespace
+}  // namespace cloudburst::cluster

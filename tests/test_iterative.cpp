@@ -1,0 +1,137 @@
+// Tests for the iterative-application driver: broadcast cost model, pass
+// accounting, and real multi-pass kmeans through the simulated middleware.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/datagen.hpp"
+#include "apps/experiments.hpp"
+#include "apps/kmeans.hpp"
+#include "common/units.hpp"
+#include "middleware/iterative.hpp"
+
+namespace cloudburst::middleware {
+namespace {
+
+using namespace cloudburst::units;
+using cluster::PlatformSpec;
+
+TEST(Broadcast, ScalesWithRobjSize) {
+  const auto spec = PlatformSpec::paper_testbed(16, 16);
+  const double small = simulate_broadcast(spec, MiB(1));
+  const double large = simulate_broadcast(spec, MiB(256));
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, 10.0 * small);
+}
+
+TEST(Broadcast, CrossesTheWan) {
+  // Halving the WAN bandwidth must slow the cloud-side broadcast.
+  auto fast = PlatformSpec::paper_testbed(16, 16);
+  auto slow = fast;
+  slow.wan_bandwidth /= 8.0;
+  EXPECT_GT(simulate_broadcast(slow, MiB(64)), simulate_broadcast(fast, MiB(64)));
+}
+
+TEST(Broadcast, SingleClusterIsCheaper) {
+  const double both = simulate_broadcast(PlatformSpec::paper_testbed(16, 16), MiB(64));
+  const double local_only =
+      simulate_broadcast(PlatformSpec::paper_testbed(16, 0), MiB(64));
+  EXPECT_LT(local_only, both);
+}
+
+TEST(Iterative, TimingOnlyAccounting) {
+  IterativeRequest request;
+  request.platform_spec = PlatformSpec::paper_testbed(16, 16);
+  const auto layout = apps::paper_layout(apps::PaperApp::PageRank, 0.5, 0, 1);
+  request.layout = &layout;
+  request.options = apps::paper_run_options(apps::PaperApp::PageRank);
+  request.iterations = 4;
+
+  const auto result = run_iterative(request);
+  ASSERT_EQ(result.passes.size(), 4u);
+  double compute = 0.0;
+  for (const auto& p : result.passes) compute += p.total_time;
+  EXPECT_NEAR(result.compute_seconds, compute, 1e-9);
+  EXPECT_GT(result.broadcast_seconds, 0.0);  // 3 inter-pass broadcasts
+  EXPECT_NEAR(result.total_seconds, result.compute_seconds + result.broadcast_seconds,
+              1e-9);
+  // Every pass is the same deterministic run.
+  EXPECT_DOUBLE_EQ(result.passes[0].total_time, result.passes[3].total_time);
+}
+
+TEST(Iterative, RejectsBadRequests) {
+  IterativeRequest request;
+  request.platform_spec = PlatformSpec::paper_testbed(8, 8);
+  EXPECT_THROW(run_iterative(request), std::invalid_argument);  // no layout
+  const auto layout = apps::paper_layout(apps::PaperApp::Knn, 0.5, 0, 1);
+  request.layout = &layout;
+  request.options = apps::paper_run_options(apps::PaperApp::Knn);
+  request.iterations = 0;
+  EXPECT_THROW(run_iterative(request), std::invalid_argument);
+}
+
+TEST(Iterative, RealKmeansConvergesThroughTheMiddleware) {
+  // Full multi-pass clustering where every pass is a distributed run and the
+  // centroids travel through next_task.
+  apps::PointGenSpec gen;
+  gen.count = 30000;
+  gen.dim = 3;
+  gen.mixture_components = 3;
+  gen.component_spread = 15.0;
+  gen.noise_sigma = 0.8;
+  gen.seed = 77;
+  const auto data = apps::generate_points(gen);
+  const auto truth = apps::mixture_centers(gen);
+
+  std::vector<std::vector<float>> centroids = truth;
+  for (auto& c : centroids) {
+    for (auto& v : c) v += 4.0f;  // start well off target
+  }
+
+  storage::DataLayout layout =
+      storage::build_layout_for_units(data.units(), data.unit_bytes(), 6, 2);
+  storage::assign_stores_by_fraction(layout, 0.5, 0, 1);
+
+  // Task storage: each pass's task must outlive the next run.
+  std::vector<std::unique_ptr<apps::KmeansTask>> tasks;
+  tasks.push_back(std::make_unique<apps::KmeansTask>(centroids));
+
+  IterativeRequest request;
+  request.platform_spec = PlatformSpec::paper_testbed(16, 16);
+  request.layout = &layout;
+  request.options.profile.unit_bytes = data.unit_bytes();
+  request.options.profile.bytes_per_second_per_core = MBps(2);
+  request.options.profile.robj_bytes = KiB(8);
+  request.options.task = tasks.back().get();
+  request.options.dataset = &data;
+  request.iterations = 6;
+  request.next_task = [&](std::size_t, const api::ReductionObject* robj)
+      -> const api::GRTask* {
+    const auto next = tasks.back()->centroids_from(*robj);
+    std::vector<std::vector<float>> as_float(next.size());
+    for (std::size_t c = 0; c < next.size(); ++c) {
+      as_float[c].assign(next[c].begin(), next[c].end());
+    }
+    tasks.push_back(std::make_unique<apps::KmeansTask>(as_float));
+    return tasks.back().get();
+  };
+
+  const auto result = run_iterative(std::move(request));
+  ASSERT_NE(result.final_robj, nullptr);
+  const auto final_centroids = tasks.back()->centroids_from(*result.final_robj);
+
+  for (const auto& centroid : final_centroids) {
+    double best = 1e300;
+    for (const auto& t : truth) {
+      double d = 0;
+      for (std::size_t k = 0; k < 3; ++k) {
+        d += (centroid[k] - t[k]) * (centroid[k] - t[k]);
+      }
+      best = std::min(best, d);
+    }
+    EXPECT_LT(std::sqrt(best), 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace cloudburst::middleware

@@ -1,0 +1,479 @@
+// Integration tests for the full middleware: head/master/slave protocol on a
+// simulated platform. Verifies every job processed exactly once, timing
+// decomposition consistency, work stealing and its ablations, and — via the
+// real-execution hook — that the distributed run computes bit-identical
+// results to a serial run of the same kernel.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "apps/datagen.hpp"
+#include "apps/knn.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/experiments.hpp"
+#include "apps/wordcount.hpp"
+#include "common/units.hpp"
+#include "engine/gr_engine.hpp"
+#include "middleware/runtime.hpp"
+
+namespace cloudburst::middleware {
+namespace {
+
+using namespace cloudburst::units;
+using apps::PaperApp;
+using cluster::ClusterSide;
+using cluster::Platform;
+using cluster::PlatformSpec;
+
+/// Small platform + layout + options for fast protocol tests.
+struct Rig {
+  PlatformSpec spec;
+  RunOptions options;
+  double local_fraction;
+  std::uint32_t files, chunks_per_file;
+  std::uint64_t total_bytes;
+
+  Rig() {
+    spec = PlatformSpec::paper_testbed(16, 16);
+    options.profile.name = "test";
+    options.profile.unit_bytes = 64;
+    options.profile.bytes_per_second_per_core = MBps(50);
+    options.profile.robj_bytes = KiB(64);
+    local_fraction = 0.5;
+    files = 8;
+    chunks_per_file = 3;
+    total_bytes = MiB(1536);
+  }
+
+  RunResult run() {
+    Platform platform(spec);
+    storage::LayoutSpec lspec;
+    lspec.total_bytes = total_bytes;
+    lspec.num_files = files;
+    lspec.chunks_per_file = chunks_per_file;
+    lspec.unit_bytes = options.profile.unit_bytes;
+    storage::DataLayout layout = storage::build_layout(lspec);
+    storage::assign_stores_by_fraction(layout, local_fraction, platform.local_store_id(),
+                                       platform.cloud_store_id());
+    return run_distributed(platform, layout, options);
+  }
+};
+
+TEST(Runtime, AllJobsProcessedExactlyOnce) {
+  Rig rig;
+  const auto result = rig.run();
+  EXPECT_EQ(result.total_jobs(), 24u);
+  std::uint32_t node_jobs = 0;
+  for (const auto& n : result.nodes) node_jobs += n.jobs;
+  EXPECT_EQ(node_jobs, 24u);
+}
+
+TEST(Runtime, CompletesWithPositiveTime) {
+  Rig rig;
+  const auto result = rig.run();
+  EXPECT_GT(result.total_time, 0.0);
+  EXPECT_GE(result.global_reduction_time, 0.0);
+}
+
+TEST(Runtime, DeterministicAcrossRuns) {
+  Rig a, b;
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_DOUBLE_EQ(ra.total_time, rb.total_time);
+  ASSERT_EQ(ra.nodes.size(), rb.nodes.size());
+  for (std::size_t i = 0; i < ra.nodes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.nodes[i].processing, rb.nodes[i].processing);
+    EXPECT_DOUBLE_EQ(ra.nodes[i].retrieval, rb.nodes[i].retrieval);
+    EXPECT_EQ(ra.nodes[i].jobs, rb.nodes[i].jobs);
+  }
+}
+
+TEST(Runtime, NodeTimesAreConsistent) {
+  Rig rig;
+  const auto result = rig.run();
+  for (const auto& n : result.nodes) {
+    EXPECT_GT(n.processing, 0.0) << n.name;
+    EXPECT_GT(n.retrieval, 0.0) << n.name;
+    EXPECT_GE(n.wait, 0.0) << n.name;
+    EXPECT_LE(n.finish_time, result.total_time) << n.name;
+    // With pipeline depth 1 a node cannot be busier than elapsed time.
+    EXPECT_LE(n.processing + n.retrieval, n.finish_time + 1e-9) << n.name;
+  }
+}
+
+TEST(Runtime, ClusterAggregatesMatchNodes) {
+  Rig rig;
+  const auto result = rig.run();
+  for (ClusterSide side : {ClusterSide::Local, ClusterSide::Cloud}) {
+    const auto& c = result.side(side);
+    double proc = 0;
+    std::uint32_t count = 0;
+    for (const auto& n : result.nodes) {
+      if (n.cluster != side) continue;
+      proc += n.processing;
+      ++count;
+    }
+    ASSERT_EQ(c.nodes, count);
+    EXPECT_NEAR(c.processing, proc / count, 1e-9);
+  }
+}
+
+TEST(Runtime, IdleTimesComplementary) {
+  Rig rig;
+  const auto result = rig.run();
+  const auto& local = result.side(ClusterSide::Local);
+  const auto& cloud = result.side(ClusterSide::Cloud);
+  // At least one side has zero idle (the later finisher).
+  EXPECT_NEAR(std::min(local.idle_time, cloud.idle_time), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(local.proc_end_time - cloud.proc_end_time),
+              std::max(local.idle_time, cloud.idle_time), 1e-9);
+}
+
+TEST(Runtime, SingleClusterRunWorks) {
+  Rig rig;
+  rig.spec = PlatformSpec::paper_testbed(32, 0);
+  rig.local_fraction = 1.0;
+  const auto result = rig.run();
+  EXPECT_EQ(result.total_jobs(), 24u);
+  EXPECT_EQ(result.side(ClusterSide::Cloud).nodes, 0u);
+  EXPECT_EQ(result.side(ClusterSide::Local).jobs_stolen, 0u);
+}
+
+TEST(Runtime, CloudOnlyRunWorks) {
+  Rig rig;
+  rig.spec = PlatformSpec::paper_testbed(0, 32);
+  rig.local_fraction = 0.0;
+  const auto result = rig.run();
+  EXPECT_EQ(result.total_jobs(), 24u);
+  EXPECT_EQ(result.side(ClusterSide::Local).nodes, 0u);
+  // All data on S3 == the cloud's own store: nothing counts as stolen.
+  EXPECT_EQ(result.side(ClusterSide::Cloud).jobs_stolen, 0u);
+}
+
+TEST(Runtime, SkewedDataCausesStealing) {
+  Rig rig;
+  rig.local_fraction = 1.0 / 8;  // 1 of 8 files local
+  const auto result = rig.run();
+  const auto& local = result.side(ClusterSide::Local);
+  EXPECT_GT(local.jobs_stolen, 0u) << "local cluster should steal S3 jobs";
+  EXPECT_EQ(local.jobs_local, 3u);  // its single file's chunks
+}
+
+TEST(Runtime, StealingDisabledPartitionsWork) {
+  Rig rig;
+  rig.options.policy.allow_stealing = false;
+  rig.local_fraction = 1.0 / 8;
+  const auto result = rig.run();
+  // Everything still gets processed (each side handles its own store)...
+  EXPECT_EQ(result.total_jobs(), 24u);
+  const auto& local = result.side(ClusterSide::Local);
+  const auto& cloud = result.side(ClusterSide::Cloud);
+  EXPECT_EQ(local.jobs_stolen + cloud.jobs_stolen, 0u);
+  EXPECT_EQ(local.jobs_local, 3u);
+  EXPECT_EQ(cloud.jobs_local, 21u);
+}
+
+TEST(Runtime, StealingImprovesSkewedRuntime) {
+  Rig with, without;
+  with.local_fraction = without.local_fraction = 1.0 / 8;
+  without.options.policy.allow_stealing = false;
+  EXPECT_LT(with.run().total_time, without.run().total_time);
+}
+
+TEST(Runtime, MoreCoresRunFaster) {
+  Rig small, large;
+  small.spec = PlatformSpec::paper_testbed(8, 8);
+  large.spec = PlatformSpec::paper_testbed(32, 32);
+  EXPECT_LT(large.run().total_time, small.run().total_time);
+}
+
+TEST(Runtime, LargerRobjRaisesSync) {
+  Rig small, large;
+  small.options.profile.robj_bytes = KiB(8);
+  large.options.profile.robj_bytes = MiB(256);
+  const auto rs = small.run();
+  const auto rl = large.run();
+  const double sync_small = rs.side(ClusterSide::Local).sync + rs.side(ClusterSide::Cloud).sync;
+  const double sync_large = rl.side(ClusterSide::Local).sync + rl.side(ClusterSide::Cloud).sync;
+  EXPECT_GT(sync_large, sync_small * 1.5);
+}
+
+TEST(Runtime, PipelineDepthOverlapsRetrieval) {
+  // Single node so prefetching's overlap benefit is isolated from its
+  // job-hoarding cost (with many nodes and few jobs, hoarding can win).
+  Rig serial, pipelined;
+  serial.spec = PlatformSpec::paper_testbed(8, 0);
+  serial.local_fraction = 1.0;
+  pipelined.spec = PlatformSpec::paper_testbed(8, 0);
+  pipelined.local_fraction = 1.0;
+  pipelined.options.pipeline_depth = 2;
+  EXPECT_LT(pipelined.run().total_time, 0.8 * serial.run().total_time);
+}
+
+TEST(Runtime, RejectsInvalidSetups) {
+  Rig rig;
+  Platform platform(rig.spec);
+  storage::DataLayout empty;
+  EXPECT_THROW(run_distributed(platform, empty, rig.options), std::invalid_argument);
+
+  // task without dataset
+  Rig rig2;
+  apps::WordCountTask task;
+  rig2.options.task = &task;
+  EXPECT_THROW(rig2.run(), std::invalid_argument);
+}
+
+TEST(Runtime, RejectsPlatformWithoutNodes) {
+  Rig rig;
+  rig.spec = PlatformSpec::paper_testbed(0, 0);
+  EXPECT_THROW(rig.run(), std::invalid_argument);
+}
+
+TEST(Runtime, StaticAssignmentProcessesEverythingWithoutStealing) {
+  Rig rig;
+  rig.options.static_assignment = true;
+  rig.local_fraction = 1.0 / 8;  // skew that pooling would steal across
+  const auto result = rig.run();
+  EXPECT_EQ(result.total_jobs(), 24u);
+  EXPECT_EQ(result.side(ClusterSide::Local).jobs_stolen, 0u);
+  EXPECT_EQ(result.side(ClusterSide::Cloud).jobs_stolen, 0u);
+  EXPECT_EQ(result.side(ClusterSide::Local).jobs_local, 3u);
+  EXPECT_EQ(result.side(ClusterSide::Cloud).jobs_local, 21u);
+}
+
+TEST(Runtime, StaticAssignmentLosesUnderSkew) {
+  // Compute-bound profile: stealing is pure win (fetch cost negligible), so
+  // the pooling advantage under data skew is unambiguous.
+  Rig pooled, fixed;
+  pooled.local_fraction = fixed.local_fraction = 1.0 / 8;
+  pooled.options.profile.bytes_per_second_per_core = MBps(2);
+  pooled.options.policy.steal_reserve = 0;
+  fixed.options = pooled.options;
+  fixed.options.static_assignment = true;
+  EXPECT_LT(pooled.run().total_time, 0.8 * fixed.run().total_time);
+}
+
+TEST(Runtime, StaticAssignmentSingleClusterTakesEverything) {
+  Rig rig;
+  rig.spec = PlatformSpec::paper_testbed(32, 0);
+  rig.local_fraction = 0.5;  // half the data on S3, but no cloud cluster
+  rig.options.static_assignment = true;
+  const auto result = rig.run();
+  EXPECT_EQ(result.total_jobs(), 24u);
+}
+
+TEST(Runtime, StaticAssignmentExcludesFailuresAndElastic) {
+  Rig rig;
+  rig.options.static_assignment = true;
+  rig.options.reduction_tree = false;
+  rig.options.failures.push_back({ClusterSide::Cloud, 0, 1.0});
+  EXPECT_THROW(rig.run(), std::invalid_argument);
+
+  Rig rig2;
+  rig2.options.static_assignment = true;
+  rig2.options.reduction_tree = false;
+  rig2.options.elastic.enabled = true;
+  rig2.options.elastic.deadline_seconds = 1.0;
+  EXPECT_THROW(rig2.run(), std::invalid_argument);
+}
+
+TEST(Runtime, StaticAssignmentRealExecutionCorrect) {
+  apps::WordGenSpec wspec;
+  wspec.count = 12000;
+  wspec.vocabulary = 37;
+  wspec.seed = 31;
+  const auto data = apps::generate_words(wspec);
+  apps::WordCountTask task;
+  const auto ref = engine::gr_run(task, data, engine::GrEngineOptions{});
+  const auto& ref_counts = dynamic_cast<const api::HashCountRobj&>(*ref);
+
+  Platform platform(PlatformSpec::paper_testbed(16, 16));
+  storage::DataLayout layout =
+      storage::build_layout_for_units(data.units(), data.unit_bytes(), 4, 3);
+  storage::assign_stores_by_fraction(layout, 0.5, platform.local_store_id(),
+                                     platform.cloud_store_id());
+  RunOptions options;
+  options.profile.unit_bytes = data.unit_bytes();
+  options.profile.bytes_per_second_per_core = MBps(10);
+  options.profile.robj_bytes = 0;
+  options.static_assignment = true;
+  options.task = &task;
+  options.dataset = &data;
+  const auto result = run_distributed(platform, layout, options);
+  ASSERT_NE(result.robj, nullptr);
+  const auto& got = dynamic_cast<const api::HashCountRobj&>(*result.robj);
+  ASSERT_EQ(got.distinct_keys(), ref_counts.distinct_keys());
+  for (const auto& [k, v] : ref_counts.counts()) EXPECT_DOUBLE_EQ(got.get(k), v);
+}
+
+// --- real execution through the simulated distributed system -------------------
+
+TEST(RuntimeRealExecution, WordcountMatchesSerialEngine) {
+  apps::WordGenSpec wspec;
+  wspec.count = 24000;
+  wspec.vocabulary = 101;
+  wspec.seed = 77;
+  const auto data = apps::generate_words(wspec);
+  apps::WordCountTask task;
+
+  // Serial reference through the shared-memory engine.
+  engine::GrEngineOptions gr_options;
+  gr_options.threads = 1;
+  const auto ref = engine::gr_run(task, data, gr_options);
+  const auto& ref_counts = dynamic_cast<const api::HashCountRobj&>(*ref);
+
+  // Distributed: layout whose units tile the dataset exactly.
+  Platform platform(PlatformSpec::paper_testbed(16, 16));
+  storage::DataLayout layout =
+      storage::build_layout_for_units(data.units(), data.unit_bytes(), 6, 4);
+  storage::assign_stores_by_fraction(layout, 0.5, platform.local_store_id(),
+                                     platform.cloud_store_id());
+
+  RunOptions options;
+  options.profile.unit_bytes = data.unit_bytes();
+  options.profile.bytes_per_second_per_core = MBps(10);
+  options.profile.robj_bytes = 0;  // charge actual serialized size
+  options.task = &task;
+  options.dataset = &data;
+
+  const auto result = run_distributed(platform, layout, options);
+  ASSERT_NE(result.robj, nullptr);
+  const auto& got = dynamic_cast<const api::HashCountRobj&>(*result.robj);
+  ASSERT_EQ(got.distinct_keys(), ref_counts.distinct_keys());
+  for (const auto& [k, v] : ref_counts.counts()) {
+    EXPECT_DOUBLE_EQ(got.get(k), v) << "word " << k;
+  }
+}
+
+TEST(RuntimeRealExecution, RejectsMismatchedTiling) {
+  apps::WordGenSpec wspec;
+  wspec.count = 1000;
+  const auto data = apps::generate_words(wspec);
+  apps::WordCountTask task;
+
+  Platform platform(PlatformSpec::paper_testbed(8, 8));
+  storage::LayoutSpec lspec;
+  lspec.total_bytes = data.size_bytes() + 800;  // layout larger than dataset
+  lspec.num_files = 2;
+  lspec.chunks_per_file = 2;
+  lspec.unit_bytes = 8;
+  storage::DataLayout layout = storage::build_layout(lspec);
+  storage::assign_stores_by_fraction(layout, 1.0, platform.local_store_id(),
+                                     platform.cloud_store_id());
+
+  RunOptions options;
+  options.profile.unit_bytes = 8;
+  options.profile.bytes_per_second_per_core = MBps(10);
+  options.task = &task;
+  options.dataset = &data;
+  EXPECT_THROW(run_distributed(platform, layout, options), std::invalid_argument);
+}
+
+class RealExecSweep : public ::testing::TestWithParam<std::tuple<double, unsigned, unsigned>> {};
+
+TEST_P(RealExecSweep, DistributedWordcountInvariantAcrossTopologies) {
+  const auto [fraction, local_cores, cloud_cores] = GetParam();
+  apps::WordGenSpec wspec;
+  wspec.count = 12000;
+  wspec.vocabulary = 53;
+  wspec.seed = 123;
+  const auto data = apps::generate_words(wspec);
+  apps::WordCountTask task;
+
+  engine::GrEngineOptions gr_options;
+  const auto ref = engine::gr_run(task, data, gr_options);
+  const auto& ref_counts = dynamic_cast<const api::HashCountRobj&>(*ref);
+
+  Platform platform(PlatformSpec::paper_testbed(local_cores, cloud_cores));
+  storage::DataLayout layout =
+      storage::build_layout_for_units(data.units(), data.unit_bytes(), 4, 3);
+  storage::assign_stores_by_fraction(layout, fraction, platform.local_store_id(),
+                                     platform.cloud_store_id());
+
+  RunOptions options;
+  options.profile.unit_bytes = data.unit_bytes();
+  options.profile.bytes_per_second_per_core = MBps(20);
+  options.profile.robj_bytes = 0;
+  options.task = &task;
+  options.dataset = &data;
+
+  const auto result = run_distributed(platform, layout, options);
+  ASSERT_NE(result.robj, nullptr);
+  const auto& got = dynamic_cast<const api::HashCountRobj&>(*result.robj);
+  ASSERT_EQ(got.distinct_keys(), ref_counts.distinct_keys());
+  for (const auto& [k, v] : ref_counts.counts()) EXPECT_DOUBLE_EQ(got.get(k), v);
+}
+
+TEST(RuntimeRealExecution, KnnMatchesSharedMemoryEngine) {
+  apps::PointGenSpec gen;
+  gen.count = 12000;
+  gen.dim = 5;
+  gen.seed = 21;
+  const auto data = apps::generate_points(gen);
+  apps::KnnTask task(50, std::vector<float>(5, 1.0f));
+
+  engine::GrEngineOptions gr_options;
+  gr_options.threads = 3;
+  const auto serial = apps::KnnTask::neighbors(*engine::gr_run(task, data, gr_options));
+
+  Platform platform(PlatformSpec::paper_testbed(16, 16));
+  storage::DataLayout layout =
+      storage::build_layout_for_units(data.units(), data.unit_bytes(), 5, 3);
+  storage::assign_stores_by_fraction(layout, 1.0 / 3, platform.local_store_id(),
+                                     platform.cloud_store_id());
+  RunOptions options;
+  options.profile.unit_bytes = data.unit_bytes();
+  options.profile.bytes_per_second_per_core = MBps(30);
+  options.profile.robj_bytes = 0;
+  options.task = &task;
+  options.dataset = &data;
+  const auto result = run_distributed(platform, layout, options);
+  ASSERT_NE(result.robj, nullptr);
+  EXPECT_EQ(apps::KnnTask::neighbors(*result.robj), serial);
+}
+
+TEST(RuntimeRealExecution, PagerankIterationMatchesSharedMemoryEngine) {
+  apps::GraphGenSpec gen;
+  gen.pages = 2000;
+  gen.edges = 30000;
+  gen.seed = 9;
+  const auto edges = apps::generate_edges(gen);
+  const auto degrees = apps::out_degrees(edges, gen.pages);
+  std::vector<double> ranks(gen.pages, 1.0 / gen.pages);
+  apps::PageRankTask task(ranks, degrees);
+
+  engine::GrEngineOptions gr_options;
+  gr_options.threads = 4;
+  const auto serial = task.ranks_from(*engine::gr_run(task, edges, gr_options));
+
+  // Large real robj (2000 doubles) exercises the serialize/merge path up the
+  // binomial tree and across the simulated WAN.
+  Platform platform(PlatformSpec::paper_testbed(16, 16));
+  storage::DataLayout layout =
+      storage::build_layout_for_units(edges.units(), edges.unit_bytes(), 6, 2);
+  storage::assign_stores_by_fraction(layout, 0.5, platform.local_store_id(),
+                                     platform.cloud_store_id());
+  RunOptions options;
+  options.profile.unit_bytes = edges.unit_bytes();
+  options.profile.bytes_per_second_per_core = MBps(30);
+  options.profile.robj_bytes = 0;
+  options.task = &task;
+  options.dataset = &edges;
+  const auto result = run_distributed(platform, layout, options);
+  ASSERT_NE(result.robj, nullptr);
+  const auto distributed = task.ranks_from(*result.robj);
+  ASSERT_EQ(distributed.size(), serial.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    EXPECT_NEAR(distributed[p], serial[p], 1e-12) << "page " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, RealExecSweep,
+    ::testing::Values(std::make_tuple(0.0, 16u, 16u), std::make_tuple(0.5, 16u, 16u),
+                      std::make_tuple(1.0, 16u, 16u), std::make_tuple(0.25, 8u, 24u),
+                      std::make_tuple(0.75, 32u, 0u), std::make_tuple(0.0, 0u, 32u),
+                      std::make_tuple(1.0 / 3, 8u, 8u)));
+
+}  // namespace
+}  // namespace cloudburst::middleware

@@ -1,0 +1,175 @@
+// Tests for the platform builder: topology shape, node provisioning,
+// deterministic jitter, store wiring, and cross-site path properties.
+#include <gtest/gtest.h>
+
+#include "cluster/platform.hpp"
+#include "common/units.hpp"
+
+namespace cloudburst::cluster {
+namespace {
+
+using namespace cloudburst::units;
+
+TEST(ClusterSpec, UniformBuildsCount) {
+  const auto spec = ClusterSpec::uniform("c", 5, NodeSpec{4, 1.0}, MBps(100), 0);
+  EXPECT_EQ(spec.nodes.size(), 5u);
+  EXPECT_EQ(spec.total_cores(), 20u);
+}
+
+TEST(PaperTestbed, CorePartitioning) {
+  const auto spec = PlatformSpec::paper_testbed(32, 32);
+  EXPECT_EQ(spec.local.nodes.size(), 4u);   // 8-core Xeon nodes
+  EXPECT_EQ(spec.cloud.nodes.size(), 16u);  // 2-core m1.large instances
+  EXPECT_EQ(spec.local.total_cores(), 32u);
+  EXPECT_EQ(spec.cloud.total_cores(), 32u);
+}
+
+TEST(PaperTestbed, NonMultipleCoreCounts) {
+  const auto spec = PlatformSpec::paper_testbed(12, 7);
+  EXPECT_EQ(spec.local.total_cores(), 12u);
+  EXPECT_EQ(spec.cloud.total_cores(), 7u);
+  EXPECT_EQ(spec.local.nodes.back().cores, 4u);
+  EXPECT_EQ(spec.cloud.nodes.back().cores, 1u);
+}
+
+TEST(PaperTestbed, KmeansRebalancedConfig) {
+  const auto spec = PlatformSpec::paper_testbed(16, 22);
+  EXPECT_EQ(spec.cloud.nodes.size(), 11u);
+  EXPECT_EQ(spec.cloud.total_cores(), 22u);
+}
+
+TEST(Platform, BuildsNodesWithEndpoints) {
+  Platform platform(PlatformSpec::paper_testbed(16, 8));
+  EXPECT_EQ(platform.nodes(ClusterSide::Local).size(), 2u);
+  EXPECT_EQ(platform.nodes(ClusterSide::Cloud).size(), 4u);
+  EXPECT_EQ(platform.total_nodes(), 6u);
+  std::set<net::EndpointId> eps;
+  for (ClusterSide side : {ClusterSide::Local, ClusterSide::Cloud}) {
+    for (const auto& n : platform.nodes(side)) eps.insert(n.endpoint);
+  }
+  eps.insert(platform.head_endpoint());
+  eps.insert(platform.master_endpoint(ClusterSide::Local));
+  eps.insert(platform.master_endpoint(ClusterSide::Cloud));
+  EXPECT_EQ(eps.size(), 9u);  // all endpoints distinct
+}
+
+TEST(Platform, JitterIsDeterministic) {
+  Platform a(PlatformSpec::paper_testbed(16, 16));
+  Platform b(PlatformSpec::paper_testbed(16, 16));
+  const auto& na = a.nodes(ClusterSide::Cloud);
+  const auto& nb = b.nodes(ClusterSide::Cloud);
+  for (std::size_t i = 0; i < na.size(); ++i) {
+    EXPECT_DOUBLE_EQ(na[i].core_speed, nb[i].core_speed);
+  }
+}
+
+TEST(Platform, JitterSpreadsSpeeds) {
+  auto spec = PlatformSpec::paper_testbed(32, 32);
+  spec.node_speed_jitter = 0.05;
+  Platform platform(spec);
+  const auto& nodes = platform.nodes(ClusterSide::Local);
+  bool any_diff = false;
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    any_diff |= nodes[i].core_speed != nodes[0].core_speed;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Platform, ZeroJitterKeepsNominalSpeeds) {
+  auto spec = PlatformSpec::paper_testbed(16, 16);
+  spec.node_speed_jitter = 0.0;
+  Platform platform(spec);
+  for (const auto& n : platform.nodes(ClusterSide::Local)) {
+    EXPECT_DOUBLE_EQ(n.core_speed, 1.0);
+  }
+  for (const auto& n : platform.nodes(ClusterSide::Cloud)) {
+    EXPECT_DOUBLE_EQ(n.core_speed, 0.73);
+  }
+}
+
+TEST(Platform, StoreRegistry) {
+  Platform platform(PlatformSpec::paper_testbed(8, 8));
+  EXPECT_EQ(platform.store(platform.local_store_id()).id(), platform.local_store_id());
+  EXPECT_EQ(platform.store(platform.cloud_store_id()).id(), platform.cloud_store_id());
+  EXPECT_THROW(platform.store(99), std::out_of_range);
+}
+
+TEST(Platform, CrossSiteLatencyIncludesWan) {
+  Platform platform(PlatformSpec::paper_testbed(8, 8));
+  const auto local_node = platform.nodes(ClusterSide::Local)[0].endpoint;
+  const auto cloud_node = platform.nodes(ClusterSide::Cloud)[0].endpoint;
+  const auto intra = platform.network().path_latency(
+      local_node, platform.master_endpoint(ClusterSide::Local));
+  const auto inter = platform.network().path_latency(local_node, cloud_node);
+  EXPECT_GT(inter, intra);
+  EXPECT_GE(inter, platform.spec().wan_latency);
+}
+
+TEST(Platform, S3PathFromCloudAvoidsWan) {
+  Platform platform(PlatformSpec::paper_testbed(8, 8));
+  const auto cloud_node = platform.nodes(ClusterSide::Cloud)[0].endpoint;
+  const auto s3 = platform.store(platform.cloud_store_id()).endpoint();
+  const auto path = platform.network().path(s3, cloud_node);
+  for (net::LinkId l : path) {
+    EXPECT_NE(platform.network().link(l).name, "wan");
+  }
+}
+
+TEST(Platform, S3PathFromLocalCrossesWan) {
+  Platform platform(PlatformSpec::paper_testbed(8, 8));
+  const auto local_node = platform.nodes(ClusterSide::Local)[0].endpoint;
+  const auto s3 = platform.store(platform.cloud_store_id()).endpoint();
+  const auto path = platform.network().path(s3, local_node);
+  bool has_wan = false;
+  for (net::LinkId l : path) has_wan |= platform.network().link(l).name == "wan";
+  EXPECT_TRUE(has_wan);
+}
+
+TEST(Platform, DiskPathFeedsLocalNodes) {
+  Platform platform(PlatformSpec::paper_testbed(8, 8));
+  const auto local_node = platform.nodes(ClusterSide::Local)[0].endpoint;
+  const auto disk = platform.store(platform.local_store_id()).endpoint();
+  const auto path = platform.network().path(disk, local_node);
+  ASSERT_EQ(path.size(), 2u);  // disk link + node NIC
+  EXPECT_EQ(platform.network().link(path[0]).name, "storage-disk");
+}
+
+TEST(Platform, TwoProviderModeUsesObjectStoreOnBothSides) {
+  auto spec = PlatformSpec::paper_testbed(8, 8);
+  spec.local_store_is_object = true;
+  Platform platform(spec);
+  // The "local" store must now behave like an object store: no seeks, and
+  // multi-stream fetches must beat the per-connection cap.
+  auto& store = platform.store(platform.local_store_id());
+  storage::ChunkInfo chunk;
+  chunk.id = 0;
+  chunk.file = 0;
+  chunk.index_in_file = 0;
+  chunk.bytes = 50'000'000;
+  chunk.units = 1;
+  const auto reader = platform.nodes(ClusterSide::Local)[0].endpoint;
+
+  double one_stream = -1, many_streams = -1;
+  store.fetch(reader, chunk, 1, [&] { one_stream = des::to_seconds(platform.sim().now()); });
+  platform.sim().run();
+  const double mark = des::to_seconds(platform.sim().now());
+  store.fetch(reader, chunk, 8,
+              [&] { many_streams = des::to_seconds(platform.sim().now()) - mark; });
+  platform.sim().run();
+  EXPECT_GT(one_stream, 2.0 * many_streams);  // parallel GETs recover bandwidth
+  EXPECT_EQ(store.stats().seeks, 0u);         // object stores do not seek
+}
+
+TEST(Platform, DefaultLocalStoreSeeks) {
+  Platform platform(PlatformSpec::paper_testbed(8, 8));
+  auto& store = platform.store(platform.local_store_id());
+  storage::ChunkInfo chunk;
+  chunk.bytes = 1000;
+  chunk.units = 1;
+  store.fetch(platform.nodes(ClusterSide::Local)[0].endpoint, chunk, 1, nullptr);
+  platform.sim().run();
+  EXPECT_EQ(store.stats().seeks, 1u);
+}
+
+}  // namespace
+}  // namespace cloudburst::cluster

@@ -1,0 +1,158 @@
+// Cross-cutting property tests: randomized configurations of the whole
+// middleware must preserve global invariants — every chunk fetched and
+// processed exactly once, store statistics consistent with the scheduler's
+// accounting, timing decomposition physically sensible — regardless of
+// topology, skew, policies, or application profile.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "middleware/runtime.hpp"
+#include "trace/trace.hpp"
+
+namespace cloudburst::middleware {
+namespace {
+
+using namespace cloudburst::units;
+using cluster::ClusterSide;
+using cluster::Platform;
+using cluster::PlatformSpec;
+
+/// One randomized scenario drawn deterministically from a seed.
+struct Scenario {
+  PlatformSpec spec;
+  RunOptions options;
+  storage::LayoutSpec layout_spec;
+  double fraction;
+
+  explicit Scenario(std::uint64_t seed) {
+    Rng rng(seed);
+    const auto local_cores = static_cast<unsigned>(8 * rng.uniform_int(1, 4));
+    const auto cloud_cores = static_cast<unsigned>(2 * rng.uniform_int(1, 12));
+    spec = PlatformSpec::paper_testbed(local_cores, cloud_cores);
+    spec.wan_bandwidth = MBps(rng.uniform(40.0, 400.0));
+    spec.disk_bandwidth = MBps(rng.uniform(400.0, 2000.0));
+
+    layout_spec.total_bytes = MiB(static_cast<std::uint64_t>(rng.uniform_int(256, 4096)));
+    layout_spec.num_files = static_cast<std::uint32_t>(rng.uniform_int(2, 16));
+    layout_spec.chunks_per_file = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+    layout_spec.unit_bytes = 64;
+    fraction = rng.next_double();
+
+    options.profile.unit_bytes = 64;
+    options.profile.bytes_per_second_per_core = MBps(rng.uniform(1.0, 80.0));
+    options.profile.robj_bytes = KiB(static_cast<std::uint64_t>(rng.uniform_int(1, 4096)));
+    options.policy.batch_size = static_cast<std::uint32_t>(rng.uniform_int(1, 8));
+    options.policy.steal_batch_size = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+    options.policy.allow_stealing = rng.bernoulli(0.8);
+    options.policy.consecutive_batches = rng.bernoulli(0.7);
+    options.retrieval_streams = static_cast<unsigned>(rng.uniform_int(1, 16));
+    options.pipeline_depth = static_cast<unsigned>(rng.uniform_int(1, 3));
+    options.reduction_tree = rng.bernoulli(0.5);
+  }
+};
+
+class RandomScenarioSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomScenarioSweep, GlobalInvariantsHold) {
+  const Scenario scenario(GetParam());
+  Platform platform(scenario.spec);
+  storage::DataLayout layout = storage::build_layout(scenario.layout_spec);
+  storage::assign_stores_by_fraction(layout, scenario.fraction, platform.local_store_id(),
+                                     platform.cloud_store_id());
+
+  trace::Tracer tracer;
+  RunOptions options = scenario.options;
+  options.tracer = &tracer;
+  const RunResult result = run_distributed(platform, layout, options);
+
+  const auto total_chunks = static_cast<std::uint32_t>(layout.chunks().size());
+
+  // (1) Every chunk assigned, fetched, and processed exactly once.
+  EXPECT_EQ(result.total_jobs(), total_chunks);
+  std::map<std::uint64_t, int> processed;
+  for (const auto& e : tracer.events()) {
+    if (e.kind == trace::EventKind::ProcessEnd) ++processed[e.a];
+  }
+  EXPECT_EQ(processed.size(), total_chunks);
+  for (const auto& [c, n] : processed) EXPECT_EQ(n, 1) << "chunk " << c;
+
+  // (2) Store statistics match the dataset: all bytes served once.
+  const auto& local_stats = platform.store(platform.local_store_id()).stats();
+  const auto& cloud_stats = platform.store(platform.cloud_store_id()).stats();
+  EXPECT_EQ(local_stats.bytes_served, layout.bytes_on(platform.local_store_id()));
+  EXPECT_EQ(cloud_stats.bytes_served, layout.bytes_on(platform.cloud_store_id()));
+  EXPECT_EQ(local_stats.requests + cloud_stats.requests, total_chunks);
+
+  // (3) Scheduler accounting matches the layout's bytes.
+  std::uint64_t accounted = 0;
+  for (ClusterSide side : {ClusterSide::Local, ClusterSide::Cloud}) {
+    const auto& c = result.side(side);
+    accounted += c.bytes_local + c.bytes_stolen;
+  }
+  EXPECT_EQ(accounted, layout.total_bytes());
+
+  // (4) Physically sensible timing: nothing negative, nodes end before the
+  // run does, total time positive.
+  EXPECT_GT(result.total_time, 0.0);
+  for (const auto& n : result.nodes) {
+    EXPECT_GE(n.processing, 0.0);
+    EXPECT_GE(n.retrieval, 0.0);
+    EXPECT_GE(n.wait, 0.0);
+    EXPECT_LE(n.finish_time, result.total_time + 1e-9);
+  }
+
+  // (5) The network fully drained (no stuck flows).
+  EXPECT_EQ(platform.network().active_flows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScenarioSweep,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+class RandomPolicyDrain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPolicyDrain, JobPoolAlwaysDrainsForEligibleRequesters) {
+  // Whatever the policy knobs, alternating requesters with stealing enabled
+  // must drain the pool with no duplicates.
+  Rng rng(GetParam());
+  storage::LayoutSpec lspec;
+  lspec.total_bytes = MiB(64);
+  lspec.num_files = static_cast<std::uint32_t>(rng.uniform_int(1, 12));
+  lspec.chunks_per_file = static_cast<std::uint32_t>(rng.uniform_int(1, 8));
+  lspec.unit_bytes = 64;
+  storage::DataLayout layout = storage::build_layout(lspec);
+  storage::assign_stores_by_fraction(layout, rng.next_double(), 0, 1);
+
+  SchedulerPolicy policy;
+  policy.batch_size = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+  policy.steal_batch_size = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+  policy.steal_reserve = static_cast<std::uint32_t>(rng.uniform_int(0, 6));
+  policy.consecutive_batches = rng.bernoulli(0.5);
+  policy.remote_selection = static_cast<RemoteSelection>(rng.uniform_int(0, 2));
+  policy.random_seed = GetParam();
+
+  JobPool pool(layout, policy);
+  std::set<storage::ChunkId> seen;
+  storage::StoreId who = 0;
+  int stall_guard = 0;
+  while (!pool.empty() && stall_guard < 100000) {
+    const auto batch = pool.take_batch(who, policy.batch_size);
+    who = 1 - who;
+    if (batch.empty()) {
+      ++stall_guard;
+      continue;
+    }
+    stall_guard = 0;
+    for (storage::ChunkId c : batch) {
+      EXPECT_TRUE(seen.insert(c).second) << "duplicate chunk " << c;
+    }
+  }
+  EXPECT_TRUE(pool.empty()) << "pool stalled with " << pool.remaining() << " left";
+  EXPECT_EQ(seen.size(), layout.chunks().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPolicyDrain,
+                         ::testing::Range<std::uint64_t>(100, 130));
+
+}  // namespace
+}  // namespace cloudburst::middleware

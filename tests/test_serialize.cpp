@@ -1,0 +1,123 @@
+// Tests for common/serialize: typed round trips and truncation safety.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace cloudburst {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  BufferWriter w;
+  w.write_u8(7);
+  w.write_u32(123456);
+  w.write_u64(0xdeadbeefcafebabeULL);
+  w.write_i64(-42);
+  w.write_f64(3.14159);
+
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.read_u8(), 7);
+  EXPECT_EQ(r.read_u32(), 123456u);
+  EXPECT_EQ(r.read_u64(), 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, StringRoundTrip) {
+  BufferWriter w;
+  w.write_string("");
+  w.write_string("hello world");
+  w.write_string(std::string("with\0nul", 8));
+
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_EQ(r.read_string(), std::string("with\0nul", 8));
+}
+
+TEST(Serialize, PodVectorRoundTrip) {
+  BufferWriter w;
+  const std::vector<double> doubles = {1.0, -2.5, 1e300};
+  const std::vector<std::uint32_t> ints = {1, 2, 3, 4};
+  w.write_pod_vector(doubles);
+  w.write_pod_vector(ints);
+
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.read_pod_vector<double>(), doubles);
+  EXPECT_EQ(r.read_pod_vector<std::uint32_t>(), ints);
+}
+
+TEST(Serialize, EmptyVectorRoundTrip) {
+  BufferWriter w;
+  w.write_pod_vector(std::vector<double>{});
+  BufferReader r(w.buffer());
+  EXPECT_TRUE(r.read_pod_vector<double>().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, TruncatedScalarThrows) {
+  BufferWriter w;
+  w.write_u32(1);
+  BufferReader r(w.buffer());
+  EXPECT_THROW(r.read_u64(), std::out_of_range);
+}
+
+TEST(Serialize, TruncatedStringThrows) {
+  BufferWriter w;
+  w.write_u64(1000);  // length prefix promising 1000 bytes that do not exist
+  BufferReader r(w.buffer());
+  EXPECT_THROW(r.read_string(), std::out_of_range);
+}
+
+TEST(Serialize, TruncatedVectorThrows) {
+  BufferWriter w;
+  w.write_u64(10);  // promises 10 doubles
+  w.write_f64(1.0);
+  BufferReader r(w.buffer());
+  EXPECT_THROW(r.read_pod_vector<double>(), std::out_of_range);
+}
+
+TEST(Serialize, RemainingTracksPosition) {
+  BufferWriter w;
+  w.write_u32(1);
+  w.write_u32(2);
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.read_u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.read_u32();
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, WriterSizeMatchesBuffer) {
+  BufferWriter w;
+  w.write_u64(1);
+  w.write_string("abc");
+  EXPECT_EQ(w.size(), w.buffer().size());
+  EXPECT_EQ(w.size(), 8u + 8u + 3u);
+}
+
+TEST(Serialize, TakeMovesBuffer) {
+  BufferWriter w;
+  w.write_u32(99);
+  auto buf = w.take();
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(Serialize, RawBytesRoundTrip) {
+  BufferWriter w;
+  const char raw[] = {1, 2, 3};
+  w.write_bytes(raw, sizeof raw);
+  EXPECT_EQ(w.size(), 3u);
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.read_u8(), 1);
+  EXPECT_EQ(r.read_u8(), 2);
+  EXPECT_EQ(r.read_u8(), 3);
+}
+
+}  // namespace
+}  // namespace cloudburst

@@ -1,0 +1,161 @@
+// Tests for the discrete-event simulation kernel: deterministic ordering,
+// cancellation, bounded runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulator.hpp"
+
+namespace cloudburst::des {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.001), kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_EQ(from_seconds(1.5e-9), 2);  // rounds to nearest ns
+}
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), kSimStart);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3 * kSecond, [&] { order.push_back(3); });
+  sim.schedule(1 * kSecond, [&] { order.push_back(1); });
+  sim.schedule(2 * kSecond, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3 * kSecond);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(kSecond, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesDuringCallbacks) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule(5 * kMillisecond, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 5 * kMillisecond);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 10) sim.schedule(kMillisecond, hop);
+  };
+  sim.schedule(0, hop);
+  sim.run();
+  EXPECT_EQ(hops, 10);
+  EXPECT_EQ(sim.now(), 9 * kMillisecond);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, ScheduleAtPastThrows) {
+  Simulator sim;
+  sim.schedule(kSecond, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  auto handle = sim.schedule(kSecond, [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  auto handle = sim.schedule(0, [] {});
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // must not crash or affect anything
+}
+
+TEST(Simulator, DefaultHandleIsNotPending) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // harmless
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(1, [&] { ++count; });
+  sim.schedule(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1 * kSecond, [&] { order.push_back(1); });
+  sim.schedule(3 * kSecond, [&] { order.push_back(3); });
+  sim.run_until(2 * kSecond);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.now(), 2 * kSecond);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, RunUntilWithEmptyQueueKeepsClock) {
+  Simulator sim;
+  sim.schedule(kSecond, [] {});
+  sim.run();
+  EXPECT_EQ(sim.run_until(10 * kSecond), kSecond);
+}
+
+TEST(Simulator, ExecutedEventsCountsOnlyFired) {
+  Simulator sim;
+  auto h = sim.schedule(1, [] {});
+  sim.schedule(2, [] {});
+  h.cancel();
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    // Deterministic pseudo-shuffled times.
+    const SimTime t = ((i * 7919) % 1000) * kMillisecond;
+    sim.schedule_at(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.executed_events(), 10000u);
+}
+
+}  // namespace
+}  // namespace cloudburst::des

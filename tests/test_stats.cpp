@@ -1,0 +1,140 @@
+// Tests for common/stats: Welford accumulator (including merge), histogram
+// binning/quantiles, exact quantiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace cloudburst {
+namespace {
+
+TEST(StatAccumulator, EmptyIsZero) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+}
+
+TEST(StatAccumulator, SingleValue) {
+  StatAccumulator acc;
+  acc.add(3.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.mean(), 3.5);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 3.5);
+  EXPECT_EQ(acc.max(), 3.5);
+}
+
+TEST(StatAccumulator, KnownSequence) {
+  StatAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(StatAccumulator, MergeMatchesSequential) {
+  Rng rng(17);
+  StatAccumulator whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10, 3);
+    whole.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(StatAccumulator, MergeWithEmptyIsIdentity) {
+  StatAccumulator a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+
+  StatAccumulator b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.5);    // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 9
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  for (std::size_t b = 1; b < 9; ++b) EXPECT_EQ(h.bin_count(b), 0u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, QuantileOnUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) h.add(rng.next_double());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string out = h.render();
+  EXPECT_NE(out.find('1'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(ExactQuantile, HandlesEdgeCases) {
+  EXPECT_EQ(exact_quantile({}, 0.5), 0.0);
+  EXPECT_EQ(exact_quantile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(exact_quantile({7.0}, 1.0), 7.0);
+}
+
+TEST(ExactQuantile, InterpolatesLinearly) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 0.25), 2.5);
+}
+
+TEST(ExactQuantile, UnsortedInputIsFine) {
+  std::vector<double> v = {9.0, 1.0, 5.0, 3.0, 7.0};
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 1.0), 9.0);
+}
+
+}  // namespace
+}  // namespace cloudburst

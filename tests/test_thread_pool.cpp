@@ -1,0 +1,147 @@
+// Tests for the thread pool and blocking queue used by the real engines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.hpp"
+#include "common/thread_pool.hpp"
+
+namespace cloudburst {
+namespace {
+
+TEST(BlockingQueue, PushPopFifo) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BlockingQueue, TryPopOnEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.push(5);
+  EXPECT_EQ(q.try_pop(), 5);
+}
+
+TEST(BlockingQueue, CloseDrainsBacklogThenSignalsEnd) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, PushAfterCloseIsRejected) {
+  BlockingQueue<int> q;
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueue, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> q;
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+TEST(BlockingQueue, ManyProducersManyConsumers) {
+  BlockingQueue<int> q;
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+  const int per_producer = 1000, producers = 4, consumers = 4;
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < per_producer; ++i) q.push(p * per_producer + i);
+    });
+  }
+  for (int c = 0; c < consumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        ++consumed;
+      }
+    });
+  }
+  for (int p = 0; p < producers; ++p) threads[p].join();
+  q.close();
+  for (int c = 0; c < consumers; ++c) threads[producers + c].join();
+
+  const long long n = producers * per_producer;
+  EXPECT_EQ(consumed.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f = pool.submit_task([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.parallel_for(1000, 16, [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, 1, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(3, 1, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, RunOnAllUsesDistinctWorkerIndices) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::set<std::size_t> indices;
+  pool.run_on_all(4, [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(m);
+    indices.insert(i);
+  });
+  EXPECT_EQ(indices, (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) pool.submit([&] { ++done; });
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<long long> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(data.size(), 64, [&](std::size_t i) { sum += data[i]; });
+  EXPECT_EQ(sum.load(), std::accumulate(data.begin(), data.end(), 0LL));
+}
+
+}  // namespace
+}  // namespace cloudburst

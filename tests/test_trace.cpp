@@ -1,0 +1,166 @@
+// Tests for the tracing subsystem: recording, JSONL output, Gantt rendering,
+// and — through a traced run — auditing the middleware's event stream
+// (paired start/end events, per-chunk exactly-once processing, protocol
+// ordering).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "apps/experiments.hpp"
+#include "common/units.hpp"
+#include "middleware/runtime.hpp"
+#include "trace/trace.hpp"
+
+namespace cloudburst::trace {
+namespace {
+
+using namespace cloudburst::units;
+
+TEST(Tracer, RecordsAndCounts) {
+  Tracer tracer;
+  tracer.record(1.0, EventKind::FetchStart, "n0", 5, 1);
+  tracer.record(2.0, EventKind::FetchEnd, "n0", 5);
+  tracer.record(3.0, EventKind::RunEnd, "head");
+  EXPECT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.count(EventKind::FetchStart), 1u);
+  EXPECT_EQ(tracer.count(EventKind::ProcessStart), 0u);
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Tracer, JsonlShape) {
+  Tracer tracer;
+  tracer.record(1.25, EventKind::JobAssigned, "local-node0", 7, 0);
+  const std::string out = tracer.to_jsonl();
+  EXPECT_NE(out.find("\"t\":1.250000"), std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"JobAssigned\""), std::string::npos);
+  EXPECT_NE(out.find("\"actor\":\"local-node0\""), std::string::npos);
+  EXPECT_NE(out.find("\"a\":7"), std::string::npos);
+  // One line per event, newline-terminated.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+TEST(Tracer, GanttMarksActivity) {
+  Tracer tracer;
+  tracer.record(0.0, EventKind::FetchStart, "n0", 1);
+  tracer.record(5.0, EventKind::FetchEnd, "n0", 1);
+  tracer.record(5.0, EventKind::ProcessStart, "n0", 1);
+  tracer.record(10.0, EventKind::ProcessEnd, "n0", 1);
+  const std::string gantt = tracer.render_gantt(10);
+  EXPECT_NE(gantt.find("n0"), std::string::npos);
+  EXPECT_NE(gantt.find('f'), std::string::npos);
+  EXPECT_NE(gantt.find('P'), std::string::npos);
+}
+
+TEST(Tracer, GanttEmptyWhenNoEvents) {
+  Tracer tracer;
+  EXPECT_TRUE(tracer.render_gantt().empty());
+}
+
+TEST(Tracer, EventKindNamesAreDistinct) {
+  std::set<std::string> names;
+  for (int k = 0; k <= static_cast<int>(EventKind::RunEnd); ++k) {
+    names.insert(to_string(static_cast<EventKind>(k)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(EventKind::RunEnd) + 1);
+}
+
+// --- traced runs audit the middleware ---------------------------------------------
+
+struct TracedRun {
+  Tracer tracer;
+  middleware::RunResult result;
+};
+
+TracedRun traced_env_run() {
+  TracedRun out;
+  out.result = apps::run_env(apps::Env::Hybrid3367, apps::PaperApp::Knn,
+                             [&out](cluster::PlatformSpec&, middleware::RunOptions& o) {
+                               o.tracer = &out.tracer;
+                             });
+  return out;
+}
+
+TEST(TracedRun, EveryChunkProcessedExactlyOnce) {
+  const auto run = traced_env_run();
+  std::map<std::uint64_t, int> processed;
+  for (const auto& e : run.tracer.events()) {
+    if (e.kind == EventKind::ProcessEnd) ++processed[e.a];
+  }
+  EXPECT_EQ(processed.size(), 96u);
+  for (const auto& [chunk, n] : processed) EXPECT_EQ(n, 1) << "chunk " << chunk;
+}
+
+TEST(TracedRun, StartEndEventsPair) {
+  const auto run = traced_env_run();
+  EXPECT_EQ(run.tracer.count(EventKind::FetchStart),
+            run.tracer.count(EventKind::FetchEnd));
+  EXPECT_EQ(run.tracer.count(EventKind::ProcessStart),
+            run.tracer.count(EventKind::ProcessEnd));
+  EXPECT_EQ(run.tracer.count(EventKind::JobAssigned), 96u);
+  EXPECT_EQ(run.tracer.count(EventKind::RunEnd), 1u);
+}
+
+TEST(TracedRun, PerChunkOrderingIsFetchThenProcess) {
+  const auto run = traced_env_run();
+  std::map<std::uint64_t, double> fetch_end, process_start;
+  for (const auto& e : run.tracer.events()) {
+    if (e.kind == EventKind::FetchEnd) fetch_end[e.a] = e.t;
+    if (e.kind == EventKind::ProcessStart) process_start[e.a] = e.t;
+  }
+  for (const auto& [chunk, t] : process_start) {
+    ASSERT_TRUE(fetch_end.count(chunk));
+    EXPECT_LE(fetch_end[chunk], t + 1e-12) << "chunk " << chunk;
+  }
+}
+
+TEST(TracedRun, TimesAreMonotoneAndBounded) {
+  const auto run = traced_env_run();
+  double prev = 0.0;
+  for (const auto& e : run.tracer.events()) {
+    EXPECT_GE(e.t, prev - 1e-12);
+    prev = e.t;
+  }
+  EXPECT_NEAR(run.tracer.events().back().t, run.result.total_time, 1e-9);
+}
+
+TEST(TracedRun, BatchGrantsCoverAllChunks) {
+  const auto run = traced_env_run();
+  std::uint64_t granted = 0;
+  for (const auto& e : run.tracer.events()) {
+    if (e.kind == EventKind::BatchGranted) granted += e.a;
+  }
+  EXPECT_EQ(granted, 96u);
+}
+
+TEST(TracedRun, GanttRendersEveryNode) {
+  const auto run = traced_env_run();
+  const std::string gantt = run.tracer.render_gantt(60);
+  for (const auto& n : run.result.nodes) {
+    EXPECT_NE(gantt.find(n.name), std::string::npos) << n.name;
+  }
+}
+
+TEST(TracedRun, FailureAndActivationEventsAppear) {
+  Tracer tracer;
+  cluster::Platform platform(cluster::PlatformSpec::paper_testbed(16, 16));
+  const auto layout = apps::paper_layout(apps::PaperApp::Knn, 0.5,
+                                         platform.local_store_id(),
+                                         platform.cloud_store_id());
+  middleware::RunOptions options = apps::paper_run_options(apps::PaperApp::Knn);
+  options.reduction_tree = false;
+  options.tracer = &tracer;
+  options.failures.push_back({cluster::ClusterSide::Cloud, 0, 5.0});
+  options.elastic.enabled = true;
+  options.elastic.deadline_seconds = 1.0;  // unreachable: force activation
+  options.elastic.initial_cloud_nodes = 4;
+  options.elastic.check_interval_seconds = 1.0;
+  options.elastic.boot_seconds = 2.0;
+  middleware::run_distributed(platform, layout, options);
+  EXPECT_EQ(tracer.count(EventKind::SlaveFailed), 1u);
+  EXPECT_GT(tracer.count(EventKind::InstanceActivated), 0u);
+}
+
+}  // namespace
+}  // namespace cloudburst::trace
