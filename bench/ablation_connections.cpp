@@ -17,9 +17,9 @@ int main() {
     const auto knn = apps::run_env(apps::Env::Cloud, bench::PaperApp::Knn, tweak);
     const auto pr = apps::run_env(apps::Env::Cloud, bench::PaperApp::PageRank, tweak);
     table.add_row({std::to_string(streams), AsciiTable::num(knn.total_time, 1),
-                   AsciiTable::num(knn.side(cluster::ClusterSide::Cloud).retrieval, 1),
+                   AsciiTable::num(knn.side(cluster::kCloudSite).retrieval, 1),
                    AsciiTable::num(pr.total_time, 1),
-                   AsciiTable::num(pr.side(cluster::ClusterSide::Cloud).retrieval, 1)});
+                   AsciiTable::num(pr.side(cluster::kCloudSite).retrieval, 1)});
   }
   std::printf("%s\n", table.render("Ablation — retrieval streams per fetch on "
                                    "env-cloud (seconds; paper uses multi-threaded "

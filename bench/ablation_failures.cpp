@@ -40,7 +40,7 @@ int main() {
   for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
     for (double detect : {0.5, 2.0}) {
       const auto result = run_knn(
-          {{cluster::ClusterSide::Cloud, 0, frac * clean.total_time}}, detect);
+          {{cluster::kCloudSite, 0, frac * clean.total_time}}, detect);
       table.add_row({AsciiTable::pct(frac, 0) + " of run",
                      AsciiTable::num(detect, 1) + " s",
                      AsciiTable::num(result.total_time, 2),
@@ -58,7 +58,7 @@ int main() {
                    "jobs assigned (96 unique)"});
   for (double interval : {0.0, 10.0, 5.0, 2.0, 1.0}) {
     const auto result = run_knn(
-        {{cluster::ClusterSide::Cloud, 0, 0.7 * clean.total_time}}, 1.0, interval);
+        {{cluster::kCloudSite, 0, 0.7 * clean.total_time}}, 1.0, interval);
     ckpt.add_row({interval == 0.0 ? std::string("off")
                                   : AsciiTable::num(interval, 0) + " s",
                   AsciiTable::num(result.total_time, 2),

@@ -25,8 +25,8 @@ int main() {
     table.add_row(
         {units::format_bytes(robj), AsciiTable::num(base.total_time, 1),
          AsciiTable::num(hybrid.total_time, 1),
-         AsciiTable::num(hybrid.side(cluster::ClusterSide::Local).sync, 1),
-         AsciiTable::num(hybrid.side(cluster::ClusterSide::Cloud).sync, 1),
+         AsciiTable::num(hybrid.side(cluster::kLocalSite).sync, 1),
+         AsciiTable::num(hybrid.side(cluster::kCloudSite).sync, 1),
          AsciiTable::pct(hybrid.total_time / base.total_time - 1.0, 1)});
   }
   std::printf("%s\n",

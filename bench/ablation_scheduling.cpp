@@ -31,7 +31,7 @@ struct SeekRun {
 /// env-local with an explicit platform so the store stats stay reachable.
 SeekRun run_local(bench::PaperApp app, bool consecutive, des::SimDuration seek_latency) {
   cluster::PlatformSpec spec = cluster::PlatformSpec::paper_testbed(32, 0);
-  spec.disk_seek_latency = seek_latency;
+  spec.store(cluster::kLocalSite).access_latency = seek_latency;
   cluster::Platform platform(spec);
   storage::DataLayout layout = apps::paper_layout(app, 1.0, platform.local_store_id(),
                                                   platform.cloud_store_id());

@@ -25,13 +25,11 @@ int main() {
         ++doublings;
       }
       bool first = true;
-      for (cluster::ClusterSide side :
-           {cluster::ClusterSide::Local, cluster::ClusterSide::Cloud}) {
-        const auto& c = result.side(side);
+      for (const auto& c : result.clusters) {
         if (c.nodes == 0) continue;
         const std::string label =
             "(" + std::to_string(cores) + "," + std::to_string(cores) + ")";
-        table.add_row({first ? label : "", cluster::to_string(side),
+        table.add_row({first ? label : "", c.name,
                        AsciiTable::num(c.processing, 1), AsciiTable::num(c.retrieval, 1),
                        AsciiTable::num(c.sync, 1),
                        first ? AsciiTable::num(result.total_time, 1) : "",

@@ -48,12 +48,10 @@ inline void print_fig3(PaperApp app, const EnvSweep& sweep, const char* figure_l
     const std::string cores =
         "(" + std::to_string(config.local_cores) + "," + std::to_string(config.cloud_cores) + ")";
     bool first_row = true;
-    for (cluster::ClusterSide side :
-         {cluster::ClusterSide::Local, cluster::ClusterSide::Cloud}) {
-      const auto& c = result.side(side);
+    for (const auto& c : result.clusters) {
       if (c.nodes == 0) continue;
       table.add_row({first_row ? config.name : "", first_row ? cores : "",
-                     cluster::to_string(side), cloudburst::AsciiTable::num(c.processing, 1),
+                     c.name, cloudburst::AsciiTable::num(c.processing, 1),
                      cloudburst::AsciiTable::num(c.retrieval, 1),
                      cloudburst::AsciiTable::num(c.sync, 1),
                      cloudburst::AsciiTable::num(c.processing + c.retrieval + c.sync, 1),

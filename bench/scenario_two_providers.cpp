@@ -16,15 +16,22 @@ using namespace cloudburst;
 using namespace cloudburst::units;
 
 middleware::RunResult run_two_providers(bench::PaperApp app, double provider_a_fraction) {
-  cluster::PlatformSpec spec = cluster::PlatformSpec::paper_testbed(16, 16);
-  // Provider A: cloud-grade nodes (same as B) + an object store.
-  spec.local = cluster::ClusterSpec::uniform(
+  // Provider A: cloud-grade nodes + a front-attached object store (no
+  // provider-internal fabric — readers come in over its public front).
+  cluster::PlatformSpec spec;
+  cluster::SiteSpec a;
+  a.name = "providerA";
+  a.cluster = cluster::ClusterSpec::uniform(
       "providerA", 8, cluster::NodeSpec{2, 0.73}, MBps(160), des::from_seconds(us(200)));
-  spec.local_store_is_object = true;
-  spec.disk_bandwidth = GiBps(2.5);  // provider A object-store capacity
+  a.cloud_billed = true;
+  a.store = cluster::StoreSpec::object(GiBps(2.5), MBps(25), des::from_seconds(ms(60)));
+  spec.sites.push_back(std::move(a));
+  // Provider B: the paper's S3-style setup, unchanged.
+  spec.sites.push_back(cluster::PlatformSpec::paper_cloud_site(16, "providerB"));
   // Inter-provider path: public internet, slower than a dedicated link.
   spec.wan_bandwidth = MBps(80);
   spec.wan_latency = des::from_seconds(ms(40));
+  spec.node_speed_jitter = 0.03;
 
   cluster::Platform platform(spec);
   const storage::DataLayout layout =
@@ -44,8 +51,8 @@ int main() {
        {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
     for (double fraction : {0.5, 1.0 / 6}) {
       const auto result = run_two_providers(app, fraction);
-      const auto& a = result.side(cluster::ClusterSide::Local);
-      const auto& b = result.side(cluster::ClusterSide::Cloud);
+      const auto& a = result.clusters[0];
+      const auto& b = result.clusters[1];
       table.add_row({apps::to_string(app), AsciiTable::pct(fraction, 0),
                      AsciiTable::num(result.total_time, 1),
                      AsciiTable::num(a.retrieval, 1), AsciiTable::num(b.retrieval, 1),

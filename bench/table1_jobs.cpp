@@ -11,8 +11,8 @@ int main() {
     for (apps::Env env : apps::kHybridEnvs) {
       const auto config = apps::env_config(env, app);
       const auto result = apps::run_env(env, app);
-      const auto& local = result.side(cluster::ClusterSide::Local);
-      const auto& cloud = result.side(cluster::ClusterSide::Cloud);
+      const auto& local = result.side(cluster::kLocalSite);
+      const auto& cloud = result.side(cluster::kCloudSite);
       table.add_row({apps::to_string(app), config.name,
                      std::to_string(local.jobs_local) + " (" +
                          std::to_string(local.jobs_stolen) + ")",

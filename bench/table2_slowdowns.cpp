@@ -17,8 +17,8 @@ int main() {
       table.add_row(
           {apps::to_string(app), config.name,
            AsciiTable::num(result.global_reduction_time, 2),
-           AsciiTable::num(result.side(cluster::ClusterSide::Local).idle_time, 2),
-           AsciiTable::num(result.side(cluster::ClusterSide::Cloud).idle_time, 2),
+           AsciiTable::num(result.side(cluster::kLocalSite).idle_time, 2),
+           AsciiTable::num(result.side(cluster::kCloudSite).idle_time, 2),
            AsciiTable::num(slowdown_s, 2),
            AsciiTable::pct(slowdown_s / baseline.total_time, 1)});
     }

@@ -41,10 +41,8 @@ int main(int argc, char** argv) {
 
   AsciiTable table({"side", "nodes", "processing", "retrieval", "sync", "jobs own",
                     "jobs stolen"});
-  for (cluster::ClusterSide side :
-       {cluster::ClusterSide::Local, cluster::ClusterSide::Cloud}) {
-    const auto& c = result.side(side);
-    table.add_row({cluster::to_string(side), std::to_string(c.nodes),
+  for (const auto& c : result.clusters) {
+    table.add_row({c.name, std::to_string(c.nodes),
                    AsciiTable::num(c.processing, 2), AsciiTable::num(c.retrieval, 2),
                    AsciiTable::num(c.sync, 2), std::to_string(c.jobs_local),
                    std::to_string(c.jobs_stolen)});

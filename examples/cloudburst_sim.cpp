@@ -48,7 +48,8 @@ int main(int argc, char** argv) {
     spec.wan_latency = des::from_seconds(units::ms(cfg.get_double("wan_latency_ms", 25)));
   }
   if (cfg.contains("disk_mbps")) {
-    spec.disk_bandwidth = units::MBps(cfg.get_double("disk_mbps", 0));
+    spec.store(cluster::kLocalSite).front_bandwidth =
+        units::MBps(cfg.get_double("disk_mbps", 0));
   }
 
   middleware::RunOptions options = apps::paper_run_options(app);
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
   if (cfg.contains("fail_cloud_node")) {
     options.reduction_tree = false;
     options.failures.push_back(
-        {cluster::ClusterSide::Cloud,
+        {cluster::kCloudSite,
          static_cast<std::uint32_t>(cfg.get_int("fail_cloud_node", 0)),
          cfg.get_double("fail_at", 5.0)});
   }
@@ -103,11 +104,9 @@ int main(int argc, char** argv) {
 
   AsciiTable table({"side", "nodes", "processing", "retrieval", "sync", "jobs own",
                     "jobs stolen"});
-  for (cluster::ClusterSide side :
-       {cluster::ClusterSide::Local, cluster::ClusterSide::Cloud}) {
-    const auto& c = result.side(side);
+  for (const auto& c : result.clusters) {
     if (c.nodes == 0) continue;
-    table.add_row({cluster::to_string(side), std::to_string(c.nodes),
+    table.add_row({c.name, std::to_string(c.nodes),
                    AsciiTable::num(c.processing, 2), AsciiTable::num(c.retrieval, 2),
                    AsciiTable::num(c.sync, 2), std::to_string(c.jobs_local),
                    std::to_string(c.jobs_stolen)});

@@ -1,0 +1,72 @@
+// Multi-cloud bursting: one local cluster, two cloud providers, one run.
+//
+// Builds a three-site PlatformSpec from scratch — the local paper testbed
+// site plus two object-store-backed cloud providers — splits the kNN dataset
+// across the three stores by weight, and runs the standard middleware on
+// top. Shows the N-site API end to end: SiteSpec construction, per-pair WAN
+// overrides, weighted data placement, and the per-site result decomposition.
+//
+//   ./multi_cloud_burst [local_weight=1] [cloudA_weight=1] [cloudB_weight=1]
+//                       [cloudA_cores=16] [cloudB_cores=16] [wan_mbps=1000]
+#include <cstdio>
+
+#include "apps/experiments.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "middleware/runtime.hpp"
+#include "storage/data_layout.hpp"
+
+using namespace cloudburst;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const std::vector<double> weights = {cfg.get_double("local_weight", 1.0),
+                                       cfg.get_double("cloudA_weight", 1.0),
+                                       cfg.get_double("cloudB_weight", 1.0)};
+  const auto cores_a = static_cast<unsigned>(cfg.get_int("cloudA_cores", 16));
+  const auto cores_b = static_cast<unsigned>(cfg.get_int("cloudB_cores", 16));
+  const double wan_mbps = cfg.get_double("wan_mbps", 1000.0);
+
+  cluster::PlatformSpec spec;
+  spec.sites.push_back(cluster::PlatformSpec::paper_local_site(16));
+  spec.sites.push_back(cluster::PlatformSpec::paper_cloud_site(cores_a, "cloudA"));
+  spec.sites.push_back(cluster::PlatformSpec::paper_cloud_site(cores_b, "cloudB"));
+  spec.wan_bandwidth = units::mbps(wan_mbps);
+  spec.wan_latency = des::from_seconds(units::ms(25));
+  // Provider-to-provider traffic rides the public internet.
+  spec.set_wan(1, 2, units::MBps(80), des::from_seconds(units::ms(40)));
+  spec.node_speed_jitter = 0.03;
+
+  cluster::Platform platform(spec);
+  storage::DataLayout layout = apps::paper_layout(
+      apps::PaperApp::Knn, 1.0, platform.local_store_id(), platform.cloud_store_id());
+  const auto achieved = storage::assign_stores_by_weights(
+      layout, weights,
+      {platform.store_of_cluster(0), platform.store_of_cluster(1),
+       platform.store_of_cluster(2)});
+
+  std::printf("multi-cloud knn: %zu sites, WAN %.0f Mb/s\n", spec.sites.size(), wan_mbps);
+  for (std::size_t i = 0; i < achieved.size(); ++i) {
+    const auto site = static_cast<cluster::ClusterId>(i);
+    const auto store = platform.store_of_cluster(site);
+    std::printf("  %-6s %7s (%.0f%% of the dataset)\n", platform.site_name(site).c_str(),
+                units::format_bytes(layout.bytes_on(store)).c_str(), achieved[i] * 100.0);
+  }
+
+  const auto result = middleware::run_distributed(
+      platform, layout, apps::paper_run_options(apps::PaperApp::Knn));
+
+  AsciiTable table({"site", "nodes", "processing", "retrieval", "sync", "jobs own",
+                    "jobs stolen"});
+  for (const auto& c : result.clusters) {
+    table.add_row({c.name, std::to_string(c.nodes),
+                   AsciiTable::num(c.processing, 2), AsciiTable::num(c.retrieval, 2),
+                   AsciiTable::num(c.sync, 2), std::to_string(c.jobs_local),
+                   std::to_string(c.jobs_stolen)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("execution time: %.2f s (global reduction tail: %.3f s)\n",
+              result.total_time, result.global_reduction_time);
+  return 0;
+}

@@ -31,7 +31,7 @@ const InstanceType& instance_type(const std::string& name) {
 PlatformSpec paper_testbed_typed(unsigned local_cores, const InstanceType& type,
                                  unsigned count) {
   PlatformSpec spec = PlatformSpec::paper_testbed(local_cores, 0);
-  spec.cloud = ClusterSpec::uniform("cloud", count, NodeSpec{type.cores, type.core_speed},
+  spec.cloud() = ClusterSpec::uniform("cloud", count, NodeSpec{type.cores, type.core_speed},
                                     type.nic_bandwidth,
                                     des::from_seconds(us(200)));
   return spec;

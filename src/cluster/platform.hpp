@@ -1,19 +1,30 @@
 // Platform: the simulated deployment the middleware runs on.
 //
-// A platform is two compute clusters (the organization's local cluster and
-// the cloud), two storage services (the local storage node and the S3-style
-// object store), and the network connecting them:
+// A platform is N *sites*. Every site hosts a compute cluster (possibly
+// empty) and, optionally, a co-located storage service — either a disk-backed
+// storage node sitting directly on the site fabric or an S3-style object
+// store reachable through a cloud-internal fabric. Sites are connected by a
+// wide-area network: one physical WAN link per site pair, parameterized by a
+// platform-wide default plus per-pair overrides.
 //
-//     [local nodes]--NIC--(local fabric)--+--WAN--+--(aws fabric)--NIC--[cloud nodes]
-//     [storage node disk]-----------------+       +------------------[S3 front end]
+//     [site0 nodes]--NIC--(site0)---WAN---(site1)--NIC--[site1 nodes]
+//     [disk store]---------^  \             |  \--fabric--[object store]
+//                              \---WAN---(site2)--NIC--[site2 nodes] ...
 //
-// Intra-cluster paths cross only the two NICs involved; cross-cluster paths
-// and local-cluster S3 reads cross the shared WAN; cloud S3 reads cross the
-// AWS-internal fabric. All constants live in PlatformSpec so benches can
-// sweep them (WAN bandwidth ablation, etc.).
+// Intra-site paths cross only the two NICs involved; cross-site paths cross
+// the pair's WAN link. A fabric-attached object store is reached through the
+// fabric from its own site and through the owner's WAN link from everywhere
+// else (the store's front end is on the public internet, the fabric is the
+// provider-internal shortcut). All constants live in PlatformSpec so benches
+// can sweep them (WAN bandwidth ablation, etc.).
+//
+// The paper's two-sided deployment (local cluster + EC2/S3) is simply the
+// two-site instance produced by PlatformSpec::paper_testbed(); kLocalSite and
+// kCloudSite are thin aliases for its site indices.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,13 +35,14 @@
 
 namespace cloudburst::cluster {
 
-/// Index of a compute cluster within the platform.
-enum class ClusterSide : std::uint32_t { Local = 0, Cloud = 1 };
-constexpr std::size_t kClusterCount = 2;
+/// Runtime index of a compute cluster (== its site) within the platform.
+using ClusterId = std::uint32_t;
+constexpr ClusterId kInvalidCluster = static_cast<ClusterId>(-1);
 
-inline const char* to_string(ClusterSide side) {
-  return side == ClusterSide::Local ? "local" : "cloud";
-}
+/// Thin two-sided aliases: site 0 is the organization's cluster, site 1 the
+/// cloud provider, exactly as in the paper's testbed.
+constexpr ClusterId kLocalSite = 0;
+constexpr ClusterId kCloudSite = 1;
 
 struct NodeSpec {
   unsigned cores = 1;
@@ -52,33 +64,63 @@ struct ClusterSpec {
   unsigned total_cores() const;
 };
 
-struct PlatformSpec {
-  ClusterSpec local;
-  ClusterSpec cloud;
+/// A site's storage service.
+struct StoreSpec {
+  enum class Kind { Disk, Object };
+  Kind kind = Kind::Disk;
 
-  // Wide-area path between the organization and the cloud provider.
+  double front_bandwidth = 0.0;       ///< aggregate capacity (disk array / store front end)
+  double per_stream_bandwidth = 0.0;  ///< cap per reader stream / GET connection (0 = none)
+  des::SimDuration access_latency = 0;  ///< disk seek / object request latency
+
+  /// Object stores only: when > 0 the store sits on its own network site
+  /// attached to the owning cluster through this provider-internal fabric;
+  /// every other site reaches it over the owner's WAN link instead.
+  double fabric_bandwidth = 0.0;
+  des::SimDuration fabric_latency = 0;
+
+  static StoreSpec disk(double front_bandwidth, double per_stream_bandwidth,
+                        des::SimDuration seek_latency);
+  static StoreSpec object(double front_bandwidth, double per_connection_bandwidth,
+                          des::SimDuration request_latency, double fabric_bandwidth = 0.0,
+                          des::SimDuration fabric_latency = 0);
+};
+
+/// One site of the platform: a compute cluster plus an optional co-located
+/// store. A site may be compute-only (burst capacity reading remote data —
+/// its `affinity` can point at another site's store) or storage-only
+/// (cluster with zero nodes).
+struct SiteSpec {
+  std::string name;
+  ClusterSpec cluster;
+  std::optional<StoreSpec> store;
+
+  /// Billed cloud capacity: its instances and egress enter the cost model.
+  bool cloud_billed = false;
+
+  /// Site whose store this cluster treats as "local" for scheduling
+  /// (locality preference, Table-I job accounting). kInvalidCluster = this
+  /// site's own store when present, otherwise no local store (every job the
+  /// cluster runs counts as stolen).
+  ClusterId affinity = kInvalidCluster;
+};
+
+/// WAN parameters of one site pair, overriding the platform default.
+struct WanEdge {
+  ClusterId a = 0;
+  ClusterId b = 0;
+  double bandwidth = 0.0;
+  des::SimDuration latency = 0;
+};
+
+struct PlatformSpec {
+  std::vector<SiteSpec> sites;
+
+  /// Default wide-area path: every site pair gets its own physical WAN link
+  /// with these parameters unless `wan_overrides` names the pair.
   double wan_bandwidth = 0.0;
   des::SimDuration wan_latency = 0;
-
-  // Local storage node (disk channel feeding the cluster fabric).
-  double disk_bandwidth = 0.0;
-  double disk_per_stream_bandwidth = 0.0;  ///< cap per concurrent reader (0 = none)
-  des::SimDuration disk_seek_latency = 0;
-
-  /// Two-cloud-provider deployments (paper §II: "our solution will also be
-  /// applicable if the data and/or processing power is spread across two
-  /// different cloud providers"): when set, the "local" side's store is an
-  /// object store too (capacity = disk_bandwidth, request latency and
-  /// per-connection cap shared with the S3 parameters) instead of a
-  /// disk-backed storage node.
-  bool local_store_is_object = false;
-
-  // S3-style object store.
-  double s3_front_bandwidth = 0.0;        ///< aggregate capacity of the store
-  des::SimDuration s3_request_latency = 0;
-  double s3_per_connection_bandwidth = 0; ///< cap per retrieval stream
-  double aws_fabric_bandwidth = 0.0;      ///< cloud-internal path to S3
-  des::SimDuration aws_fabric_latency = 0;
+  std::vector<WanEdge> wan_overrides;
 
   /// Relative stddev of per-node speed jitter (the paper's "slight
   /// variations in processing throughput among the slave nodes"); applied
@@ -86,15 +128,40 @@ struct PlatformSpec {
   double node_speed_jitter = 0.0;
   std::uint64_t jitter_seed = 0x5eed;
 
+  /// DEPRECATED (pre-N-site API, kept working for one release): turns site
+  /// 0's store into an object store (capacity unchanged, request latency and
+  /// per-connection cap taken from site 1's object store). Express the
+  /// topology through `sites` directly instead.
+  bool local_store_is_object = false;
+
+  // --- thin two-sided aliases ----------------------------------------------
+  SiteSpec& site(ClusterId id) { return sites.at(id); }
+  const SiteSpec& site(ClusterId id) const { return sites.at(id); }
+  ClusterSpec& local() { return sites.at(kLocalSite).cluster; }
+  const ClusterSpec& local() const { return sites.at(kLocalSite).cluster; }
+  ClusterSpec& cloud() { return sites.at(kCloudSite).cluster; }
+  const ClusterSpec& cloud() const { return sites.at(kCloudSite).cluster; }
+  /// Site `id`'s own store spec; throws if the site has none.
+  StoreSpec& store(ClusterId id) { return sites.at(id).store.value(); }
+  const StoreSpec& store(ClusterId id) const { return sites.at(id).store.value(); }
+
+  /// Set the WAN parameters of one specific site pair.
+  void set_wan(ClusterId a, ClusterId b, double bandwidth, des::SimDuration latency);
+
   /// Deployment used throughout the paper's evaluation (OSU cluster + EC2
   /// m1.large + S3), with `local_cores` / `cloud_cores` compute power.
   /// Local nodes have 8 cores; cloud instances have 2 (m1.large).
   static PlatformSpec paper_testbed(unsigned local_cores, unsigned cloud_cores);
+
+  /// The testbed's individual sites, for composing custom topologies (e.g. a
+  /// third provider in a 3-site burst).
+  static SiteSpec paper_local_site(unsigned cores);
+  static SiteSpec paper_cloud_site(unsigned cores, std::string name = "cloud");
 };
 
 /// A compute node's runtime identity within a built platform.
 struct NodeHandle {
-  ClusterSide cluster;
+  ClusterId cluster = 0;
   std::uint32_t index_in_cluster = 0;
   unsigned cores = 1;
   double core_speed = 1.0;
@@ -111,33 +178,49 @@ class Platform {
   net::Network& network() { return *network_; }
   const PlatformSpec& spec() const { return spec_; }
 
-  const std::vector<NodeHandle>& nodes(ClusterSide side) const {
-    return nodes_[static_cast<std::size_t>(side)];
+  std::size_t cluster_count() const { return nodes_.size(); }
+  const std::vector<NodeHandle>& nodes(ClusterId cluster) const {
+    return nodes_.at(cluster);
   }
   std::size_t total_nodes() const;
+  /// Nodes on cloud-billed sites (rented instances).
+  std::size_t cloud_node_count() const;
+  bool is_cloud(ClusterId cluster) const { return spec_.sites.at(cluster).cloud_billed; }
+  const std::string& site_name(ClusterId cluster) const {
+    return spec_.sites.at(cluster).name;
+  }
 
+  std::size_t store_count() const { return stores_.size(); }
   storage::StoreService& store(storage::StoreId id);
-  storage::StoreId local_store_id() const { return 0; }
-  storage::StoreId cloud_store_id() const { return 1; }
+  /// The store cluster `id` treats as local (its affinity); kInvalidStore if
+  /// the cluster has no local store.
+  storage::StoreId store_of_cluster(ClusterId id) const { return cluster_store_.at(id); }
+  /// Site owning a store.
+  ClusterId owner_of_store(storage::StoreId id) const { return store_owner_.at(id); }
 
-  /// Control-plane endpoints. The head runs at the local site (it owns the
-  /// data index, per the paper's Figure 2); each cluster has a master.
+  // Thin two-sided aliases (the paper testbed's store indices).
+  storage::StoreId local_store_id() const { return store_of_cluster(kLocalSite); }
+  storage::StoreId cloud_store_id() const { return store_of_cluster(kCloudSite); }
+
+  /// Control-plane endpoints. The head runs at site 0 (it owns the data
+  /// index, per the paper's Figure 2); each cluster has a master.
   net::EndpointId head_endpoint() const { return head_ep_; }
-  net::EndpointId master_endpoint(ClusterSide side) const {
-    return master_ep_[static_cast<std::size_t>(side)];
+  net::EndpointId master_endpoint(ClusterId cluster) const {
+    return master_ep_.at(cluster);
   }
 
  private:
-  void build_cluster(ClusterSide side, const ClusterSpec& cspec, net::SiteId site);
+  void build_cluster(ClusterId id, const ClusterSpec& cspec, net::SiteId site);
 
   PlatformSpec spec_;
   des::Simulator sim_;
   std::unique_ptr<net::Network> network_;
-  std::vector<NodeHandle> nodes_[kClusterCount];
+  std::vector<std::vector<NodeHandle>> nodes_;
   net::EndpointId head_ep_ = 0;
-  net::EndpointId master_ep_[kClusterCount] = {0, 0};
-  std::unique_ptr<storage::StoreService> local_store_;
-  std::unique_ptr<storage::StoreService> object_store_;
+  std::vector<net::EndpointId> master_ep_;
+  std::vector<std::unique_ptr<storage::StoreService>> stores_;
+  std::vector<storage::StoreId> cluster_store_;  ///< affinity store per site
+  std::vector<ClusterId> store_owner_;           ///< owning site per store
 };
 
 }  // namespace cloudburst::cluster

@@ -59,22 +59,32 @@ CostReport price_run(const middleware::RunResult& result, cluster::Platform& pla
     inputs.instance_seconds.push_back(std::max(0.0, result.total_time - start));
   }
 
-  // Every S3 chunk fetch issues `retrieval_streams` range GETs.
-  const auto& s3_stats = platform.store(platform.cloud_store_id()).stats();
-  inputs.s3_get_requests = s3_stats.requests * std::max(1u, options.retrieval_streams);
-
-  // Transfer out of the provider: S3 chunks stolen by the local cluster plus
-  // the cloud's reduction object shipped to the head across the WAN. Stored
-  // chunks move compressed.
-  const auto& local = result.side(cluster::ClusterSide::Local);
+  // Billable stores: the ones owned by cloud-billed sites. Every chunk fetch
+  // from one issues `retrieval_streams` range GETs.
   const double ratio = std::max(1.0, options.profile.compression_ratio);
-  inputs.bytes_out_of_cloud =
-      static_cast<std::uint64_t>(static_cast<double>(local.bytes_stolen) / ratio);
-  if (result.side(cluster::ClusterSide::Cloud).nodes > 0) {
-    inputs.bytes_out_of_cloud += options.profile.robj_bytes;
+  for (storage::StoreId s = 0; s < platform.store_count(); ++s) {
+    if (!platform.is_cloud(platform.owner_of_store(s))) continue;
+    inputs.s3_get_requests +=
+        platform.store(s).stats().requests * std::max(1u, options.retrieval_streams);
+    inputs.s3_resident_bytes += layout.bytes_on(s);
+    // Transfer out of the provider: chunks any *other* site pulled from this
+    // store cross its egress boundary. Stored chunks move compressed.
+    const cluster::ClusterId owner = platform.owner_of_store(s);
+    for (cluster::ClusterId c = 0; c < platform.cluster_count(); ++c) {
+      if (c == owner) continue;
+      if (c < result.bytes_from_store.size() && s < result.bytes_from_store[c].size()) {
+        inputs.bytes_out_of_cloud += static_cast<std::uint64_t>(
+            static_cast<double>(result.bytes_from_store[c][s]) / ratio);
+      }
+    }
   }
-
-  inputs.s3_resident_bytes = layout.bytes_on(platform.cloud_store_id());
+  // Each cloud cluster ships its reduction object to the head across the WAN.
+  for (cluster::ClusterId c = 0; c < platform.cluster_count(); ++c) {
+    if (c == cluster::kLocalSite || !platform.is_cloud(c)) continue;
+    if (c < result.clusters.size() && result.clusters[c].nodes > 0) {
+      inputs.bytes_out_of_cloud += options.profile.robj_bytes;
+    }
+  }
   return price(inputs, pricing);
 }
 

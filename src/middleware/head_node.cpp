@@ -17,17 +17,20 @@ void HeadNode::handle(net::EndpointId from, Message msg) {
       const auto it = std::find_if(masters_.begin(), masters_.end(),
                                    [&](const MasterInfo& m) { return m.endpoint == from; });
       if (it == masters_.end()) throw std::logic_error("HeadNode: request from unknown master");
-      // The endgame reservation applies only while another cluster that
-      // prefers the remote store is still in the run.
-      bool reserve_remote = false;
+      // The endgame reservation covers exactly the stores other registered
+      // clusters prefer: their last `steal_reserve` jobs stay off limits
+      // while their owner is still in the run.
+      std::vector<storage::StoreId> reserved;
       for (const auto& m : masters_) {
-        if (m.endpoint != from && m.preferred_store != it->preferred_store) {
-          reserve_remote = true;
+        if (m.endpoint == from || m.preferred_store == it->preferred_store) continue;
+        if (m.preferred_store == storage::kInvalidStore) continue;
+        if (std::find(reserved.begin(), reserved.end(), m.preferred_store) == reserved.end()) {
+          reserved.push_back(m.preferred_store);
         }
       }
       Message reply;
       reply.type = MsgType::BatchAssign;
-      reply.batch = pool_.take_batch(it->preferred_store, msg.want, reserve_remote);
+      reply.batch = pool_.take_batch(it->preferred_store, msg.want, reserved);
       // An empty batch means this master can get nothing further — either
       // the pool is drained or stealing is disabled and its side is done.
       reply.exhausted = reply.batch.empty();

@@ -33,13 +33,12 @@ double simulate_broadcast(const cluster::PlatformSpec& spec, std::uint64_t robj_
   cluster::Platform platform(spec);
   net::Network& net = platform.network();
 
-  for (const cluster::ClusterSide side :
-       {cluster::ClusterSide::Local, cluster::ClusterSide::Cloud}) {
+  for (cluster::ClusterId side = 0; side < platform.cluster_count(); ++side) {
     const auto& nodes = platform.nodes(side);
     if (nodes.empty()) continue;
     auto slaves = std::make_shared<std::vector<net::EndpointId>>();
     for (const auto& node : nodes) slaves->push_back(node.endpoint);
-    // head -> master (WAN for the cloud side), master -> slave tree.
+    // head -> master (WAN for remote sites), master -> slave tree.
     net.start_flow(platform.head_endpoint(), platform.master_endpoint(side), robj_bytes,
                    0.0, [&net, &platform, side, slaves, robj_bytes] {
                      net.start_flow(platform.master_endpoint(side), (*slaves)[0],

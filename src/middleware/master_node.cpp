@@ -5,10 +5,11 @@
 
 namespace cloudburst::middleware {
 
-MasterNode::MasterNode(RunContext& ctx, cluster::ClusterSide side, net::EndpointId self,
+MasterNode::MasterNode(RunContext& ctx, cluster::ClusterId site, net::EndpointId self,
                        net::EndpointId head, std::vector<net::EndpointId> slaves,
                        storage::StoreId preferred_store)
-    : ctx_(ctx), side_(side), self_(self), head_(head), slaves_(std::move(slaves)),
+    : ctx_(ctx), site_(site), trace_name_("master-" + ctx.platform.site_name(site)),
+      self_(self), head_(head), slaves_(std::move(slaves)),
       preferred_store_(preferred_store) {}
 
 void MasterNode::handle(net::EndpointId from, Message msg) {
@@ -30,9 +31,8 @@ void MasterNode::handle(net::EndpointId from, Message msg) {
     }
     case MsgType::BatchAssign: {
       refill_outstanding_ = false;
-      ctx_.trace(trace::EventKind::BatchGranted,
-                 side_ == cluster::ClusterSide::Local ? "master-local" : "master-cloud",
-                 msg.batch.size(), msg.exhausted ? 1 : 0);
+      ctx_.trace(trace::EventKind::BatchGranted, trace_name_, msg.batch.size(),
+                 msg.exhausted ? 1 : 0);
       for (storage::ChunkId c : msg.batch) pool_.push_back(c);
       if (msg.exhausted) no_more_ = true;
       serve_waiting();
@@ -150,8 +150,7 @@ void MasterNode::maybe_refill() {
   refill_outstanding_ = true;
   Message msg;
   msg.type = MsgType::BatchRequest;
-  ctx_.trace(trace::EventKind::BatchRequested,
-             side_ == cluster::ClusterSide::Local ? "master-local" : "master-cloud",
+  ctx_.trace(trace::EventKind::BatchRequested, trace_name_,
              std::max<std::uint32_t>(ctx_.options.policy.batch_size,
                                      static_cast<std::uint32_t>(waiting_slaves_.size())));
   msg.want = std::max<std::uint32_t>(ctx_.options.policy.batch_size,
@@ -208,15 +207,16 @@ void MasterNode::push_assign(storage::ChunkId chunk, net::EndpointId slave) {
 }
 
 void MasterNode::account_assignment(storage::ChunkId chunk) {
-  const auto idx = static_cast<std::size_t>(side_);
   const storage::ChunkInfo& info = ctx_.layout.chunk(chunk);
-  if (ctx_.layout.store_of(chunk) == preferred_store_) {
-    ++ctx_.recorder.jobs_local[idx];
-    ctx_.recorder.bytes_local[idx] += info.bytes;
+  const storage::StoreId from = ctx_.layout.store_of(chunk);
+  if (from == preferred_store_) {
+    ++ctx_.recorder.jobs_local[site_];
+    ctx_.recorder.bytes_local[site_] += info.bytes;
   } else {
-    ++ctx_.recorder.jobs_stolen[idx];
-    ctx_.recorder.bytes_stolen[idx] += info.bytes;
+    ++ctx_.recorder.jobs_stolen[site_];
+    ctx_.recorder.bytes_stolen[site_] += info.bytes;
   }
+  ctx_.recorder.bytes_from_store[site_][from] += info.bytes;
 }
 
 void MasterNode::merge_slave_robj(const Message& msg) {
@@ -265,9 +265,7 @@ void MasterNode::send_cluster_robj() {
   const std::uint64_t bytes = ctx_.options.profile.robj_bytes
                                   ? ctx_.options.profile.robj_bytes
                                   : std::max<std::uint64_t>(up.robj_payload.size(), 64);
-  ctx_.trace(trace::EventKind::RobjSent,
-             side_ == cluster::ClusterSide::Local ? "master-local" : "master-cloud",
-             bytes);
+  ctx_.trace(trace::EventKind::RobjSent, trace_name_, bytes);
   ctx_.postman.send(self_, head_, bytes, std::move(up));
 }
 

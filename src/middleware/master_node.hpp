@@ -29,7 +29,7 @@ namespace cloudburst::middleware {
 
 class MasterNode {
  public:
-  MasterNode(RunContext& ctx, cluster::ClusterSide side, net::EndpointId self,
+  MasterNode(RunContext& ctx, cluster::ClusterId site, net::EndpointId self,
              net::EndpointId head, std::vector<net::EndpointId> slaves,
              storage::StoreId preferred_store);
 
@@ -47,7 +47,7 @@ class MasterNode {
   void on_slave_failed(net::EndpointId slave);
 
   net::EndpointId endpoint() const { return self_; }
-  cluster::ClusterSide side() const { return side_; }
+  cluster::ClusterId site() const { return site_; }
   std::uint32_t reexecuted_jobs() const { return reexecuted_jobs_; }
 
  private:
@@ -62,7 +62,8 @@ class MasterNode {
   void send_cluster_robj();
 
   RunContext& ctx_;
-  cluster::ClusterSide side_;
+  cluster::ClusterId site_;
+  std::string trace_name_;  ///< "master-<site>" for the event stream
   net::EndpointId self_;
   net::EndpointId head_;
   std::vector<net::EndpointId> slaves_;

@@ -56,7 +56,7 @@ struct RunOptions {
   /// re-executes every chunk the dead slave had been assigned since its last
   /// reduction-object checkpoint.
   struct FailureEvent {
-    cluster::ClusterSide side = cluster::ClusterSide::Local;
+    cluster::ClusterId side = cluster::kLocalSite;  ///< site of the failing node
     std::uint32_t node_index = 0;
     double at_seconds = 0.0;
   };
@@ -96,13 +96,24 @@ struct RunRecorder {
   /// Activation time of each billed cloud instance (0.0 for initial ones).
   std::vector<double> cloud_instance_starts;
   std::uint32_t elastic_activations = 0;
-  double proc_end[cluster::kClusterCount] = {0.0, 0.0};
-  std::uint32_t jobs_local[cluster::kClusterCount] = {0, 0};
-  std::uint32_t jobs_stolen[cluster::kClusterCount] = {0, 0};
-  std::uint64_t bytes_local[cluster::kClusterCount] = {0, 0};
-  std::uint64_t bytes_stolen[cluster::kClusterCount] = {0, 0};
+  // Per-cluster accounting, indexed by ClusterId; sized by init().
+  std::vector<std::uint32_t> jobs_local;
+  std::vector<std::uint32_t> jobs_stolen;
+  std::vector<std::uint64_t> bytes_local;
+  std::vector<std::uint64_t> bytes_stolen;
+  /// Bytes cluster c fetched from store s: bytes_from_store[c][s].
+  std::vector<std::vector<std::uint64_t>> bytes_from_store;
   double end_time = 0.0;
   bool finished = false;
+
+  /// Size the per-cluster / per-store vectors for a platform.
+  void init(std::size_t clusters, std::size_t stores) {
+    jobs_local.assign(clusters, 0);
+    jobs_stolen.assign(clusters, 0);
+    bytes_local.assign(clusters, 0);
+    bytes_stolen.assign(clusters, 0);
+    bytes_from_store.assign(clusters, std::vector<std::uint64_t>(stores, 0));
+  }
 };
 
 struct RunContext {

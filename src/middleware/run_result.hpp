@@ -3,7 +3,7 @@
 // Mirrors the paper's reporting: per-cluster stacked processing / data
 // retrieval / sync time (Figure 3), per-cluster local vs stolen job counts
 // (Table I), and global-reduction / idle-time / total-slowdown components
-// (Table II).
+// (Table II). With an N-site platform there is one ClusterResult per site.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +17,7 @@ namespace cloudburst::middleware {
 
 struct NodeTimes {
   std::string name;
-  cluster::ClusterSide cluster = cluster::ClusterSide::Local;
+  cluster::ClusterId cluster = 0;
   double processing = 0.0;  ///< seconds busy computing
   double retrieval = 0.0;   ///< seconds with an outstanding chunk fetch
   double wait = 0.0;        ///< seconds idle waiting for a job assignment
@@ -26,26 +26,33 @@ struct NodeTimes {
 };
 
 struct ClusterResult {
+  std::string name;  ///< site name ("local", "cloud", ...)
+
   /// Mean per-node seconds (the stacked bar of Figure 3).
   double processing = 0.0;
   double retrieval = 0.0;
   double sync = 0.0;  ///< barrier wait + reduction transfers + merge
 
-  std::uint32_t jobs_local = 0;   ///< jobs whose data was on this side's store
-  std::uint32_t jobs_stolen = 0;  ///< jobs fetched from the remote store
+  std::uint32_t jobs_local = 0;   ///< jobs whose data was on this site's store
+  std::uint32_t jobs_stolen = 0;  ///< jobs fetched from a remote store
   std::uint64_t bytes_local = 0;
   std::uint64_t bytes_stolen = 0;
 
   double proc_end_time = 0.0;  ///< when the cluster's last slave finished processing
-  double idle_time = 0.0;      ///< waiting for the other cluster at the end
+  double idle_time = 0.0;      ///< waiting for the other clusters at the end
   std::uint32_t nodes = 0;
 };
 
 struct RunResult {
   double total_time = 0.0;             ///< wall-clock of the whole job (sim seconds)
   double global_reduction_time = 0.0;  ///< after the last cluster finished processing
-  ClusterResult clusters[cluster::kClusterCount];
+  std::vector<ClusterResult> clusters; ///< one per platform site
   std::vector<NodeTimes> nodes;
+
+  /// Bytes each cluster fetched from each store: [cluster][store]. The cost
+  /// model derives provider egress from this (data a non-cloud cluster pulled
+  /// out of a cloud store).
+  std::vector<std::vector<std::uint64_t>> bytes_from_store;
 
   /// Activation time of each *billed* cloud instance (0.0 = rented from the
   /// start). For non-elastic runs this is one zero per cloud instance;
@@ -56,9 +63,7 @@ struct RunResult {
   /// Present when RunOptions carried a real task: the finalized global robj.
   api::RobjPtr robj;
 
-  const ClusterResult& side(cluster::ClusterSide s) const {
-    return clusters[static_cast<std::size_t>(s)];
-  }
+  const ClusterResult& side(cluster::ClusterId s) const { return clusters.at(s); }
 
   std::uint32_t total_jobs() const {
     std::uint32_t n = 0;

@@ -1,6 +1,8 @@
 #include "middleware/runtime.hpp"
 
+#include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
 #include <vector>
 
@@ -11,23 +13,12 @@
 
 namespace cloudburst::middleware {
 
-namespace {
-
-storage::StoreId preferred_store(const cluster::Platform& platform,
-                                 cluster::ClusterSide side) {
-  return side == cluster::ClusterSide::Local ? platform.local_store_id()
-                                             : platform.cloud_store_id();
-}
-
-}  // namespace
-
 RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout& layout,
                           const RunOptions& options) {
   if ((options.task == nullptr) != (options.dataset == nullptr)) {
     throw std::invalid_argument("run_distributed: task and dataset must be set together");
   }
-  if (platform.nodes(cluster::ClusterSide::Local).empty() &&
-      platform.nodes(cluster::ClusterSide::Cloud).empty()) {
+  if (platform.total_nodes() == 0) {
     throw std::invalid_argument("run_distributed: platform has no compute nodes");
   }
   if (layout.chunks().empty()) {
@@ -47,7 +38,7 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
       throw std::invalid_argument(
           "run_distributed: elastic bursting requires reduction_tree = false");
     }
-    const auto cloud_nodes = platform.nodes(cluster::ClusterSide::Cloud).size();
+    const auto cloud_nodes = platform.cloud_node_count();
     if (cloud_nodes > 0 && options.elastic.initial_cloud_nodes == 0) {
       throw std::invalid_argument(
           "run_distributed: elastic bursting needs at least one initial cloud node");
@@ -57,6 +48,9 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
     }
   }
   for (const auto& f : options.failures) {
+    if (f.side >= platform.cluster_count()) {
+      throw std::invalid_argument("run_distributed: failure names an unknown cluster");
+    }
     const auto& nodes = platform.nodes(f.side);
     if (f.node_index >= nodes.size()) {
       throw std::invalid_argument("run_distributed: failure names an unknown node");
@@ -73,6 +67,7 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
 
   net::Postman<Message> postman(platform.network());
   RunContext ctx{platform, layout, options, postman, RunRecorder{}, {}};
+  ctx.recorder.init(platform.cluster_count(), platform.store_count());
 
   // Real execution: map chunk ids to dataset unit offsets.
   if (options.task) {
@@ -96,24 +91,23 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
   std::vector<std::unique_ptr<MasterNode>> masters;
   std::vector<std::unique_ptr<SlaveNode>> slaves;
 
-  for (const cluster::ClusterSide side :
-       {cluster::ClusterSide::Local, cluster::ClusterSide::Cloud}) {
-    const auto& nodes = platform.nodes(side);
+  for (cluster::ClusterId site = 0; site < platform.cluster_count(); ++site) {
+    const auto& nodes = platform.nodes(site);
     if (nodes.empty()) continue;
-    const net::EndpointId master_ep = platform.master_endpoint(side);
+    const net::EndpointId master_ep = platform.master_endpoint(site);
     master_infos.push_back(
-        HeadNode::MasterInfo{master_ep, preferred_store(platform, side)});
+        HeadNode::MasterInfo{master_ep, platform.store_of_cluster(site)});
     auto peers = std::make_shared<std::vector<net::EndpointId>>();
     for (const auto& node : nodes) peers->push_back(node.endpoint);
     masters.push_back(std::make_unique<MasterNode>(
-        ctx, side, master_ep, platform.head_endpoint(), *peers,
-        preferred_store(platform, side)));
+        ctx, site, master_ep, platform.head_endpoint(), *peers,
+        platform.store_of_cluster(site)));
     std::uint32_t rank = 0;
     for (const auto& node : nodes) {
       const std::size_t stat_index = ctx.recorder.nodes.size();
       NodeTimes times;
       times.name = node.name;
-      times.cluster = side;
+      times.cluster = site;
       ctx.recorder.nodes.push_back(std::move(times));
       slaves.push_back(
           std::make_unique<SlaveNode>(ctx, node, master_ep, stat_index, rank++, peers));
@@ -145,24 +139,26 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
       throw std::invalid_argument(
           "run_distributed: static assignment excludes failures and elastic mode");
     }
-    for (auto& master : masters) {
-      const auto side = master->side();
-      const auto& nodes = platform.nodes(side);
-      const storage::StoreId own = preferred_store(platform, side);
-      const bool other_side_active =
-          !platform.nodes(side == cluster::ClusterSide::Local
-                              ? cluster::ClusterSide::Cloud
-                              : cluster::ClusterSide::Local)
-               .empty();
-      std::vector<std::pair<net::EndpointId, storage::ChunkId>> plan;
-      std::size_t cursor = 0;
-      for (const auto& chunk : layout.chunks()) {
-        const bool mine = layout.store_of(chunk.id) == own ||
-                          !other_side_active;  // lone cluster takes everything
-        if (!mine) continue;
-        plan.emplace_back(nodes[cursor++ % nodes.size()].endpoint, chunk.id);
-      }
-      master->assign_static(plan);
+    // Each chunk goes to the cluster whose preferred store holds it; chunks
+    // on a store no active cluster prefers are dealt round-robin across the
+    // clusters (a lone cluster therefore takes everything).
+    std::map<storage::StoreId, std::size_t> store_owner;
+    for (std::size_t m = 0; m < masters.size(); ++m) {
+      store_owner.emplace(master_infos[m].preferred_store, m);
+    }
+    std::vector<std::vector<std::pair<net::EndpointId, storage::ChunkId>>> plans(
+        masters.size());
+    std::vector<std::size_t> cursors(masters.size(), 0);
+    std::size_t orphan_cursor = 0;
+    for (const auto& chunk : layout.chunks()) {
+      const auto it = store_owner.find(layout.store_of(chunk.id));
+      const std::size_t m =
+          it != store_owner.end() ? it->second : orphan_cursor++ % masters.size();
+      const auto& nodes = platform.nodes(masters[m]->site());
+      plans[m].emplace_back(nodes[cursors[m]++ % nodes.size()].endpoint, chunk.id);
+    }
+    for (std::size_t m = 0; m < masters.size(); ++m) {
+      masters[m]->assign_static(plans[m]);
     }
   }
 
@@ -177,7 +173,7 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
     }
     MasterNode* master = nullptr;
     for (auto& m : masters) {
-      if (m->side() == f.side) master = m.get();
+      if (m->site() == f.side) master = m.get();
     }
     if (!victim || !master) {
       throw std::logic_error("run_distributed: failure target not instantiated");
@@ -199,12 +195,14 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
   for (auto& slave : slaves) initial_active.push_back(slave.get());
   if (options.elastic.enabled) {
     initial_active.clear();
+    std::set<net::EndpointId> cloud_eps;
+    for (cluster::ClusterId site = 0; site < platform.cluster_count(); ++site) {
+      if (!platform.is_cloud(site)) continue;
+      for (const auto& node : platform.nodes(site)) cloud_eps.insert(node.endpoint);
+    }
     std::uint32_t cloud_seen = 0;
     for (auto& slave : slaves) {
-      bool is_cloud = false;
-      for (const auto& node : platform.nodes(cluster::ClusterSide::Cloud)) {
-        if (node.endpoint == slave->endpoint()) is_cloud = true;
-      }
+      const bool is_cloud = cloud_eps.count(slave->endpoint()) > 0;
       if (is_cloud && cloud_seen++ >= options.elastic.initial_cloud_nodes) {
         dormant.push_back(slave.get());
       } else {
@@ -253,8 +251,7 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
     platform.sim().schedule(des::from_seconds(options.elastic.check_interval_seconds),
                             [controller] { (*controller)(); });
   } else {
-    ctx.recorder.cloud_instance_starts.assign(
-        platform.nodes(cluster::ClusterSide::Cloud).size(), 0.0);
+    ctx.recorder.cloud_instance_starts.assign(platform.cloud_node_count(), 0.0);
   }
 
   // --- run ---------------------------------------------------------------------
@@ -273,6 +270,11 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
   result.robj = head.take_robj();
   result.cloud_instance_starts = ctx.recorder.cloud_instance_starts;
   result.elastic_activations = ctx.recorder.elastic_activations;
+  result.bytes_from_store = ctx.recorder.bytes_from_store;
+  result.clusters.resize(platform.cluster_count());
+  for (cluster::ClusterId site = 0; site < platform.cluster_count(); ++site) {
+    result.clusters[site].name = platform.site_name(site);
+  }
 
   for (const auto& node : result.nodes) {
     auto& c = result.clusters[static_cast<std::size_t>(node.cluster)];
@@ -291,12 +293,12 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
       c.sync /= c.nodes;
     }
   }
-  for (std::size_t side = 0; side < cluster::kClusterCount; ++side) {
-    auto& c = result.clusters[side];
-    c.jobs_local = ctx.recorder.jobs_local[side];
-    c.jobs_stolen = ctx.recorder.jobs_stolen[side];
-    c.bytes_local = ctx.recorder.bytes_local[side];
-    c.bytes_stolen = ctx.recorder.bytes_stolen[side];
+  for (std::size_t site = 0; site < result.clusters.size(); ++site) {
+    auto& c = result.clusters[site];
+    c.jobs_local = ctx.recorder.jobs_local[site];
+    c.jobs_stolen = ctx.recorder.jobs_stolen[site];
+    c.bytes_local = ctx.recorder.bytes_local[site];
+    c.bytes_stolen = ctx.recorder.bytes_stolen[site];
   }
 
   // Idle time: how long each cluster waited for the other to finish

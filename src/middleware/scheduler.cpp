@@ -75,16 +75,56 @@ storage::FileId JobPool::pick_remote_file(const std::vector<storage::FileId>& ca
 
 std::vector<storage::ChunkId> JobPool::take_batch(storage::StoreId preferred,
                                                   std::uint32_t want, bool reserve_remote) {
+  // Legacy two-sided form: reserving "the remote store" means reserving
+  // every non-preferred store that still holds data.
+  std::vector<storage::StoreId> reserved;
+  if (reserve_remote) {
+    for (const auto& file : layout_.files()) {
+      if (file.store == preferred) continue;
+      if (std::find(reserved.begin(), reserved.end(), file.store) == reserved.end()) {
+        reserved.push_back(file.store);
+      }
+    }
+  }
+  return take_batch(preferred, want, reserved);
+}
+
+std::vector<storage::ChunkId> JobPool::take_batch(
+    storage::StoreId preferred, std::uint32_t want,
+    const std::vector<storage::StoreId>& reserved_stores) {
   std::vector<storage::ChunkId> out;
   if (want == 0 || remaining_ == 0) return out;
   out.reserve(want);
+
+  // Remaining steal allowance per non-preferred store, computed lazily at
+  // first touch and decremented as jobs are taken. A reserved store (one
+  // another active cluster prefers) keeps its last `steal_reserve` jobs —
+  // a remote job granted in the final seconds becomes a WAN straggler while
+  // the data-local side idles. Unreserved stores are fully stealable.
+  std::map<storage::StoreId, std::uint64_t> allowance;
+  auto stealable_from = [&](storage::StoreId s) -> std::uint64_t {
+    auto it = allowance.find(s);
+    if (it == allowance.end()) {
+      const std::uint64_t avail = remaining_on(s);
+      const bool reserved = std::find(reserved_stores.begin(), reserved_stores.end(), s) !=
+                            reserved_stores.end();
+      const std::uint64_t v =
+          reserved && avail > policy_.steal_reserve ? avail - policy_.steal_reserve
+          : reserved                                ? 0
+                                                    : avail;
+      it = allowance.emplace(s, v).first;
+    }
+    return it->second;
+  };
 
   auto files_with_jobs = [&](bool on_preferred) {
     std::vector<storage::FileId> ids;
     for (std::size_t f = 0; f < files_.size(); ++f) {
       if (files_[f].chunks.empty()) continue;
-      const bool is_pref = layout_.file(static_cast<storage::FileId>(f)).store == preferred;
-      if (is_pref == on_preferred) ids.push_back(static_cast<storage::FileId>(f));
+      const storage::StoreId s = layout_.file(static_cast<storage::FileId>(f)).store;
+      if ((s == preferred) != on_preferred) continue;
+      if (!on_preferred && policy_.prefer_locality && stealable_from(s) == 0) continue;
+      ids.push_back(static_cast<storage::FileId>(f));
     }
     return ids;
   };
@@ -104,20 +144,11 @@ std::vector<storage::ChunkId> JobPool::take_batch(storage::StoreId preferred,
     // Locality off (ablation): treat all files uniformly in phase 2.
   }
 
-  // Phase 2: stealing — jobs from the other store, capped per request.
+  // Phase 2: stealing — jobs from other stores, capped per request.
   if (out.size() < want && (policy_.allow_stealing || !policy_.prefer_locality)) {
-    // Compute the steal budget: per-request cap, minus the endgame reserve
-    // (the owner's last `steal_reserve` jobs stay off limits while it is
-    // still active).
     std::size_t budget = want - out.size();
     if (policy_.prefer_locality) {
       budget = std::min<std::size_t>(budget, policy_.steal_batch_size);
-      if (reserve_remote) {
-        const std::uint64_t remote_avail = remaining_ - remaining_on(preferred);
-        const std::uint64_t stealable =
-            remote_avail > policy_.steal_reserve ? remote_avail - policy_.steal_reserve : 0;
-        budget = std::min<std::size_t>(budget, stealable);
-      }
     }
     const std::size_t target = out.size() + budget;
     while (out.size() < target) {
@@ -129,8 +160,18 @@ std::vector<storage::ChunkId> JobPool::take_batch(storage::StoreId preferred,
       }
       if (candidates.empty()) break;
       const storage::FileId file = pick_remote_file(candidates);
-      const auto remaining_want = static_cast<std::uint32_t>(target - out.size());
+      const storage::StoreId store = layout_.file(file).store;
+      auto remaining_want = static_cast<std::uint32_t>(target - out.size());
+      if (policy_.prefer_locality && store != preferred) {
+        remaining_want = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(remaining_want, stealable_from(store)));
+      }
+      const std::size_t before = out.size();
       take_from_file(file, policy_.consecutive_batches ? remaining_want : 1, out);
+      if (policy_.prefer_locality && store != preferred) {
+        allowance[store] -= out.size() - before;
+      }
+      if (out.size() == before) break;  // defensive: no forward progress
     }
   }
   return out;

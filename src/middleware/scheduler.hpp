@@ -57,10 +57,17 @@ class JobPool {
   /// Select and remove up to `want` jobs for a requester whose preferred
   /// store is `preferred`. Jobs from non-preferred stores are only returned
   /// when the preferred store is drained and stealing is enabled; when
-  /// `reserve_remote` is set (the remote store's owner cluster is still
-  /// active) its last `steal_reserve` jobs are withheld.
+  /// `reserve_remote` is set (a remote store's owner cluster is still
+  /// active) the last `steal_reserve` jobs of every non-preferred store are
+  /// withheld.
   std::vector<storage::ChunkId> take_batch(storage::StoreId preferred, std::uint32_t want,
                                            bool reserve_remote = false);
+
+  /// N-store form: each store in `reserved_stores` (the preferred stores of
+  /// the *other* still-registered clusters) keeps its last `steal_reserve`
+  /// jobs off limits; unreserved non-preferred stores are fully stealable.
+  std::vector<storage::ChunkId> take_batch(storage::StoreId preferred, std::uint32_t want,
+                                           const std::vector<storage::StoreId>& reserved_stores);
 
   bool empty() const { return remaining_ == 0; }
   std::uint64_t remaining() const { return remaining_; }

@@ -154,6 +154,51 @@ double assign_stores_by_fraction(DataLayout& layout, double fraction_on_first,
   return total == 0 ? 0.0 : static_cast<double>(assigned) / static_cast<double>(total);
 }
 
+std::vector<double> assign_stores_by_weights(DataLayout& layout,
+                                             const std::vector<double>& weights,
+                                             const std::vector<StoreId>& stores) {
+  if (stores.empty() || weights.size() != stores.size()) {
+    throw std::invalid_argument("assign_stores_by_weights: need one weight per store");
+  }
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("assign_stores_by_weights: negative weight");
+    weight_sum += w;
+  }
+  if (weight_sum <= 0.0) {
+    throw std::invalid_argument("assign_stores_by_weights: weights sum to zero");
+  }
+
+  const std::uint64_t total = layout.total_bytes();
+  std::vector<std::uint64_t> assigned(stores.size(), 0);
+  // Walk the files once; a file goes to the current store until moving on to
+  // the next store's run gets the cumulative split closer to the targets.
+  std::size_t current = 0;
+  double target_prefix = weights[0] / weight_sum * static_cast<double>(total);
+  std::uint64_t prefix = 0;
+  for (const auto& f : layout.files()) {
+    while (current + 1 < stores.size()) {
+      const double err_stay =
+          std::abs(static_cast<double>(prefix + f.bytes) - target_prefix);
+      const double err_advance = std::abs(static_cast<double>(prefix) - target_prefix);
+      if (err_stay <= err_advance) break;
+      ++current;
+      target_prefix += weights[current] / weight_sum * static_cast<double>(total);
+    }
+    layout.move_file(f.id, stores[current]);
+    assigned[current] += f.bytes;
+    prefix += f.bytes;
+  }
+
+  std::vector<double> achieved(stores.size(), 0.0);
+  if (total > 0) {
+    for (std::size_t i = 0; i < stores.size(); ++i) {
+      achieved[i] = static_cast<double>(assigned[i]) / static_cast<double>(total);
+    }
+  }
+  return achieved;
+}
+
 namespace {
 constexpr std::uint32_t kIndexMagic = 0x43424458;  // "CBDX"
 constexpr std::uint32_t kIndexVersion = 1;

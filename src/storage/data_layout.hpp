@@ -113,6 +113,14 @@ DataLayout build_layout_for_units(std::uint64_t total_units, std::uint64_t unit_
 double assign_stores_by_fraction(DataLayout& layout, double fraction_on_first,
                                  StoreId first, StoreId second);
 
+/// N-way generalization: split the files across `stores` so each store's
+/// byte share approximates its weight (contiguous whole-file runs, in store
+/// order, like the two-way version). Weights need not be normalized.
+/// Returns the achieved byte fraction per store.
+std::vector<double> assign_stores_by_weights(DataLayout& layout,
+                                             const std::vector<double>& weights,
+                                             const std::vector<StoreId>& stores);
+
 /// Serialize / parse the index file the head node reads at startup.
 void serialize_index(const DataLayout& layout, BufferWriter& out);
 DataLayout parse_index(BufferReader& in);

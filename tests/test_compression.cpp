@@ -12,7 +12,8 @@ namespace cloudburst::middleware {
 namespace {
 
 using namespace cloudburst::units;
-using cluster::ClusterSide;
+using cluster::kCloudSite;
+using cluster::kLocalSite;
 
 RunResult run_knn_1783(double ratio, double decomp = 400e6) {
   return apps::run_env(apps::Env::Hybrid1783, apps::PaperApp::Knn,
@@ -34,8 +35,8 @@ TEST(Compression, HelpsRetrievalBoundWorkloads) {
   const auto plain = run_knn_1783(1.0);
   const auto packed = run_knn_1783(2.0);
   EXPECT_LT(packed.total_time, plain.total_time);
-  EXPECT_LT(packed.side(ClusterSide::Local).retrieval,
-            plain.side(ClusterSide::Local).retrieval);
+  EXPECT_LT(packed.side(kLocalSite).retrieval,
+            plain.side(kLocalSite).retrieval);
 }
 
 TEST(Compression, HigherRatioHelpsMore) {

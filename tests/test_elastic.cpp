@@ -13,7 +13,8 @@ namespace cloudburst::middleware {
 namespace {
 
 using namespace cloudburst::units;
-using cluster::ClusterSide;
+using cluster::kCloudSite;
+using cluster::kLocalSite;
 using cluster::Platform;
 using cluster::PlatformSpec;
 

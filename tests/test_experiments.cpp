@@ -12,7 +12,8 @@ namespace cloudburst::apps {
 namespace {
 
 using namespace cloudburst::units;
-using cluster::ClusterSide;
+using cluster::kCloudSite;
+using cluster::kLocalSite;
 
 TEST(EnvConfig, MatchesPaperTable) {
   const auto local = env_config(Env::Local, PaperApp::Knn);
@@ -103,9 +104,9 @@ TEST(Shape, PagerankSyncExceedsKnnSync) {
   const auto pr = run_env(Env::Hybrid5050, PaperApp::PageRank);
   const auto kn = run_env(Env::Hybrid5050, PaperApp::Knn);
   const double pr_sync =
-      pr.side(ClusterSide::Local).sync + pr.side(ClusterSide::Cloud).sync;
+      pr.side(kLocalSite).sync + pr.side(kCloudSite).sync;
   const double kn_sync =
-      kn.side(ClusterSide::Local).sync + kn.side(ClusterSide::Cloud).sync;
+      kn.side(kLocalSite).sync + kn.side(kCloudSite).sync;
   EXPECT_GT(pr_sync, kn_sync);
 }
 
@@ -114,8 +115,8 @@ TEST(Shape, RetrievalGrowsWithSkewOnLocalCluster) {
   // clusters increases" — dominated by the local side's WAN fetches.
   const auto r50 = run_env(Env::Hybrid5050, PaperApp::Knn);
   const auto r17 = run_env(Env::Hybrid1783, PaperApp::Knn);
-  EXPECT_GT(r17.side(ClusterSide::Local).retrieval,
-            r50.side(ClusterSide::Local).retrieval);
+  EXPECT_GT(r17.side(kLocalSite).retrieval,
+            r50.side(kLocalSite).retrieval);
 }
 
 TEST(Shape, TableOneStealingPattern) {
@@ -123,10 +124,10 @@ TEST(Shape, TableOneStealingPattern) {
   // never steals in the skewed configs.
   const auto r3367 = run_env(Env::Hybrid3367, PaperApp::Knn);
   const auto r1783 = run_env(Env::Hybrid1783, PaperApp::Knn);
-  EXPECT_GT(r1783.side(ClusterSide::Local).jobs_stolen,
-            r3367.side(ClusterSide::Local).jobs_stolen);
-  EXPECT_EQ(r3367.side(ClusterSide::Cloud).jobs_stolen, 0u);
-  EXPECT_EQ(r1783.side(ClusterSide::Cloud).jobs_stolen, 0u);
+  EXPECT_GT(r1783.side(kLocalSite).jobs_stolen,
+            r3367.side(kLocalSite).jobs_stolen);
+  EXPECT_EQ(r3367.side(kCloudSite).jobs_stolen, 0u);
+  EXPECT_EQ(r1783.side(kCloudSite).jobs_stolen, 0u);
 }
 
 TEST(Shape, AverageHybridSlowdownNearPaper) {
@@ -203,9 +204,9 @@ TEST(Shape, KmeansScalesBest) {
 TEST(RunScalability, AllDataOnS3) {
   const auto result = run_scalability(PaperApp::Knn, 8);
   // Everything the local cluster processes is stolen; cloud jobs are local.
-  EXPECT_EQ(result.side(ClusterSide::Local).jobs_local, 0u);
-  EXPECT_GT(result.side(ClusterSide::Local).jobs_stolen, 0u);
-  EXPECT_EQ(result.side(ClusterSide::Cloud).jobs_stolen, 0u);
+  EXPECT_EQ(result.side(kLocalSite).jobs_local, 0u);
+  EXPECT_GT(result.side(kLocalSite).jobs_stolen, 0u);
+  EXPECT_EQ(result.side(kCloudSite).jobs_stolen, 0u);
 }
 
 TEST(RunEnv, TweakHookApplies) {

@@ -14,7 +14,8 @@ namespace cloudburst::middleware {
 namespace {
 
 using namespace cloudburst::units;
-using cluster::ClusterSide;
+using cluster::kCloudSite;
+using cluster::kLocalSite;
 using cluster::Platform;
 using cluster::PlatformSpec;
 
@@ -95,7 +96,7 @@ TEST(FaultTolerance, SingleCrashMidRunStillExactlyCorrect) {
   RunOptions o = rig.options();
   // Kill a local node mid-run: its accumulated robj (several chunks of
   // work) is lost and must be re-executed elsewhere.
-  o.failures.push_back({ClusterSide::Local, 0, 0.5 * clean.total_time});
+  o.failures.push_back({kLocalSite, 0, 0.5 * clean.total_time});
   o.failure_detection_seconds = 0.2;
   const auto result = rig.run(o);
   rig.expect_correct(result);
@@ -106,7 +107,7 @@ TEST(FaultTolerance, SingleCrashMidRunStillExactlyCorrect) {
 TEST(FaultTolerance, CrashBeforeAnyWorkIsHarmless) {
   FaultRig rig;
   RunOptions o = rig.options();
-  o.failures.push_back({ClusterSide::Cloud, 2, /*at_seconds=*/0.001});
+  o.failures.push_back({kCloudSite, 2, /*at_seconds=*/0.001});
   o.failure_detection_seconds = 0.01;
   rig.expect_correct(rig.run(o));
 }
@@ -116,7 +117,7 @@ TEST(FaultTolerance, CrashNearEndOfRunStillCorrect) {
   // Find the failure-free duration first, then kill someone at ~90% of it.
   const auto clean = rig.run(rig.options());
   RunOptions o = rig.options();
-  o.failures.push_back({ClusterSide::Local, 1, 0.9 * clean.total_time});
+  o.failures.push_back({kLocalSite, 1, 0.9 * clean.total_time});
   o.failure_detection_seconds = 0.2;
   const auto result = rig.run(o);
   rig.expect_correct(result);
@@ -127,9 +128,9 @@ TEST(FaultTolerance, MultipleCrashesAcrossClusters) {
   FaultRig rig;
   const auto clean = rig.run(rig.options());
   RunOptions o = rig.options();
-  o.failures.push_back({ClusterSide::Local, 0, 0.3 * clean.total_time});
-  o.failures.push_back({ClusterSide::Cloud, 3, 0.5 * clean.total_time});
-  o.failures.push_back({ClusterSide::Cloud, 5, 0.8 * clean.total_time});
+  o.failures.push_back({kLocalSite, 0, 0.3 * clean.total_time});
+  o.failures.push_back({kCloudSite, 3, 0.5 * clean.total_time});
+  o.failures.push_back({kCloudSite, 5, 0.8 * clean.total_time});
   o.failure_detection_seconds = 0.2;
   const auto result = rig.run(o);
   rig.expect_correct(result);
@@ -139,7 +140,7 @@ TEST(FaultTolerance, DetectionDelayDelaysRecovery) {
   FaultRig rig;
   const auto clean = rig.run(rig.options());
   RunOptions fast = rig.options();
-  fast.failures.push_back({ClusterSide::Local, 0, 0.5 * clean.total_time});
+  fast.failures.push_back({kLocalSite, 0, 0.5 * clean.total_time});
   fast.failure_detection_seconds = 0.2;
   RunOptions slow = fast;
   slow.failure_detection_seconds = 5.0 + clean.total_time;
@@ -154,22 +155,22 @@ TEST(FaultTolerance, RejectsTreeModeWithFailures) {
   FaultRig rig;
   RunOptions o = rig.options();
   o.reduction_tree = true;
-  o.failures.push_back({ClusterSide::Local, 0, 1.0});
+  o.failures.push_back({kLocalSite, 0, 1.0});
   EXPECT_THROW(rig.run(o), std::invalid_argument);
 }
 
 TEST(FaultTolerance, RejectsUnknownNode) {
   FaultRig rig;
   RunOptions o = rig.options();
-  o.failures.push_back({ClusterSide::Local, 99, 1.0});
+  o.failures.push_back({kLocalSite, 99, 1.0});
   EXPECT_THROW(rig.run(o), std::invalid_argument);
 }
 
 TEST(FaultTolerance, RejectsWipingOutACluster) {
   FaultRig rig;
   RunOptions o = rig.options();
-  o.failures.push_back({ClusterSide::Local, 0, 1.0});
-  o.failures.push_back({ClusterSide::Local, 1, 2.0});
+  o.failures.push_back({kLocalSite, 0, 1.0});
+  o.failures.push_back({kLocalSite, 1, 2.0});
   // 16 local cores == 2 nodes: killing both leaves no live slave.
   EXPECT_THROW(rig.run(o), std::invalid_argument);
 }
@@ -192,7 +193,7 @@ TEST(Checkpointing, BoundsWorkLostToACrash) {
   // processed is re-executed; with frequent checkpoints only the last
   // interval's work is.
   RunOptions no_ckpt = rig.options();
-  no_ckpt.failures.push_back({ClusterSide::Cloud, 0, 0.5 * clean.total_time});
+  no_ckpt.failures.push_back({kCloudSite, 0, 0.5 * clean.total_time});
   no_ckpt.failure_detection_seconds = 0.2;
   RunOptions ckpt = no_ckpt;
   ckpt.checkpoint_interval_seconds = 1.0;
@@ -213,7 +214,7 @@ TEST(Checkpointing, CorrectAcrossIntervals) {
   for (double interval : {0.5, 1.5, 4.0}) {
     RunOptions o = rig.options();
     o.checkpoint_interval_seconds = interval;
-    o.failures.push_back({ClusterSide::Local, 0, 0.6 * clean.total_time});
+    o.failures.push_back({kLocalSite, 0, 0.6 * clean.total_time});
     o.failure_detection_seconds = 0.2;
     rig.expect_correct(rig.run(o));
   }
@@ -234,7 +235,7 @@ TEST_P(CrashTimeSweep, CorrectAtAnyCrashPoint) {
   const auto clean = rig.run(rig.options());
   RunOptions o = rig.options();
   o.failures.push_back(
-      {ClusterSide::Cloud, 1, GetParam() * clean.total_time});
+      {kCloudSite, 1, GetParam() * clean.total_time});
   rig.expect_correct(rig.run(o));
 }
 

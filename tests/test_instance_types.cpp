@@ -28,10 +28,10 @@ TEST(InstanceCatalog, ComputeFamilyIsFasterPerCore) {
 
 TEST(TypedTestbed, BuildsRequestedFleet) {
   const auto spec = paper_testbed_typed(16, instance_type("c1.xlarge"), 3);
-  EXPECT_EQ(spec.cloud.nodes.size(), 3u);
-  EXPECT_EQ(spec.cloud.total_cores(), 24u);
-  EXPECT_DOUBLE_EQ(spec.cloud.nodes[0].core_speed, 0.913);
-  EXPECT_EQ(spec.local.total_cores(), 16u);
+  EXPECT_EQ(spec.cloud().nodes.size(), 3u);
+  EXPECT_EQ(spec.cloud().total_cores(), 24u);
+  EXPECT_DOUBLE_EQ(spec.cloud().nodes[0].core_speed, 0.913);
+  EXPECT_EQ(spec.local().total_cores(), 16u);
 }
 
 TEST(TypedRun, BillsAtTheTypePrice) {

@@ -21,7 +21,8 @@ namespace {
 
 using namespace cloudburst::units;
 using apps::PaperApp;
-using cluster::ClusterSide;
+using cluster::kCloudSite;
+using cluster::kLocalSite;
 using cluster::Platform;
 using cluster::PlatformSpec;
 
@@ -104,7 +105,7 @@ TEST(Runtime, NodeTimesAreConsistent) {
 TEST(Runtime, ClusterAggregatesMatchNodes) {
   Rig rig;
   const auto result = rig.run();
-  for (ClusterSide side : {ClusterSide::Local, ClusterSide::Cloud}) {
+  for (cluster::ClusterId side : {kLocalSite, kCloudSite}) {
     const auto& c = result.side(side);
     double proc = 0;
     std::uint32_t count = 0;
@@ -121,8 +122,8 @@ TEST(Runtime, ClusterAggregatesMatchNodes) {
 TEST(Runtime, IdleTimesComplementary) {
   Rig rig;
   const auto result = rig.run();
-  const auto& local = result.side(ClusterSide::Local);
-  const auto& cloud = result.side(ClusterSide::Cloud);
+  const auto& local = result.side(kLocalSite);
+  const auto& cloud = result.side(kCloudSite);
   // At least one side has zero idle (the later finisher).
   EXPECT_NEAR(std::min(local.idle_time, cloud.idle_time), 0.0, 1e-9);
   EXPECT_NEAR(std::abs(local.proc_end_time - cloud.proc_end_time),
@@ -135,8 +136,8 @@ TEST(Runtime, SingleClusterRunWorks) {
   rig.local_fraction = 1.0;
   const auto result = rig.run();
   EXPECT_EQ(result.total_jobs(), 24u);
-  EXPECT_EQ(result.side(ClusterSide::Cloud).nodes, 0u);
-  EXPECT_EQ(result.side(ClusterSide::Local).jobs_stolen, 0u);
+  EXPECT_EQ(result.side(kCloudSite).nodes, 0u);
+  EXPECT_EQ(result.side(kLocalSite).jobs_stolen, 0u);
 }
 
 TEST(Runtime, CloudOnlyRunWorks) {
@@ -145,16 +146,16 @@ TEST(Runtime, CloudOnlyRunWorks) {
   rig.local_fraction = 0.0;
   const auto result = rig.run();
   EXPECT_EQ(result.total_jobs(), 24u);
-  EXPECT_EQ(result.side(ClusterSide::Local).nodes, 0u);
+  EXPECT_EQ(result.side(kLocalSite).nodes, 0u);
   // All data on S3 == the cloud's own store: nothing counts as stolen.
-  EXPECT_EQ(result.side(ClusterSide::Cloud).jobs_stolen, 0u);
+  EXPECT_EQ(result.side(kCloudSite).jobs_stolen, 0u);
 }
 
 TEST(Runtime, SkewedDataCausesStealing) {
   Rig rig;
   rig.local_fraction = 1.0 / 8;  // 1 of 8 files local
   const auto result = rig.run();
-  const auto& local = result.side(ClusterSide::Local);
+  const auto& local = result.side(kLocalSite);
   EXPECT_GT(local.jobs_stolen, 0u) << "local cluster should steal S3 jobs";
   EXPECT_EQ(local.jobs_local, 3u);  // its single file's chunks
 }
@@ -166,8 +167,8 @@ TEST(Runtime, StealingDisabledPartitionsWork) {
   const auto result = rig.run();
   // Everything still gets processed (each side handles its own store)...
   EXPECT_EQ(result.total_jobs(), 24u);
-  const auto& local = result.side(ClusterSide::Local);
-  const auto& cloud = result.side(ClusterSide::Cloud);
+  const auto& local = result.side(kLocalSite);
+  const auto& cloud = result.side(kCloudSite);
   EXPECT_EQ(local.jobs_stolen + cloud.jobs_stolen, 0u);
   EXPECT_EQ(local.jobs_local, 3u);
   EXPECT_EQ(cloud.jobs_local, 21u);
@@ -193,8 +194,8 @@ TEST(Runtime, LargerRobjRaisesSync) {
   large.options.profile.robj_bytes = MiB(256);
   const auto rs = small.run();
   const auto rl = large.run();
-  const double sync_small = rs.side(ClusterSide::Local).sync + rs.side(ClusterSide::Cloud).sync;
-  const double sync_large = rl.side(ClusterSide::Local).sync + rl.side(ClusterSide::Cloud).sync;
+  const double sync_small = rs.side(kLocalSite).sync + rs.side(kCloudSite).sync;
+  const double sync_large = rl.side(kLocalSite).sync + rl.side(kCloudSite).sync;
   EXPECT_GT(sync_large, sync_small * 1.5);
 }
 
@@ -235,10 +236,10 @@ TEST(Runtime, StaticAssignmentProcessesEverythingWithoutStealing) {
   rig.local_fraction = 1.0 / 8;  // skew that pooling would steal across
   const auto result = rig.run();
   EXPECT_EQ(result.total_jobs(), 24u);
-  EXPECT_EQ(result.side(ClusterSide::Local).jobs_stolen, 0u);
-  EXPECT_EQ(result.side(ClusterSide::Cloud).jobs_stolen, 0u);
-  EXPECT_EQ(result.side(ClusterSide::Local).jobs_local, 3u);
-  EXPECT_EQ(result.side(ClusterSide::Cloud).jobs_local, 21u);
+  EXPECT_EQ(result.side(kLocalSite).jobs_stolen, 0u);
+  EXPECT_EQ(result.side(kCloudSite).jobs_stolen, 0u);
+  EXPECT_EQ(result.side(kLocalSite).jobs_local, 3u);
+  EXPECT_EQ(result.side(kCloudSite).jobs_local, 21u);
 }
 
 TEST(Runtime, StaticAssignmentLosesUnderSkew) {
@@ -266,7 +267,7 @@ TEST(Runtime, StaticAssignmentExcludesFailuresAndElastic) {
   Rig rig;
   rig.options.static_assignment = true;
   rig.options.reduction_tree = false;
-  rig.options.failures.push_back({ClusterSide::Cloud, 0, 1.0});
+  rig.options.failures.push_back({kCloudSite, 0, 1.0});
   EXPECT_THROW(rig.run(), std::invalid_argument);
 
   Rig rig2;

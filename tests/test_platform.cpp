@@ -18,46 +18,46 @@ TEST(ClusterSpec, UniformBuildsCount) {
 
 TEST(PaperTestbed, CorePartitioning) {
   const auto spec = PlatformSpec::paper_testbed(32, 32);
-  EXPECT_EQ(spec.local.nodes.size(), 4u);   // 8-core Xeon nodes
-  EXPECT_EQ(spec.cloud.nodes.size(), 16u);  // 2-core m1.large instances
-  EXPECT_EQ(spec.local.total_cores(), 32u);
-  EXPECT_EQ(spec.cloud.total_cores(), 32u);
+  EXPECT_EQ(spec.local().nodes.size(), 4u);   // 8-core Xeon nodes
+  EXPECT_EQ(spec.cloud().nodes.size(), 16u);  // 2-core m1.large instances
+  EXPECT_EQ(spec.local().total_cores(), 32u);
+  EXPECT_EQ(spec.cloud().total_cores(), 32u);
 }
 
 TEST(PaperTestbed, NonMultipleCoreCounts) {
   const auto spec = PlatformSpec::paper_testbed(12, 7);
-  EXPECT_EQ(spec.local.total_cores(), 12u);
-  EXPECT_EQ(spec.cloud.total_cores(), 7u);
-  EXPECT_EQ(spec.local.nodes.back().cores, 4u);
-  EXPECT_EQ(spec.cloud.nodes.back().cores, 1u);
+  EXPECT_EQ(spec.local().total_cores(), 12u);
+  EXPECT_EQ(spec.cloud().total_cores(), 7u);
+  EXPECT_EQ(spec.local().nodes.back().cores, 4u);
+  EXPECT_EQ(spec.cloud().nodes.back().cores, 1u);
 }
 
 TEST(PaperTestbed, KmeansRebalancedConfig) {
   const auto spec = PlatformSpec::paper_testbed(16, 22);
-  EXPECT_EQ(spec.cloud.nodes.size(), 11u);
-  EXPECT_EQ(spec.cloud.total_cores(), 22u);
+  EXPECT_EQ(spec.cloud().nodes.size(), 11u);
+  EXPECT_EQ(spec.cloud().total_cores(), 22u);
 }
 
 TEST(Platform, BuildsNodesWithEndpoints) {
   Platform platform(PlatformSpec::paper_testbed(16, 8));
-  EXPECT_EQ(platform.nodes(ClusterSide::Local).size(), 2u);
-  EXPECT_EQ(platform.nodes(ClusterSide::Cloud).size(), 4u);
+  EXPECT_EQ(platform.nodes(kLocalSite).size(), 2u);
+  EXPECT_EQ(platform.nodes(kCloudSite).size(), 4u);
   EXPECT_EQ(platform.total_nodes(), 6u);
   std::set<net::EndpointId> eps;
-  for (ClusterSide side : {ClusterSide::Local, ClusterSide::Cloud}) {
+  for (cluster::ClusterId side : {kLocalSite, kCloudSite}) {
     for (const auto& n : platform.nodes(side)) eps.insert(n.endpoint);
   }
   eps.insert(platform.head_endpoint());
-  eps.insert(platform.master_endpoint(ClusterSide::Local));
-  eps.insert(platform.master_endpoint(ClusterSide::Cloud));
+  eps.insert(platform.master_endpoint(kLocalSite));
+  eps.insert(platform.master_endpoint(kCloudSite));
   EXPECT_EQ(eps.size(), 9u);  // all endpoints distinct
 }
 
 TEST(Platform, JitterIsDeterministic) {
   Platform a(PlatformSpec::paper_testbed(16, 16));
   Platform b(PlatformSpec::paper_testbed(16, 16));
-  const auto& na = a.nodes(ClusterSide::Cloud);
-  const auto& nb = b.nodes(ClusterSide::Cloud);
+  const auto& na = a.nodes(kCloudSite);
+  const auto& nb = b.nodes(kCloudSite);
   for (std::size_t i = 0; i < na.size(); ++i) {
     EXPECT_DOUBLE_EQ(na[i].core_speed, nb[i].core_speed);
   }
@@ -67,7 +67,7 @@ TEST(Platform, JitterSpreadsSpeeds) {
   auto spec = PlatformSpec::paper_testbed(32, 32);
   spec.node_speed_jitter = 0.05;
   Platform platform(spec);
-  const auto& nodes = platform.nodes(ClusterSide::Local);
+  const auto& nodes = platform.nodes(kLocalSite);
   bool any_diff = false;
   for (std::size_t i = 1; i < nodes.size(); ++i) {
     any_diff |= nodes[i].core_speed != nodes[0].core_speed;
@@ -79,10 +79,10 @@ TEST(Platform, ZeroJitterKeepsNominalSpeeds) {
   auto spec = PlatformSpec::paper_testbed(16, 16);
   spec.node_speed_jitter = 0.0;
   Platform platform(spec);
-  for (const auto& n : platform.nodes(ClusterSide::Local)) {
+  for (const auto& n : platform.nodes(kLocalSite)) {
     EXPECT_DOUBLE_EQ(n.core_speed, 1.0);
   }
-  for (const auto& n : platform.nodes(ClusterSide::Cloud)) {
+  for (const auto& n : platform.nodes(kCloudSite)) {
     EXPECT_DOUBLE_EQ(n.core_speed, 0.73);
   }
 }
@@ -96,10 +96,10 @@ TEST(Platform, StoreRegistry) {
 
 TEST(Platform, CrossSiteLatencyIncludesWan) {
   Platform platform(PlatformSpec::paper_testbed(8, 8));
-  const auto local_node = platform.nodes(ClusterSide::Local)[0].endpoint;
-  const auto cloud_node = platform.nodes(ClusterSide::Cloud)[0].endpoint;
+  const auto local_node = platform.nodes(kLocalSite)[0].endpoint;
+  const auto cloud_node = platform.nodes(kCloudSite)[0].endpoint;
   const auto intra = platform.network().path_latency(
-      local_node, platform.master_endpoint(ClusterSide::Local));
+      local_node, platform.master_endpoint(kLocalSite));
   const auto inter = platform.network().path_latency(local_node, cloud_node);
   EXPECT_GT(inter, intra);
   EXPECT_GE(inter, platform.spec().wan_latency);
@@ -107,7 +107,7 @@ TEST(Platform, CrossSiteLatencyIncludesWan) {
 
 TEST(Platform, S3PathFromCloudAvoidsWan) {
   Platform platform(PlatformSpec::paper_testbed(8, 8));
-  const auto cloud_node = platform.nodes(ClusterSide::Cloud)[0].endpoint;
+  const auto cloud_node = platform.nodes(kCloudSite)[0].endpoint;
   const auto s3 = platform.store(platform.cloud_store_id()).endpoint();
   const auto path = platform.network().path(s3, cloud_node);
   for (net::LinkId l : path) {
@@ -117,7 +117,7 @@ TEST(Platform, S3PathFromCloudAvoidsWan) {
 
 TEST(Platform, S3PathFromLocalCrossesWan) {
   Platform platform(PlatformSpec::paper_testbed(8, 8));
-  const auto local_node = platform.nodes(ClusterSide::Local)[0].endpoint;
+  const auto local_node = platform.nodes(kLocalSite)[0].endpoint;
   const auto s3 = platform.store(platform.cloud_store_id()).endpoint();
   const auto path = platform.network().path(s3, local_node);
   bool has_wan = false;
@@ -127,11 +127,11 @@ TEST(Platform, S3PathFromLocalCrossesWan) {
 
 TEST(Platform, DiskPathFeedsLocalNodes) {
   Platform platform(PlatformSpec::paper_testbed(8, 8));
-  const auto local_node = platform.nodes(ClusterSide::Local)[0].endpoint;
+  const auto local_node = platform.nodes(kLocalSite)[0].endpoint;
   const auto disk = platform.store(platform.local_store_id()).endpoint();
   const auto path = platform.network().path(disk, local_node);
   ASSERT_EQ(path.size(), 2u);  // disk link + node NIC
-  EXPECT_EQ(platform.network().link(path[0]).name, "storage-disk");
+  EXPECT_EQ(platform.network().link(path[0]).name, "local-disk");
 }
 
 TEST(Platform, TwoProviderModeUsesObjectStoreOnBothSides) {
@@ -147,7 +147,7 @@ TEST(Platform, TwoProviderModeUsesObjectStoreOnBothSides) {
   chunk.index_in_file = 0;
   chunk.bytes = 50'000'000;
   chunk.units = 1;
-  const auto reader = platform.nodes(ClusterSide::Local)[0].endpoint;
+  const auto reader = platform.nodes(kLocalSite)[0].endpoint;
 
   double one_stream = -1, many_streams = -1;
   store.fetch(reader, chunk, 1, [&] { one_stream = des::to_seconds(platform.sim().now()); });
@@ -166,7 +166,7 @@ TEST(Platform, DefaultLocalStoreSeeks) {
   storage::ChunkInfo chunk;
   chunk.bytes = 1000;
   chunk.units = 1;
-  store.fetch(platform.nodes(ClusterSide::Local)[0].endpoint, chunk, 1, nullptr);
+  store.fetch(platform.nodes(kLocalSite)[0].endpoint, chunk, 1, nullptr);
   platform.sim().run();
   EXPECT_EQ(store.stats().seeks, 1u);
 }

@@ -14,7 +14,8 @@ namespace cloudburst::middleware {
 namespace {
 
 using namespace cloudburst::units;
-using cluster::ClusterSide;
+using cluster::kCloudSite;
+using cluster::kLocalSite;
 using cluster::Platform;
 using cluster::PlatformSpec;
 
@@ -31,7 +32,7 @@ struct Scenario {
     const auto cloud_cores = static_cast<unsigned>(2 * rng.uniform_int(1, 12));
     spec = PlatformSpec::paper_testbed(local_cores, cloud_cores);
     spec.wan_bandwidth = MBps(rng.uniform(40.0, 400.0));
-    spec.disk_bandwidth = MBps(rng.uniform(400.0, 2000.0));
+    spec.store(cluster::kLocalSite).front_bandwidth = MBps(rng.uniform(400.0, 2000.0));
 
     layout_spec.total_bytes = MiB(static_cast<std::uint64_t>(rng.uniform_int(256, 4096)));
     layout_spec.num_files = static_cast<std::uint32_t>(rng.uniform_int(2, 16));
@@ -86,7 +87,7 @@ TEST_P(RandomScenarioSweep, GlobalInvariantsHold) {
 
   // (3) Scheduler accounting matches the layout's bytes.
   std::uint64_t accounted = 0;
-  for (ClusterSide side : {ClusterSide::Local, ClusterSide::Cloud}) {
+  for (cluster::ClusterId side : {kLocalSite, kCloudSite}) {
     const auto& c = result.side(side);
     accounted += c.bytes_local + c.bytes_stolen;
   }
