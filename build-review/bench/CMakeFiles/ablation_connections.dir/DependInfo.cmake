@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_connections.cpp" "bench/CMakeFiles/ablation_connections.dir/ablation_connections.cpp.o" "gcc" "bench/CMakeFiles/ablation_connections.dir/ablation_connections.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/apps/CMakeFiles/cb_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cost/CMakeFiles/cb_cost.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/io/CMakeFiles/cb_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/middleware/CMakeFiles/cb_middleware.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cluster/CMakeFiles/cb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/storage/CMakeFiles/cb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/cb_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/des/CMakeFiles/cb_des.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/engine/CMakeFiles/cb_engine.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/api/CMakeFiles/cb_api.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/cb_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_connections.dir/ablation_connections.cpp.o"
+  "CMakeFiles/ablation_connections.dir/ablation_connections.cpp.o.d"
+  "ablation_connections"
+  "ablation_connections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_robj.dir/ablation_robj.cpp.o"
+  "CMakeFiles/ablation_robj.dir/ablation_robj.cpp.o.d"
+  "ablation_robj"
+  "ablation_robj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_robj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wan.dir/ablation_wan.cpp.o"
+  "CMakeFiles/ablation_wan.dir/ablation_wan.cpp.o.d"
+  "ablation_wan"
+  "ablation_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_comparison.dir/api_comparison.cpp.o"
+  "CMakeFiles/api_comparison.dir/api_comparison.cpp.o.d"
+  "api_comparison"
+  "api_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

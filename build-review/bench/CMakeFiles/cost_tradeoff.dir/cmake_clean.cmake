@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_tradeoff.dir/cost_tradeoff.cpp.o"
+  "CMakeFiles/cost_tradeoff.dir/cost_tradeoff.cpp.o.d"
+  "cost_tradeoff"
+  "cost_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_bursting.dir/elastic_bursting.cpp.o"
+  "CMakeFiles/elastic_bursting.dir/elastic_bursting.cpp.o.d"
+  "elastic_bursting"
+  "elastic_bursting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_bursting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_kmeans.dir/fig3_kmeans.cpp.o"
+  "CMakeFiles/fig3_kmeans.dir/fig3_kmeans.cpp.o.d"
+  "fig3_kmeans"
+  "fig3_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_knn.dir/fig3_knn.cpp.o"
+  "CMakeFiles/fig3_knn.dir/fig3_knn.cpp.o.d"
+  "fig3_knn"
+  "fig3_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

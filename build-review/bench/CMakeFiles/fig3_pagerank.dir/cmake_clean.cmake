@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pagerank.dir/fig3_pagerank.cpp.o"
+  "CMakeFiles/fig3_pagerank.dir/fig3_pagerank.cpp.o.d"
+  "fig3_pagerank"
+  "fig3_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_types.dir/instance_types.cpp.o"
+  "CMakeFiles/instance_types.dir/instance_types.cpp.o.d"
+  "instance_types"
+  "instance_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

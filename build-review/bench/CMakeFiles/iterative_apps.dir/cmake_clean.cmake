@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_apps.dir/iterative_apps.cpp.o"
+  "CMakeFiles/iterative_apps.dir/iterative_apps.cpp.o.d"
+  "iterative_apps"
+  "iterative_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_three_sites.dir/scenario_three_sites.cpp.o"
+  "CMakeFiles/scenario_three_sites.dir/scenario_three_sites.cpp.o.d"
+  "scenario_three_sites"
+  "scenario_three_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_three_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_two_providers.dir/scenario_two_providers.cpp.o"
+  "CMakeFiles/scenario_two_providers.dir/scenario_two_providers.cpp.o.d"
+  "scenario_two_providers"
+  "scenario_two_providers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_two_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

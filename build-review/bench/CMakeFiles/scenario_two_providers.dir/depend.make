@@ -1,0 +1,2 @@
+# Empty dependencies file for scenario_two_providers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_jobs.dir/table1_jobs.cpp.o"
+  "CMakeFiles/table1_jobs.dir/table1_jobs.cpp.o.d"
+  "table1_jobs"
+  "table1_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

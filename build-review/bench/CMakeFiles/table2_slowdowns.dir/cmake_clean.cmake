@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_slowdowns.dir/table2_slowdowns.cpp.o"
+  "CMakeFiles/table2_slowdowns.dir/table2_slowdowns.cpp.o.d"
+  "table2_slowdowns"
+  "table2_slowdowns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_slowdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_bursting_knn.dir/cloud_bursting_knn.cpp.o"
+  "CMakeFiles/cloud_bursting_knn.dir/cloud_bursting_knn.cpp.o.d"
+  "cloud_bursting_knn"
+  "cloud_bursting_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_bursting_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

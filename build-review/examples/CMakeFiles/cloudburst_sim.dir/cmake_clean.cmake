@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudburst_sim.dir/cloudburst_sim.cpp.o"
+  "CMakeFiles/cloudburst_sim.dir/cloudburst_sim.cpp.o.d"
+  "cloudburst_sim"
+  "cloudburst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudburst_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_organizer.dir/data_organizer.cpp.o"
+  "CMakeFiles/data_organizer.dir/data_organizer.cpp.o.d"
+  "data_organizer"
+  "data_organizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_organizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_kmeans.dir/hybrid_kmeans.cpp.o"
+  "CMakeFiles/hybrid_kmeans.dir/hybrid_kmeans.cpp.o.d"
+  "hybrid_kmeans"
+  "hybrid_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cloud_burst.dir/multi_cloud_burst.cpp.o"
+  "CMakeFiles/multi_cloud_burst.dir/multi_cloud_burst.cpp.o.d"
+  "multi_cloud_burst"
+  "multi_cloud_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cloud_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

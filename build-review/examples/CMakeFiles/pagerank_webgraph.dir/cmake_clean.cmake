@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_webgraph.dir/pagerank_webgraph.cpp.o"
+  "CMakeFiles/pagerank_webgraph.dir/pagerank_webgraph.cpp.o.d"
+  "pagerank_webgraph"
+  "pagerank_webgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_webgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

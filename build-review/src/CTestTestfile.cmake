@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("des")
+subdirs("net")
+subdirs("storage")
+subdirs("cluster")
+subdirs("api")
+subdirs("engine")
+subdirs("middleware")
+subdirs("cost")
+subdirs("trace")
+subdirs("io")
+subdirs("apps")

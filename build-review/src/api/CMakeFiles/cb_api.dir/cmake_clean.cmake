@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_api.dir/combiners.cpp.o"
+  "CMakeFiles/cb_api.dir/combiners.cpp.o.d"
+  "libcb_api.a"
+  "libcb_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_apps.dir/datagen.cpp.o"
+  "CMakeFiles/cb_apps.dir/datagen.cpp.o.d"
+  "CMakeFiles/cb_apps.dir/experiments.cpp.o"
+  "CMakeFiles/cb_apps.dir/experiments.cpp.o.d"
+  "CMakeFiles/cb_apps.dir/kmeans.cpp.o"
+  "CMakeFiles/cb_apps.dir/kmeans.cpp.o.d"
+  "CMakeFiles/cb_apps.dir/knn.cpp.o"
+  "CMakeFiles/cb_apps.dir/knn.cpp.o.d"
+  "CMakeFiles/cb_apps.dir/pagerank.cpp.o"
+  "CMakeFiles/cb_apps.dir/pagerank.cpp.o.d"
+  "CMakeFiles/cb_apps.dir/wordcount.cpp.o"
+  "CMakeFiles/cb_apps.dir/wordcount.cpp.o.d"
+  "libcb_apps.a"
+  "libcb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_cluster.dir/instance_types.cpp.o"
+  "CMakeFiles/cb_cluster.dir/instance_types.cpp.o.d"
+  "CMakeFiles/cb_cluster.dir/platform.cpp.o"
+  "CMakeFiles/cb_cluster.dir/platform.cpp.o.d"
+  "libcb_cluster.a"
+  "libcb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_common.dir/config.cpp.o"
+  "CMakeFiles/cb_common.dir/config.cpp.o.d"
+  "CMakeFiles/cb_common.dir/logging.cpp.o"
+  "CMakeFiles/cb_common.dir/logging.cpp.o.d"
+  "CMakeFiles/cb_common.dir/rng.cpp.o"
+  "CMakeFiles/cb_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cb_common.dir/stats.cpp.o"
+  "CMakeFiles/cb_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cb_common.dir/table.cpp.o"
+  "CMakeFiles/cb_common.dir/table.cpp.o.d"
+  "CMakeFiles/cb_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/cb_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/cb_common.dir/units.cpp.o"
+  "CMakeFiles/cb_common.dir/units.cpp.o.d"
+  "libcb_common.a"
+  "libcb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/cb_cost.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cb_cost.dir/planner.cpp.o"
+  "CMakeFiles/cb_cost.dir/planner.cpp.o.d"
+  "libcb_cost.a"
+  "libcb_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

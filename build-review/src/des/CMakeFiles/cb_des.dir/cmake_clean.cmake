@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_des.dir/simulator.cpp.o"
+  "CMakeFiles/cb_des.dir/simulator.cpp.o.d"
+  "libcb_des.a"
+  "libcb_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

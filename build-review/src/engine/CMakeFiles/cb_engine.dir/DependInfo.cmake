@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/gr_engine.cpp" "src/engine/CMakeFiles/cb_engine.dir/gr_engine.cpp.o" "gcc" "src/engine/CMakeFiles/cb_engine.dir/gr_engine.cpp.o.d"
+  "/root/repo/src/engine/mr_engine.cpp" "src/engine/CMakeFiles/cb_engine.dir/mr_engine.cpp.o" "gcc" "src/engine/CMakeFiles/cb_engine.dir/mr_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/api/CMakeFiles/cb_api.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

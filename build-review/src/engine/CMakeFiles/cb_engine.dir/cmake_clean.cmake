@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_engine.dir/gr_engine.cpp.o"
+  "CMakeFiles/cb_engine.dir/gr_engine.cpp.o.d"
+  "CMakeFiles/cb_engine.dir/mr_engine.cpp.o"
+  "CMakeFiles/cb_engine.dir/mr_engine.cpp.o.d"
+  "libcb_engine.a"
+  "libcb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

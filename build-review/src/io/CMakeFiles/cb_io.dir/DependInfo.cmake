@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dataset_io.cpp" "src/io/CMakeFiles/cb_io.dir/dataset_io.cpp.o" "gcc" "src/io/CMakeFiles/cb_io.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/io/file_engine.cpp" "src/io/CMakeFiles/cb_io.dir/file_engine.cpp.o" "gcc" "src/io/CMakeFiles/cb_io.dir/file_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/storage/CMakeFiles/cb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/engine/CMakeFiles/cb_engine.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/api/CMakeFiles/cb_api.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/cb_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/des/CMakeFiles/cb_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_io.dir/dataset_io.cpp.o"
+  "CMakeFiles/cb_io.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/cb_io.dir/file_engine.cpp.o"
+  "CMakeFiles/cb_io.dir/file_engine.cpp.o.d"
+  "libcb_io.a"
+  "libcb_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_middleware.dir/head_node.cpp.o"
+  "CMakeFiles/cb_middleware.dir/head_node.cpp.o.d"
+  "CMakeFiles/cb_middleware.dir/iterative.cpp.o"
+  "CMakeFiles/cb_middleware.dir/iterative.cpp.o.d"
+  "CMakeFiles/cb_middleware.dir/master_node.cpp.o"
+  "CMakeFiles/cb_middleware.dir/master_node.cpp.o.d"
+  "CMakeFiles/cb_middleware.dir/runtime.cpp.o"
+  "CMakeFiles/cb_middleware.dir/runtime.cpp.o.d"
+  "CMakeFiles/cb_middleware.dir/scheduler.cpp.o"
+  "CMakeFiles/cb_middleware.dir/scheduler.cpp.o.d"
+  "CMakeFiles/cb_middleware.dir/slave_node.cpp.o"
+  "CMakeFiles/cb_middleware.dir/slave_node.cpp.o.d"
+  "libcb_middleware.a"
+  "libcb_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

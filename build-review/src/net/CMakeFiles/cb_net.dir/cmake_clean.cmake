@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_net.dir/network.cpp.o"
+  "CMakeFiles/cb_net.dir/network.cpp.o.d"
+  "libcb_net.a"
+  "libcb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

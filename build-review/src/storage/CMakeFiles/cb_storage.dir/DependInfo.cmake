@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/data_layout.cpp" "src/storage/CMakeFiles/cb_storage.dir/data_layout.cpp.o" "gcc" "src/storage/CMakeFiles/cb_storage.dir/data_layout.cpp.o.d"
+  "/root/repo/src/storage/local_store.cpp" "src/storage/CMakeFiles/cb_storage.dir/local_store.cpp.o" "gcc" "src/storage/CMakeFiles/cb_storage.dir/local_store.cpp.o.d"
+  "/root/repo/src/storage/object_store.cpp" "src/storage/CMakeFiles/cb_storage.dir/object_store.cpp.o" "gcc" "src/storage/CMakeFiles/cb_storage.dir/object_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/net/CMakeFiles/cb_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/des/CMakeFiles/cb_des.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

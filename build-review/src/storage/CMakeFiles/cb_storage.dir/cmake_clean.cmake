@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_storage.dir/data_layout.cpp.o"
+  "CMakeFiles/cb_storage.dir/data_layout.cpp.o.d"
+  "CMakeFiles/cb_storage.dir/local_store.cpp.o"
+  "CMakeFiles/cb_storage.dir/local_store.cpp.o.d"
+  "CMakeFiles/cb_storage.dir/object_store.cpp.o"
+  "CMakeFiles/cb_storage.dir/object_store.cpp.o.d"
+  "libcb_storage.a"
+  "libcb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_trace.dir/trace.cpp.o"
+  "CMakeFiles/cb_trace.dir/trace.cpp.o.d"
+  "libcb_trace.a"
+  "libcb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combiners.dir/test_combiners.cpp.o"
+  "CMakeFiles/test_combiners.dir/test_combiners.cpp.o.d"
+  "test_combiners"
+  "test_combiners.pdb"
+  "test_combiners[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combiners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset_io.dir/test_dataset_io.cpp.o"
+  "CMakeFiles/test_dataset_io.dir/test_dataset_io.cpp.o.d"
+  "test_dataset_io"
+  "test_dataset_io.pdb"
+  "test_dataset_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instance_types.dir/test_instance_types.cpp.o"
+  "CMakeFiles/test_instance_types.dir/test_instance_types.cpp.o.d"
+  "test_instance_types"
+  "test_instance_types.pdb"
+  "test_instance_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instance_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_messaging.dir/test_messaging.cpp.o"
+  "CMakeFiles/test_messaging.dir/test_messaging.cpp.o.d"
+  "test_messaging"
+  "test_messaging.pdb"
+  "test_messaging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_middleware.dir/test_middleware.cpp.o"
+  "CMakeFiles/test_middleware.dir/test_middleware.cpp.o.d"
+  "test_middleware"
+  "test_middleware.pdb"
+  "test_middleware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nsite.dir/test_nsite.cpp.o"
+  "CMakeFiles/test_nsite.dir/test_nsite.cpp.o.d"
+  "test_nsite"
+  "test_nsite.pdb"
+  "test_nsite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nsite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

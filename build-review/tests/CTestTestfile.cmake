@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_rng[1]_include.cmake")
+include("/root/repo/build-review/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-review/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build-review/tests/test_common_misc[1]_include.cmake")
+include("/root/repo/build-review/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build-review/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build-review/tests/test_network[1]_include.cmake")
+include("/root/repo/build-review/tests/test_storage[1]_include.cmake")
+include("/root/repo/build-review/tests/test_combiners[1]_include.cmake")
+include("/root/repo/build-review/tests/test_engines[1]_include.cmake")
+include("/root/repo/build-review/tests/test_apps[1]_include.cmake")
+include("/root/repo/build-review/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build-review/tests/test_platform[1]_include.cmake")
+include("/root/repo/build-review/tests/test_middleware[1]_include.cmake")
+include("/root/repo/build-review/tests/test_experiments[1]_include.cmake")
+include("/root/repo/build-review/tests/test_cost[1]_include.cmake")
+include("/root/repo/build-review/tests/test_fault_tolerance[1]_include.cmake")
+include("/root/repo/build-review/tests/test_iterative[1]_include.cmake")
+include("/root/repo/build-review/tests/test_messaging[1]_include.cmake")
+include("/root/repo/build-review/tests/test_elastic[1]_include.cmake")
+include("/root/repo/build-review/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-review/tests/test_dataset_io[1]_include.cmake")
+include("/root/repo/build-review/tests/test_instance_types[1]_include.cmake")
+include("/root/repo/build-review/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-review/tests/test_nsite[1]_include.cmake")
+include("/root/repo/build-review/tests/test_compression[1]_include.cmake")
