@@ -1,0 +1,131 @@
+#include "cache/chunk_cache.hpp"
+
+#include <limits>
+
+namespace cloudburst::cache {
+
+const char* to_string(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::Lru: return "lru";
+    case EvictionPolicy::Lfu: return "lfu";
+    case EvictionPolicy::Fifo: return "fifo";
+  }
+  return "?";
+}
+
+storage::ChunkId ChunkCache::victim() const {
+  storage::ChunkId best_id = storage::ChunkId(0);
+  std::uint64_t best_primary = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t best_secondary = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& [id, e] : entries_) {
+    std::uint64_t primary = 0;
+    std::uint64_t secondary = e.last_used;  // tie-break: least recently used
+    switch (config_.policy) {
+      case EvictionPolicy::Lru: primary = e.last_used; break;
+      case EvictionPolicy::Lfu: primary = e.freq; break;
+      case EvictionPolicy::Fifo: primary = e.inserted; break;
+    }
+    if (primary < best_primary ||
+        (primary == best_primary && secondary < best_secondary)) {
+      best_primary = primary;
+      best_secondary = secondary;
+      best_id = id;
+    }
+  }
+  return best_id;
+}
+
+ChunkCache::InsertResult ChunkCache::insert(storage::ChunkId chunk, std::uint64_t bytes,
+                                            bool prefetched) {
+  InsertResult result;
+  if (config_.capacity_bytes == 0) return result;
+
+  if (const auto it = entries_.find(chunk); it != entries_.end()) {
+    // Refresh: a re-fetch of a resident chunk just renews its policy state.
+    ++tick_;
+    it->second.last_used = tick_;
+    ++it->second.freq;
+    result.admitted = true;
+    return result;
+  }
+
+  // Size-aware admission: one oversized object must not flush the set.
+  const double max_bytes = config_.admit_max_fraction *
+                           static_cast<double>(config_.capacity_bytes);
+  if (bytes == 0 || static_cast<double>(bytes) > max_bytes ||
+      bytes > config_.capacity_bytes) {
+    return result;
+  }
+
+  while (used_ + bytes > config_.capacity_bytes) {
+    const storage::ChunkId evictee = victim();
+    const auto it = entries_.find(evictee);
+    used_ -= it->second.bytes;
+    result.evicted.emplace_back(evictee, it->second.bytes);
+    entries_.erase(it);
+    ++evictions_;
+  }
+
+  ++tick_;
+  Entry e;
+  e.bytes = bytes;
+  e.freq = 1;
+  e.last_used = tick_;
+  e.inserted = tick_;
+  e.prefetched = prefetched;
+  entries_.emplace(chunk, e);
+  used_ += bytes;
+  ++insertions_;
+  result.admitted = true;
+  return result;
+}
+
+bool ChunkCache::hit(storage::ChunkId chunk) {
+  const auto it = entries_.find(chunk);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++tick_;
+  it->second.last_used = tick_;
+  ++it->second.freq;
+  ++hits_;
+  return true;
+}
+
+bool ChunkCache::erase(storage::ChunkId chunk) {
+  const auto it = entries_.find(chunk);
+  if (it == entries_.end()) return false;
+  used_ -= it->second.bytes;
+  entries_.erase(it);
+  return true;
+}
+
+void ChunkCache::clear() {
+  entries_.clear();
+  used_ = 0;
+}
+
+ChunkCache& CacheFleet::site(std::uint32_t site_id) {
+  const auto it = sites_.find(site_id);
+  if (it != sites_.end()) return it->second;
+  return sites_.emplace(site_id, ChunkCache(config_)).first->second;
+}
+
+void CacheFleet::clear() {
+  for (auto& [id, cache] : sites_) cache.clear();
+}
+
+std::uint64_t CacheFleet::hits() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, cache] : sites_) total += cache.hits();
+  return total;
+}
+
+std::uint64_t CacheFleet::misses() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, cache] : sites_) total += cache.misses();
+  return total;
+}
+
+}  // namespace cloudburst::cache

@@ -1,0 +1,88 @@
+#include "cache/prefetcher.hpp"
+
+#include <utility>
+
+namespace cloudburst::cache {
+
+void Prefetcher::on_pool_update(const std::deque<storage::ChunkId>& pool,
+                                const storage::DataLayout& layout) {
+  if (!config_.enabled) return;
+  layout_ = &layout;
+  for (const storage::ChunkId chunk : pool) {
+    if (queued_.count(chunk) || issued_.count(chunk)) continue;
+    if (cache_.contains(chunk)) continue;
+    if (env_.cacheable && !env_.cacheable(layout.store_of(chunk))) continue;
+    queued_.insert(chunk);
+    queue_.push_back(chunk);
+  }
+  pump();
+}
+
+void Prefetcher::cancel(storage::ChunkId chunk) {
+  // Only queue membership is revoked; an already-issued GET keeps flying and
+  // the slave joins it via wait_for instead of fetching again.
+  queued_.erase(chunk);
+}
+
+void Prefetcher::wait_for(storage::ChunkId chunk, std::function<void()> cb) {
+  inflight_.at(chunk).push_back(std::move(cb));
+}
+
+void Prefetcher::mark_consumed(storage::ChunkId chunk) {
+  if (issued_.count(chunk)) consumed_.insert(chunk);
+}
+
+std::uint64_t Prefetcher::finish() {
+  std::uint64_t wasted = 0;
+  for (const storage::ChunkId chunk : issued_) {
+    if (consumed_.count(chunk)) continue;
+    ++wasted;
+    if (env_.trace) {
+      const std::uint64_t bytes =
+          layout_ ? layout_->chunk(chunk).bytes : std::uint64_t(0);
+      env_.trace(trace::EventKind::PrefetchWasted, chunk, bytes);
+    }
+  }
+  return wasted;
+}
+
+void Prefetcher::pump() {
+  while (inflight_.size() < config_.depth && !queue_.empty()) {
+    const storage::ChunkId chunk = queue_.front();
+    queue_.pop_front();
+    if (!queued_.erase(chunk)) continue;  // cancelled while queued
+    if (issued_.count(chunk) || cache_.contains(chunk)) continue;
+
+    const storage::ChunkInfo& info = layout_->chunk(chunk);
+    storage::ChunkInfo wire = info;
+    wire.bytes = static_cast<std::uint64_t>(
+        static_cast<double>(info.bytes) / env_.compression_ratio);
+    if (wire.bytes == 0) wire.bytes = 1;
+
+    issued_.insert(chunk);
+    inflight_.emplace(chunk, std::vector<std::function<void()>>{});
+    if (env_.trace) env_.trace(trace::EventKind::PrefetchIssued, chunk, info.bytes);
+    if (env_.on_issue) env_.on_issue(layout_->store_of(chunk), info);
+
+    const std::uint64_t resident = wire.bytes;
+    env_.store(layout_->store_of(chunk))
+        .fetch(env_.dst, wire, env_.streams,
+               [this, chunk, resident] { on_prefetched(chunk, resident); });
+  }
+}
+
+void Prefetcher::on_prefetched(storage::ChunkId chunk, std::uint64_t resident_bytes) {
+  const auto result = cache_.insert(chunk, resident_bytes, /*prefetched=*/true);
+  if (env_.trace) {
+    for (const auto& [evictee, bytes] : result.evicted) {
+      env_.trace(trace::EventKind::CacheEvict, evictee, bytes);
+    }
+  }
+  const auto it = inflight_.find(chunk);
+  auto waiters = std::move(it->second);
+  inflight_.erase(it);
+  for (auto& cb : waiters) cb();
+  pump();
+}
+
+}  // namespace cloudburst::cache

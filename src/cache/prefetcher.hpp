@@ -1,0 +1,104 @@
+// Predictive prefetcher: turns the head-node scheduler's batch lookahead
+// into overlapped WAN transfers.
+//
+// When the head grants a master a consecutive batch, every chunk in the
+// cluster pool beyond the one a slave is currently fetching is *known future
+// work*. The prefetcher watches the pool and issues asynchronous
+// multi-connection GETs for those granted-but-unfetched chunks into the
+// site's ChunkCache, so the WAN transfer of job i+1 overlaps the processing
+// of job i beyond what the slave's own pipeline_depth covers.
+//
+// Guarantees:
+//  * a chunk is prefetched at most once per run (issued-set dedup), and
+//    never when it is already resident in the site cache;
+//  * a chunk assigned to a slave while its prefetch is still in flight is
+//    *joined* (the slave waits on the existing transfer) — the prefetcher
+//    never causes a second GET for the same bytes;
+//  * chunks assigned before their prefetch was issued are cancelled out of
+//    the queue (the slave's own fetch is already the transfer).
+//
+// A Prefetcher is a per-run actor (it holds simulation callbacks); the
+// ChunkCache it fills is the persistent, cross-run state. The runtime builds
+// one per compute site when CacheConfig::prefetch.enabled is set.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cache/chunk_cache.hpp"
+#include "net/network.hpp"
+#include "storage/store_service.hpp"
+#include "trace/trace.hpp"
+
+namespace cloudburst::cache {
+
+class Prefetcher {
+ public:
+  /// Narrow per-run wiring (kept free of middleware types so cb_cache stays
+  /// a leaf library under cb_middleware).
+  struct Env {
+    /// Where prefetched bytes land: the site's cache box (master endpoint).
+    net::EndpointId dst = 0;
+    /// Connections per prefetch GET.
+    unsigned streams = 1;
+    /// Stored chunks move compressed (>= 1.0; the slave fetch path divides
+    /// by the same ratio).
+    double compression_ratio = 1.0;
+    std::function<storage::StoreService&(storage::StoreId)> store;
+    std::function<bool(storage::StoreId)> cacheable;
+    /// Event sink with the actor name pre-bound ("prefetch-<site>"); may be
+    /// null when no tracer is attached.
+    std::function<void(trace::EventKind, std::uint64_t, std::uint64_t)> trace;
+    /// Accounting hook fired per issued GET (recorder bytes_from_store etc.).
+    std::function<void(storage::StoreId, const storage::ChunkInfo&)> on_issue;
+  };
+
+  Prefetcher(ChunkCache& cache, PrefetchConfig config, Env env)
+      : cache_(cache), config_(config), env_(std::move(env)) {}
+
+  /// The master's pool changed (head granted a batch): enqueue every
+  /// granted-but-unfetched chunk and fill the in-flight window.
+  void on_pool_update(const std::deque<storage::ChunkId>& pool,
+                      const storage::DataLayout& layout);
+
+  /// `chunk` was assigned to a slave: drop it from the queue if its prefetch
+  /// has not been issued yet (the slave's fetch is the transfer now).
+  void cancel(storage::ChunkId chunk);
+
+  /// A prefetch GET for `chunk` is still in flight.
+  bool in_flight(storage::ChunkId chunk) const { return inflight_.count(chunk) > 0; }
+
+  /// Join an in-flight prefetch: `cb` fires when its last byte lands.
+  void wait_for(storage::ChunkId chunk, std::function<void()> cb);
+
+  /// A slave consumed a prefetched chunk (joined it or hit it in the cache).
+  void mark_consumed(storage::ChunkId chunk);
+
+  /// End of run: emit PrefetchWasted for every issued-but-never-consumed
+  /// chunk and return how many there were.
+  std::uint64_t finish();
+
+  std::uint64_t issued_count() const { return issued_.size(); }
+  std::uint64_t consumed_count() const { return consumed_.size(); }
+
+ private:
+  void pump();
+  void on_prefetched(storage::ChunkId chunk, std::uint64_t resident_bytes);
+
+  ChunkCache& cache_;
+  PrefetchConfig config_;
+  Env env_;
+  const storage::DataLayout* layout_ = nullptr;
+
+  std::deque<storage::ChunkId> queue_;  ///< candidate order
+  std::set<storage::ChunkId> queued_;   ///< authoritative queue membership
+  std::map<storage::ChunkId, std::vector<std::function<void()>>> inflight_;
+  std::set<storage::ChunkId> issued_;
+  std::set<storage::ChunkId> consumed_;
+};
+
+}  // namespace cloudburst::cache

@@ -126,8 +126,12 @@ Platform::Platform(const PlatformSpec& spec) : spec_(spec) {
   // Deprecated two-provider toggle: rewrite site 0's store into an object
   // store before building anything (request latency / per-connection cap
   // borrowed from the first object store in the spec, as the old API did
-  // with the S3 parameters).
-  if (spec_.local_store_is_object) {
+  // with the S3 parameters). This is the shim's one sanctioned reader.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const bool legacy_object_toggle = spec_.local_store_is_object;
+#pragma GCC diagnostic pop
+  if (legacy_object_toggle) {
     log::warn("platform",
               "PlatformSpec::local_store_is_object is deprecated; give site 0 an "
               "object StoreSpec instead");

@@ -132,7 +132,21 @@ struct PlatformSpec {
   /// 0's store into an object store (capacity unchanged, request latency and
   /// per-connection cap taken from site 1's object store). Express the
   /// topology through `sites` directly instead.
+  [[deprecated("give site 0 an object StoreSpec instead (SiteSpec store affinity)")]]
   bool local_store_is_object = false;
+
+  // Defaulted here (instead of implicitly) so that copying/moving a spec does
+  // not trip -Wdeprecated-declarations on the member above; only code that
+  // names `local_store_is_object` directly gets warned.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  PlatformSpec() = default;
+  PlatformSpec(const PlatformSpec&) = default;
+  PlatformSpec(PlatformSpec&&) = default;
+  PlatformSpec& operator=(const PlatformSpec&) = default;
+  PlatformSpec& operator=(PlatformSpec&&) = default;
+  ~PlatformSpec() = default;
+#pragma GCC diagnostic pop
 
   // --- thin two-sided aliases ----------------------------------------------
   SiteSpec& site(ClusterId id) { return sites.at(id); }

@@ -73,8 +73,17 @@ CostReport price_run(const middleware::RunResult& result, cluster::Platform& pla
     for (cluster::ClusterId c = 0; c < platform.cluster_count(); ++c) {
       if (c == owner) continue;
       if (c < result.bytes_from_store.size() && s < result.bytes_from_store[c].size()) {
-        inputs.bytes_out_of_cloud += static_cast<std::uint64_t>(
-            static_cast<double>(result.bytes_from_store[c][s]) / ratio);
+        // Site caches: bytes served locally were charged to the store at
+        // assignment time but never crossed the egress boundary — credit
+        // them back before pricing. (GET savings need no credit: a cache hit
+        // never reaches the store, so stats().requests already excludes it.)
+        std::uint64_t bytes = result.bytes_from_store[c][s];
+        if (c < result.bytes_from_cache.size() &&
+            s < result.bytes_from_cache[c].size()) {
+          bytes -= std::min(bytes, result.bytes_from_cache[c][s]);
+        }
+        inputs.bytes_out_of_cloud +=
+            static_cast<std::uint64_t>(static_cast<double>(bytes) / ratio);
       }
     }
   }

@@ -27,6 +27,10 @@ namespace cloudburst::middleware {
 struct IterativeRequest {
   cluster::PlatformSpec platform_spec;
   const storage::DataLayout* layout = nullptr;
+  /// Note on site caches: every pass rebuilds the Platform, but a caller-owned
+  /// CacheFleet attached via options.cache survives the rebuilds — pass 1+
+  /// hits on what pass 0 fetched (the warm-start speedup). Call
+  /// fleet.clear() before run_iterative for a cold start.
   RunOptions options;
   std::size_t iterations = 1;
 
@@ -45,6 +49,34 @@ struct IterativeResult {
 
   /// Finalized robj of the last pass (real runs).
   api::RobjPtr final_robj;
+
+  /// Total node-seconds spent with an outstanding chunk fetch, across every
+  /// pass and node — the remote-retrieval time a site cache attacks. With a
+  /// warm cache only pass 0 pays the WAN; later passes pay local reads.
+  double total_retrieval_seconds() const {
+    double total = 0.0;
+    for (const auto& pass : passes) {
+      for (const auto& node : pass.nodes) total += node.retrieval;
+    }
+    return total;
+  }
+
+  /// Range GETs against object stores, summed over the passes.
+  std::uint64_t s3_get_requests() const {
+    std::uint64_t total = 0;
+    for (const auto& pass : passes) total += pass.s3_get_requests;
+    return total;
+  }
+
+  /// Hit fraction across every pass's fetches (0 when no cache ran).
+  double cache_hit_rate() const {
+    double hits = 0.0, misses = 0.0;
+    for (const auto& pass : passes) {
+      hits += pass.cache_hits();
+      misses += pass.cache_misses();
+    }
+    return hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+  }
 };
 
 /// Simulated time of broadcasting `robj_bytes` from the head to every slave

@@ -36,6 +36,11 @@ void MasterNode::handle(net::EndpointId from, Message msg) {
       for (storage::ChunkId c : msg.batch) pool_.push_back(c);
       if (msg.exhausted) no_more_ = true;
       serve_waiting();
+      // Whatever stayed in the pool after serving the waiters is granted but
+      // unfetched — exactly the lookahead the prefetcher feeds on.
+      if (cache::Prefetcher* pf = ctx_.prefetcher(site_)) {
+        pf->on_pool_update(pool_, ctx_.layout);
+      }
       maybe_refill();
       if (!ctx_.options.reduction_tree) maybe_commit();
       break;
@@ -195,6 +200,11 @@ void MasterNode::assign_to(net::EndpointId slave) {
 void MasterNode::push_assign(storage::ChunkId chunk, net::EndpointId slave) {
   const storage::ChunkInfo& info = ctx_.layout.chunk(chunk);
   last_read_[slave] = {info.file, info.index_in_file + 1};
+  if (cache::Prefetcher* pf = ctx_.prefetcher(site_)) {
+    // Assigned now: if its prefetch has not been issued the slave's own fetch
+    // is the transfer (an already-airborne GET stays up and gets joined).
+    pf->cancel(chunk);
+  }
   account_assignment(chunk);
   if (!ctx_.options.reduction_tree) {
     inflight_[slave].push_back(chunk);

@@ -3,9 +3,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "api/generalized_reduction.hpp"
+#include "cache/chunk_cache.hpp"
+#include "cache/prefetcher.hpp"
 #include "cluster/platform.hpp"
 #include "engine/memory_dataset.hpp"
 #include "middleware/app_profile.hpp"
@@ -88,6 +91,12 @@ struct RunOptions {
   /// Optional event tracer (owned by the caller); records assignments,
   /// fetches, processing, robj movement, failures, activations.
   trace::Tracer* tracer = nullptr;
+
+  /// Optional site-local chunk caches (owned by the caller so contents
+  /// survive run_iterative's per-pass Platform rebuilds). nullptr (the
+  /// default) keeps every fetch on the store path — paper-fidelity runs are
+  /// byte-identical with no fleet attached.
+  cache::CacheFleet* cache = nullptr;
 };
 
 /// Mutable per-run recorder; actors write, the runtime aggregates.
@@ -103,6 +112,15 @@ struct RunRecorder {
   std::vector<std::uint64_t> bytes_stolen;
   /// Bytes cluster c fetched from store s: bytes_from_store[c][s].
   std::vector<std::vector<std::uint64_t>> bytes_from_store;
+  /// Bytes cluster c served from its site cache that bytes_from_store
+  /// already charged to store s at assignment time (the cost model credits
+  /// these back so only physically transferred bytes are billed as egress).
+  std::vector<std::vector<std::uint64_t>> bytes_from_cache;
+  // Cache / prefetch accounting, per cluster.
+  std::vector<std::uint32_t> cache_hits;
+  std::vector<std::uint32_t> cache_misses;
+  std::vector<std::uint32_t> prefetch_issued;
+  std::vector<std::uint32_t> prefetch_wasted;
   double end_time = 0.0;
   bool finished = false;
 
@@ -113,6 +131,11 @@ struct RunRecorder {
     bytes_local.assign(clusters, 0);
     bytes_stolen.assign(clusters, 0);
     bytes_from_store.assign(clusters, std::vector<std::uint64_t>(stores, 0));
+    bytes_from_cache.assign(clusters, std::vector<std::uint64_t>(stores, 0));
+    cache_hits.assign(clusters, 0);
+    cache_misses.assign(clusters, 0);
+    prefetch_issued.assign(clusters, 0);
+    prefetch_wasted.assign(clusters, 0);
   }
 };
 
@@ -126,6 +149,33 @@ struct RunContext {
   /// Global unit offset of each chunk (prefix sums over chunk ids); only
   /// populated for real-execution runs.
   std::vector<std::uint64_t> chunk_unit_offset;
+
+  /// Per-site prefetchers, indexed by ClusterId; empty (or null entries)
+  /// unless the attached cache fleet enables prefetching.
+  std::vector<std::unique_ptr<cache::Prefetcher>> prefetchers;
+
+  /// Should reads from `store` go through site `site`'s cache? Object-kind
+  /// stores always qualify (they pay request latency and GET pricing even
+  /// from their own site); any store other than the site's affinity store
+  /// qualifies (WAN path); the site's own disk only if cache_local_reads.
+  bool store_cacheable(cluster::ClusterId site, storage::StoreId store) const {
+    if (!options.cache) return false;
+    const cluster::ClusterId owner = platform.owner_of_store(store);
+    const auto& store_spec = platform.spec().sites.at(owner).store;
+    if (store_spec && store_spec->kind == cluster::StoreSpec::Kind::Object) return true;
+    if (store != platform.store_of_cluster(site)) return true;
+    return options.cache->config().cache_local_reads;
+  }
+
+  /// Site `site`'s cache, iff a fleet is attached and `store` is cacheable.
+  cache::ChunkCache* site_cache(cluster::ClusterId site, storage::StoreId store) {
+    if (!store_cacheable(site, store)) return nullptr;
+    return &options.cache->site(site);
+  }
+
+  cache::Prefetcher* prefetcher(cluster::ClusterId site) {
+    return site < prefetchers.size() ? prefetchers[site].get() : nullptr;
+  }
 
   des::Simulator& sim() { return platform.sim(); }
   double now_seconds() const { return des::to_seconds(platform.sim().now()); }

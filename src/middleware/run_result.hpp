@@ -38,6 +38,12 @@ struct ClusterResult {
   std::uint64_t bytes_local = 0;
   std::uint64_t bytes_stolen = 0;
 
+  // Site-cache accounting (all zero when no cache fleet is attached).
+  std::uint32_t cache_hits = 0;       ///< fetches served by the site cache
+  std::uint32_t cache_misses = 0;     ///< fetches that went to the store
+  std::uint32_t prefetch_issued = 0;  ///< speculative GETs the prefetcher sent
+  std::uint32_t prefetch_wasted = 0;  ///< issued but never consumed by a slave
+
   double proc_end_time = 0.0;  ///< when the cluster's last slave finished processing
   double idle_time = 0.0;      ///< waiting for the other clusters at the end
   std::uint32_t nodes = 0;
@@ -54,6 +60,18 @@ struct RunResult {
   /// out of a cloud store).
   std::vector<std::vector<std::uint64_t>> bytes_from_store;
 
+  /// Bytes of bytes_from_store that the site cache actually served —
+  /// assignment-time accounting charged them to the store, but no WAN
+  /// transfer happened. The cost model credits these back.
+  std::vector<std::vector<std::uint64_t>> bytes_from_cache;
+
+  /// Requests each store served during the run (fetch calls; an object store
+  /// issues retrieval_streams range GETs per request).
+  std::vector<std::uint64_t> store_requests;
+  /// Range GETs against object-kind stores (requests x streams) — the number
+  /// the cost model prices and the benches report as "S3 requests".
+  std::uint64_t s3_get_requests = 0;
+
   /// Activation time of each *billed* cloud instance (0.0 = rented from the
   /// start). For non-elastic runs this is one zero per cloud instance;
   /// elastic runs append booted instances at their activation times.
@@ -69,6 +87,32 @@ struct RunResult {
     std::uint32_t n = 0;
     for (const auto& c : clusters) n += c.jobs_local + c.jobs_stolen;
     return n;
+  }
+
+  std::uint32_t cache_hits() const {
+    std::uint32_t n = 0;
+    for (const auto& c : clusters) n += c.cache_hits;
+    return n;
+  }
+  std::uint32_t cache_misses() const {
+    std::uint32_t n = 0;
+    for (const auto& c : clusters) n += c.cache_misses;
+    return n;
+  }
+  std::uint32_t prefetch_issued() const {
+    std::uint32_t n = 0;
+    for (const auto& c : clusters) n += c.prefetch_issued;
+    return n;
+  }
+  std::uint32_t prefetch_wasted() const {
+    std::uint32_t n = 0;
+    for (const auto& c : clusters) n += c.prefetch_wasted;
+    return n;
+  }
+  /// Fraction of fetches the site caches served; 0 when no cache ran.
+  double cache_hit_rate() const {
+    const double total = static_cast<double>(cache_hits()) + cache_misses();
+    return total > 0.0 ? static_cast<double>(cache_hits()) / total : 0.0;
   }
 };
 

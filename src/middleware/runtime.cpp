@@ -1,5 +1,6 @@
 #include "middleware/runtime.hpp"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
@@ -66,7 +67,7 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
   }
 
   net::Postman<Message> postman(platform.network());
-  RunContext ctx{platform, layout, options, postman, RunRecorder{}, {}};
+  RunContext ctx{platform, layout, options, postman, RunRecorder{}, {}, {}};
   ctx.recorder.init(platform.cluster_count(), platform.store_count());
 
   // Real execution: map chunk ids to dataset unit offsets.
@@ -83,6 +84,38 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
     if (offset != options.dataset->units()) {
       throw std::invalid_argument(
           "run_distributed: layout units do not tile the dataset exactly");
+    }
+  }
+
+  // --- prefetchers ------------------------------------------------------------
+  // One per compute site when the attached cache fleet enables prefetching.
+  // The Env hooks close over ctx/platform, which outlive the prefetchers
+  // (both live to the end of this function).
+  if (options.cache && options.cache->config().prefetch.enabled) {
+    const cache::CacheConfig& cfg = options.cache->config();
+    ctx.prefetchers.resize(platform.cluster_count());
+    for (cluster::ClusterId site = 0; site < platform.cluster_count(); ++site) {
+      if (platform.nodes(site).empty()) continue;
+      cache::Prefetcher::Env env;
+      env.dst = platform.master_endpoint(site);
+      env.streams = cfg.prefetch.streams ? cfg.prefetch.streams
+                                         : std::max(1u, options.retrieval_streams);
+      env.compression_ratio = std::max(1.0, options.profile.compression_ratio);
+      env.store = [&platform](storage::StoreId s) -> storage::StoreService& {
+        return platform.store(s);
+      };
+      env.cacheable = [&ctx, site](storage::StoreId s) {
+        return ctx.store_cacheable(site, s);
+      };
+      const std::string pf_name = "prefetch-" + platform.site_name(site);
+      env.trace = [&ctx, pf_name](trace::EventKind kind, std::uint64_t a,
+                                  std::uint64_t b) { ctx.trace(kind, pf_name, a, b); };
+      env.on_issue = [&ctx, site](storage::StoreId s, const storage::ChunkInfo& info) {
+        ++ctx.recorder.prefetch_issued[site];
+        ctx.recorder.bytes_from_store[site][s] += info.bytes;
+      };
+      ctx.prefetchers[site] = std::make_unique<cache::Prefetcher>(
+          options.cache->site(site), cfg.prefetch, std::move(env));
     }
   }
 
@@ -263,6 +296,15 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
     throw std::runtime_error("run_distributed: simulation drained without completing the run");
   }
 
+  // Prefetches nobody consumed were wasted WAN work; settle them now that
+  // every in-flight transfer has drained.
+  for (cluster::ClusterId site = 0; site < ctx.prefetchers.size(); ++site) {
+    if (ctx.prefetchers[site]) {
+      ctx.recorder.prefetch_wasted[site] +=
+          static_cast<std::uint32_t>(ctx.prefetchers[site]->finish());
+    }
+  }
+
   // --- aggregate ----------------------------------------------------------------
   RunResult result;
   result.total_time = ctx.recorder.end_time;
@@ -271,6 +313,17 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
   result.cloud_instance_starts = ctx.recorder.cloud_instance_starts;
   result.elastic_activations = ctx.recorder.elastic_activations;
   result.bytes_from_store = ctx.recorder.bytes_from_store;
+  result.bytes_from_cache = ctx.recorder.bytes_from_cache;
+  result.store_requests.resize(platform.store_count());
+  for (storage::StoreId s = 0; s < platform.store_count(); ++s) {
+    result.store_requests[s] = platform.store(s).stats().requests;
+    const auto& store_spec =
+        platform.spec().sites.at(platform.owner_of_store(s)).store;
+    if (store_spec && store_spec->kind == cluster::StoreSpec::Kind::Object) {
+      result.s3_get_requests +=
+          result.store_requests[s] * std::max(1u, options.retrieval_streams);
+    }
+  }
   result.clusters.resize(platform.cluster_count());
   for (cluster::ClusterId site = 0; site < platform.cluster_count(); ++site) {
     result.clusters[site].name = platform.site_name(site);
@@ -299,6 +352,10 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
     c.jobs_stolen = ctx.recorder.jobs_stolen[site];
     c.bytes_local = ctx.recorder.bytes_local[site];
     c.bytes_stolen = ctx.recorder.bytes_stolen[site];
+    c.cache_hits = ctx.recorder.cache_hits[site];
+    c.cache_misses = ctx.recorder.cache_misses[site];
+    c.prefetch_issued = ctx.recorder.prefetch_issued[site];
+    c.prefetch_wasted = ctx.recorder.prefetch_wasted[site];
   }
 
   // Idle time: how long each cluster waited for the other to finish

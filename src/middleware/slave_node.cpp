@@ -85,14 +85,64 @@ void SlaveNode::on_assigned(storage::ChunkId chunk) {
   ctx_.trace(trace::EventKind::JobAssigned, node_.name, chunk);
 
   storage::ChunkInfo info = ctx_.layout.chunk(chunk);
+  const std::uint64_t full_bytes = info.bytes;
   // Compressed storage: fewer bytes move; decompression is charged to the
   // processing phase below.
   const double ratio = std::max(1.0, ctx_.options.profile.compression_ratio);
   info.bytes = static_cast<std::uint64_t>(static_cast<double>(info.bytes) / ratio);
+  const storage::StoreId store_id = ctx_.layout.store_of(chunk);
   fetch_start_[chunk] = ctx_.now_seconds();
-  ctx_.trace(trace::EventKind::FetchStart, node_.name, chunk,
-             ctx_.layout.store_of(chunk));
-  storage::StoreService& store = ctx_.platform.store(ctx_.layout.store_of(chunk));
+  ctx_.trace(trace::EventKind::FetchStart, node_.name, chunk, store_id);
+
+  if (cache::ChunkCache* cache = ctx_.site_cache(node_.cluster, store_id)) {
+    cache::Prefetcher* pf = ctx_.prefetcher(node_.cluster);
+    if (cache->hit(chunk)) {
+      // Hit: the bytes are on the site's scratch disk — pay the local read
+      // model, skip the store entirely (no GET, no WAN flow), and credit the
+      // egress bytes the master charged at assignment.
+      ++ctx_.recorder.cache_hits[node_.cluster];
+      ctx_.recorder.bytes_from_cache[node_.cluster][store_id] += full_bytes;
+      ctx_.trace(trace::EventKind::CacheHit, node_.name, chunk, info.bytes);
+      if (pf) pf->mark_consumed(chunk);
+      const cache::CacheConfig& cfg = ctx_.options.cache->config();
+      const double delay = cfg.hit_latency_seconds +
+                           static_cast<double>(info.bytes) / cfg.hit_bandwidth;
+      ctx_.sim().schedule(des::from_seconds(delay), [this, chunk] {
+        if (alive_) on_fetched(chunk);
+      });
+      return;
+    }
+    if (pf && pf->in_flight(chunk)) {
+      // The prefetcher already has this chunk's GET in the air: join it
+      // instead of fetching the same bytes twice. Counts as a hit (the
+      // prefetch transfer is the one charged at issue time).
+      ++ctx_.recorder.cache_hits[node_.cluster];
+      ctx_.recorder.bytes_from_cache[node_.cluster][store_id] += full_bytes;
+      ctx_.trace(trace::EventKind::CacheHit, node_.name, chunk, info.bytes);
+      pf->mark_consumed(chunk);
+      pf->wait_for(chunk, [this, chunk] {
+        if (alive_) on_fetched(chunk);
+      });
+      return;
+    }
+    // Miss: fetch from the store and admit the chunk on arrival.
+    ++ctx_.recorder.cache_misses[node_.cluster];
+    ctx_.trace(trace::EventKind::CacheMiss, node_.name, chunk, store_id);
+    const std::uint64_t resident = info.bytes;
+    storage::StoreService& store = ctx_.platform.store(store_id);
+    store.fetch(node_.endpoint, info, ctx_.options.retrieval_streams,
+                [this, chunk, cache, resident] {
+                  if (!alive_) return;
+                  const auto result = cache->insert(chunk, resident);
+                  for (const auto& [evictee, bytes] : result.evicted) {
+                    ctx_.trace(trace::EventKind::CacheEvict, node_.name, evictee, bytes);
+                  }
+                  on_fetched(chunk);
+                });
+    return;
+  }
+
+  storage::StoreService& store = ctx_.platform.store(store_id);
   store.fetch(node_.endpoint, info, ctx_.options.retrieval_streams, [this, chunk] {
     if (alive_) on_fetched(chunk);
   });

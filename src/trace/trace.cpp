@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <set>
 
 namespace cloudburst::trace {
 
@@ -19,6 +20,11 @@ const char* to_string(EventKind kind) {
     case EventKind::BatchGranted: return "BatchGranted";
     case EventKind::SlaveFailed: return "SlaveFailed";
     case EventKind::InstanceActivated: return "InstanceActivated";
+    case EventKind::CacheHit: return "CacheHit";
+    case EventKind::CacheMiss: return "CacheMiss";
+    case EventKind::CacheEvict: return "CacheEvict";
+    case EventKind::PrefetchIssued: return "PrefetchIssued";
+    case EventKind::PrefetchWasted: return "PrefetchWasted";
     case EventKind::RunEnd: return "RunEnd";
   }
   return "?";
@@ -58,19 +64,23 @@ std::string Tracer::render_gantt(std::size_t width) const {
   // Per-actor interval lists for fetch and process activity.
   struct Row {
     std::vector<std::pair<double, double>> fetch;
+    std::vector<std::pair<double, double>> cache_fetch;  ///< served by the site cache
     std::vector<std::pair<double, double>> process;
     std::map<std::uint64_t, double> open_fetch;
     std::map<std::uint64_t, double> open_process;
+    std::set<std::uint64_t> cache_hits;  ///< chunks this actor hit in cache
   };
   std::map<std::string, Row> rows;
   for (const Event& e : events_) {
     switch (e.kind) {
       case EventKind::FetchStart: rows[e.actor].open_fetch[e.a] = e.t; break;
+      case EventKind::CacheHit: rows[e.actor].cache_hits.insert(e.a); break;
       case EventKind::FetchEnd: {
         auto& row = rows[e.actor];
         const auto it = row.open_fetch.find(e.a);
         if (it != row.open_fetch.end()) {
-          row.fetch.emplace_back(it->second, e.t);
+          auto& spans = row.cache_hits.count(e.a) ? row.cache_fetch : row.fetch;
+          spans.emplace_back(it->second, e.t);
           row.open_fetch.erase(it);
         }
         break;
@@ -103,14 +113,15 @@ std::string Tracer::render_gantt(std::size_t width) const {
                 t_end);
   out += header;
   for (const auto& [actor, row] : rows) {
-    if (row.fetch.empty() && row.process.empty()) continue;
+    if (row.fetch.empty() && row.cache_fetch.empty() && row.process.empty()) continue;
     std::string bar(width, '.');
     for (std::size_t i = 0; i < width; ++i) {
       const double lo = t_end * static_cast<double>(i) / static_cast<double>(width);
       const double hi = t_end * static_cast<double>(i + 1) / static_cast<double>(width);
       const bool f = covers(row.fetch, lo, hi);
+      const bool c = covers(row.cache_fetch, lo, hi);
       const bool p = covers(row.process, lo, hi);
-      bar[i] = f && p ? '*' : (p ? 'P' : (f ? 'f' : '.'));
+      bar[i] = p && (f || c) ? '*' : (p ? 'P' : (f ? 'f' : (c ? 'c' : '.')));
     }
     char line[160];
     std::snprintf(line, sizeof(line), "%-16s |%s|\n", actor.c_str(), bar.c_str());

@@ -28,6 +28,11 @@ enum class EventKind : std::uint8_t {
   BatchGranted,   ///< actor = master, a = jobs granted, b = exhausted flag
   SlaveFailed,    ///< actor = slave
   InstanceActivated,  ///< actor = slave
+  CacheHit,       ///< actor = slave, a = chunk id, b = resident bytes
+  CacheMiss,      ///< actor = slave, a = chunk id, b = store id
+  CacheEvict,     ///< actor = slave or prefetcher, a = chunk id, b = bytes
+  PrefetchIssued, ///< actor = prefetcher, a = chunk id, b = bytes
+  PrefetchWasted, ///< actor = prefetcher, a = chunk id, b = bytes
   RunEnd,         ///< actor = head
 };
 
@@ -54,7 +59,8 @@ class Tracer {
   std::string to_jsonl() const;
 
   /// ASCII Gantt: one row per actor that has Fetch/Process events;
-  /// '.' idle, 'f' fetching, 'P' processing, '*' both (pipelined).
+  /// '.' idle, 'f' fetching over the WAN, 'c' fetching from the site cache,
+  /// 'P' processing, '*' fetch and process overlapping (pipelined).
   std::string render_gantt(std::size_t width = 80) const;
 
  private:

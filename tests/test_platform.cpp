@@ -136,7 +136,12 @@ TEST(Platform, DiskPathFeedsLocalNodes) {
 
 TEST(Platform, TwoProviderModeUsesObjectStoreOnBothSides) {
   auto spec = PlatformSpec::paper_testbed(8, 8);
+  // Exercising the deprecated shim on purpose: it must keep working until
+  // removal, even though new code gets warned off it.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   spec.local_store_is_object = true;
+#pragma GCC diagnostic pop
   Platform platform(spec);
   // The "local" store must now behave like an object store: no seeks, and
   // multi-stream fetches must beat the per-connection cap.

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "apps/experiments.hpp"
+#include "cache/chunk_cache.hpp"
 #include "common/units.hpp"
 #include "middleware/runtime.hpp"
 #include "trace/trace.hpp"
@@ -140,6 +142,72 @@ TEST(TracedRun, GanttRendersEveryNode) {
   for (const auto& n : run.result.nodes) {
     EXPECT_NE(gantt.find(n.name), std::string::npos) << n.name;
   }
+}
+
+// --- cache-enabled runs ------------------------------------------------------
+//
+// Same audit with a site cache + prefetcher attached. Note: no monotone-time
+// assertion here on purpose — PrefetchWasted/CacheEvict bookkeeping events are
+// emitted when the run drains, after RunEnd.
+
+struct CacheTracedRun {
+  Tracer cold;
+  Tracer warm;
+};
+
+CacheTracedRun cache_traced_run() {
+  CacheTracedRun out;
+  cache::CacheConfig cfg;
+  cfg.capacity_bytes = GiB(16);
+  cfg.prefetch.enabled = true;
+  cfg.prefetch.depth = 4;
+  cache::CacheFleet fleet(cfg);
+  for (Tracer* tracer : {&out.cold, &out.warm}) {
+    apps::run_env(apps::Env::Cloud, apps::PaperApp::Knn,
+                  [&](cluster::PlatformSpec&, middleware::RunOptions& o) {
+                    o.tracer = tracer;
+                    o.cache = &fleet;
+                  });
+  }
+  return out;
+}
+
+TEST(CacheTracedRun, FetchEventsStillPair) {
+  const auto run = cache_traced_run();
+  for (const Tracer* t : {&run.cold, &run.warm}) {
+    EXPECT_EQ(t->count(EventKind::FetchStart), t->count(EventKind::FetchEnd));
+    EXPECT_EQ(t->count(EventKind::CacheHit) + t->count(EventKind::CacheMiss), 96u);
+  }
+  // Second pass on the same fleet: everything is resident.
+  EXPECT_EQ(run.warm.count(EventKind::CacheHit), 96u);
+  EXPECT_EQ(run.warm.count(EventKind::CacheMiss), 0u);
+  EXPECT_GT(run.cold.count(EventKind::CacheMiss), 0u);
+}
+
+TEST(CacheTracedRun, EveryPrefetchResolvesToHitOrWasted) {
+  const auto run = cache_traced_run();
+  std::set<std::uint64_t> issued, resolved;
+  for (const auto& e : run.cold.events()) {
+    if (e.kind == EventKind::PrefetchIssued) {
+      EXPECT_TRUE(issued.insert(e.a).second) << "chunk " << e.a << " issued twice";
+    }
+    if (e.kind == EventKind::CacheHit || e.kind == EventKind::PrefetchWasted) {
+      resolved.insert(e.a);
+    }
+  }
+  EXPECT_GT(issued.size(), 0u);
+  for (std::uint64_t chunk : issued) {
+    EXPECT_TRUE(resolved.count(chunk)) << "prefetched chunk " << chunk
+                                       << " neither consumed nor marked wasted";
+  }
+}
+
+TEST(CacheTracedRun, GanttDistinguishesCacheHitFetches) {
+  const auto run = cache_traced_run();
+  // Cold pass pulls from the store ('f' WAN fetch spans); the warm pass reads
+  // everything from the site cache ('c' spans).
+  EXPECT_NE(run.cold.render_gantt(60).find('f'), std::string::npos);
+  EXPECT_NE(run.warm.render_gantt(60).find('c'), std::string::npos);
 }
 
 TEST(TracedRun, FailureAndActivationEventsAppear) {
