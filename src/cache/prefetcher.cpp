@@ -1,5 +1,6 @@
 #include "cache/prefetcher.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace cloudburst::cache {
@@ -24,8 +25,26 @@ void Prefetcher::cancel(storage::ChunkId chunk) {
   queued_.erase(chunk);
 }
 
-void Prefetcher::wait_for(storage::ChunkId chunk, std::function<void()> cb) {
-  inflight_.at(chunk).push_back(std::move(cb));
+void Prefetcher::wait_for(storage::ChunkId chunk, std::uint64_t owner,
+                          std::function<void(bool)> cb) {
+  inflight_.at(chunk).push_back(Waiter{owner, std::move(cb)});
+}
+
+void Prefetcher::drop_owner(std::uint64_t owner) {
+  for (auto& [chunk, waiters] : inflight_) {
+    waiters.erase(std::remove_if(waiters.begin(), waiters.end(),
+                                 [owner](const Waiter& w) { return w.owner == owner; }),
+                  waiters.end());
+  }
+}
+
+void Prefetcher::release(storage::ChunkId chunk) {
+  // An in-flight transfer keeps its dedup entry: pump() does not check
+  // inflight_, so clearing issued_ here would let a second GET of the same
+  // bytes launch. The re-assigned slave joins the airborne one instead.
+  if (inflight_.count(chunk)) return;
+  issued_.erase(chunk);
+  consumed_.erase(chunk);
 }
 
 void Prefetcher::mark_consumed(storage::ChunkId chunk) {
@@ -60,28 +79,38 @@ void Prefetcher::pump() {
     if (wire.bytes == 0) wire.bytes = 1;
 
     issued_.insert(chunk);
-    inflight_.emplace(chunk, std::vector<std::function<void()>>{});
+    inflight_.emplace(chunk, std::vector<Waiter>{});
     if (env_.trace) env_.trace(trace::EventKind::PrefetchIssued, chunk, info.bytes);
     if (env_.on_issue) env_.on_issue(layout_->store_of(chunk), info);
 
     const std::uint64_t resident = wire.bytes;
-    env_.store(layout_->store_of(chunk))
-        .fetch(env_.dst, wire, env_.streams,
-               [this, chunk, resident] { on_prefetched(chunk, resident); });
+    env_.fetch(layout_->store_of(chunk), wire,
+               [this, chunk, resident](bool ok) { on_prefetched(chunk, resident, ok); });
   }
 }
 
-void Prefetcher::on_prefetched(storage::ChunkId chunk, std::uint64_t resident_bytes) {
-  const auto result = cache_.insert(chunk, resident_bytes, /*prefetched=*/true);
-  if (env_.trace) {
-    for (const auto& [evictee, bytes] : result.evicted) {
-      env_.trace(trace::EventKind::CacheEvict, evictee, bytes);
+void Prefetcher::on_prefetched(storage::ChunkId chunk, std::uint64_t resident_bytes,
+                               bool ok) {
+  if (ok) {
+    const auto result = cache_.insert(chunk, resident_bytes, /*prefetched=*/true);
+    if (env_.trace) {
+      for (const auto& [evictee, bytes] : result.evicted) {
+        env_.trace(trace::EventKind::CacheEvict, evictee, bytes);
+      }
     }
+  } else {
+    // Permanent failure: nothing landed. Revert the issue-time accounting
+    // and reopen the chunk so a later pool update may try again.
+    if (env_.on_abort && layout_) {
+      env_.on_abort(layout_->store_of(chunk), layout_->chunk(chunk));
+    }
+    issued_.erase(chunk);
+    consumed_.erase(chunk);
   }
   const auto it = inflight_.find(chunk);
   auto waiters = std::move(it->second);
   inflight_.erase(it);
-  for (auto& cb : waiters) cb();
+  for (auto& w : waiters) w.cb(ok);
   pump();
 }
 

@@ -9,13 +9,19 @@
 // of job i beyond what the slave's own pipeline_depth covers.
 //
 // Guarantees:
-//  * a chunk is prefetched at most once per run (issued-set dedup), and
-//    never when it is already resident in the site cache;
+//  * a chunk is prefetched at most once per *assignment epoch* (issued-set
+//    dedup) and never when it is already resident in the site cache;
+//    release() reopens a chunk that crash recovery re-enqueued;
 //  * a chunk assigned to a slave while its prefetch is still in flight is
 //    *joined* (the slave waits on the existing transfer) — the prefetcher
-//    never causes a second GET for the same bytes;
+//    never causes a second GET for the same bytes. Waiters are registered
+//    with an owner token so a crashed slave's callbacks can be dropped;
 //  * chunks assigned before their prefetch was issued are cancelled out of
-//    the queue (the slave's own fetch is already the transfer).
+//    the queue (the slave's own fetch is already the transfer);
+//  * a prefetch whose (possibly retried) GET permanently fails is aborted:
+//    accounting is reverted via Env::on_abort, waiters are notified with
+//    ok = false (they fall back to their own fetch), and the chunk becomes
+//    eligible for a later prefetch again.
 //
 // A Prefetcher is a per-run actor (it holds simulation callbacks); the
 // ChunkCache it fills is the persistent, cross-run state. The runtime builds
@@ -41,20 +47,24 @@ class Prefetcher {
   /// Narrow per-run wiring (kept free of middleware types so cb_cache stays
   /// a leaf library under cb_middleware).
   struct Env {
-    /// Where prefetched bytes land: the site's cache box (master endpoint).
-    net::EndpointId dst = 0;
-    /// Connections per prefetch GET.
-    unsigned streams = 1;
     /// Stored chunks move compressed (>= 1.0; the slave fetch path divides
     /// by the same ratio).
     double compression_ratio = 1.0;
-    std::function<storage::StoreService&(storage::StoreId)> store;
+    /// Issue one (possibly retrying) GET of `wire` from store `s`; `done`
+    /// fires with the transfer's final outcome. The runtime wires this to
+    /// the store fetch wrapped in the run's RetryPolicy.
+    std::function<void(storage::StoreId s, const storage::ChunkInfo& wire,
+                       std::function<void(bool ok)> done)>
+        fetch;
     std::function<bool(storage::StoreId)> cacheable;
     /// Event sink with the actor name pre-bound ("prefetch-<site>"); may be
     /// null when no tracer is attached.
     std::function<void(trace::EventKind, std::uint64_t, std::uint64_t)> trace;
     /// Accounting hook fired per issued GET (recorder bytes_from_store etc.).
     std::function<void(storage::StoreId, const storage::ChunkInfo&)> on_issue;
+    /// Reverts on_issue when the GET permanently failed: nothing was
+    /// delivered, so the issue-time store charge must not stand.
+    std::function<void(storage::StoreId, const storage::ChunkInfo&)> on_abort;
   };
 
   Prefetcher(ChunkCache& cache, PrefetchConfig config, Env env)
@@ -72,8 +82,20 @@ class Prefetcher {
   /// A prefetch GET for `chunk` is still in flight.
   bool in_flight(storage::ChunkId chunk) const { return inflight_.count(chunk) > 0; }
 
-  /// Join an in-flight prefetch: `cb` fires when its last byte lands.
-  void wait_for(storage::ChunkId chunk, std::function<void()> cb);
+  /// Join an in-flight prefetch: `cb(ok)` fires when the transfer settles.
+  /// `owner` identifies the registrant (slave endpoint) so drop_owner can
+  /// cancel the callback if the registrant dies while joined.
+  void wait_for(storage::ChunkId chunk, std::uint64_t owner,
+                std::function<void(bool ok)> cb);
+
+  /// A slave died: discard every waiter callback it registered. Its joined
+  /// transfers keep flying (the bytes still land in the cache for others).
+  void drop_owner(std::uint64_t owner);
+
+  /// Crash recovery re-enqueued `chunk`: clear it from the issued/consumed
+  /// dedup sets so the recovery copy can be prefetched too. A still-in-flight
+  /// transfer stays deduped — the re-assigned slave joins it instead.
+  void release(storage::ChunkId chunk);
 
   /// A slave consumed a prefetched chunk (joined it or hit it in the cache).
   void mark_consumed(storage::ChunkId chunk);
@@ -87,7 +109,12 @@ class Prefetcher {
 
  private:
   void pump();
-  void on_prefetched(storage::ChunkId chunk, std::uint64_t resident_bytes);
+  void on_prefetched(storage::ChunkId chunk, std::uint64_t resident_bytes, bool ok);
+
+  struct Waiter {
+    std::uint64_t owner = 0;
+    std::function<void(bool ok)> cb;
+  };
 
   ChunkCache& cache_;
   PrefetchConfig config_;
@@ -96,7 +123,7 @@ class Prefetcher {
 
   std::deque<storage::ChunkId> queue_;  ///< candidate order
   std::set<storage::ChunkId> queued_;   ///< authoritative queue membership
-  std::map<storage::ChunkId, std::vector<std::function<void()>>> inflight_;
+  std::map<storage::ChunkId, std::vector<Waiter>> inflight_;
   std::set<storage::ChunkId> issued_;
   std::set<storage::ChunkId> consumed_;
 };

@@ -3,7 +3,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
@@ -123,35 +122,6 @@ Platform::Platform(const PlatformSpec& spec) : spec_(spec) {
   }
   const auto n_sites = static_cast<ClusterId>(spec_.sites.size());
 
-  // Deprecated two-provider toggle: rewrite site 0's store into an object
-  // store before building anything (request latency / per-connection cap
-  // borrowed from the first object store in the spec, as the old API did
-  // with the S3 parameters). This is the shim's one sanctioned reader.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const bool legacy_object_toggle = spec_.local_store_is_object;
-#pragma GCC diagnostic pop
-  if (legacy_object_toggle) {
-    log::warn("platform",
-              "PlatformSpec::local_store_is_object is deprecated; give site 0 an "
-              "object StoreSpec instead");
-    if (!spec_.sites[0].store) {
-      throw std::invalid_argument("Platform: local_store_is_object needs a site-0 store");
-    }
-    StoreSpec& s0 = *spec_.sites[0].store;
-    s0.kind = StoreSpec::Kind::Object;
-    s0.fabric_bandwidth = 0.0;
-    s0.fabric_latency = 0;
-    for (ClusterId i = 1; i < n_sites; ++i) {
-      const auto& other = spec_.sites[i].store;
-      if (other && other->kind == StoreSpec::Kind::Object) {
-        s0.access_latency = other->access_latency;
-        s0.per_stream_bandwidth = other->per_stream_bandwidth;
-        break;
-      }
-    }
-  }
-
   network_ = std::make_unique<net::Network>(sim_);
   net::Network& net = *network_;
 
@@ -254,7 +224,7 @@ Platform::Platform(const PlatformSpec& spec) : spec_(spec) {
       stores_.push_back(std::make_unique<storage::ObjectStore>(
           id, sim_, net, ep,
           storage::ObjectStore::Params{store->access_latency,
-                                       store->per_stream_bandwidth}));
+                                       store->per_stream_bandwidth, store->fault}));
     } else {
       stores_.push_back(std::make_unique<storage::LocalStore>(
           id, sim_, net, ep,

@@ -30,6 +30,7 @@
 
 #include "des/simulator.hpp"
 #include "net/network.hpp"
+#include "storage/fault.hpp"
 #include "storage/local_store.hpp"
 #include "storage/object_store.hpp"
 
@@ -79,6 +80,11 @@ struct StoreSpec {
   double fabric_bandwidth = 0.0;
   des::SimDuration fabric_latency = 0;
 
+  /// Object stores only: transient-fault model (per-GET failure probability,
+  /// throttling windows, hung GETs). Default-disabled — the store behaves as
+  /// the perfect-world device and draws no random numbers.
+  storage::FaultProfile fault;
+
   static StoreSpec disk(double front_bandwidth, double per_stream_bandwidth,
                         des::SimDuration seek_latency);
   static StoreSpec object(double front_bandwidth, double per_connection_bandwidth,
@@ -127,26 +133,6 @@ struct PlatformSpec {
   /// deterministically from `jitter_seed`.
   double node_speed_jitter = 0.0;
   std::uint64_t jitter_seed = 0x5eed;
-
-  /// DEPRECATED (pre-N-site API, kept working for one release): turns site
-  /// 0's store into an object store (capacity unchanged, request latency and
-  /// per-connection cap taken from site 1's object store). Express the
-  /// topology through `sites` directly instead.
-  [[deprecated("give site 0 an object StoreSpec instead (SiteSpec store affinity)")]]
-  bool local_store_is_object = false;
-
-  // Defaulted here (instead of implicitly) so that copying/moving a spec does
-  // not trip -Wdeprecated-declarations on the member above; only code that
-  // names `local_store_is_object` directly gets warned.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  PlatformSpec() = default;
-  PlatformSpec(const PlatformSpec&) = default;
-  PlatformSpec(PlatformSpec&&) = default;
-  PlatformSpec& operator=(const PlatformSpec&) = default;
-  PlatformSpec& operator=(PlatformSpec&&) = default;
-  ~PlatformSpec() = default;
-#pragma GCC diagnostic pop
 
   // --- thin two-sided aliases ----------------------------------------------
   SiteSpec& site(ClusterId id) { return sites.at(id); }

@@ -85,6 +85,12 @@ CostReport price_run(const middleware::RunResult& result, cluster::Platform& pla
         inputs.bytes_out_of_cloud +=
             static_cast<std::uint64_t>(static_cast<double>(bytes) / ratio);
       }
+      if (c < result.bytes_retried.size() && s < result.bytes_retried[c].size()) {
+        // Retried bytes are already wire bytes (post-compression) and every
+        // one of them crossed the egress boundary — failed partial GETs,
+        // hedge losers, and post-timeout arrivals are billed, not refunded.
+        inputs.bytes_out_of_cloud += result.bytes_retried[c][s];
+      }
     }
   }
   // Each cloud cluster ships its reduction object to the head across the WAN.

@@ -133,6 +133,15 @@ void MasterNode::on_slave_failed(net::EndpointId slave) {
   inflight.clear();
   done_unchk_[slave].clear();
 
+  if (cache::Prefetcher* pf = ctx_.prefetcher(site_)) {
+    // The dead slave may be joined on in-flight prefetches — its completion
+    // callbacks must never fire. And chunks it already consumed are about to
+    // be re-enqueued: clear their issued/consumed dedup entries so the
+    // recovery copies are prefetchable again.
+    pf->drop_owner(slave);
+    for (storage::ChunkId c : lost) pf->release(c);
+  }
+
   if (!lost.empty()) {
     reexecuted_jobs_ += static_cast<std::uint32_t>(lost.size());
     std::vector<net::EndpointId> live;

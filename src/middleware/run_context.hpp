@@ -16,6 +16,7 @@
 #include "middleware/run_result.hpp"
 #include "middleware/scheduler.hpp"
 #include "net/messaging.hpp"
+#include "storage/retry.hpp"
 #include "trace/trace.hpp"
 
 namespace cloudburst::middleware {
@@ -31,6 +32,13 @@ struct RunOptions {
   /// Jobs a slave may hold concurrently. 1 == strict fetch-then-process
   /// (matches the paper's stacked time decomposition); > 1 prefetches.
   unsigned pipeline_depth = 1;
+
+  /// Client-side retry policy wrapped around every store fetch (slave
+  /// fetches and prefetcher GETs; a no-op on the never-failing local-store
+  /// read path). The default is disengaged — one bare attempt, no timeout,
+  /// no hedge — which leaves fault-free runs byte-identical. Pair with a
+  /// StoreSpec::fault profile to exercise it.
+  storage::RetryPolicy retry;
 
   /// Baseline ablation: pre-assign every chunk round-robin at start instead
   /// of on-demand pooling ("the pooling based job distribution enables
@@ -121,6 +129,16 @@ struct RunRecorder {
   std::vector<std::uint32_t> cache_misses;
   std::vector<std::uint32_t> prefetch_issued;
   std::vector<std::uint32_t> prefetch_wasted;
+  // Fault / retry accounting, per cluster.
+  std::vector<std::uint32_t> store_faults;    ///< failed or timed-out attempts
+  std::vector<std::uint32_t> fetch_retries;   ///< backoffs taken before re-attempts
+  std::vector<std::uint32_t> hedges_issued;
+  std::vector<std::uint32_t> hedges_won;
+  /// Wire bytes cluster c moved from store s that were NOT the delivered
+  /// copy (failed partial GETs, hedge losers, post-timeout arrivals). They
+  /// crossed the WAN, so the cost model bills them as egress on top of
+  /// bytes_from_store.
+  std::vector<std::vector<std::uint64_t>> bytes_retried;
   double end_time = 0.0;
   bool finished = false;
 
@@ -136,6 +154,11 @@ struct RunRecorder {
     cache_misses.assign(clusters, 0);
     prefetch_issued.assign(clusters, 0);
     prefetch_wasted.assign(clusters, 0);
+    store_faults.assign(clusters, 0);
+    fetch_retries.assign(clusters, 0);
+    hedges_issued.assign(clusters, 0);
+    hedges_won.assign(clusters, 0);
+    bytes_retried.assign(clusters, std::vector<std::uint64_t>(stores, 0));
   }
 };
 
@@ -183,6 +206,35 @@ struct RunContext {
   void trace(trace::EventKind kind, const std::string& actor, std::uint64_t a = 0,
              std::uint64_t b = 0) {
     if (options.tracer) options.tracer->record(now_seconds(), kind, actor, a, b);
+  }
+
+  /// Standard retry observer wiring for one fetch: fault/retry/hedge
+  /// counters and wasted-byte egress accounting into the recorder, trace
+  /// events under `actor`. Shared by the slave fetch paths and the
+  /// prefetcher's GETs.
+  storage::RetryHooks retry_hooks(cluster::ClusterId site, std::string actor,
+                                  storage::ChunkId chunk, storage::StoreId store) {
+    storage::RetryHooks h;
+    h.on_fault = [this, site, actor, chunk](unsigned attempt, const storage::FetchResult&) {
+      ++recorder.store_faults[site];
+      trace(trace::EventKind::StoreFault, actor, chunk, attempt);
+    };
+    h.on_backoff = [this, site, actor, chunk](unsigned next_attempt, double) {
+      ++recorder.fetch_retries[site];
+      trace(trace::EventKind::RetryBackoff, actor, chunk, next_attempt);
+    };
+    h.on_hedge = [this, site, actor, chunk](unsigned attempt) {
+      ++recorder.hedges_issued[site];
+      trace(trace::EventKind::HedgeIssued, actor, chunk, attempt);
+    };
+    h.on_hedge_win = [this, site, actor, chunk](unsigned attempt) {
+      ++recorder.hedges_won[site];
+      trace(trace::EventKind::HedgeWon, actor, chunk, attempt);
+    };
+    h.on_wasted = [this, site, store](std::uint64_t bytes) {
+      recorder.bytes_retried[site][store] += bytes;
+    };
+    return h;
   }
 };
 

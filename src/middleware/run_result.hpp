@@ -44,6 +44,12 @@ struct ClusterResult {
   std::uint32_t prefetch_issued = 0;  ///< speculative GETs the prefetcher sent
   std::uint32_t prefetch_wasted = 0;  ///< issued but never consumed by a slave
 
+  // Fault / retry accounting (all zero under the default fault-free model).
+  std::uint32_t store_faults = 0;   ///< failed or timed-out fetch attempts
+  std::uint32_t fetch_retries = 0;  ///< backoffs taken before re-attempts
+  std::uint32_t hedges_issued = 0;  ///< hedged second GETs launched
+  std::uint32_t hedges_won = 0;     ///< hedges that beat the primary
+
   double proc_end_time = 0.0;  ///< when the cluster's last slave finished processing
   double idle_time = 0.0;      ///< waiting for the other clusters at the end
   std::uint32_t nodes = 0;
@@ -64,6 +70,12 @@ struct RunResult {
   /// assignment-time accounting charged them to the store, but no WAN
   /// transfer happened. The cost model credits these back.
   std::vector<std::vector<std::uint64_t>> bytes_from_cache;
+
+  /// Wire bytes that moved but were not the delivered copy (failed partial
+  /// GETs, hedge losers, post-timeout arrivals): [cluster][store]. They
+  /// crossed the provider's egress boundary, so the cost model bills them
+  /// *on top of* bytes_from_store — retried bytes are not free.
+  std::vector<std::vector<std::uint64_t>> bytes_retried;
 
   /// Requests each store served during the run (fetch calls; an object store
   /// issues retrieval_streams range GETs per request).
@@ -113,6 +125,35 @@ struct RunResult {
   double cache_hit_rate() const {
     const double total = static_cast<double>(cache_hits()) + cache_misses();
     return total > 0.0 ? static_cast<double>(cache_hits()) / total : 0.0;
+  }
+
+  std::uint32_t store_faults() const {
+    std::uint32_t n = 0;
+    for (const auto& c : clusters) n += c.store_faults;
+    return n;
+  }
+  std::uint32_t fetch_retries() const {
+    std::uint32_t n = 0;
+    for (const auto& c : clusters) n += c.fetch_retries;
+    return n;
+  }
+  std::uint32_t hedges_issued() const {
+    std::uint32_t n = 0;
+    for (const auto& c : clusters) n += c.hedges_issued;
+    return n;
+  }
+  std::uint32_t hedges_won() const {
+    std::uint32_t n = 0;
+    for (const auto& c : clusters) n += c.hedges_won;
+    return n;
+  }
+  /// Total wasted wire bytes across all cluster/store pairs.
+  std::uint64_t bytes_retried_total() const {
+    std::uint64_t n = 0;
+    for (const auto& per_store : bytes_retried) {
+      for (std::uint64_t b : per_store) n += b;
+    }
+    return n;
   }
 };
 

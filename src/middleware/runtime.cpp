@@ -97,22 +97,35 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
     for (cluster::ClusterId site = 0; site < platform.cluster_count(); ++site) {
       if (platform.nodes(site).empty()) continue;
       cache::Prefetcher::Env env;
-      env.dst = platform.master_endpoint(site);
-      env.streams = cfg.prefetch.streams ? cfg.prefetch.streams
-                                         : std::max(1u, options.retrieval_streams);
       env.compression_ratio = std::max(1.0, options.profile.compression_ratio);
-      env.store = [&platform](storage::StoreId s) -> storage::StoreService& {
-        return platform.store(s);
-      };
       env.cacheable = [&ctx, site](storage::StoreId s) {
         return ctx.store_cacheable(site, s);
       };
       const std::string pf_name = "prefetch-" + platform.site_name(site);
+      const net::EndpointId master_ep = platform.master_endpoint(site);
+      const unsigned streams = cfg.prefetch.streams
+                                   ? cfg.prefetch.streams
+                                   : std::max(1u, options.retrieval_streams);
+      // Prefetch GETs ride the same retry machinery as slave fetches; a
+      // permanently failed GET settles done(false) and the prefetcher aborts.
+      env.fetch = [&ctx, &platform, &options, site, pf_name, master_ep, streams](
+                      storage::StoreId s, const storage::ChunkInfo& wire,
+                      std::function<void(bool ok)> done) {
+        storage::fetch_with_retry(
+            platform.sim(), platform.store(s), master_ep, wire, streams,
+            options.retry, ctx.retry_hooks(site, pf_name, wire.id, s),
+            [done = std::move(done)](const storage::FetchResult& r) {
+              if (done) done(r.ok);
+            });
+      };
       env.trace = [&ctx, pf_name](trace::EventKind kind, std::uint64_t a,
                                   std::uint64_t b) { ctx.trace(kind, pf_name, a, b); };
       env.on_issue = [&ctx, site](storage::StoreId s, const storage::ChunkInfo& info) {
         ++ctx.recorder.prefetch_issued[site];
         ctx.recorder.bytes_from_store[site][s] += info.bytes;
+      };
+      env.on_abort = [&ctx, site](storage::StoreId s, const storage::ChunkInfo& info) {
+        ctx.recorder.bytes_from_store[site][s] -= info.bytes;
       };
       ctx.prefetchers[site] = std::make_unique<cache::Prefetcher>(
           options.cache->site(site), cfg.prefetch, std::move(env));
@@ -314,6 +327,7 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
   result.elastic_activations = ctx.recorder.elastic_activations;
   result.bytes_from_store = ctx.recorder.bytes_from_store;
   result.bytes_from_cache = ctx.recorder.bytes_from_cache;
+  result.bytes_retried = ctx.recorder.bytes_retried;
   result.store_requests.resize(platform.store_count());
   for (storage::StoreId s = 0; s < platform.store_count(); ++s) {
     result.store_requests[s] = platform.store(s).stats().requests;
@@ -356,6 +370,10 @@ RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout
     c.cache_misses = ctx.recorder.cache_misses[site];
     c.prefetch_issued = ctx.recorder.prefetch_issued[site];
     c.prefetch_wasted = ctx.recorder.prefetch_wasted[site];
+    c.store_faults = ctx.recorder.store_faults[site];
+    c.fetch_retries = ctx.recorder.fetch_retries[site];
+    c.hedges_issued = ctx.recorder.hedges_issued[site];
+    c.hedges_won = ctx.recorder.hedges_won[site];
   }
 
   // Idle time: how long each cluster waited for the other to finish

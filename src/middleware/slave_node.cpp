@@ -83,16 +83,19 @@ void SlaveNode::on_assigned(storage::ChunkId chunk) {
   ++active_jobs_;
   top_up_requests();
   ctx_.trace(trace::EventKind::JobAssigned, node_.name, chunk);
+  fetch_start_[chunk] = ctx_.now_seconds();
+  ctx_.trace(trace::EventKind::FetchStart, node_.name, chunk, ctx_.layout.store_of(chunk));
+  begin_fetch(chunk);
+}
 
+void SlaveNode::begin_fetch(storage::ChunkId chunk) {
   storage::ChunkInfo info = ctx_.layout.chunk(chunk);
   const std::uint64_t full_bytes = info.bytes;
   // Compressed storage: fewer bytes move; decompression is charged to the
-  // processing phase below.
+  // processing phase.
   const double ratio = std::max(1.0, ctx_.options.profile.compression_ratio);
   info.bytes = static_cast<std::uint64_t>(static_cast<double>(info.bytes) / ratio);
   const storage::StoreId store_id = ctx_.layout.store_of(chunk);
-  fetch_start_[chunk] = ctx_.now_seconds();
-  ctx_.trace(trace::EventKind::FetchStart, node_.name, chunk, store_id);
 
   if (cache::ChunkCache* cache = ctx_.site_cache(node_.cluster, store_id)) {
     cache::Prefetcher* pf = ctx_.prefetcher(node_.cluster);
@@ -114,37 +117,71 @@ void SlaveNode::on_assigned(storage::ChunkId chunk) {
     }
     if (pf && pf->in_flight(chunk)) {
       // The prefetcher already has this chunk's GET in the air: join it
-      // instead of fetching the same bytes twice. Counts as a hit (the
-      // prefetch transfer is the one charged at issue time).
-      ++ctx_.recorder.cache_hits[node_.cluster];
-      ctx_.recorder.bytes_from_cache[node_.cluster][store_id] += full_bytes;
-      ctx_.trace(trace::EventKind::CacheHit, node_.name, chunk, info.bytes);
-      pf->mark_consumed(chunk);
-      pf->wait_for(chunk, [this, chunk] {
-        if (alive_) on_fetched(chunk);
-      });
+      // instead of fetching the same bytes twice. The hit is credited only
+      // when the transfer actually delivers — a permanently failed prefetch
+      // falls back to this slave's own (retrying) fetch.
+      const std::uint64_t wire_bytes = info.bytes;
+      pf->wait_for(chunk, node_.endpoint,
+                   [this, chunk, store_id, full_bytes, wire_bytes, pf](bool ok) {
+                     if (!alive_) return;
+                     if (!ok) {
+                       begin_fetch(chunk);
+                       return;
+                     }
+                     ++ctx_.recorder.cache_hits[node_.cluster];
+                     ctx_.recorder.bytes_from_cache[node_.cluster][store_id] += full_bytes;
+                     ctx_.trace(trace::EventKind::CacheHit, node_.name, chunk, wire_bytes);
+                     pf->mark_consumed(chunk);
+                     on_fetched(chunk);
+                   });
       return;
     }
     // Miss: fetch from the store and admit the chunk on arrival.
     ++ctx_.recorder.cache_misses[node_.cluster];
     ctx_.trace(trace::EventKind::CacheMiss, node_.name, chunk, store_id);
-    const std::uint64_t resident = info.bytes;
-    storage::StoreService& store = ctx_.platform.store(store_id);
-    store.fetch(node_.endpoint, info, ctx_.options.retrieval_streams,
-                [this, chunk, cache, resident] {
-                  if (!alive_) return;
-                  const auto result = cache->insert(chunk, resident);
-                  for (const auto& [evictee, bytes] : result.evicted) {
-                    ctx_.trace(trace::EventKind::CacheEvict, node_.name, evictee, bytes);
-                  }
-                  on_fetched(chunk);
-                });
+    fetch_from_store(chunk, info, store_id, cache, info.bytes);
     return;
   }
 
+  fetch_from_store(chunk, info, store_id, nullptr, 0);
+}
+
+void SlaveNode::fetch_from_store(storage::ChunkId chunk, const storage::ChunkInfo& wire,
+                                 storage::StoreId store_id, cache::ChunkCache* cache,
+                                 std::uint64_t resident) {
   storage::StoreService& store = ctx_.platform.store(store_id);
-  store.fetch(node_.endpoint, info, ctx_.options.retrieval_streams, [this, chunk] {
-    if (alive_) on_fetched(chunk);
+  storage::fetch_with_retry(
+      ctx_.sim(), store, node_.endpoint, wire, ctx_.options.retrieval_streams,
+      ctx_.options.retry, ctx_.retry_hooks(node_.cluster, node_.name, chunk, store_id),
+      [this, chunk, cache, resident](const storage::FetchResult& r) {
+        if (!alive_) return;
+        if (!r.ok) {
+          on_fetch_failed(chunk);
+          return;
+        }
+        if (cache) {
+          const auto result = cache->insert(chunk, resident);
+          for (const auto& [evictee, bytes] : result.evicted) {
+            ctx_.trace(trace::EventKind::CacheEvict, node_.name, evictee, bytes);
+          }
+        }
+        on_fetched(chunk);
+      });
+}
+
+void SlaveNode::on_fetch_failed(storage::ChunkId chunk) {
+  // Exactly-once processing means an assigned chunk cannot be dropped: after
+  // the policy's attempts are exhausted, take one maximal backoff and re-open
+  // a whole new fetch cycle (which also re-checks the site cache — another
+  // slave's copy may have landed meanwhile).
+  const storage::RetryPolicy& p = ctx_.options.retry;
+  double delay = std::max(p.backoff_base_seconds, 1e-3);
+  for (unsigned k = 1; k < p.max_attempts; ++k) delay *= p.backoff_multiplier;
+  delay = std::min(delay, p.backoff_max_seconds);
+  ++ctx_.recorder.fetch_retries[node_.cluster];
+  ctx_.trace(trace::EventKind::RetryBackoff, node_.name, chunk, p.max_attempts + 1);
+  ctx_.sim().schedule(des::from_seconds(delay), [this, chunk] {
+    if (alive_) begin_fetch(chunk);
   });
 }
 

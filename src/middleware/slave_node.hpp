@@ -54,6 +54,18 @@ class SlaveNode {
  private:
   void top_up_requests();
   void on_assigned(storage::ChunkId chunk);
+  /// Resolve one fetch: site cache hit, in-flight prefetch join, or a
+  /// (possibly retrying) store fetch. Re-entered when a joined prefetch or a
+  /// whole retry cycle permanently fails — an assigned chunk must complete.
+  void begin_fetch(storage::ChunkId chunk);
+  /// Issue the store fetch under the run's RetryPolicy; `cache` non-null
+  /// admits the chunk (at `resident` bytes) on arrival.
+  void fetch_from_store(storage::ChunkId chunk, const storage::ChunkInfo& wire,
+                        storage::StoreId store_id, cache::ChunkCache* cache,
+                        std::uint64_t resident);
+  /// Every attempt of a retry cycle failed: back off once more, then re-open
+  /// a fresh cycle (the simulation cannot drop assigned work).
+  void on_fetch_failed(storage::ChunkId chunk);
   void on_fetched(storage::ChunkId chunk);
   void maybe_process();
   void on_processed(storage::ChunkId chunk, double duration);

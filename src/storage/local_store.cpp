@@ -3,7 +3,7 @@
 namespace cloudburst::storage {
 
 void LocalStore::fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
-                       std::function<void()> on_complete) {
+                       FetchCallback on_complete) {
   (void)streams;  // one spindle: parallel streams do not help a local disk
   ++stats_.requests;
   stats_.bytes_served += chunk.bytes;
@@ -21,7 +21,10 @@ void LocalStore::fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned str
 
   const std::uint64_t bytes = chunk.bytes;
   sim_.schedule(delay, [this, dst, bytes, cb = std::move(on_complete)]() mutable {
-    net_.start_flow(endpoint_, dst, bytes, params_.per_stream_bandwidth, std::move(cb));
+    net_.start_flow(endpoint_, dst, bytes, params_.per_stream_bandwidth,
+                    [bytes, cb = std::move(cb)] {
+                      if (cb) cb(FetchResult{true, bytes});
+                    });
   });
 }
 

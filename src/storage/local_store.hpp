@@ -30,8 +30,10 @@ class LocalStore final : public StoreService {
              Params params)
       : id_(id), sim_(sim), net_(net), endpoint_(ep), params_(params) {}
 
+  /// Disks do not drop connections in this model: every fetch completes
+  /// with ok = true (a retry policy wrapped around this path is a no-op).
   void fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
-             std::function<void()> on_complete) override;
+             FetchCallback on_complete) override;
 
   net::EndpointId endpoint() const override { return endpoint_; }
   const Stats& stats() const override { return stats_; }

@@ -6,26 +6,69 @@
 namespace cloudburst::storage {
 
 void ObjectStore::fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
-                        std::function<void()> on_complete) {
+                        FetchCallback on_complete) {
   streams = std::max(1u, streams);
   ++stats_.requests;
-  stats_.bytes_served += chunk.bytes;
 
-  // Split the chunk into `streams` range GETs; the completion counter fires
-  // the callback when the final range lands.
+  // Fault model. Draw order is fixed (throttle scan, failure, hang) so runs
+  // are reproducible; a disabled profile takes none of these branches and
+  // consumes no randomness.
+  double bandwidth = params_.per_connection_bandwidth;
+  des::SimDuration latency = params_.request_latency;
+  bool failed = false;
+  std::uint64_t wire_bytes = chunk.bytes;
+  if (params_.fault.enabled()) {
+    const double now = des::to_seconds(sim_.now());
+    double p_fail = params_.fault.fail_probability;
+    bool in_window = false;
+    for (const auto& w : params_.fault.throttles) {
+      if (now >= w.begin_seconds && now < w.end_seconds) {
+        in_window = true;
+        bandwidth *= w.bandwidth_factor;
+        p_fail = std::min(1.0, p_fail + w.fail_probability);
+      }
+    }
+    if (in_window) ++stats_.throttled;
+    if (p_fail > 0.0 && rng_.bernoulli(p_fail)) {
+      // The GET aborts partway: a deterministic fraction of the chunk still
+      // crosses the network before the connection drops.
+      failed = true;
+      wire_bytes = static_cast<std::uint64_t>(rng_.next_double() *
+                                              static_cast<double>(chunk.bytes));
+      ++stats_.faults;
+    } else if (params_.fault.hang_probability > 0.0 &&
+               rng_.bernoulli(params_.fault.hang_probability)) {
+      latency = des::from_seconds(params_.fault.hang_seconds);
+      ++stats_.hung;
+    }
+  }
+  stats_.bytes_served += wire_bytes;
+
+  // Split the transfer into `streams` range GETs; the completion counter
+  // fires the callback when the final range lands.
   struct Pending {
     unsigned remaining;
-    std::function<void()> cb;
+    FetchCallback cb;
+    FetchResult result;
   };
-  auto pending = std::make_shared<Pending>(Pending{streams, std::move(on_complete)});
+  auto pending = std::make_shared<Pending>(
+      Pending{streams, std::move(on_complete), FetchResult{!failed, wire_bytes}});
 
-  const std::uint64_t base = chunk.bytes / streams;
-  const std::uint64_t extra = chunk.bytes % streams;
+  if (wire_bytes == 0) {
+    // Instant abort (or empty chunk): still pays the request latency.
+    sim_.schedule(latency, [pending] {
+      if (pending->cb) pending->cb(pending->result);
+    });
+    return;
+  }
+
+  const std::uint64_t base = wire_bytes / streams;
+  const std::uint64_t extra = wire_bytes % streams;
   for (unsigned s = 0; s < streams; ++s) {
     const std::uint64_t part = base + (s < extra ? 1 : 0);
-    sim_.schedule(params_.request_latency, [this, dst, part, pending] {
-      net_.start_flow(endpoint_, dst, part, params_.per_connection_bandwidth, [pending] {
-        if (--pending->remaining == 0 && pending->cb) pending->cb();
+    sim_.schedule(latency, [this, dst, part, bandwidth, pending] {
+      net_.start_flow(endpoint_, dst, part, bandwidth, [pending] {
+        if (--pending->remaining == 0 && pending->cb) pending->cb(pending->result);
       });
     });
   }

@@ -10,7 +10,9 @@
 // topology, so many concurrent clients still contend.
 #pragma once
 
+#include "common/rng.hpp"
 #include "des/simulator.hpp"
+#include "storage/fault.hpp"
 #include "storage/store_service.hpp"
 
 namespace cloudburst::storage {
@@ -20,14 +22,18 @@ class ObjectStore final : public StoreService {
   struct Params {
     des::SimDuration request_latency = 0;  ///< first-byte latency per GET
     double per_connection_bandwidth = 0.0; ///< bytes/sec cap per stream (0 = uncapped)
+    /// Transient-fault model; a default-constructed profile is disabled and
+    /// the store draws no random numbers (fault-free runs stay byte-exact).
+    FaultProfile fault;
   };
 
   ObjectStore(StoreId id, des::Simulator& sim, net::Network& net, net::EndpointId ep,
               Params params)
-      : id_(id), sim_(sim), net_(net), endpoint_(ep), params_(params) {}
+      : id_(id), sim_(sim), net_(net), endpoint_(ep), params_(std::move(params)),
+        rng_(Rng::substream(params_.fault.seed, id)) {}
 
   void fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
-             std::function<void()> on_complete) override;
+             FetchCallback on_complete) override;
 
   net::EndpointId endpoint() const override { return endpoint_; }
   const Stats& stats() const override { return stats_; }
@@ -40,6 +46,7 @@ class ObjectStore final : public StoreService {
   net::EndpointId endpoint_;
   Params params_;
   Stats stats_;
+  Rng rng_;  ///< fault-model draws only; untouched while the profile is off
 };
 
 }  // namespace cloudburst::storage

@@ -16,21 +16,37 @@
 
 namespace cloudburst::storage {
 
+/// Outcome of one fetch request. A fault-free store always completes with
+/// ok = true and the full chunk moved; a faulted GET reports ok = false and
+/// the partial bytes that still crossed the network before the abort.
+struct FetchResult {
+  bool ok = true;
+  std::uint64_t bytes_moved = 0;  ///< wire bytes actually transferred
+};
+
+using FetchCallback = std::function<void(const FetchResult&)>;
+
 class StoreService {
  public:
   virtual ~StoreService() = default;
 
   struct Stats {
     std::uint64_t requests = 0;
+    /// Wire bytes actually transferred (a faulted GET counts only its
+    /// partial bytes).
     std::uint64_t bytes_served = 0;
-    std::uint64_t seeks = 0;  ///< LocalStore only; 0 for object stores
+    std::uint64_t seeks = 0;      ///< LocalStore only; 0 for object stores
+    std::uint64_t faults = 0;     ///< requests that failed mid-transfer
+    std::uint64_t hung = 0;       ///< requests that straggled at hang latency
+    std::uint64_t throttled = 0;  ///< requests issued inside a throttle window
   };
 
   /// Deliver `chunk` to endpoint `dst` using up to `streams` parallel
   /// transfer streams (the slave's retrieval threads). `on_complete` fires
-  /// when the last byte arrives at `dst`.
+  /// when the request settles: last byte arrived (ok) or the transfer
+  /// aborted after a partial move (fault).
   virtual void fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
-                     std::function<void()> on_complete) = 0;
+                     FetchCallback on_complete) = 0;
 
   virtual net::EndpointId endpoint() const = 0;
   virtual const Stats& stats() const = 0;

@@ -25,6 +25,10 @@ const char* to_string(EventKind kind) {
     case EventKind::CacheEvict: return "CacheEvict";
     case EventKind::PrefetchIssued: return "PrefetchIssued";
     case EventKind::PrefetchWasted: return "PrefetchWasted";
+    case EventKind::StoreFault: return "StoreFault";
+    case EventKind::RetryBackoff: return "RetryBackoff";
+    case EventKind::HedgeIssued: return "HedgeIssued";
+    case EventKind::HedgeWon: return "HedgeWon";
     case EventKind::RunEnd: return "RunEnd";
   }
   return "?";
@@ -66,6 +70,7 @@ std::string Tracer::render_gantt(std::size_t width) const {
     std::vector<std::pair<double, double>> fetch;
     std::vector<std::pair<double, double>> cache_fetch;  ///< served by the site cache
     std::vector<std::pair<double, double>> process;
+    std::vector<double> faults;  ///< store faults / retries hit by this actor
     std::map<std::uint64_t, double> open_fetch;
     std::map<std::uint64_t, double> open_process;
     std::set<std::uint64_t> cache_hits;  ///< chunks this actor hit in cache
@@ -74,6 +79,8 @@ std::string Tracer::render_gantt(std::size_t width) const {
   for (const Event& e : events_) {
     switch (e.kind) {
       case EventKind::FetchStart: rows[e.actor].open_fetch[e.a] = e.t; break;
+      case EventKind::StoreFault:
+      case EventKind::RetryBackoff: rows[e.actor].faults.push_back(e.t); break;
       case EventKind::CacheHit: rows[e.actor].cache_hits.insert(e.a); break;
       case EventKind::FetchEnd: {
         auto& row = rows[e.actor];
@@ -122,6 +129,13 @@ std::string Tracer::render_gantt(std::size_t width) const {
       const bool c = covers(row.cache_fetch, lo, hi);
       const bool p = covers(row.process, lo, hi);
       bar[i] = p && (f || c) ? '*' : (p ? 'P' : (f ? 'f' : (c ? 'c' : '.')));
+      // Faults outrank everything: a '!' bin marks a failed / retried GET.
+      for (double t : row.faults) {
+        if (t >= lo && t < hi) {
+          bar[i] = '!';
+          break;
+        }
+      }
     }
     char line[160];
     std::snprintf(line, sizeof(line), "%-16s |%s|\n", actor.c_str(), bar.c_str());

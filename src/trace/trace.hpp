@@ -33,6 +33,10 @@ enum class EventKind : std::uint8_t {
   CacheEvict,     ///< actor = slave or prefetcher, a = chunk id, b = bytes
   PrefetchIssued, ///< actor = prefetcher, a = chunk id, b = bytes
   PrefetchWasted, ///< actor = prefetcher, a = chunk id, b = bytes
+  StoreFault,     ///< actor = fetching actor, a = chunk id, b = attempt
+  RetryBackoff,   ///< actor = fetching actor, a = chunk id, b = next attempt
+  HedgeIssued,    ///< actor = fetching actor, a = chunk id, b = attempt
+  HedgeWon,       ///< actor = fetching actor, a = chunk id, b = attempt
   RunEnd,         ///< actor = head
 };
 
@@ -60,7 +64,8 @@ class Tracer {
 
   /// ASCII Gantt: one row per actor that has Fetch/Process events;
   /// '.' idle, 'f' fetching over the WAN, 'c' fetching from the site cache,
-  /// 'P' processing, '*' fetch and process overlapping (pipelined).
+  /// 'P' processing, '*' fetch and process overlapping (pipelined),
+  /// '!' a store fault or retry backoff hit this bin.
   std::string render_gantt(std::size_t width = 80) const;
 
  private:

@@ -136,12 +136,10 @@ TEST(Platform, DiskPathFeedsLocalNodes) {
 
 TEST(Platform, TwoProviderModeUsesObjectStoreOnBothSides) {
   auto spec = PlatformSpec::paper_testbed(8, 8);
-  // Exercising the deprecated shim on purpose: it must keep working until
-  // removal, even though new code gets warned off it.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  spec.local_store_is_object = true;
-#pragma GCC diagnostic pop
+  // Two-provider mode: give the organization side an object store too (same
+  // bandwidth envelope as its disk array), making both sides cloud-like.
+  spec.sites[kLocalSite].store =
+      StoreSpec::object(MBps(1600), MBps(400), des::from_seconds(ms(8)));
   Platform platform(spec);
   // The "local" store must now behave like an object store: no seeks, and
   // multi-stream fetches must beat the per-connection cap.
@@ -155,11 +153,11 @@ TEST(Platform, TwoProviderModeUsesObjectStoreOnBothSides) {
   const auto reader = platform.nodes(kLocalSite)[0].endpoint;
 
   double one_stream = -1, many_streams = -1;
-  store.fetch(reader, chunk, 1, [&] { one_stream = des::to_seconds(platform.sim().now()); });
+  store.fetch(reader, chunk, 1, [&](const storage::FetchResult&) { one_stream = des::to_seconds(platform.sim().now()); });
   platform.sim().run();
   const double mark = des::to_seconds(platform.sim().now());
   store.fetch(reader, chunk, 8,
-              [&] { many_streams = des::to_seconds(platform.sim().now()) - mark; });
+              [&](const storage::FetchResult&) { many_streams = des::to_seconds(platform.sim().now()) - mark; });
   platform.sim().run();
   EXPECT_GT(one_stream, 2.0 * many_streams);  // parallel GETs recover bandwidth
   EXPECT_EQ(store.stats().seeks, 0u);         // object stores do not seek

@@ -174,10 +174,10 @@ TEST(LocalStore, SequentialReadAvoidsSeek) {
                    LocalStore::Params{from_seconds(0.5), 0, 0});
   double t1 = -1, t2 = -1;
   store.fetch(rig.reader, make_chunk(0, 0, 0, 1'000'000), 1,
-              [&] { t1 = des::to_seconds(rig.sim.now()); });
+              [&](const FetchResult&) { t1 = des::to_seconds(rig.sim.now()); });
   rig.sim.run();
   store.fetch(rig.reader, make_chunk(1, 0, 1, 1'000'000), 1,
-              [&] { t2 = des::to_seconds(rig.sim.now()); });
+              [&](const FetchResult&) { t2 = des::to_seconds(rig.sim.now()); });
   rig.sim.run();
   EXPECT_NEAR(t1, 1.5, 1e-6);       // first access seeks
   EXPECT_NEAR(t2 - t1, 1.0, 1e-6);  // continuation does not
@@ -214,7 +214,7 @@ TEST(LocalStore, PerStreamCapLimitsSingleReader) {
                    LocalStore::Params{0, 0, /*per_stream=*/1e6});
   double done = -1;
   store.fetch(rig.reader, make_chunk(0, 0, 0, 1'000'000), 1,
-              [&] { done = des::to_seconds(rig.sim.now()); });
+              [&](const FetchResult&) { done = des::to_seconds(rig.sim.now()); });
   rig.sim.run();
   EXPECT_NEAR(done, 1.0, 1e-6);  // capped despite the 10 MB/s disk
 }
@@ -234,7 +234,7 @@ TEST(ObjectStore, RequestLatencyAppliesOnce) {
                     ObjectStore::Params{from_seconds(0.25), 0});
   double done = -1;
   store.fetch(rig.reader, make_chunk(0, 0, 0, 1'000'000), 1,
-              [&] { done = des::to_seconds(rig.sim.now()); });
+              [&](const FetchResult&) { done = des::to_seconds(rig.sim.now()); });
   rig.sim.run();
   EXPECT_NEAR(done, 1.25, 1e-6);
 }
@@ -246,14 +246,14 @@ TEST(ObjectStore, MultipleStreamsBeatPerConnectionCap) {
   ObjectStore store(1, rig.sim, rig.net, rig.store_ep, ObjectStore::Params{0, 1e6});
   double done1 = -1;
   store.fetch(rig.reader, make_chunk(0, 0, 0, 4'000'000), 1,
-              [&] { done1 = des::to_seconds(rig.sim.now()); });
+              [&](const FetchResult&) { done1 = des::to_seconds(rig.sim.now()); });
   rig.sim.run();
   EXPECT_NEAR(done1, 4.0, 1e-5);
 
   double done4 = -1;
   const double start = des::to_seconds(rig.sim.now());
   store.fetch(rig.reader, make_chunk(1, 0, 1, 4'000'000), 4,
-              [&] { done4 = des::to_seconds(rig.sim.now()); });
+              [&](const FetchResult&) { done4 = des::to_seconds(rig.sim.now()); });
   rig.sim.run();
   EXPECT_NEAR(done4 - start, 1.0, 1e-5);
 }
@@ -264,7 +264,7 @@ TEST(ObjectStore, StreamsShareAggregateCapacity) {
   ObjectStore store(1, rig.sim, rig.net, rig.store_ep, ObjectStore::Params{0, 1e6});
   double done = -1;
   store.fetch(rig.reader, make_chunk(0, 0, 0, 8'000'000), 8,
-              [&] { done = des::to_seconds(rig.sim.now()); });
+              [&](const FetchResult&) { done = des::to_seconds(rig.sim.now()); });
   rig.sim.run();
   EXPECT_NEAR(done, 2.0, 1e-5);
 }
@@ -275,7 +275,7 @@ TEST(ObjectStore, UnevenSplitStillCompletes) {
   double done = -1;
   // 10 bytes over 3 streams: 4+3+3.
   store.fetch(rig.reader, make_chunk(0, 0, 0, 10), 3,
-              [&] { done = des::to_seconds(rig.sim.now()); });
+              [&](const FetchResult&) { done = des::to_seconds(rig.sim.now()); });
   rig.sim.run();
   EXPECT_GE(done, 0.0);
   EXPECT_EQ(store.stats().bytes_served, 10u);
