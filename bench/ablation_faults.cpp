@@ -26,7 +26,8 @@ struct Policy {
   storage::RetryPolicy retry;
 };
 
-middleware::RunResult run_knn(double fail_probability, const storage::RetryPolicy& retry) {
+middleware::RunResult run_knn(double fail_probability, const storage::RetryPolicy& retry,
+                              std::uint64_t seed) {
   return apps::run_env(
       apps::Env::Hybrid5050, apps::PaperApp::Knn,
       [&](cluster::PlatformSpec& spec, middleware::RunOptions& options) {
@@ -35,13 +36,16 @@ middleware::RunResult run_knn(double fail_probability, const storage::RetryPolic
         fault.hang_probability = fail_probability / 4.0;
         fault.hang_seconds = 120.0;
         options.retry = retry;
+        options.random_seed = seed;
       });
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudburst;
+
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
 
   storage::RetryPolicy backoff;
   backoff.max_attempts = 3;
@@ -55,16 +59,19 @@ int main() {
   const Policy policies[] = {
       {"none", storage::RetryPolicy{}}, {"backoff x3", backoff}, {"hedged", hedged}};
 
-  const auto clean = run_knn(0.0, storage::RetryPolicy{});
+  const auto clean = run_knn(0.0, storage::RetryPolicy{}, args.seed);
+
+  std::vector<double> fail_probs = {0.02, 0.05, 0.1, 0.2};
+  if (args.quick) fail_probs = {0.05};
 
   AsciiTable table({"fail prob", "policy", "exec time", "overhead", "faults",
                     "retries", "hedge wins", "wasted MB"});
   table.add_row({"0%", "-", AsciiTable::num(clean.total_time, 2), "0.0%", "0", "0",
                  "0", "0.0"});
   table.add_separator();
-  for (double p : {0.02, 0.05, 0.1, 0.2}) {
+  for (double p : fail_probs) {
     for (const Policy& policy : policies) {
-      const auto result = run_knn(p, policy.retry);
+      const auto result = run_knn(p, policy.retry, args.seed);
       table.add_row({AsciiTable::pct(p, 0), policy.name,
                      AsciiTable::num(result.total_time, 2),
                      AsciiTable::pct(result.total_time / clean.total_time - 1.0, 1),

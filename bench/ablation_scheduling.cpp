@@ -44,13 +44,14 @@ SeekRun run_local(bench::PaperApp app, bool consecutive, des::SimDuration seek_l
 }
 
 /// Max stolen jobs drawn from any single remote file under a selection policy.
-std::uint32_t max_file_pile(middleware::RemoteSelection selection) {
+std::uint32_t max_file_pile(middleware::RemoteSelection selection, std::uint64_t seed) {
   // All data on S3, two clusters: the local side steals everything it
   // processes; count how its steals spread over files via the pool itself.
   const auto layout = apps::paper_layout(bench::PaperApp::Knn, 0.0, 0, 1);
   middleware::SchedulerPolicy policy;
   policy.remote_selection = selection;
   policy.steal_batch_size = 1;
+  policy.random_seed = seed;
   middleware::JobPool pool(layout, policy);
   std::map<storage::FileId, std::uint32_t> per_file;
   for (int i = 0; i < 48; ++i) {  // half the pool stolen one job at a time
@@ -65,13 +66,18 @@ std::uint32_t max_file_pile(middleware::RemoteSelection selection) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudburst;
+
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  std::vector<bench::PaperApp> apps_to_run = {bench::PaperApp::Knn,
+                                              bench::PaperApp::Kmeans,
+                                              bench::PaperApp::PageRank};
+  if (args.quick) apps_to_run = {bench::PaperApp::Knn};
 
   AsciiTable seeks({"app", "variant", "storage-node seeks", "exec (8ms seek)",
                     "exec (100ms seek)"});
-  for (bench::PaperApp app :
-       {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
+  for (bench::PaperApp app : apps_to_run) {
     for (bool consecutive : {true, false}) {
       const auto fast = run_local(app, consecutive, des::from_seconds(ms(8)));
       const auto slow = run_local(app, consecutive, des::from_seconds(ms(100)));
@@ -93,12 +99,14 @@ int main() {
       "chunk-to-reader ratio (see ablation_chunks).\n\n");
 
   AsciiTable spread({"remote selection", "max stolen jobs piled on one file"});
-  spread.add_row({"min-contention (paper)",
-                  std::to_string(max_file_pile(middleware::RemoteSelection::MinContention))});
-  spread.add_row({"random",
-                  std::to_string(max_file_pile(middleware::RemoteSelection::Random))});
-  spread.add_row({"sequential",
-                  std::to_string(max_file_pile(middleware::RemoteSelection::Sequential))});
+  spread.add_row(
+      {"min-contention (paper)",
+       std::to_string(max_file_pile(middleware::RemoteSelection::MinContention, args.seed))});
+  spread.add_row({"random", std::to_string(max_file_pile(middleware::RemoteSelection::Random,
+                                                         args.seed))});
+  spread.add_row(
+      {"sequential",
+       std::to_string(max_file_pile(middleware::RemoteSelection::Sequential, args.seed))});
   std::printf("%s\n",
               spread.render("Ablation — remote-file selection (file-contention proxy: "
                             "48 single-job steals over 32 files)")

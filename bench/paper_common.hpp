@@ -5,7 +5,10 @@
 // consistently. Everything is deterministic: same binary, same output.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -18,6 +21,39 @@ namespace cloudburst::bench {
 
 using apps::Env;
 using apps::PaperApp;
+
+/// Shared command-line convention for the bench binaries. Every bench stays
+/// self-running with no arguments (the defaults reproduce the paper
+/// artifact); two flags tweak a run without editing code:
+///   --seed=N   seed for the bench's randomized components (arrival traces,
+///              RemoteSelection::Random, RunOptions::random_seed);
+///   --quick    shrink sweeps to a CI-smoke subset (same code paths, fewer
+///              points) — the bench should finish in a few seconds.
+struct BenchArgs {
+  std::uint64_t seed = 42;
+  bool quick = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--seed=", 7) == 0) {
+        char* end = nullptr;
+        args.seed = std::strtoull(arg + 7, &end, 10);
+        if (end == arg + 7 || *end != '\0') {
+          std::fprintf(stderr, "invalid --seed value: %s\n", arg + 7);
+          std::exit(2);
+        }
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        args.quick = true;
+      } else {
+        std::fprintf(stderr, "usage: %s [--seed=N] [--quick]\n", argv[0]);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
 
 /// Results of the five Figure-3 environments for one application.
 struct EnvSweep {

@@ -48,9 +48,10 @@ CostReport price(const CostInputs& inputs, const CloudPricing& pricing) {
   return report;
 }
 
-CostReport price_run(const middleware::RunResult& result, cluster::Platform& platform,
-                     const storage::DataLayout& layout,
-                     const middleware::RunOptions& options, const CloudPricing& pricing) {
+CostInputs derive_run_inputs(const middleware::RunResult& result,
+                             cluster::Platform& platform,
+                             const storage::DataLayout& layout,
+                             const middleware::RunOptions& options) {
   CostInputs inputs;
   inputs.run_seconds = result.total_time;
   inputs.cloud_instances =
@@ -64,8 +65,14 @@ CostReport price_run(const middleware::RunResult& result, cluster::Platform& pla
   const double ratio = std::max(1.0, options.profile.compression_ratio);
   for (storage::StoreId s = 0; s < platform.store_count(); ++s) {
     if (!platform.is_cloud(platform.owner_of_store(s))) continue;
-    inputs.s3_get_requests +=
-        platform.store(s).stats().requests * std::max(1u, options.retrieval_streams);
+    // The result's own request counts: identical to the store's global
+    // stats() for a solo run, but under a multi-job workload they are this
+    // job's share (the store counter aggregates every tenant). Hand-built
+    // results without the vector fall back to the store.
+    const std::uint64_t requests = s < result.store_requests.size()
+                                       ? result.store_requests[s]
+                                       : platform.store(s).stats().requests;
+    inputs.s3_get_requests += requests * std::max(1u, options.retrieval_streams);
     inputs.s3_resident_bytes += layout.bytes_on(s);
     // Transfer out of the provider: chunks any *other* site pulled from this
     // store cross its egress boundary. Stored chunks move compressed.
@@ -100,7 +107,13 @@ CostReport price_run(const middleware::RunResult& result, cluster::Platform& pla
       inputs.bytes_out_of_cloud += options.profile.robj_bytes;
     }
   }
-  return price(inputs, pricing);
+  return inputs;
+}
+
+CostReport price_run(const middleware::RunResult& result, cluster::Platform& platform,
+                     const storage::DataLayout& layout,
+                     const middleware::RunOptions& options, const CloudPricing& pricing) {
+  return price(derive_run_inputs(result, platform, layout, options), pricing);
 }
 
 }  // namespace cloudburst::cost

@@ -35,6 +35,14 @@ struct CostInputs {
 /// Price raw usage numbers.
 CostReport price(const CostInputs& inputs, const CloudPricing& pricing);
 
+/// Derive raw usage numbers from a finished run — the un-priced half of
+/// price_run. A workload manager combines several jobs' inputs (deduping
+/// physically shared instances) before pricing the whole platform.
+CostInputs derive_run_inputs(const middleware::RunResult& result,
+                             cluster::Platform& platform,
+                             const storage::DataLayout& layout,
+                             const middleware::RunOptions& options);
+
 /// Derive usage from a finished run on `platform` with `layout` and price it.
 /// `options` supplies the retrieval stream count (GETs per fetch) and the
 /// robj size (WAN transfer-out during the global reduction).

@@ -33,4 +33,43 @@ std::optional<PlanPoint> plan_for_budget(const std::vector<PlanPoint>& points,
   return best;
 }
 
+double estimate_exec_seconds(const cluster::Platform& platform,
+                             const storage::DataLayout& layout,
+                             const middleware::RunOptions& options) {
+  const middleware::AppProfile& profile = options.profile;
+  double core_capacity = 0.0;  // sum of core_speed * cores over all nodes
+  std::size_t node_count = 0;
+  for (cluster::ClusterId site = 0; site < platform.cluster_count(); ++site) {
+    for (const auto& node : platform.nodes(site)) {
+      core_capacity += node.core_speed * static_cast<double>(node.cores);
+      ++node_count;
+    }
+  }
+  if (node_count == 0 || core_capacity <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  std::uint64_t total_bytes = 0;
+  for (const auto& chunk : layout.chunks()) total_bytes += chunk.bytes;
+  const auto chunks = static_cast<double>(layout.chunks().size());
+
+  double seconds = 0.0;
+  if (profile.bytes_per_second_per_core > 0.0) {
+    seconds += static_cast<double>(total_bytes) /
+               (profile.bytes_per_second_per_core * core_capacity);
+  }
+  if (profile.compression_ratio > 1.0 &&
+      profile.decompress_bytes_per_second_per_core > 0.0) {
+    seconds += static_cast<double>(total_bytes) /
+               (profile.decompress_bytes_per_second_per_core * core_capacity);
+  }
+  seconds += chunks * profile.per_job_overhead_seconds / static_cast<double>(node_count);
+  // Reduction tail: every node's robj is merged somewhere on the way up.
+  if (profile.merge_bytes_per_second > 0.0 && profile.robj_bytes > 0) {
+    seconds += static_cast<double>(node_count) *
+               static_cast<double>(profile.robj_bytes) / profile.merge_bytes_per_second;
+  }
+  return seconds;
+}
+
 }  // namespace cloudburst::cost

@@ -50,4 +50,13 @@ std::optional<PlanPoint> plan_for_deadline(const std::vector<PlanPoint>& points,
 std::optional<PlanPoint> plan_for_budget(const std::vector<PlanPoint>& points,
                                          double budget_usd);
 
+/// Coarse analytic estimate of one job's execution time on `platform`:
+/// aggregate compute throughput over all nodes plus per-chunk overheads and
+/// the reduction-object merge chain. Deliberately cheap — no nested
+/// simulation — so a workload manager can rank queued jobs (SJF) inside a
+/// running DES. Ranking fidelity matters here, not absolute accuracy.
+double estimate_exec_seconds(const cluster::Platform& platform,
+                             const storage::DataLayout& layout,
+                             const middleware::RunOptions& options);
+
 }  // namespace cloudburst::cost

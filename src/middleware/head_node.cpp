@@ -34,7 +34,7 @@ void HeadNode::handle(net::EndpointId from, Message msg) {
       // An empty batch means this master can get nothing further — either
       // the pool is drained or stealing is disabled and its side is done.
       reply.exhausted = reply.batch.empty();
-      ctx_.postman.send(self_, from, kControlMessageBytes, std::move(reply));
+      ctx_.send(self_, from, kControlMessageBytes, std::move(reply));
       break;
     }
     case MsgType::MasterRobj:
@@ -82,6 +82,7 @@ void HeadNode::finish_run() {
   ctx_.recorder.end_time = ctx_.now_seconds();
   ctx_.recorder.finished = true;
   ctx_.trace(trace::EventKind::RunEnd, "head");
+  if (ctx_.on_finished) ctx_.on_finished();
 }
 
 }  // namespace cloudburst::middleware

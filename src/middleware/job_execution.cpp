@@ -1,0 +1,431 @@
+#include "middleware/job_execution.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace cloudburst::middleware {
+
+void validate_run(const cluster::Platform& platform, const storage::DataLayout& layout,
+                  const RunOptions& options) {
+  if ((options.task == nullptr) != (options.dataset == nullptr)) {
+    throw std::invalid_argument("run_distributed: task and dataset must be set together");
+  }
+  if (platform.total_nodes() == 0) {
+    throw std::invalid_argument("run_distributed: platform has no compute nodes");
+  }
+  if (layout.chunks().empty()) {
+    throw std::invalid_argument("run_distributed: layout has no chunks");
+  }
+  if (options.checkpoint_interval_seconds > 0.0 && options.reduction_tree) {
+    throw std::invalid_argument(
+        "run_distributed: periodic checkpointing requires reduction_tree = false");
+  }
+  if (!options.failures.empty() && options.reduction_tree) {
+    throw std::invalid_argument(
+        "run_distributed: failure injection requires reduction_tree = false "
+        "(the master must track per-slave work)");
+  }
+  if (options.elastic.enabled) {
+    if (options.reduction_tree) {
+      throw std::invalid_argument(
+          "run_distributed: elastic bursting requires reduction_tree = false");
+    }
+    const auto cloud_nodes = platform.cloud_node_count();
+    if (cloud_nodes > 0 && options.elastic.initial_cloud_nodes == 0) {
+      throw std::invalid_argument(
+          "run_distributed: elastic bursting needs at least one initial cloud node");
+    }
+    if (options.elastic.check_interval_seconds <= 0.0) {
+      throw std::invalid_argument("run_distributed: elastic check interval must be > 0");
+    }
+  }
+  for (const auto& f : options.failures) {
+    if (f.side >= platform.cluster_count()) {
+      throw std::invalid_argument("run_distributed: failure names an unknown cluster");
+    }
+    const auto& nodes = platform.nodes(f.side);
+    if (f.node_index >= nodes.size()) {
+      throw std::invalid_argument("run_distributed: failure names an unknown node");
+    }
+    std::size_t failing_here = 0;
+    for (const auto& g : options.failures) {
+      if (g.side == f.side) ++failing_here;
+    }
+    if (failing_here >= nodes.size()) {
+      throw std::invalid_argument(
+          "run_distributed: failures would leave a cluster with no live slaves");
+    }
+  }
+}
+
+JobExecution::JobExecution(cluster::Platform& platform, const storage::DataLayout& layout,
+                           const RunOptions& options, net::Postman<Message>& postman,
+                           const MailboxRegistrar& register_mailbox, std::uint32_t job_id,
+                           std::string trace_tag, SlotArbiter* arbiter,
+                           std::function<void()> on_finished)
+    : platform_(platform),
+      ctx_{platform,   layout,  options, postman, RunRecorder{}, {}, {}, job_id,
+           std::move(trace_tag), arbiter, std::move(on_finished)} {
+  ctx_.recorder.init(platform.cluster_count(), platform.store_count());
+  setup_chunk_offsets();
+  build_prefetchers();
+  build_actors(register_mailbox);
+  apply_static_assignment();
+  schedule_failures();
+  setup_elastic();
+}
+
+void JobExecution::setup_chunk_offsets() {
+  // Real execution: map chunk ids to dataset unit offsets.
+  const RunOptions& options = ctx_.options;
+  if (!options.task) return;
+  if (options.task->unit_bytes() != options.dataset->unit_bytes()) {
+    throw std::invalid_argument("run_distributed: task/dataset unit size mismatch");
+  }
+  ctx_.chunk_unit_offset.resize(ctx_.layout.chunks().size());
+  std::uint64_t offset = 0;
+  for (const auto& chunk : ctx_.layout.chunks()) {
+    ctx_.chunk_unit_offset[chunk.id] = offset;
+    offset += chunk.units;
+  }
+  if (offset != options.dataset->units()) {
+    throw std::invalid_argument(
+        "run_distributed: layout units do not tile the dataset exactly");
+  }
+}
+
+void JobExecution::build_prefetchers() {
+  // One per compute site when the attached cache fleet enables prefetching.
+  // The Env hooks close over this, which outlives the prefetchers.
+  const RunOptions& options = ctx_.options;
+  if (!options.cache || !options.cache->config().prefetch.enabled) return;
+  const cache::CacheConfig& cfg = options.cache->config();
+  ctx_.prefetchers.resize(platform_.cluster_count());
+  for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
+    if (platform_.nodes(site).empty()) continue;
+    cache::Prefetcher::Env env;
+    env.compression_ratio = std::max(1.0, options.profile.compression_ratio);
+    env.cacheable = [this, site](storage::StoreId s) {
+      return ctx_.store_cacheable(site, s);
+    };
+    const std::string pf_name = "prefetch-" + platform_.site_name(site);
+    const net::EndpointId master_ep = platform_.master_endpoint(site);
+    const unsigned streams = cfg.prefetch.streams
+                                 ? cfg.prefetch.streams
+                                 : std::max(1u, options.retrieval_streams);
+    // Prefetch GETs ride the same retry machinery as slave fetches; a
+    // permanently failed GET settles done(false) and the prefetcher aborts.
+    env.fetch = [this, site, pf_name, master_ep, streams](
+                    storage::StoreId s, const storage::ChunkInfo& wire,
+                    std::function<void(bool ok)> done) {
+      storage::fetch_with_retry(
+          platform_.sim(), platform_.store(s), master_ep, wire, streams,
+          ctx_.options.retry, ctx_.retry_hooks(site, pf_name, wire.id, s),
+          [done = std::move(done)](const storage::FetchResult& r) {
+            if (done) done(r.ok);
+          });
+    };
+    env.trace = [this, pf_name](trace::EventKind kind, std::uint64_t a,
+                                std::uint64_t b) { ctx_.trace(kind, pf_name, a, b); };
+    env.on_issue = [this, site](storage::StoreId s, const storage::ChunkInfo& info) {
+      ++ctx_.recorder.prefetch_issued[site];
+      ctx_.recorder.bytes_from_store[site][s] += info.bytes;
+    };
+    env.on_abort = [this, site](storage::StoreId s, const storage::ChunkInfo& info) {
+      ctx_.recorder.bytes_from_store[site][s] -= info.bytes;
+    };
+    ctx_.prefetchers[site] = std::make_unique<cache::Prefetcher>(
+        options.cache->site(site), cfg.prefetch, std::move(env));
+  }
+}
+
+void JobExecution::build_actors(const MailboxRegistrar& register_mailbox) {
+  for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
+    const auto& nodes = platform_.nodes(site);
+    if (nodes.empty()) continue;
+    const net::EndpointId master_ep = platform_.master_endpoint(site);
+    master_infos_.push_back(
+        HeadNode::MasterInfo{master_ep, platform_.store_of_cluster(site)});
+    auto peers = std::make_shared<std::vector<net::EndpointId>>();
+    for (const auto& node : nodes) peers->push_back(node.endpoint);
+    masters_.push_back(std::make_unique<MasterNode>(
+        ctx_, site, master_ep, platform_.head_endpoint(), *peers,
+        platform_.store_of_cluster(site)));
+    std::uint32_t rank = 0;
+    for (const auto& node : nodes) {
+      const std::size_t stat_index = ctx_.recorder.nodes.size();
+      NodeTimes times;
+      times.name = node.name;
+      times.cluster = site;
+      ctx_.recorder.nodes.push_back(std::move(times));
+      slaves_.push_back(
+          std::make_unique<SlaveNode>(ctx_, node, master_ep, stat_index, rank++, peers));
+    }
+  }
+
+  // The head's JobPool draws scheduler randomness from the run's seed, not
+  // the SchedulerPolicy default.
+  SchedulerPolicy policy = ctx_.options.policy;
+  policy.random_seed = ctx_.options.random_seed;
+  head_ = std::make_unique<HeadNode>(ctx_, platform_.head_endpoint(),
+                                     JobPool(ctx_.layout, policy), master_infos_,
+                                     ctx_.options.task);
+
+  // --- wire mailboxes --------------------------------------------------------
+  HeadNode* head = head_.get();
+  register_mailbox(head->endpoint(), [head](net::EndpointId from, Message msg) {
+    head->handle(from, std::move(msg));
+  });
+  for (auto& master : masters_) {
+    MasterNode* m = master.get();
+    register_mailbox(m->endpoint(), [m](net::EndpointId from, Message msg) {
+      m->handle(from, std::move(msg));
+    });
+  }
+  for (auto& slave : slaves_) {
+    SlaveNode* s = slave.get();
+    register_mailbox(s->endpoint(), [s](net::EndpointId from, Message msg) {
+      s->handle(from, std::move(msg));
+    });
+  }
+}
+
+void JobExecution::apply_static_assignment() {
+  const RunOptions& options = ctx_.options;
+  if (!options.static_assignment) return;
+  if (!options.failures.empty() || options.elastic.enabled) {
+    throw std::invalid_argument(
+        "run_distributed: static assignment excludes failures and elastic mode");
+  }
+  // Each chunk goes to the cluster whose preferred store holds it; chunks
+  // on a store no active cluster prefers are dealt round-robin across the
+  // clusters (a lone cluster therefore takes everything).
+  std::map<storage::StoreId, std::size_t> store_owner;
+  for (std::size_t m = 0; m < masters_.size(); ++m) {
+    store_owner.emplace(master_infos_[m].preferred_store, m);
+  }
+  std::vector<std::vector<std::pair<net::EndpointId, storage::ChunkId>>> plans(
+      masters_.size());
+  std::vector<std::size_t> cursors(masters_.size(), 0);
+  std::size_t orphan_cursor = 0;
+  for (const auto& chunk : ctx_.layout.chunks()) {
+    const auto it = store_owner.find(ctx_.layout.store_of(chunk.id));
+    const std::size_t m =
+        it != store_owner.end() ? it->second : orphan_cursor++ % masters_.size();
+    const auto& nodes = platform_.nodes(masters_[m]->site());
+    plans[m].emplace_back(nodes[cursors[m]++ % nodes.size()].endpoint, chunk.id);
+  }
+  for (std::size_t m = 0; m < masters_.size(); ++m) {
+    masters_[m]->assign_static(plans[m]);
+  }
+}
+
+void JobExecution::schedule_failures() {
+  // Injection times are relative to construction — i.e. to the job's own
+  // start, since start() follows construction at the same sim instant.
+  for (const auto& f : ctx_.options.failures) {
+    // Locate the victim slave and its master.
+    const auto& nodes = platform_.nodes(f.side);
+    const net::EndpointId victim_ep = nodes.at(f.node_index).endpoint;
+    SlaveNode* victim = nullptr;
+    for (auto& s : slaves_) {
+      if (s->endpoint() == victim_ep) victim = s.get();
+    }
+    MasterNode* master = nullptr;
+    for (auto& m : masters_) {
+      if (m->site() == f.side) master = m.get();
+    }
+    if (!victim || !master) {
+      throw std::logic_error("run_distributed: failure target not instantiated");
+    }
+    platform_.sim().schedule(des::from_seconds(f.at_seconds), [this, victim] {
+      ctx_.trace(trace::EventKind::SlaveFailed, "node", 0, 0);
+      victim->kill();
+    });
+    platform_.sim().schedule(
+        des::from_seconds(f.at_seconds + ctx_.options.failure_detection_seconds),
+        [master, victim_ep] { master->on_slave_failed(victim_ep); });
+  }
+}
+
+void JobExecution::setup_elastic() {
+  // Cloud slaves beyond the initial allocation start dormant; the controller
+  // watches progress and boots them when the deadline is at risk.
+  const RunOptions& options = ctx_.options;
+  for (auto& slave : slaves_) initial_active_.push_back(slave.get());
+  if (!options.elastic.enabled) {
+    ctx_.recorder.cloud_instance_starts.assign(platform_.cloud_node_count(), 0.0);
+    for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
+      if (!platform_.is_cloud(site)) continue;
+      for (const auto& node : platform_.nodes(site)) {
+        ctx_.recorder.cloud_instance_nodes.push_back(node.endpoint);
+      }
+    }
+    return;
+  }
+
+  initial_active_.clear();
+  std::set<net::EndpointId> cloud_eps;
+  for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
+    if (!platform_.is_cloud(site)) continue;
+    for (const auto& node : platform_.nodes(site)) cloud_eps.insert(node.endpoint);
+  }
+  std::uint32_t cloud_seen = 0;
+  for (auto& slave : slaves_) {
+    const bool is_cloud = cloud_eps.count(slave->endpoint()) > 0;
+    if (is_cloud && cloud_seen++ >= options.elastic.initial_cloud_nodes) {
+      dormant_.push_back(slave.get());
+    } else {
+      initial_active_.push_back(slave.get());
+      if (is_cloud) {
+        ctx_.recorder.cloud_instance_starts.push_back(0.0);
+        ctx_.recorder.cloud_instance_nodes.push_back(slave->endpoint());
+      }
+    }
+  }
+
+  const auto total_chunks = ctx_.layout.chunks().size();
+  auto next_dormant = std::make_shared<std::size_t>(0);
+  auto controller = std::make_shared<std::function<void()>>();
+  *controller = [this, next_dormant, controller, total_chunks] {
+    const RunOptions& opts = ctx_.options;
+    if (ctx_.recorder.finished) return;  // run over: stop rescheduling
+    const double now = ctx_.now_seconds();
+    // Progress is measured over the job's own lifetime, not absolute sim
+    // time — a workload job submitted late would otherwise look slow.
+    const double elapsed = now - start_time_;
+    std::size_t done = 0;
+    for (const auto& n : ctx_.recorder.nodes) done += n.jobs;
+    if (done < total_chunks && *next_dormant < dormant_.size()) {
+      // Projected completion at the current throughput. Before the first
+      // job lands the projection is unknown: scale only once the deadline
+      // itself has already slipped.
+      const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+      const double remaining = static_cast<double>(total_chunks - done);
+      const bool misses_deadline =
+          rate > 0.0 ? elapsed + remaining / rate > opts.elastic.deadline_seconds
+                     : elapsed > opts.elastic.deadline_seconds;
+      if (misses_deadline) {
+        for (std::uint32_t k = 0;
+             k < opts.elastic.activation_step && *next_dormant < dormant_.size(); ++k) {
+          SlaveNode* booting = dormant_[(*next_dormant)++];
+          const double up_at = elapsed + opts.elastic.boot_seconds;
+          ctx_.recorder.cloud_instance_starts.push_back(up_at);
+          ctx_.recorder.cloud_instance_nodes.push_back(booting->endpoint());
+          ++ctx_.recorder.elastic_activations;
+          ctx_.sim().schedule(des::from_seconds(opts.elastic.boot_seconds),
+                              [this, booting] {
+                                ctx_.trace(trace::EventKind::InstanceActivated, "node");
+                                booting->start();
+                              });
+        }
+      }
+    }
+    ctx_.sim().schedule(des::from_seconds(opts.elastic.check_interval_seconds),
+                        [controller] { (*controller)(); });
+  };
+  platform_.sim().schedule(des::from_seconds(options.elastic.check_interval_seconds),
+                           [controller] { (*controller)(); });
+}
+
+void JobExecution::start() {
+  start_time_ = ctx_.now_seconds();
+  for (auto& master : masters_) master->start();
+  for (SlaveNode* slave : initial_active_) slave->start();
+}
+
+RunResult JobExecution::collect(bool use_platform_store_stats) {
+  // Prefetches nobody consumed were wasted WAN work; settle them now that
+  // every in-flight transfer has drained.
+  for (cluster::ClusterId site = 0; site < ctx_.prefetchers.size(); ++site) {
+    if (ctx_.prefetchers[site]) {
+      ctx_.recorder.prefetch_wasted[site] +=
+          static_cast<std::uint32_t>(ctx_.prefetchers[site]->finish());
+    }
+  }
+
+  RunResult result;
+  result.total_time = ctx_.recorder.end_time - start_time_;
+  result.nodes = ctx_.recorder.nodes;
+  result.robj = head_->take_robj();
+  result.cloud_instance_starts = ctx_.recorder.cloud_instance_starts;
+  result.cloud_instance_nodes = ctx_.recorder.cloud_instance_nodes;
+  result.elastic_activations = ctx_.recorder.elastic_activations;
+  result.bytes_from_store = ctx_.recorder.bytes_from_store;
+  result.bytes_from_cache = ctx_.recorder.bytes_from_cache;
+  result.bytes_retried = ctx_.recorder.bytes_retried;
+  result.store_requests.resize(platform_.store_count());
+  for (storage::StoreId s = 0; s < platform_.store_count(); ++s) {
+    if (use_platform_store_stats) {
+      result.store_requests[s] = platform_.store(s).stats().requests;
+    } else {
+      // Concurrent jobs share the stores, so the store's global counter mixes
+      // tenants; this job's own per-site attempt counts are the right share.
+      std::uint64_t requests = 0;
+      for (const auto& per_site : ctx_.recorder.store_fetch_requests) {
+        requests += per_site[s];
+      }
+      result.store_requests[s] = requests;
+    }
+    const auto& store_spec =
+        platform_.spec().sites.at(platform_.owner_of_store(s)).store;
+    if (store_spec && store_spec->kind == cluster::StoreSpec::Kind::Object) {
+      result.s3_get_requests +=
+          result.store_requests[s] * std::max(1u, ctx_.options.retrieval_streams);
+    }
+  }
+  result.clusters.resize(platform_.cluster_count());
+  for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
+    result.clusters[site].name = platform_.site_name(site);
+  }
+
+  for (const auto& node : result.nodes) {
+    auto& c = result.clusters[static_cast<std::size_t>(node.cluster)];
+    c.processing += node.processing;
+    c.retrieval += node.retrieval;
+    // Sync: waiting for assignments during the run plus the tail between the
+    // node's last job and the end of the global reduction.
+    c.sync += node.wait + (ctx_.recorder.end_time - node.finish_time);
+    c.proc_end_time = std::max(c.proc_end_time, node.finish_time);
+    ++c.nodes;
+  }
+  for (auto& c : result.clusters) {
+    if (c.nodes > 0) {
+      c.processing /= c.nodes;
+      c.retrieval /= c.nodes;
+      c.sync /= c.nodes;
+    }
+  }
+  for (std::size_t site = 0; site < result.clusters.size(); ++site) {
+    auto& c = result.clusters[site];
+    c.jobs_local = ctx_.recorder.jobs_local[site];
+    c.jobs_stolen = ctx_.recorder.jobs_stolen[site];
+    c.bytes_local = ctx_.recorder.bytes_local[site];
+    c.bytes_stolen = ctx_.recorder.bytes_stolen[site];
+    c.cache_hits = ctx_.recorder.cache_hits[site];
+    c.cache_misses = ctx_.recorder.cache_misses[site];
+    c.prefetch_issued = ctx_.recorder.prefetch_issued[site];
+    c.prefetch_wasted = ctx_.recorder.prefetch_wasted[site];
+    c.store_faults = ctx_.recorder.store_faults[site];
+    c.fetch_retries = ctx_.recorder.fetch_retries[site];
+    c.hedges_issued = ctx_.recorder.hedges_issued[site];
+    c.hedges_won = ctx_.recorder.hedges_won[site];
+  }
+
+  // Idle time: how long each cluster waited for the other to finish
+  // processing; global reduction time: the tail after the later one.
+  double last_proc_end = 0.0;
+  for (const auto& c : result.clusters) {
+    if (c.nodes > 0) last_proc_end = std::max(last_proc_end, c.proc_end_time);
+  }
+  for (auto& c : result.clusters) {
+    c.idle_time = c.nodes > 0 ? last_proc_end - c.proc_end_time : 0.0;
+  }
+  result.global_reduction_time = ctx_.recorder.end_time - last_proc_end;
+  return result;
+}
+
+}  // namespace cloudburst::middleware

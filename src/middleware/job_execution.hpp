@@ -1,0 +1,97 @@
+// One job's complete actor tree (head, masters, slaves, prefetchers) on a
+// possibly shared platform.
+//
+// run_distributed() builds exactly one of these and drains the simulator;
+// workload::WorkloadManager builds one per concurrent job over the same
+// Platform and lets their event streams interleave in a single DES run. The
+// construction and event-scheduling order here is load-bearing: a solo
+// JobExecution must replay run_distributed's historical sequence byte for
+// byte (the PaperFidelity goldens pin it).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "middleware/head_node.hpp"
+#include "middleware/master_node.hpp"
+#include "middleware/run_context.hpp"
+#include "middleware/run_result.hpp"
+#include "middleware/slave_node.hpp"
+#include "net/messaging.hpp"
+#include "storage/data_layout.hpp"
+
+namespace cloudburst::middleware {
+
+/// Check that `options` can run on `platform` over `layout`; throws
+/// std::invalid_argument otherwise. run_distributed calls this itself; a
+/// workload manager calls it per job at submission so a bad spec fails fast
+/// instead of mid-simulation.
+void validate_run(const cluster::Platform& platform, const storage::DataLayout& layout,
+                  const RunOptions& options);
+
+class JobExecution {
+ public:
+  /// How this job's actors get their mailboxes. A standalone run registers
+  /// straight with the postman; a workload installs demultiplexing mailboxes
+  /// (several jobs' actors share each endpoint) and routes by Message::job.
+  using MailboxRegistrar =
+      std::function<void(net::EndpointId, std::function<void(net::EndpointId, Message)>)>;
+
+  /// Builds the full actor tree and schedules the job's self-driving events
+  /// (failure injections, elastic controller ticks) — everything short of
+  /// the first master/slave action, which start() triggers. The referenced
+  /// platform/layout/options/postman must outlive this object.
+  JobExecution(cluster::Platform& platform, const storage::DataLayout& layout,
+               const RunOptions& options, net::Postman<Message>& postman,
+               const MailboxRegistrar& register_mailbox, std::uint32_t job_id = 0,
+               std::string trace_tag = {}, SlotArbiter* arbiter = nullptr,
+               std::function<void()> on_finished = {});
+
+  JobExecution(const JobExecution&) = delete;
+  JobExecution& operator=(const JobExecution&) = delete;
+
+  /// Launch the masters and the initially-active slaves. The job then runs
+  /// as the shared simulator executes; ctx().on_finished fires when the
+  /// head completes the global reduction.
+  void start();
+
+  bool finished() const { return ctx_.recorder.finished; }
+  /// Sim time the head completed the run (valid once finished()).
+  double end_time() const { return ctx_.recorder.end_time; }
+  /// Sim time start() ran (0.0 until then — and for standalone runs).
+  double start_time() const { return start_time_; }
+  RunContext& ctx() { return ctx_; }
+
+  /// Settle the prefetchers and aggregate the RunResult. Call after the
+  /// simulator drained (standalone) or after the whole workload finished, so
+  /// in-flight transfers have landed. `use_platform_store_stats` keeps the
+  /// historical store_requests source (the store's own global counters) for
+  /// solo runs; a workload passes false to use this job's own counts.
+  RunResult collect(bool use_platform_store_stats = true);
+
+ private:
+  void setup_chunk_offsets();
+  void build_prefetchers();
+  void build_actors(const MailboxRegistrar& register_mailbox);
+  void apply_static_assignment();
+  void schedule_failures();
+  void setup_elastic();
+
+  cluster::Platform& platform_;
+  RunContext ctx_;
+  double start_time_ = 0.0;
+
+  std::vector<HeadNode::MasterInfo> master_infos_;
+  std::vector<std::unique_ptr<MasterNode>> masters_;
+  std::vector<std::unique_ptr<SlaveNode>> slaves_;
+  std::unique_ptr<HeadNode> head_;
+  /// Elastic mode: cloud slaves beyond the initial allocation, boot order.
+  std::vector<SlaveNode*> dormant_;
+  /// Slaves start() launches (everyone, minus dormant ones).
+  std::vector<SlaveNode*> initial_active_;
+};
+
+}  // namespace cloudburst::middleware

@@ -22,7 +22,7 @@ void MasterNode::handle(net::EndpointId from, Message msg) {
       } else if (no_more_) {
         Message reply;
         reply.type = MsgType::NoMoreJobs;
-        ctx_.postman.send(self_, from, kControlMessageBytes, std::move(reply));
+        ctx_.send(self_, from, kControlMessageBytes, std::move(reply));
       } else {
         waiting_slaves_.push_back(from);
       }
@@ -105,7 +105,7 @@ void MasterNode::checkpoint_tick() {
     Message msg;
     msg.type = MsgType::RobjRequest;
     msg.want = 0;  // periodic round
-    ctx_.postman.send(self_, s, kControlMessageBytes, std::move(msg));
+    ctx_.send(self_, s, kControlMessageBytes, std::move(msg));
   }
   ctx_.sim().schedule(des::from_seconds(ctx_.options.checkpoint_interval_seconds),
                       [this] { checkpoint_tick(); });
@@ -169,7 +169,7 @@ void MasterNode::maybe_refill() {
                                      static_cast<std::uint32_t>(waiting_slaves_.size())));
   msg.want = std::max<std::uint32_t>(ctx_.options.policy.batch_size,
                                      static_cast<std::uint32_t>(waiting_slaves_.size()));
-  ctx_.postman.send(self_, head_, kControlMessageBytes, std::move(msg));
+  ctx_.send(self_, head_, kControlMessageBytes, std::move(msg));
 }
 
 void MasterNode::serve_waiting() {
@@ -181,7 +181,7 @@ void MasterNode::serve_waiting() {
     while (!waiting_slaves_.empty()) {
       Message reply;
       reply.type = MsgType::NoMoreJobs;
-      ctx_.postman.send(self_, waiting_slaves_.front(), kControlMessageBytes,
+      ctx_.send(self_, waiting_slaves_.front(), kControlMessageBytes,
                         std::move(reply));
       waiting_slaves_.pop_front();
     }
@@ -222,7 +222,7 @@ void MasterNode::push_assign(storage::ChunkId chunk, net::EndpointId slave) {
   Message msg;
   msg.type = MsgType::AssignJob;
   msg.chunk = chunk;
-  ctx_.postman.send(self_, slave, kControlMessageBytes, std::move(msg));
+  ctx_.send(self_, slave, kControlMessageBytes, std::move(msg));
 }
 
 void MasterNode::account_assignment(storage::ChunkId chunk) {
@@ -264,7 +264,7 @@ void MasterNode::maybe_commit() {
     Message msg;
     msg.type = MsgType::RobjRequest;
     msg.want = commit_round_;
-    ctx_.postman.send(self_, s, kControlMessageBytes, std::move(msg));
+    ctx_.send(self_, s, kControlMessageBytes, std::move(msg));
   }
   if (robjs_expected_ == 0) {
     throw std::runtime_error("MasterNode: no live slaves left to commit");
@@ -285,7 +285,7 @@ void MasterNode::send_cluster_robj() {
                                   ? ctx_.options.profile.robj_bytes
                                   : std::max<std::uint64_t>(up.robj_payload.size(), 64);
   ctx_.trace(trace::EventKind::RobjSent, trace_name_, bytes);
-  ctx_.postman.send(self_, head_, bytes, std::move(up));
+  ctx_.send(self_, head_, bytes, std::move(up));
 }
 
 }  // namespace cloudburst::middleware

@@ -36,6 +36,12 @@ enum class MsgType : std::uint8_t {
 struct Message {
   MsgType type = MsgType::SlaveJobRequest;
 
+  /// Workload multiplexing: id of the job this message belongs to. Shared
+  /// endpoints (a node running slave actors of several concurrent jobs)
+  /// demultiplex on it; single-job runs leave it 0 throughout. Carried out
+  /// of band — it adds nothing to the charged wire size.
+  std::uint32_t job = 0;
+
   // AssignJob
   storage::ChunkId chunk = 0;
 

@@ -3,7 +3,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "api/generalized_reduction.hpp"
@@ -21,9 +24,43 @@
 
 namespace cloudburst::middleware {
 
+/// Arbitration of compute-node processing slots among concurrent jobs.
+///
+/// A workload runs several jobs' slave actors on the same physical nodes;
+/// each node still has one core, so at most one job may be processing on it
+/// at any instant. Before computing a chunk a slave acquires its node's
+/// slot, and releases it at the chunk boundary — the arbiter's discipline
+/// (FIFO, weighted fair share, strict priority) decides who gets the core
+/// next. Standalone runs have no arbiter (RunContext::arbiter == nullptr)
+/// and skip the handshake entirely, so single-job paths stay byte-identical.
+class SlotArbiter {
+ public:
+  virtual ~SlotArbiter() = default;
+
+  /// Claim `node`'s slot for `job`. Returns true if granted synchronously
+  /// (the caller starts processing now); otherwise the claim queues and
+  /// `grant` fires — synchronously, inside a later release() — when the job
+  /// wins the core. At most one outstanding claim per (node, job).
+  virtual bool acquire(net::EndpointId node, std::uint32_t job,
+                       std::function<void()> grant) = 0;
+
+  /// Return the slot after `used_seconds` of processing; the arbiter hands
+  /// it to the next queued claim per its share discipline.
+  virtual void release(net::EndpointId node, std::uint32_t job, double used_seconds) = 0;
+
+  /// Withdraw any queued claim and/or held slot (the slave died mid-run).
+  virtual void forget(net::EndpointId node, std::uint32_t job) = 0;
+};
+
 struct RunOptions {
   AppProfile profile;
   SchedulerPolicy policy;
+
+  /// Seed for the run's scheduler randomness: copied into
+  /// SchedulerPolicy::random_seed when the head's JobPool is built, so
+  /// RemoteSelection::Random ablations vary with the configured run seed
+  /// instead of a constant baked into the policy default.
+  std::uint64_t random_seed = 42;
 
   /// Parallel retrieval streams per chunk fetch (the slave's "multiple
   /// retrieval threads"); only object stores honor > 1.
@@ -111,7 +148,11 @@ struct RunOptions {
 struct RunRecorder {
   std::vector<NodeTimes> nodes;  ///< one per slave, global index order
   /// Activation time of each billed cloud instance (0.0 for initial ones).
+  /// Under a workload, times are relative to the job's own start.
   std::vector<double> cloud_instance_starts;
+  /// Physical node behind each cloud_instance_starts entry (parallel
+  /// vector); lets a workload bill a node shared by several jobs once.
+  std::vector<net::EndpointId> cloud_instance_nodes;
   std::uint32_t elastic_activations = 0;
   // Per-cluster accounting, indexed by ClusterId; sized by init().
   std::vector<std::uint32_t> jobs_local;
@@ -139,6 +180,12 @@ struct RunRecorder {
   /// crossed the WAN, so the cost model bills them as egress on top of
   /// bytes_from_store.
   std::vector<std::vector<std::uint64_t>> bytes_retried;
+  /// Store fetch requests this run issued against store s from cluster c,
+  /// counted at the retry layer: store_fetch_requests[c][s]. Equals the
+  /// store's own stats().requests for a solo run; under a multi-job
+  /// workload it is the per-job share the tenant cost attribution needs
+  /// (the store's global counter aggregates every job).
+  std::vector<std::vector<std::uint64_t>> store_fetch_requests;
   double end_time = 0.0;
   bool finished = false;
 
@@ -159,6 +206,7 @@ struct RunRecorder {
     hedges_issued.assign(clusters, 0);
     hedges_won.assign(clusters, 0);
     bytes_retried.assign(clusters, std::vector<std::uint64_t>(stores, 0));
+    store_fetch_requests.assign(clusters, std::vector<std::uint64_t>(stores, 0));
   }
 };
 
@@ -176,6 +224,23 @@ struct RunContext {
   /// Per-site prefetchers, indexed by ClusterId; empty (or null entries)
   /// unless the attached cache fleet enables prefetching.
   std::vector<std::unique_ptr<cache::Prefetcher>> prefetchers;
+
+  /// Identity of this run within a workload (0 for standalone runs);
+  /// stamped on every control message so shared endpoints can demultiplex.
+  std::uint32_t job_id = 0;
+
+  /// Prefix for trace actor names (e.g. "j3/"); empty for standalone runs
+  /// so paper traces stay byte-identical. Gives each job its own Gantt
+  /// lanes when several jobs share a tracer.
+  std::string trace_tag;
+
+  /// Core-slot arbiter for workload runs; null for standalone runs (no
+  /// acquire/release handshake at all).
+  SlotArbiter* arbiter = nullptr;
+
+  /// Fired once when the head completes the run's global reduction — the
+  /// workload manager's job-completion signal.
+  std::function<void()> on_finished;
 
   /// Should reads from `store` go through site `site`'s cache? Object-kind
   /// stores always qualify (they pay request latency and GET pricing even
@@ -205,7 +270,16 @@ struct RunContext {
 
   void trace(trace::EventKind kind, const std::string& actor, std::uint64_t a = 0,
              std::uint64_t b = 0) {
-    if (options.tracer) options.tracer->record(now_seconds(), kind, actor, a, b);
+    if (!options.tracer) return;
+    options.tracer->record(now_seconds(), kind,
+                           trace_tag.empty() ? actor : trace_tag + actor, a, b);
+  }
+
+  /// All control-plane sends go through here so every message carries the
+  /// run's job id; shared endpoints demultiplex on it.
+  void send(net::EndpointId src, net::EndpointId dst, std::uint64_t bytes, Message msg) {
+    msg.job = job_id;
+    postman.send(src, dst, bytes, std::move(msg));
   }
 
   /// Standard retry observer wiring for one fetch: fault/retry/hedge
@@ -215,6 +289,9 @@ struct RunContext {
   storage::RetryHooks retry_hooks(cluster::ClusterId site, std::string actor,
                                   storage::ChunkId chunk, storage::StoreId store) {
     storage::RetryHooks h;
+    h.on_attempt = [this, site, store](unsigned) {
+      ++recorder.store_fetch_requests[site][store];
+    };
     h.on_fault = [this, site, actor, chunk](unsigned attempt, const storage::FetchResult&) {
       ++recorder.store_faults[site];
       trace(trace::EventKind::StoreFault, actor, chunk, attempt);

@@ -88,6 +88,10 @@ struct RunResult {
   /// start). For non-elastic runs this is one zero per cloud instance;
   /// elastic runs append booted instances at their activation times.
   std::vector<double> cloud_instance_starts;
+  /// Physical node behind each cloud_instance_starts entry (parallel
+  /// vector). A workload uses it to bill a node shared by concurrent jobs
+  /// once instead of once per job.
+  std::vector<net::EndpointId> cloud_instance_nodes;
   std::uint32_t elastic_activations = 0;  ///< instances booted mid-run
 
   /// Present when RunOptions carried a real task: the finalized global robj.

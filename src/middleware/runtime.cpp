@@ -1,392 +1,30 @@
 #include "middleware/runtime.hpp"
 
-#include <algorithm>
-#include <map>
-#include <memory>
-#include <set>
 #include <stdexcept>
-#include <vector>
+#include <utility>
 
-#include "middleware/head_node.hpp"
-#include "middleware/master_node.hpp"
-#include "middleware/slave_node.hpp"
+#include "middleware/job_execution.hpp"
 #include "net/messaging.hpp"
 
 namespace cloudburst::middleware {
 
 RunResult run_distributed(cluster::Platform& platform, const storage::DataLayout& layout,
                           const RunOptions& options) {
-  if ((options.task == nullptr) != (options.dataset == nullptr)) {
-    throw std::invalid_argument("run_distributed: task and dataset must be set together");
-  }
-  if (platform.total_nodes() == 0) {
-    throw std::invalid_argument("run_distributed: platform has no compute nodes");
-  }
-  if (layout.chunks().empty()) {
-    throw std::invalid_argument("run_distributed: layout has no chunks");
-  }
-  if (options.checkpoint_interval_seconds > 0.0 && options.reduction_tree) {
-    throw std::invalid_argument(
-        "run_distributed: periodic checkpointing requires reduction_tree = false");
-  }
-  if (!options.failures.empty() && options.reduction_tree) {
-    throw std::invalid_argument(
-        "run_distributed: failure injection requires reduction_tree = false "
-        "(the master must track per-slave work)");
-  }
-  if (options.elastic.enabled) {
-    if (options.reduction_tree) {
-      throw std::invalid_argument(
-          "run_distributed: elastic bursting requires reduction_tree = false");
-    }
-    const auto cloud_nodes = platform.cloud_node_count();
-    if (cloud_nodes > 0 && options.elastic.initial_cloud_nodes == 0) {
-      throw std::invalid_argument(
-          "run_distributed: elastic bursting needs at least one initial cloud node");
-    }
-    if (options.elastic.check_interval_seconds <= 0.0) {
-      throw std::invalid_argument("run_distributed: elastic check interval must be > 0");
-    }
-  }
-  for (const auto& f : options.failures) {
-    if (f.side >= platform.cluster_count()) {
-      throw std::invalid_argument("run_distributed: failure names an unknown cluster");
-    }
-    const auto& nodes = platform.nodes(f.side);
-    if (f.node_index >= nodes.size()) {
-      throw std::invalid_argument("run_distributed: failure names an unknown node");
-    }
-    std::size_t failing_here = 0;
-    for (const auto& g : options.failures) {
-      if (g.side == f.side) ++failing_here;
-    }
-    if (failing_here >= nodes.size()) {
-      throw std::invalid_argument(
-          "run_distributed: failures would leave a cluster with no live slaves");
-    }
-  }
+  validate_run(platform, layout, options);
 
   net::Postman<Message> postman(platform.network());
-  RunContext ctx{platform, layout, options, postman, RunRecorder{}, {}, {}};
-  ctx.recorder.init(platform.cluster_count(), platform.store_count());
-
-  // Real execution: map chunk ids to dataset unit offsets.
-  if (options.task) {
-    if (options.task->unit_bytes() != options.dataset->unit_bytes()) {
-      throw std::invalid_argument("run_distributed: task/dataset unit size mismatch");
-    }
-    ctx.chunk_unit_offset.resize(layout.chunks().size());
-    std::uint64_t offset = 0;
-    for (const auto& chunk : layout.chunks()) {
-      ctx.chunk_unit_offset[chunk.id] = offset;
-      offset += chunk.units;
-    }
-    if (offset != options.dataset->units()) {
-      throw std::invalid_argument(
-          "run_distributed: layout units do not tile the dataset exactly");
-    }
-  }
-
-  // --- prefetchers ------------------------------------------------------------
-  // One per compute site when the attached cache fleet enables prefetching.
-  // The Env hooks close over ctx/platform, which outlive the prefetchers
-  // (both live to the end of this function).
-  if (options.cache && options.cache->config().prefetch.enabled) {
-    const cache::CacheConfig& cfg = options.cache->config();
-    ctx.prefetchers.resize(platform.cluster_count());
-    for (cluster::ClusterId site = 0; site < platform.cluster_count(); ++site) {
-      if (platform.nodes(site).empty()) continue;
-      cache::Prefetcher::Env env;
-      env.compression_ratio = std::max(1.0, options.profile.compression_ratio);
-      env.cacheable = [&ctx, site](storage::StoreId s) {
-        return ctx.store_cacheable(site, s);
-      };
-      const std::string pf_name = "prefetch-" + platform.site_name(site);
-      const net::EndpointId master_ep = platform.master_endpoint(site);
-      const unsigned streams = cfg.prefetch.streams
-                                   ? cfg.prefetch.streams
-                                   : std::max(1u, options.retrieval_streams);
-      // Prefetch GETs ride the same retry machinery as slave fetches; a
-      // permanently failed GET settles done(false) and the prefetcher aborts.
-      env.fetch = [&ctx, &platform, &options, site, pf_name, master_ep, streams](
-                      storage::StoreId s, const storage::ChunkInfo& wire,
-                      std::function<void(bool ok)> done) {
-        storage::fetch_with_retry(
-            platform.sim(), platform.store(s), master_ep, wire, streams,
-            options.retry, ctx.retry_hooks(site, pf_name, wire.id, s),
-            [done = std::move(done)](const storage::FetchResult& r) {
-              if (done) done(r.ok);
-            });
-      };
-      env.trace = [&ctx, pf_name](trace::EventKind kind, std::uint64_t a,
-                                  std::uint64_t b) { ctx.trace(kind, pf_name, a, b); };
-      env.on_issue = [&ctx, site](storage::StoreId s, const storage::ChunkInfo& info) {
-        ++ctx.recorder.prefetch_issued[site];
-        ctx.recorder.bytes_from_store[site][s] += info.bytes;
-      };
-      env.on_abort = [&ctx, site](storage::StoreId s, const storage::ChunkInfo& info) {
-        ctx.recorder.bytes_from_store[site][s] -= info.bytes;
-      };
-      ctx.prefetchers[site] = std::make_unique<cache::Prefetcher>(
-          options.cache->site(site), cfg.prefetch, std::move(env));
-    }
-  }
-
-  // --- build actors ----------------------------------------------------------
-  std::vector<HeadNode::MasterInfo> master_infos;
-  std::vector<std::unique_ptr<MasterNode>> masters;
-  std::vector<std::unique_ptr<SlaveNode>> slaves;
-
-  for (cluster::ClusterId site = 0; site < platform.cluster_count(); ++site) {
-    const auto& nodes = platform.nodes(site);
-    if (nodes.empty()) continue;
-    const net::EndpointId master_ep = platform.master_endpoint(site);
-    master_infos.push_back(
-        HeadNode::MasterInfo{master_ep, platform.store_of_cluster(site)});
-    auto peers = std::make_shared<std::vector<net::EndpointId>>();
-    for (const auto& node : nodes) peers->push_back(node.endpoint);
-    masters.push_back(std::make_unique<MasterNode>(
-        ctx, site, master_ep, platform.head_endpoint(), *peers,
-        platform.store_of_cluster(site)));
-    std::uint32_t rank = 0;
-    for (const auto& node : nodes) {
-      const std::size_t stat_index = ctx.recorder.nodes.size();
-      NodeTimes times;
-      times.name = node.name;
-      times.cluster = site;
-      ctx.recorder.nodes.push_back(std::move(times));
-      slaves.push_back(
-          std::make_unique<SlaveNode>(ctx, node, master_ep, stat_index, rank++, peers));
-    }
-  }
-
-  HeadNode head(ctx, platform.head_endpoint(), JobPool(layout, options.policy),
-                master_infos, options.task);
-
-  // --- wire mailboxes ---------------------------------------------------------
-  postman.register_mailbox(head.endpoint(),
-                           [&head](net::EndpointId from, Message msg) {
-                             head.handle(from, std::move(msg));
-                           });
-  for (auto& master : masters) {
-    MasterNode* m = master.get();
-    postman.register_mailbox(
-        m->endpoint(), [m](net::EndpointId from, Message msg) { m->handle(from, std::move(msg)); });
-  }
-  for (auto& slave : slaves) {
-    SlaveNode* s = slave.get();
-    postman.register_mailbox(
-        s->endpoint(), [s](net::EndpointId from, Message msg) { s->handle(from, std::move(msg)); });
-  }
-
-  // --- static assignment baseline -------------------------------------------------
-  if (options.static_assignment) {
-    if (!options.failures.empty() || options.elastic.enabled) {
-      throw std::invalid_argument(
-          "run_distributed: static assignment excludes failures and elastic mode");
-    }
-    // Each chunk goes to the cluster whose preferred store holds it; chunks
-    // on a store no active cluster prefers are dealt round-robin across the
-    // clusters (a lone cluster therefore takes everything).
-    std::map<storage::StoreId, std::size_t> store_owner;
-    for (std::size_t m = 0; m < masters.size(); ++m) {
-      store_owner.emplace(master_infos[m].preferred_store, m);
-    }
-    std::vector<std::vector<std::pair<net::EndpointId, storage::ChunkId>>> plans(
-        masters.size());
-    std::vector<std::size_t> cursors(masters.size(), 0);
-    std::size_t orphan_cursor = 0;
-    for (const auto& chunk : layout.chunks()) {
-      const auto it = store_owner.find(layout.store_of(chunk.id));
-      const std::size_t m =
-          it != store_owner.end() ? it->second : orphan_cursor++ % masters.size();
-      const auto& nodes = platform.nodes(masters[m]->site());
-      plans[m].emplace_back(nodes[cursors[m]++ % nodes.size()].endpoint, chunk.id);
-    }
-    for (std::size_t m = 0; m < masters.size(); ++m) {
-      masters[m]->assign_static(plans[m]);
-    }
-  }
-
-  // --- failure injection --------------------------------------------------------
-  for (const auto& f : options.failures) {
-    // Locate the victim slave and its master.
-    const auto& nodes = platform.nodes(f.side);
-    const net::EndpointId victim_ep = nodes.at(f.node_index).endpoint;
-    SlaveNode* victim = nullptr;
-    for (auto& s : slaves) {
-      if (s->endpoint() == victim_ep) victim = s.get();
-    }
-    MasterNode* master = nullptr;
-    for (auto& m : masters) {
-      if (m->site() == f.side) master = m.get();
-    }
-    if (!victim || !master) {
-      throw std::logic_error("run_distributed: failure target not instantiated");
-    }
-    platform.sim().schedule(des::from_seconds(f.at_seconds), [victim, &ctx] {
-      ctx.trace(trace::EventKind::SlaveFailed, "node", 0, 0);
-      victim->kill();
-    });
-    platform.sim().schedule(
-        des::from_seconds(f.at_seconds + options.failure_detection_seconds),
-        [master, victim_ep] { master->on_slave_failed(victim_ep); });
-  }
-
-  // --- elastic bursting -----------------------------------------------------------
-  // Cloud slaves beyond the initial allocation start dormant; the controller
-  // watches progress and boots them when the deadline is at risk.
-  std::vector<SlaveNode*> dormant;
-  std::vector<SlaveNode*> initial_active;
-  for (auto& slave : slaves) initial_active.push_back(slave.get());
-  if (options.elastic.enabled) {
-    initial_active.clear();
-    std::set<net::EndpointId> cloud_eps;
-    for (cluster::ClusterId site = 0; site < platform.cluster_count(); ++site) {
-      if (!platform.is_cloud(site)) continue;
-      for (const auto& node : platform.nodes(site)) cloud_eps.insert(node.endpoint);
-    }
-    std::uint32_t cloud_seen = 0;
-    for (auto& slave : slaves) {
-      const bool is_cloud = cloud_eps.count(slave->endpoint()) > 0;
-      if (is_cloud && cloud_seen++ >= options.elastic.initial_cloud_nodes) {
-        dormant.push_back(slave.get());
-      } else {
-        initial_active.push_back(slave.get());
-        if (is_cloud) ctx.recorder.cloud_instance_starts.push_back(0.0);
-      }
-    }
-
-    const auto total_chunks = layout.chunks().size();
-    auto next_dormant = std::make_shared<std::size_t>(0);
-    auto controller = std::make_shared<std::function<void()>>();
-    *controller = [&ctx, &platform, &options, &dormant, next_dormant, controller,
-                   total_chunks] {
-      if (ctx.recorder.finished) return;  // run over: stop rescheduling
-      const double now = ctx.now_seconds();
-      std::size_t done = 0;
-      for (const auto& n : ctx.recorder.nodes) done += n.jobs;
-      if (done < total_chunks && *next_dormant < dormant.size()) {
-        // Projected completion at the current throughput. Before the first
-        // job lands the projection is unknown: scale only once the deadline
-        // itself has already slipped.
-        const double rate = now > 0.0 ? static_cast<double>(done) / now : 0.0;
-        const double remaining = static_cast<double>(total_chunks - done);
-        const bool misses_deadline =
-            rate > 0.0 ? now + remaining / rate > options.elastic.deadline_seconds
-                       : now > options.elastic.deadline_seconds;
-        if (misses_deadline) {
-          for (std::uint32_t k = 0;
-               k < options.elastic.activation_step && *next_dormant < dormant.size();
-               ++k) {
-            SlaveNode* booting = dormant[(*next_dormant)++];
-            const double up_at = now + options.elastic.boot_seconds;
-            ctx.recorder.cloud_instance_starts.push_back(up_at);
-            ++ctx.recorder.elastic_activations;
-            ctx.sim().schedule(des::from_seconds(options.elastic.boot_seconds),
-                               [booting, &ctx] {
-                                 ctx.trace(trace::EventKind::InstanceActivated, "node");
-                                 booting->start();
-                               });
-          }
-        }
-      }
-      ctx.sim().schedule(des::from_seconds(options.elastic.check_interval_seconds),
-                         [controller] { (*controller)(); });
-    };
-    platform.sim().schedule(des::from_seconds(options.elastic.check_interval_seconds),
-                            [controller] { (*controller)(); });
-  } else {
-    ctx.recorder.cloud_instance_starts.assign(platform.cloud_node_count(), 0.0);
-  }
-
-  // --- run ---------------------------------------------------------------------
-  for (auto& master : masters) master->start();
-  for (SlaveNode* slave : initial_active) slave->start();
+  JobExecution job(platform, layout, options, postman,
+                   [&postman](net::EndpointId ep,
+                              std::function<void(net::EndpointId, Message)> handler) {
+                     postman.register_mailbox(ep, std::move(handler));
+                   });
+  job.start();
   platform.sim().run();
 
-  if (!ctx.recorder.finished) {
+  if (!job.finished()) {
     throw std::runtime_error("run_distributed: simulation drained without completing the run");
   }
-
-  // Prefetches nobody consumed were wasted WAN work; settle them now that
-  // every in-flight transfer has drained.
-  for (cluster::ClusterId site = 0; site < ctx.prefetchers.size(); ++site) {
-    if (ctx.prefetchers[site]) {
-      ctx.recorder.prefetch_wasted[site] +=
-          static_cast<std::uint32_t>(ctx.prefetchers[site]->finish());
-    }
-  }
-
-  // --- aggregate ----------------------------------------------------------------
-  RunResult result;
-  result.total_time = ctx.recorder.end_time;
-  result.nodes = ctx.recorder.nodes;
-  result.robj = head.take_robj();
-  result.cloud_instance_starts = ctx.recorder.cloud_instance_starts;
-  result.elastic_activations = ctx.recorder.elastic_activations;
-  result.bytes_from_store = ctx.recorder.bytes_from_store;
-  result.bytes_from_cache = ctx.recorder.bytes_from_cache;
-  result.bytes_retried = ctx.recorder.bytes_retried;
-  result.store_requests.resize(platform.store_count());
-  for (storage::StoreId s = 0; s < platform.store_count(); ++s) {
-    result.store_requests[s] = platform.store(s).stats().requests;
-    const auto& store_spec =
-        platform.spec().sites.at(platform.owner_of_store(s)).store;
-    if (store_spec && store_spec->kind == cluster::StoreSpec::Kind::Object) {
-      result.s3_get_requests +=
-          result.store_requests[s] * std::max(1u, options.retrieval_streams);
-    }
-  }
-  result.clusters.resize(platform.cluster_count());
-  for (cluster::ClusterId site = 0; site < platform.cluster_count(); ++site) {
-    result.clusters[site].name = platform.site_name(site);
-  }
-
-  for (const auto& node : result.nodes) {
-    auto& c = result.clusters[static_cast<std::size_t>(node.cluster)];
-    c.processing += node.processing;
-    c.retrieval += node.retrieval;
-    // Sync: waiting for assignments during the run plus the tail between the
-    // node's last job and the end of the global reduction.
-    c.sync += node.wait + (result.total_time - node.finish_time);
-    c.proc_end_time = std::max(c.proc_end_time, node.finish_time);
-    ++c.nodes;
-  }
-  for (auto& c : result.clusters) {
-    if (c.nodes > 0) {
-      c.processing /= c.nodes;
-      c.retrieval /= c.nodes;
-      c.sync /= c.nodes;
-    }
-  }
-  for (std::size_t site = 0; site < result.clusters.size(); ++site) {
-    auto& c = result.clusters[site];
-    c.jobs_local = ctx.recorder.jobs_local[site];
-    c.jobs_stolen = ctx.recorder.jobs_stolen[site];
-    c.bytes_local = ctx.recorder.bytes_local[site];
-    c.bytes_stolen = ctx.recorder.bytes_stolen[site];
-    c.cache_hits = ctx.recorder.cache_hits[site];
-    c.cache_misses = ctx.recorder.cache_misses[site];
-    c.prefetch_issued = ctx.recorder.prefetch_issued[site];
-    c.prefetch_wasted = ctx.recorder.prefetch_wasted[site];
-    c.store_faults = ctx.recorder.store_faults[site];
-    c.fetch_retries = ctx.recorder.fetch_retries[site];
-    c.hedges_issued = ctx.recorder.hedges_issued[site];
-    c.hedges_won = ctx.recorder.hedges_won[site];
-  }
-
-  // Idle time: how long each cluster waited for the other to finish
-  // processing; global reduction time: the tail after the later one.
-  double last_proc_end = 0.0;
-  for (const auto& c : result.clusters) {
-    if (c.nodes > 0) last_proc_end = std::max(last_proc_end, c.proc_end_time);
-  }
-  for (auto& c : result.clusters) {
-    c.idle_time = c.nodes > 0 ? last_proc_end - c.proc_end_time : 0.0;
-  }
-  result.global_reduction_time = result.total_time - last_proc_end;
-  return result;
+  return job.collect();
 }
 
 }  // namespace cloudburst::middleware

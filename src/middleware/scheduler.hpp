@@ -45,7 +45,7 @@ struct SchedulerPolicy {
   bool consecutive_batches = true;
   bool allow_stealing = true;
   RemoteSelection remote_selection = RemoteSelection::MinContention;
-  std::uint64_t random_seed = 42;  ///< for RemoteSelection::Random
+  std::uint64_t random_seed = 42;  ///< for RemoteSelection::Random (distributed runs copy RunOptions::random_seed here)
 };
 
 /// Job pool bookkeeping: which chunks are unassigned, organized by file and

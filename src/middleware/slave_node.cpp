@@ -43,7 +43,7 @@ void SlaveNode::top_up_requests() {
     ++outstanding_requests_;
     Message msg;
     msg.type = MsgType::SlaveJobRequest;
-    ctx_.postman.send(node_.endpoint, master_, kControlMessageBytes, std::move(msg));
+    ctx_.send(node_.endpoint, master_, kControlMessageBytes, std::move(msg));
   }
 }
 
@@ -195,7 +195,26 @@ void SlaveNode::on_fetched(storage::ChunkId chunk) {
 }
 
 void SlaveNode::maybe_process() {
-  if (processing_ || ready_.empty()) return;
+  if (processing_ || ready_.empty() || slot_waiting_) return;
+  if (ctx_.arbiter && !slot_held_) {
+    // Workload run: the node's core is time-shared between jobs at chunk
+    // granularity. Claim it; if another job holds it, the grant callback
+    // resumes us at the next slot handover.
+    const bool granted = ctx_.arbiter->acquire(node_.endpoint, ctx_.job_id, [this] {
+      slot_waiting_ = false;
+      slot_held_ = true;
+      start_processing();
+    });
+    if (!granted) {
+      slot_waiting_ = true;
+      return;
+    }
+    slot_held_ = true;
+  }
+  start_processing();
+}
+
+void SlaveNode::start_processing() {
   processing_ = true;
   const storage::ChunkId chunk = ready_.front();
   ready_.pop_front();
@@ -235,11 +254,18 @@ void SlaveNode::on_processed(storage::ChunkId chunk, double duration) {
   stats().finish_time = ctx_.now_seconds();
   ++stats().jobs;
 
+  if (ctx_.arbiter && slot_held_) {
+    // Chunk boundary: hand the core back before asking for more work, so the
+    // arbiter picks the next job (possibly us again) at this instant.
+    slot_held_ = false;
+    ctx_.arbiter->release(node_.endpoint, ctx_.job_id, duration);
+  }
+
   if (!ctx_.options.reduction_tree) {
     Message done;
     done.type = MsgType::JobDone;
     done.chunk = chunk;
-    ctx_.postman.send(node_.endpoint, master_, kControlMessageBytes, std::move(done));
+    ctx_.send(node_.endpoint, master_, kControlMessageBytes, std::move(done));
   }
 
   top_up_requests();
@@ -294,7 +320,7 @@ void SlaveNode::send_robj(net::EndpointId dst, std::uint32_t round) {
                                   ? ctx_.options.profile.robj_bytes
                                   : std::max<std::uint64_t>(msg.robj_payload.size(), 64);
   ctx_.trace(trace::EventKind::RobjSent, node_.name, bytes);
-  ctx_.postman.send(node_.endpoint, dst, bytes, std::move(msg));
+  ctx_.send(node_.endpoint, dst, bytes, std::move(msg));
 }
 
 }  // namespace cloudburst::middleware

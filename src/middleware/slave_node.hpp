@@ -45,8 +45,16 @@ class SlaveNode {
   /// Postman delivery entry point.
   void handle(net::EndpointId from, Message msg);
 
-  /// Simulated crash: drop everything, go silent.
-  void kill() { alive_ = false; }
+  /// Simulated crash: drop everything, go silent. Any held or queued core
+  /// slot is returned to the arbiter so other jobs are not wedged.
+  void kill() {
+    alive_ = false;
+    if (ctx_.arbiter && (slot_held_ || slot_waiting_)) {
+      ctx_.arbiter->forget(node_.endpoint, ctx_.job_id);
+      slot_held_ = false;
+      slot_waiting_ = false;
+    }
+  }
   bool alive() const { return alive_; }
 
   net::EndpointId endpoint() const { return node_.endpoint; }
@@ -67,7 +75,10 @@ class SlaveNode {
   /// a fresh cycle (the simulation cannot drop assigned work).
   void on_fetch_failed(storage::ChunkId chunk);
   void on_fetched(storage::ChunkId chunk);
+  /// Gate on the CPU (and, under a workload, the node's core slot); pops the
+  /// ready queue into start_processing() once the slot is ours.
   void maybe_process();
+  void start_processing();
   void on_processed(storage::ChunkId chunk, double duration);
   void on_child_robj(Message msg);
   void maybe_finish_tree();
@@ -92,6 +103,8 @@ class SlaveNode {
   unsigned active_jobs_ = 0;  ///< assigned but not fully processed
   bool no_more_ = false;
   bool processing_ = false;
+  bool slot_held_ = false;     ///< arbiter granted us the node's core slot
+  bool slot_waiting_ = false;  ///< claim queued at the arbiter
   bool robj_sent_ = false;  ///< tree mode: cluster robj shipped up the tree
   std::uint32_t children_received_ = 0;
   double idle_since_ = 0.0;

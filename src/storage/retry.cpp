@@ -82,6 +82,7 @@ struct RetryOp : std::enable_shared_from_this<RetryOp> {
   void issue_request(std::shared_ptr<Attempt> st, bool is_hedge) {
     ++st->outstanding;
     auto self = shared_from_this();
+    if (hooks.on_attempt) hooks.on_attempt(attempt);
     store.fetch(dst, chunk, streams, [self, st, is_hedge](const FetchResult& r) {
       --st->outstanding;
       if (st->settled) {
@@ -133,7 +134,8 @@ void fetch_with_retry(des::Simulator& sim, StoreService& store, net::EndpointId 
   if (!policy.engaged()) {
     // Fast path: no extra events, no RNG construction — byte-identical to
     // the unwrapped fetch. The wrapper only reports faults the store injects
-    // anyway, so fault-free runs see the hooks never fire.
+    // anyway, so fault-free runs see only on_attempt fire.
+    if (hooks.on_attempt) hooks.on_attempt(1);
     store.fetch(dst, chunk, streams,
                 [hooks = std::move(hooks), done = std::move(done)](const FetchResult& r) {
                   if (!r.ok) {

@@ -61,6 +61,11 @@ struct RetryPolicy {
 /// its bytes exactly once — through the final success result, or through
 /// on_wasted (failed attempts, hedge losers, post-timeout arrivals).
 struct RetryHooks {
+  /// A physical store request is about to be issued (first try, retry, or
+  /// hedge leg — one call per StoreService::fetch). Lets a caller keep its
+  /// own per-run request count: in a multi-job workload the store's global
+  /// stats() aggregate every job, so per-tenant accounting needs this.
+  std::function<void(unsigned attempt)> on_attempt;
   /// An attempt settled as a failure (store fault, or timeout with
   /// result.bytes_moved = 0 since the bytes are still in flight).
   std::function<void(unsigned attempt, const FetchResult&)> on_fault;

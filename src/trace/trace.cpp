@@ -30,6 +30,10 @@ const char* to_string(EventKind kind) {
     case EventKind::HedgeIssued: return "HedgeIssued";
     case EventKind::HedgeWon: return "HedgeWon";
     case EventKind::RunEnd: return "RunEnd";
+    case EventKind::JobSubmitted: return "JobSubmitted";
+    case EventKind::JobStarted: return "JobStarted";
+    case EventKind::JobPreempted: return "JobPreempted";
+    case EventKind::JobFinished: return "JobFinished";
   }
   return "?";
 }
@@ -71,8 +75,14 @@ std::string Tracer::render_gantt(std::size_t width) const {
     std::vector<std::pair<double, double>> cache_fetch;  ///< served by the site cache
     std::vector<std::pair<double, double>> process;
     std::vector<double> faults;  ///< store faults / retries hit by this actor
+    // Workload job lanes (actor = job name).
+    std::vector<std::pair<double, double>> queued;
+    std::vector<std::pair<double, double>> running;
+    std::vector<double> preempts;
     std::map<std::uint64_t, double> open_fetch;
     std::map<std::uint64_t, double> open_process;
+    std::map<std::uint64_t, double> open_queue;
+    std::map<std::uint64_t, double> open_run;
     std::set<std::uint64_t> cache_hits;  ///< chunks this actor hit in cache
   };
   std::map<std::string, Row> rows;
@@ -89,6 +99,27 @@ std::string Tracer::render_gantt(std::size_t width) const {
           auto& spans = row.cache_hits.count(e.a) ? row.cache_fetch : row.fetch;
           spans.emplace_back(it->second, e.t);
           row.open_fetch.erase(it);
+        }
+        break;
+      }
+      case EventKind::JobSubmitted: rows[e.actor].open_queue[e.a] = e.t; break;
+      case EventKind::JobStarted: {
+        auto& row = rows[e.actor];
+        const auto it = row.open_queue.find(e.a);
+        if (it != row.open_queue.end()) {
+          row.queued.emplace_back(it->second, e.t);
+          row.open_queue.erase(it);
+        }
+        row.open_run[e.a] = e.t;
+        break;
+      }
+      case EventKind::JobPreempted: rows[e.actor].preempts.push_back(e.t); break;
+      case EventKind::JobFinished: {
+        auto& row = rows[e.actor];
+        const auto it = row.open_run.find(e.a);
+        if (it != row.open_run.end()) {
+          row.running.emplace_back(it->second, e.t);
+          row.open_run.erase(it);
         }
         break;
       }
@@ -120,7 +151,10 @@ std::string Tracer::render_gantt(std::size_t width) const {
                 t_end);
   out += header;
   for (const auto& [actor, row] : rows) {
-    if (row.fetch.empty() && row.cache_fetch.empty() && row.process.empty()) continue;
+    if (row.fetch.empty() && row.cache_fetch.empty() && row.process.empty() &&
+        row.queued.empty() && row.running.empty()) {
+      continue;
+    }
     std::string bar(width, '.');
     for (std::size_t i = 0; i < width; ++i) {
       const double lo = t_end * static_cast<double>(i) / static_cast<double>(width);
@@ -129,7 +163,22 @@ std::string Tracer::render_gantt(std::size_t width) const {
       const bool c = covers(row.cache_fetch, lo, hi);
       const bool p = covers(row.process, lo, hi);
       bar[i] = p && (f || c) ? '*' : (p ? 'P' : (f ? 'f' : (c ? 'c' : '.')));
-      // Faults outrank everything: a '!' bin marks a failed / retried GET.
+      // Job lifecycle lanes only fill bins no node activity claimed.
+      if (bar[i] == '.') {
+        if (covers(row.running, lo, hi)) {
+          bar[i] = 'J';
+        } else if (covers(row.queued, lo, hi)) {
+          bar[i] = '-';
+        }
+      }
+      // Markers outrank everything: '!' a failed / retried GET, 'x' a
+      // preemption hit this bin.
+      for (double t : row.preempts) {
+        if (t >= lo && t < hi) {
+          bar[i] = 'x';
+          break;
+        }
+      }
       for (double t : row.faults) {
         if (t >= lo && t < hi) {
           bar[i] = '!';

@@ -38,6 +38,11 @@ enum class EventKind : std::uint8_t {
   HedgeIssued,    ///< actor = fetching actor, a = chunk id, b = attempt
   HedgeWon,       ///< actor = fetching actor, a = chunk id, b = attempt
   RunEnd,         ///< actor = head
+  // Workload-level job lifecycle (actor = job name, a = job id):
+  JobSubmitted,   ///< job entered the workload queue
+  JobStarted,     ///< job's actors launched on the platform
+  JobPreempted,   ///< job lost a core slot to a higher-priority job (b = winner)
+  JobFinished,    ///< job's global reduction completed
 };
 
 const char* to_string(EventKind kind);
@@ -66,6 +71,9 @@ class Tracer {
   /// '.' idle, 'f' fetching over the WAN, 'c' fetching from the site cache,
   /// 'P' processing, '*' fetch and process overlapping (pipelined),
   /// '!' a store fault or retry backoff hit this bin.
+  /// Workload traces add one lane per job ('-' queued, 'J' running, 'x' a
+  /// preemption hit this bin); per-job actor prefixes ("job/node") give each
+  /// job its own node lanes.
   std::string render_gantt(std::size_t width = 80) const;
 
  private:

@@ -1,0 +1,44 @@
+#include "workload/arrivals.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace cloudburst::workload {
+
+ArrivalTrace ArrivalTrace::poisson(std::size_t count, double rate_per_second,
+                                   std::uint64_t seed) {
+  ArrivalTrace trace;
+  if (rate_per_second <= 0.0) {
+    trace.times.assign(count, 0.0);
+    return trace;
+  }
+  Rng rng = Rng::substream(seed, 0xa221e5);
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += rng.exponential(rate_per_second);
+    trace.times.push_back(t);
+  }
+  return trace;
+}
+
+ArrivalTrace ArrivalTrace::bursty(std::size_t bursts, std::size_t jobs_per_burst,
+                                  double burst_gap_seconds, double intra_gap_seconds) {
+  ArrivalTrace trace;
+  for (std::size_t b = 0; b < bursts; ++b) {
+    const double base = static_cast<double>(b) * burst_gap_seconds;
+    for (std::size_t j = 0; j < jobs_per_burst; ++j) {
+      trace.times.push_back(base + static_cast<double>(j) * intra_gap_seconds);
+    }
+  }
+  return trace;
+}
+
+ArrivalTrace ArrivalTrace::replay(std::vector<double> times) {
+  std::sort(times.begin(), times.end());
+  ArrivalTrace trace;
+  trace.times = std::move(times);
+  return trace;
+}
+
+}  // namespace cloudburst::workload

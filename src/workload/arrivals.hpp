@@ -1,0 +1,37 @@
+// Deterministic arrival-trace generation.
+//
+// A workload's arrival process is part of the experiment, so it must be as
+// reproducible as the simulation itself: every generator draws from a seeded
+// Rng substream and depends on nothing but its arguments. Three shapes cover
+// the usual studies — Poisson (open-loop steady state), bursty (synchronized
+// bursts with quiet gaps, the fair-share stress case), and replayed traces
+// (explicit timestamps, e.g. sampled from a production log).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cloudburst::workload {
+
+struct ArrivalTrace {
+  std::vector<double> times;  ///< non-decreasing submission times, seconds
+
+  std::size_t size() const { return times.size(); }
+  double at(std::size_t i) const { return times.at(i); }
+
+  /// `count` arrivals with exponential inter-arrival gaps at `rate_per_second`
+  /// (a Poisson process), starting at t = 0 gap-first.
+  static ArrivalTrace poisson(std::size_t count, double rate_per_second,
+                              std::uint64_t seed);
+
+  /// `bursts` bursts of `jobs_per_burst` arrivals each: bursts start
+  /// `burst_gap_seconds` apart, jobs within a burst `intra_gap_seconds`
+  /// apart. The head-of-line-blocking stress case for FIFO.
+  static ArrivalTrace bursty(std::size_t bursts, std::size_t jobs_per_burst,
+                             double burst_gap_seconds, double intra_gap_seconds);
+
+  /// Explicit timestamps (sorted defensively).
+  static ArrivalTrace replay(std::vector<double> times);
+};
+
+}  // namespace cloudburst::workload

@@ -1,0 +1,139 @@
+#include "workload/core_slot_arbiter.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cloudburst::workload {
+
+void CoreSlotArbiter::register_job(std::uint32_t job, JobShare share) {
+  if (tenants_.find(share.tenant) == tenants_.end()) {
+    // Start-time fairness: a tenant arriving mid-run competes from the
+    // current floor, it does not get to "catch up" on service it never
+    // wanted while absent.
+    double floor = std::numeric_limits<double>::infinity();
+    for (const auto& [name, t] : tenants_) floor = std::min(floor, t.service);
+    Tenant t;
+    t.weight = share.weight > 0.0 ? share.weight : 1.0;
+    t.service = tenants_.empty() ? 0.0 : floor;
+    tenants_[share.tenant] = t;
+  }
+  shares_[job] = std::move(share);
+}
+
+bool CoreSlotArbiter::acquire(net::EndpointId node, std::uint32_t job,
+                              std::function<void()> grant) {
+  Slot& slot = slots_[node];
+  if (!slot.busy) {
+    slot.busy = true;
+    slot.holder = job;
+    return true;
+  }
+  if (discipline_ == Discipline::Priority && slot.has_last_holder &&
+      slot.last_holder == job && slot.holder != job) {
+    const auto mine = shares_.find(job);
+    const auto theirs = shares_.find(slot.holder);
+    if (mine != shares_.end() && theirs != shares_.end() &&
+        theirs->second.priority > mine->second.priority) {
+      // The core this job ran on last went to a more urgent job at the chunk
+      // boundary — that is the chunk-granular preemption.
+      slot.has_last_holder = false;
+      if (on_preemption_) on_preemption_(node, job, slot.holder);
+    }
+  }
+  slot.waiting.push_back(Claim{job, next_seq_++, std::move(grant)});
+  return false;
+}
+
+std::size_t CoreSlotArbiter::pick(const Slot& slot) const {
+  std::size_t best = 0;
+  switch (discipline_) {
+    case Discipline::Fifo:
+      // `waiting` is arrival-ordered; the front is the oldest claim.
+      break;
+    case Discipline::WeightedFair: {
+      double best_service = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < slot.waiting.size(); ++i) {
+        const auto share = shares_.find(slot.waiting[i].job);
+        const std::string& tenant =
+            share != shares_.end() ? share->second.tenant : std::string("default");
+        const auto t = tenants_.find(tenant);
+        const double service = t != tenants_.end() ? t->second.service : 0.0;
+        if (service < best_service) {
+          best_service = service;
+          best = i;
+        }
+      }
+      break;
+    }
+    case Discipline::Priority: {
+      int best_priority = std::numeric_limits<int>::min();
+      for (std::size_t i = 0; i < slot.waiting.size(); ++i) {
+        const auto share = shares_.find(slot.waiting[i].job);
+        const int priority = share != shares_.end() ? share->second.priority : 0;
+        if (priority > best_priority) {
+          best_priority = priority;
+          best = i;
+        }
+      }
+      break;
+    }
+  }
+  return best;
+}
+
+void CoreSlotArbiter::hand_over(net::EndpointId node, Slot& slot) {
+  (void)node;
+  if (slot.waiting.empty()) return;
+  const std::size_t idx = pick(slot);
+  Claim claim = std::move(slot.waiting[idx]);
+  slot.waiting.erase(slot.waiting.begin() + static_cast<std::ptrdiff_t>(idx));
+  slot.busy = true;
+  slot.holder = claim.job;
+  claim.grant();
+}
+
+void CoreSlotArbiter::release(net::EndpointId node, std::uint32_t job,
+                              double used_seconds) {
+  const auto it = slots_.find(node);
+  if (it == slots_.end() || !it->second.busy || it->second.holder != job) {
+    throw std::logic_error("CoreSlotArbiter: release by a non-holder");
+  }
+  const auto share = shares_.find(job);
+  if (share != shares_.end() && used_seconds > 0.0) {
+    Tenant& tenant = tenants_[share->second.tenant];
+    tenant.seconds += used_seconds;
+    tenant.service += used_seconds / (tenant.weight > 0.0 ? tenant.weight : 1.0);
+  }
+  Slot& slot = it->second;
+  slot.busy = false;
+  slot.has_last_holder = true;
+  slot.last_holder = job;
+  hand_over(node, slot);
+}
+
+void CoreSlotArbiter::forget(net::EndpointId node, std::uint32_t job) {
+  const auto it = slots_.find(node);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  slot.waiting.erase(
+      std::remove_if(slot.waiting.begin(), slot.waiting.end(),
+                     [job](const Claim& c) { return c.job == job; }),
+      slot.waiting.end());
+  if (slot.busy && slot.holder == job) {
+    slot.busy = false;
+    hand_over(node, slot);
+  }
+}
+
+double CoreSlotArbiter::tenant_service(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second.service : 0.0;
+}
+
+double CoreSlotArbiter::tenant_seconds(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second.seconds : 0.0;
+}
+
+}  // namespace cloudburst::workload

@@ -1,0 +1,93 @@
+// Per-node core-slot arbitration between concurrent jobs.
+//
+// Every job in a workload instantiates a slave actor on every compute node,
+// but the node still has one core's worth of processing: before computing a
+// chunk, a slave claims its node's slot through this arbiter and returns it
+// at the chunk boundary (middleware::SlotArbiter protocol). The discipline
+// decides who gets a contended slot next:
+//  * Fifo         — claims served in arrival order;
+//  * WeightedFair — the claimant whose tenant has the least weighted service
+//                   (processing seconds / tenant weight) wins, start-time
+//                   fair-queueing style: a tenant joining mid-run starts at
+//                   the minimum active service level, not at zero;
+//  * Priority     — the highest-priority claimant wins; a job that lost the
+//                   slot it held last is reported preempted.
+// All choices tie-break on claim sequence number, so arbitration is as
+// deterministic as the simulator feeding it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "middleware/run_context.hpp"
+
+namespace cloudburst::workload {
+
+class CoreSlotArbiter : public middleware::SlotArbiter {
+ public:
+  enum class Discipline : std::uint8_t { Fifo, WeightedFair, Priority };
+
+  struct JobShare {
+    std::string tenant = "default";
+    double weight = 1.0;  ///< tenant weight (WeightedFair)
+    int priority = 0;     ///< higher wins (Priority)
+  };
+
+  explicit CoreSlotArbiter(Discipline discipline) : discipline_(discipline) {}
+
+  /// Declare a job before its slaves start claiming. A WeightedFair tenant
+  /// seen for the first time enters at the minimum service level among
+  /// tenants already registered, so newcomers share from "now" instead of
+  /// replaying the whole past.
+  void register_job(std::uint32_t job, JobShare share);
+
+  /// Observer for Priority preemptions: (node, preempted job, winning job).
+  void on_preemption(std::function<void(net::EndpointId, std::uint32_t, std::uint32_t)> cb) {
+    on_preemption_ = std::move(cb);
+  }
+
+  bool acquire(net::EndpointId node, std::uint32_t job,
+               std::function<void()> grant) override;
+  void release(net::EndpointId node, std::uint32_t job, double used_seconds) override;
+  void forget(net::EndpointId node, std::uint32_t job) override;
+
+  /// Accumulated weighted service (processing seconds / weight) per tenant.
+  double tenant_service(const std::string& tenant) const;
+  /// Raw processing seconds a tenant consumed across all nodes.
+  double tenant_seconds(const std::string& tenant) const;
+
+ private:
+  struct Claim {
+    std::uint32_t job = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> grant;
+  };
+  struct Slot {
+    bool busy = false;
+    std::uint32_t holder = 0;
+    bool has_last_holder = false;
+    std::uint32_t last_holder = 0;  ///< who ran here before the current grant
+    std::vector<Claim> waiting;     ///< claim arrival order
+  };
+  struct Tenant {
+    double weight = 1.0;
+    double service = 0.0;  ///< weighted: seconds / weight
+    double seconds = 0.0;
+  };
+
+  /// Index into `waiting` of the claim the discipline picks next.
+  std::size_t pick(const Slot& slot) const;
+  void hand_over(net::EndpointId node, Slot& slot);
+
+  Discipline discipline_;
+  std::map<net::EndpointId, Slot> slots_;
+  std::map<std::uint32_t, JobShare> shares_;
+  std::map<std::string, Tenant> tenants_;
+  std::uint64_t next_seq_ = 0;
+  std::function<void(net::EndpointId, std::uint32_t, std::uint32_t)> on_preemption_;
+};
+
+}  // namespace cloudburst::workload

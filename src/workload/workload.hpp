@@ -1,0 +1,141 @@
+// Multi-tenant workload types.
+//
+// The paper's middleware executes one Generalized-Reduction job per
+// platform; a production deployment serves a *stream* of them — many
+// tenants' jobs contending for the same clusters, stores, caches, and WAN
+// links at once. This module defines the vocabulary: a JobSpec (what to
+// run, for whom, how urgent), the inter-job scheduling policies layered
+// above the per-job JobPool, and the per-job / per-tenant / whole-workload
+// result records the manager aggregates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "middleware/run_context.hpp"
+#include "middleware/run_result.hpp"
+#include "storage/data_layout.hpp"
+
+namespace cloudburst::workload {
+
+/// Inter-job scheduling discipline — the layer *above* each job's JobPool.
+enum class SchedulingPolicy : std::uint8_t {
+  /// Run-to-completion in submission order. One job owns the platform at a
+  /// time; a single-job FIFO workload is byte-identical to run_distributed.
+  Fifo,
+  /// Run-to-completion, shortest estimated job first (cost::planner's
+  /// analytic estimate). Also one job at a time.
+  Sjf,
+  /// All admitted jobs run concurrently; each node's core is time-shared at
+  /// chunk granularity so every tenant's weighted service stays balanced.
+  FairShare,
+  /// All admitted jobs run concurrently; each core slot always goes to the
+  /// highest-priority claimant. A job that loses the slot it just held to a
+  /// more urgent job counts (and traces) a preemption.
+  Priority,
+};
+
+const char* to_string(SchedulingPolicy policy);
+
+/// One job in the workload: what to run, over which data, for which tenant.
+struct JobSpec {
+  std::string name;              ///< trace/report label; defaults to "job<id>"
+  std::string tenant = "default";
+  int priority = 0;              ///< SchedulingPolicy::Priority: higher wins
+  /// Latency SLO relative to submission (0 = none); latency above it marks
+  /// the job slo_met = false in its result.
+  double deadline_seconds = 0.0;
+
+  /// The job's own dataset layout (held by value — specs outlive the run).
+  storage::DataLayout layout;
+  /// Per-job run configuration. Caller-owned pointers inside (task, dataset,
+  /// cache, tracer) must outlive the workload run; the manager overrides
+  /// `tracer` with the workload tracer when one is attached.
+  middleware::RunOptions options;
+};
+
+struct WorkloadOptions {
+  SchedulingPolicy policy = SchedulingPolicy::Fifo;
+
+  /// FairShare: relative service weight per tenant (default 1.0). A tenant
+  /// with weight 2 gets twice the core time of a weight-1 tenant while both
+  /// have runnable jobs.
+  std::map<std::string, double> tenant_weights;
+
+  /// Concurrent-job cap for FairShare/Priority (0 = unlimited). Excess jobs
+  /// queue and start as earlier ones finish.
+  std::uint32_t max_concurrent = 0;
+
+  /// Workload-level tracer: job lifecycle events, plus every job's actor
+  /// events under a "name/" prefix (per-job Gantt lanes). Overrides each
+  /// job's own RunOptions::tracer.
+  trace::Tracer* tracer = nullptr;
+
+  cost::CloudPricing pricing = cost::CloudPricing::aws_2011();
+};
+
+/// One finished job, with the timing the tenant experienced.
+struct JobResult {
+  std::uint32_t id = 0;  ///< 1-based submission id (Message::job value)
+  std::string name;
+  std::string tenant;
+  int priority = 0;
+  double deadline_seconds = 0.0;
+
+  double submit_seconds = 0.0;
+  double start_seconds = 0.0;
+  double finish_seconds = 0.0;
+  std::uint32_t preemptions = 0;
+
+  middleware::RunResult run;  ///< this job's own timing decomposition
+  /// What the job would cost billed alone (its own usage at list prices).
+  cost::CostReport raw_cost;
+  /// The job's share of the whole-platform bill. Attributed shares sum
+  /// exactly to WorkloadResult::platform_cost, component by component.
+  cost::CostReport attributed_cost;
+
+  double queue_seconds() const { return start_seconds - submit_seconds; }
+  double latency_seconds() const { return finish_seconds - submit_seconds; }
+  bool slo_met() const {
+    return deadline_seconds <= 0.0 || latency_seconds() <= deadline_seconds;
+  }
+};
+
+/// Per-tenant rollup across the workload.
+struct TenantReport {
+  std::string tenant;
+  double weight = 1.0;
+  std::uint32_t jobs = 0;
+  std::uint32_t slo_met = 0;
+  double service_seconds = 0.0;  ///< core-seconds of processing consumed
+  cost::CostReport attributed_cost;
+};
+
+struct WorkloadResult {
+  std::vector<JobResult> jobs;      ///< submission order
+  std::vector<TenantReport> tenants;  ///< sorted by tenant name
+
+  /// The whole platform billed once: shared cloud nodes appear once even
+  /// when several jobs' controllers activated them.
+  cost::CostReport platform_cost;
+
+  double makespan = 0.0;  ///< last job finish (workload starts at t = 0)
+  double p50_latency_seconds = 0.0;
+  double p95_latency_seconds = 0.0;
+  double slo_hit_rate = 1.0;  ///< fraction of jobs meeting their deadline
+  std::uint32_t preemptions = 0;
+  std::uint32_t elastic_activations = 0;  ///< summed over all jobs
+
+  const JobResult& job(std::uint32_t id) const { return jobs.at(id - 1); }
+  const TenantReport* tenant(const std::string& name) const {
+    for (const auto& t : tenants) {
+      if (t.tenant == name) return &t;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace cloudburst::workload

@@ -1,0 +1,386 @@
+#include "workload/workload_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "cost/planner.hpp"
+
+namespace cloudburst::workload {
+
+const char* to_string(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::Fifo: return "fifo";
+    case SchedulingPolicy::Sjf: return "sjf";
+    case SchedulingPolicy::FairShare: return "fair";
+    case SchedulingPolicy::Priority: return "priority";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Split `total` across entries proportional to `raw`, exactly: every entry
+/// gets total * raw/sum except the largest raw entry, which takes the
+/// residual — so the shares sum to `total` to the last bit. With no usage
+/// anywhere the largest (first) entry absorbs everything (normally zero).
+std::vector<double> split_exact(double total, const std::vector<double>& raw) {
+  std::vector<double> out(raw.size(), 0.0);
+  if (raw.empty()) return out;
+  std::size_t largest = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    sum += raw[i];
+    if (raw[i] > raw[largest]) largest = i;
+  }
+  if (sum <= 0.0) {
+    out[largest] = total;
+    return out;
+  }
+  double accounted = 0.0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i == largest) continue;
+    out[i] = total * (raw[i] / sum);
+    accounted += out[i];
+  }
+  out[largest] = total - accounted;
+  return out;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  // Nearest-rank on the already-sorted sample.
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p * n));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+}  // namespace
+
+WorkloadManager::WorkloadManager(cluster::Platform& platform, WorkloadOptions options)
+    : platform_(platform), options_(std::move(options)),
+      postman_(platform.network()) {
+  if (concurrent_policy()) {
+    arbiter_ = std::make_unique<CoreSlotArbiter>(
+        options_.policy == SchedulingPolicy::FairShare
+            ? CoreSlotArbiter::Discipline::WeightedFair
+            : CoreSlotArbiter::Discipline::Priority);
+    arbiter_->on_preemption([this](net::EndpointId, std::uint32_t loser,
+                                   std::uint32_t winner) {
+      Job& job = *jobs_.at(loser - 1);
+      ++job.preemptions;
+      record(trace::EventKind::JobPreempted, job, winner);
+    });
+  }
+}
+
+std::uint32_t WorkloadManager::submit(JobSpec spec, double at_seconds) {
+  if (running_) {
+    throw std::logic_error("WorkloadManager: submit after run() started");
+  }
+  if (at_seconds < 0.0) {
+    throw std::invalid_argument("WorkloadManager: negative submission time");
+  }
+  middleware::validate_run(platform_, spec.layout, spec.options);
+
+  auto job = std::make_unique<Job>();
+  job->id = static_cast<std::uint32_t>(jobs_.size()) + 1;
+  if (spec.name.empty()) spec.name = "job" + std::to_string(job->id);
+  job->submit_seconds = at_seconds;
+  job->effective = spec.options;
+  if (options_.tracer) job->effective.tracer = options_.tracer;
+  job->spec = std::move(spec);
+  job->estimate_seconds =
+      cost::estimate_exec_seconds(platform_, job->spec.layout, job->spec.options);
+
+  Job* raw = job.get();
+  jobs_.push_back(std::move(job));
+  platform_.sim().schedule(des::from_seconds(at_seconds),
+                           [this, raw] { on_submitted(*raw); });
+  return raw->id;
+}
+
+void WorkloadManager::submit_all(std::vector<JobSpec> specs, const ArrivalTrace& trace) {
+  if (specs.size() != trace.size()) {
+    throw std::invalid_argument("WorkloadManager: specs and arrival trace sizes differ");
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    submit(std::move(specs[i]), trace.at(i));
+  }
+}
+
+void WorkloadManager::record(trace::EventKind kind, const Job& job, std::uint64_t b) {
+  if (!options_.tracer) return;
+  options_.tracer->record(des::to_seconds(platform_.sim().now()), kind, job.spec.name,
+                          job.id, b);
+}
+
+void WorkloadManager::on_submitted(Job& job) {
+  queue_.push_back(job.id);
+  record(trace::EventKind::JobSubmitted, job);
+  // Pump from a follow-up event, not inline: submissions at the same instant
+  // must all land in the queue before SJF/Priority compare them.
+  if (!pump_pending_) {
+    pump_pending_ = true;
+    platform_.sim().schedule(des::SimDuration{0}, [this] {
+      pump_pending_ = false;
+      pump();
+    });
+  }
+}
+
+void WorkloadManager::pump() {
+  if (queue_.empty()) return;
+  if (!concurrent_policy()) {
+    // Run-to-completion disciplines: at most one job owns the platform.
+    if (active_ > 0) return;
+    std::size_t pick = 0;
+    if (options_.policy == SchedulingPolicy::Sjf) {
+      for (std::size_t i = 1; i < queue_.size(); ++i) {
+        if (jobs_[queue_[i] - 1]->estimate_seconds <
+            jobs_[queue_[pick] - 1]->estimate_seconds) {
+          pick = i;  // strict < keeps ties in arrival order
+        }
+      }
+    }
+    const std::uint32_t id = queue_[pick];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    start_job(*jobs_[id - 1]);
+    return;
+  }
+  // Concurrent disciplines: admit until the cap (0 = everyone).
+  while (!queue_.empty() &&
+         (options_.max_concurrent == 0 || active_ < options_.max_concurrent)) {
+    std::size_t pick = 0;
+    if (options_.policy == SchedulingPolicy::Priority) {
+      for (std::size_t i = 1; i < queue_.size(); ++i) {
+        if (jobs_[queue_[i] - 1]->spec.priority >
+            jobs_[queue_[pick] - 1]->spec.priority) {
+          pick = i;  // strict > keeps ties in arrival order
+        }
+      }
+    }
+    const std::uint32_t id = queue_[pick];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    start_job(*jobs_[id - 1]);
+  }
+}
+
+void WorkloadManager::add_route(
+    net::EndpointId ep, std::uint32_t job,
+    std::function<void(net::EndpointId, middleware::Message)> handler) {
+  if (routes_.find(ep) == routes_.end()) {
+    postman_.register_mailbox(ep, [this, ep](net::EndpointId from,
+                                             middleware::Message msg) {
+      auto& per_job = routes_.at(ep);
+      const auto it = per_job.find(msg.job);
+      if (it == per_job.end()) {
+        throw std::logic_error("WorkloadManager: message routed to an unknown job");
+      }
+      it->second(from, std::move(msg));
+    });
+  }
+  routes_[ep][job] = std::move(handler);
+}
+
+void WorkloadManager::start_job(Job& job) {
+  job.started = true;
+  job.start_seconds = des::to_seconds(platform_.sim().now());
+  record(trace::EventKind::JobStarted, job);
+  if (arbiter_) {
+    CoreSlotArbiter::JobShare share;
+    share.tenant = job.spec.tenant;
+    share.priority = job.spec.priority;
+    const auto w = options_.tenant_weights.find(job.spec.tenant);
+    share.weight = w != options_.tenant_weights.end() ? w->second : 1.0;
+    arbiter_->register_job(job.id, share);
+  }
+  // A solo job keeps bare actor names so its trace (and everything downstream
+  // of it) matches run_distributed exactly; concurrent jobs get "name/" lanes.
+  std::string tag = jobs_.size() > 1 ? job.spec.name + "/" : std::string{};
+  const std::uint32_t id = job.id;
+  job.exec = std::make_unique<middleware::JobExecution>(
+      platform_, job.spec.layout, job.effective, postman_,
+      [this, id](net::EndpointId ep,
+                 std::function<void(net::EndpointId, middleware::Message)> handler) {
+        add_route(ep, id, std::move(handler));
+      },
+      job.id, std::move(tag), arbiter_.get(), [this, &job] { on_job_finished(job); });
+  ++active_;
+  job.exec->start();
+}
+
+void WorkloadManager::on_job_finished(Job& job) {
+  job.finished = true;
+  job.finish_seconds = des::to_seconds(platform_.sim().now());
+  record(trace::EventKind::JobFinished, job);
+  --active_;
+  pump();
+}
+
+WorkloadResult WorkloadManager::run() {
+  if (jobs_.empty()) {
+    throw std::invalid_argument("WorkloadManager: no jobs submitted");
+  }
+  if (running_) {
+    throw std::logic_error("WorkloadManager: run() called twice");
+  }
+  running_ = true;
+  platform_.sim().run();
+
+  std::size_t unfinished = 0;
+  for (const auto& job : jobs_) {
+    if (!job->finished) ++unfinished;
+  }
+  if (unfinished > 0) {
+    throw std::runtime_error("WorkloadManager: " + std::to_string(unfinished) +
+                             " job(s) never finished (workload deadlocked)");
+  }
+  return aggregate();
+}
+
+WorkloadResult WorkloadManager::aggregate() {
+  WorkloadResult result;
+  const bool solo = jobs_.size() == 1;
+
+  // --- per-job results and raw (billed-alone) usage ---------------------------
+  std::vector<cost::CostInputs> job_inputs;
+  for (auto& jptr : jobs_) {
+    Job& job = *jptr;
+    JobResult r;
+    r.id = job.id;
+    r.name = job.spec.name;
+    r.tenant = job.spec.tenant;
+    r.priority = job.spec.priority;
+    r.deadline_seconds = job.spec.deadline_seconds;
+    r.submit_seconds = job.submit_seconds;
+    r.start_seconds = job.start_seconds;
+    r.finish_seconds = job.finish_seconds;
+    r.preemptions = job.preemptions;
+    // Solo workloads keep run_distributed's historical store_requests source
+    // (the stores' own counters); concurrent jobs use their own per-job
+    // counts, since the store counters aggregate every tenant.
+    r.run = job.exec->collect(/*use_platform_store_stats=*/solo);
+    job_inputs.push_back(cost::derive_run_inputs(r.run, platform_, job.spec.layout,
+                                                 job.effective));
+    r.raw_cost = cost::price(job_inputs.back(), options_.pricing);
+    result.jobs.push_back(std::move(r));
+
+    result.makespan = std::max(result.makespan, job.finish_seconds);
+    result.preemptions += job.preemptions;
+    result.elastic_activations += result.jobs.back().run.elastic_activations;
+  }
+
+  // --- the platform billed once ----------------------------------------------
+  // Cloud nodes are physical: a node several jobs rented (including elastic
+  // activations from different tenants) bills from its earliest rental to
+  // the end of the workload, exactly once.
+  std::map<net::EndpointId, double> rented_from;
+  for (const JobResult& r : result.jobs) {
+    for (std::size_t i = 0; i < r.run.cloud_instance_nodes.size(); ++i) {
+      const double at =
+          r.start_seconds + (i < r.run.cloud_instance_starts.size()
+                                 ? r.run.cloud_instance_starts[i]
+                                 : 0.0);
+      const auto it = rented_from.find(r.run.cloud_instance_nodes[i]);
+      if (it == rented_from.end()) {
+        rented_from[r.run.cloud_instance_nodes[i]] = at;
+      } else {
+        it->second = std::min(it->second, at);
+      }
+    }
+  }
+  cost::CostInputs platform_inputs;
+  platform_inputs.run_seconds = result.makespan;
+  platform_inputs.cloud_instances = static_cast<std::uint32_t>(rented_from.size());
+  for (const auto& [ep, from] : rented_from) {
+    platform_inputs.instance_seconds.push_back(std::max(0.0, result.makespan - from));
+  }
+  for (const cost::CostInputs& in : job_inputs) {
+    platform_inputs.s3_get_requests += in.s3_get_requests;
+    platform_inputs.bytes_out_of_cloud += in.bytes_out_of_cloud;
+    platform_inputs.s3_resident_bytes += in.s3_resident_bytes;
+  }
+  result.platform_cost = cost::price(platform_inputs, options_.pricing);
+
+  // --- exact per-job attribution ---------------------------------------------
+  // Each platform cost component is split proportional to the jobs' raw
+  // (billed-alone) component, residual to the largest consumer — so the
+  // attributed reports sum to the platform bill component by component.
+  const std::size_t n = result.jobs.size();
+  std::vector<double> raw_inst(n), raw_req(n), raw_xfer(n), raw_stor(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    raw_inst[i] = result.jobs[i].raw_cost.instance_usd;
+    raw_req[i] = result.jobs[i].raw_cost.requests_usd;
+    raw_xfer[i] = result.jobs[i].raw_cost.transfer_usd;
+    raw_stor[i] = result.jobs[i].raw_cost.storage_usd;
+  }
+  const auto inst_usd = split_exact(result.platform_cost.instance_usd, raw_inst);
+  const auto inst_hours = split_exact(result.platform_cost.instance_hours, raw_inst);
+  const auto req_usd = split_exact(result.platform_cost.requests_usd, raw_req);
+  const auto xfer_usd = split_exact(result.platform_cost.transfer_usd, raw_xfer);
+  const auto xfer_gb = split_exact(result.platform_cost.transfer_out_gb, raw_xfer);
+  const auto stor_usd = split_exact(result.platform_cost.storage_usd, raw_stor);
+  const auto stor_gb = split_exact(result.platform_cost.storage_gb, raw_stor);
+  for (std::size_t i = 0; i < n; ++i) {
+    cost::CostReport& a = result.jobs[i].attributed_cost;
+    a.instance_usd = inst_usd[i];
+    a.instance_hours = inst_hours[i];
+    a.requests_usd = req_usd[i];
+    a.get_requests = result.jobs[i].raw_cost.get_requests;  // true per-job counts
+    a.transfer_usd = xfer_usd[i];
+    a.transfer_out_gb = xfer_gb[i];
+    a.storage_usd = stor_usd[i];
+    a.storage_gb = stor_gb[i];
+  }
+
+  // --- tenant rollup ----------------------------------------------------------
+  std::map<std::string, TenantReport> tenants;
+  for (const JobResult& r : result.jobs) {
+    TenantReport& t = tenants[r.tenant];
+    if (t.jobs == 0) {
+      t.tenant = r.tenant;
+      const auto w = options_.tenant_weights.find(r.tenant);
+      t.weight = w != options_.tenant_weights.end() ? w->second : 1.0;
+    }
+    ++t.jobs;
+    if (r.slo_met()) ++t.slo_met;
+    t.attributed_cost.instance_hours += r.attributed_cost.instance_hours;
+    t.attributed_cost.instance_usd += r.attributed_cost.instance_usd;
+    t.attributed_cost.get_requests += r.attributed_cost.get_requests;
+    t.attributed_cost.requests_usd += r.attributed_cost.requests_usd;
+    t.attributed_cost.transfer_out_gb += r.attributed_cost.transfer_out_gb;
+    t.attributed_cost.transfer_usd += r.attributed_cost.transfer_usd;
+    t.attributed_cost.storage_gb += r.attributed_cost.storage_gb;
+    t.attributed_cost.storage_usd += r.attributed_cost.storage_usd;
+  }
+  for (auto& [name, report] : tenants) {
+    if (arbiter_) {
+      report.service_seconds = arbiter_->tenant_seconds(name);
+    } else {
+      for (const JobResult& r : result.jobs) {
+        if (r.tenant != name) continue;
+        for (const auto& node : r.run.nodes) report.service_seconds += node.processing;
+      }
+    }
+    result.tenants.push_back(report);
+  }
+
+  // --- latency distribution ---------------------------------------------------
+  std::vector<double> latencies;
+  std::size_t slo_ok = 0;
+  for (const JobResult& r : result.jobs) {
+    latencies.push_back(r.latency_seconds());
+    if (r.slo_met()) ++slo_ok;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_latency_seconds = percentile(latencies, 0.50);
+  result.p95_latency_seconds = percentile(latencies, 0.95);
+  result.slo_hit_rate = static_cast<double>(slo_ok) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace cloudburst::workload

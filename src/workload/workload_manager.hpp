@@ -1,0 +1,105 @@
+// Multi-tenant workload manager: concurrent jobs over one shared platform.
+//
+// Accepts a stream of JobSpecs (deterministic arrival times — see
+// arrivals.hpp), multiplexes their actor trees over a single
+// cluster::Platform inside one DES run, and aggregates per-job, per-tenant,
+// and whole-platform results. Sits *above* the per-job JobPool: the head of
+// each job still batches its own chunks; this layer decides which jobs run
+// at all (admission: FIFO / SJF run-to-completion, FairShare / Priority
+// concurrent) and, through a CoreSlotArbiter, which job's slave computes on
+// each contended core (chunk-granular time sharing).
+//
+// Sharing rules:
+//  * network links, stores, and retry machinery are shared by construction
+//    (same Platform);
+//  * concurrent jobs attaching the same cache::CacheFleet must describe the
+//    same dataset (chunk ids key the cache); give unrelated jobs separate
+//    fleets;
+//  * cloud instances are billed once per physical node across all jobs that
+//    rented it (elastic activations included) — the per-tenant attribution
+//    then splits the real platform bill, component by component, exactly.
+//
+// A one-job FIFO workload reduces to middleware::run_distributed — same
+// actor construction order, no arbiter handshake, byte-identical results.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "middleware/job_execution.hpp"
+#include "net/messaging.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/core_slot_arbiter.hpp"
+#include "workload/workload.hpp"
+
+namespace cloudburst::workload {
+
+class WorkloadManager {
+ public:
+  WorkloadManager(cluster::Platform& platform, WorkloadOptions options);
+
+  /// Queue `spec` for submission at `at_seconds` (sim time). Validates the
+  /// spec immediately (throws std::invalid_argument on a bad one). Returns
+  /// the job id (1-based, in submit-call order). Call before run().
+  std::uint32_t submit(JobSpec spec, double at_seconds);
+
+  /// Submit specs[i] at trace.at(i); sizes must match.
+  void submit_all(std::vector<JobSpec> specs, const ArrivalTrace& trace);
+
+  /// Drain the simulation and aggregate. Throws if no job was submitted or
+  /// any job failed to finish (a deadlocked workload).
+  WorkloadResult run();
+
+ private:
+  struct Job {
+    std::uint32_t id = 0;
+    JobSpec spec;
+    middleware::RunOptions effective;  ///< spec.options with the tracer override
+    double submit_seconds = 0.0;
+    double start_seconds = 0.0;
+    double finish_seconds = 0.0;
+    double estimate_seconds = 0.0;  ///< SJF ranking key
+    std::uint32_t preemptions = 0;
+    bool started = false;
+    bool finished = false;
+    std::unique_ptr<middleware::JobExecution> exec;
+  };
+
+  bool concurrent_policy() const {
+    return options_.policy == SchedulingPolicy::FairShare ||
+           options_.policy == SchedulingPolicy::Priority;
+  }
+  void on_submitted(Job& job);
+  /// Start whatever the admission policy allows right now.
+  void pump();
+  void start_job(Job& job);
+  void on_job_finished(Job& job);
+  /// Install this job's handler for `ep` (first route on an endpoint also
+  /// installs the demultiplexing mailbox).
+  void add_route(net::EndpointId ep, std::uint32_t job,
+                 std::function<void(net::EndpointId, middleware::Message)> handler);
+  void record(trace::EventKind kind, const Job& job, std::uint64_t b = 0);
+  WorkloadResult aggregate();
+
+  cluster::Platform& platform_;
+  WorkloadOptions options_;
+  net::Postman<middleware::Message> postman_;
+  std::unique_ptr<CoreSlotArbiter> arbiter_;  ///< concurrent policies only
+
+  std::vector<std::unique_ptr<Job>> jobs_;  ///< by id - 1; stable storage
+  std::vector<std::uint32_t> queue_;        ///< submitted, not yet started (arrival order)
+  std::uint32_t active_ = 0;
+  bool pump_pending_ = false;  ///< a deferred pump event is already queued
+  bool running_ = false;
+
+  /// Per-endpoint, per-job-id message routes (Message::job demux).
+  std::map<net::EndpointId,
+           std::map<std::uint32_t,
+                    std::function<void(net::EndpointId, middleware::Message)>>>
+      routes_;
+};
+
+}  // namespace cloudburst::workload

@@ -124,6 +124,50 @@ TEST(JobPool, EndgameReservationWithholdsLastRemoteJobs) {
   EXPECT_EQ(pool.take_batch(1, 8).size(), 4u);
 }
 
+TEST(JobPool, ReserveExceedingRemainingStrandsNothing) {
+  // Endgame edge case: the reservation is at least as large as everything
+  // the owner side still has. A thief must get nothing (the whole tail is
+  // reserved), the owner must still drain every job, and nothing may be
+  // stranded in the pool afterwards.
+  const auto layout = make_layout(2, 2, 0);  // 4 jobs, all on store 1
+  SchedulerPolicy policy;
+  policy.steal_reserve = 4;  // reserve == remaining
+  policy.steal_batch_size = 8;
+  JobPool pool(layout, policy);
+  EXPECT_TRUE(pool.take_batch(0, 8, /*reserve_remote=*/true).empty());
+  EXPECT_EQ(pool.remaining(), 4u);
+
+  policy.steal_reserve = 64;  // reserve > remaining
+  JobPool pool64(layout, policy);
+  EXPECT_TRUE(pool64.take_batch(0, 8, true).empty());
+
+  // The owner drains the fully reserved tail; pool ends empty.
+  std::set<ChunkId> seen;
+  while (!pool64.empty()) {
+    const auto batch = pool64.take_batch(1, 2);
+    ASSERT_FALSE(batch.empty()) << "reserved jobs stranded in the pool";
+    for (ChunkId c : batch) EXPECT_TRUE(seen.insert(c).second);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(JobPool, ReservationReleasesOnceOwnerWithdraws) {
+  // The owner computes part of its tail, then deactivates (finishes): the
+  // moment reserve_remote turns false mid-drain, the thief may take the
+  // rest — jobs reserved earlier are not permanently off limits.
+  const auto layout = make_layout(2, 2, 0);  // 4 jobs on store 1
+  SchedulerPolicy policy;
+  policy.steal_reserve = 4;
+  policy.steal_batch_size = 8;
+  JobPool pool(layout, policy);
+  EXPECT_TRUE(pool.take_batch(0, 8, true).empty());  // all 4 reserved
+  EXPECT_EQ(pool.take_batch(1, 1).size(), 1u);       // owner takes one...
+  EXPECT_TRUE(pool.take_batch(0, 8, true).empty());  // ...rest still reserved
+  // Owner withdraws: the thief drains the remaining 3 without it.
+  EXPECT_EQ(pool.take_batch(0, 8, false).size(), 3u);
+  EXPECT_TRUE(pool.empty());
+}
+
 TEST(JobPool, ReservationIgnoredWhenOwnerAbsent) {
   const auto layout = make_layout(4, 2, 0);
   SchedulerPolicy policy;
