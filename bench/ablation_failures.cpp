@@ -13,7 +13,8 @@ namespace {
 
 using namespace cloudburst;
 
-middleware::RunResult run_knn(const std::vector<middleware::RunOptions::FailureEvent>& failures,
+middleware::RunResult run_knn(std::uint64_t seed,
+                              const std::vector<middleware::RunOptions::FailureEvent>& failures,
                               double detection_seconds,
                               double checkpoint_interval = 0.0,
                               const storage::FaultProfile& cloud_fault = {},
@@ -26,6 +27,7 @@ middleware::RunResult run_knn(const std::vector<middleware::RunOptions::FailureE
                          platform.cloud_store_id());
   middleware::RunOptions options = apps::paper_run_options(apps::PaperApp::Knn);
   options.reduction_tree = false;
+  options.random_seed = seed;
   options.failures = failures;
   options.failure_detection_seconds = detection_seconds;
   options.checkpoint_interval_seconds = checkpoint_interval;
@@ -35,17 +37,22 @@ middleware::RunResult run_knn(const std::vector<middleware::RunOptions::FailureE
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudburst;
 
-  const auto clean = run_knn({}, 1.0);
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const auto clean = run_knn(args.seed, {}, 1.0);
   AsciiTable table({"crash point", "detection", "exec time", "overhead",
                     "jobs assigned (96 unique)"});
   table.add_row({"none", "-", AsciiTable::num(clean.total_time, 2), "0.0%", "96"});
-  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-    for (double detect : {0.5, 2.0}) {
+  const std::vector<double> crash_fracs =
+      args.quick ? std::vector<double>{0.5} : std::vector<double>{0.1, 0.3, 0.5, 0.7, 0.9};
+  const std::vector<double> detections =
+      args.quick ? std::vector<double>{0.5} : std::vector<double>{0.5, 2.0};
+  for (double frac : crash_fracs) {
+    for (double detect : detections) {
       const auto result = run_knn(
-          {{cluster::kCloudSite, 0, frac * clean.total_time}}, detect);
+          args.seed, {{cluster::kCloudSite, 0, frac * clean.total_time}}, detect);
       table.add_row({AsciiTable::pct(frac, 0) + " of run",
                      AsciiTable::num(detect, 1) + " s",
                      AsciiTable::num(result.total_time, 2),
@@ -61,9 +68,12 @@ int main() {
   // Checkpoint-interval sweep: bounding the loss of a late crash.
   AsciiTable ckpt({"checkpoint interval", "exec time", "overhead",
                    "jobs assigned (96 unique)"});
-  for (double interval : {0.0, 10.0, 5.0, 2.0, 1.0}) {
+  const std::vector<double> intervals =
+      args.quick ? std::vector<double>{0.0, 2.0}
+                 : std::vector<double>{0.0, 10.0, 5.0, 2.0, 1.0};
+  for (double interval : intervals) {
     const auto result = run_knn(
-        {{cluster::kCloudSite, 0, 0.7 * clean.total_time}}, 1.0, interval);
+        args.seed, {{cluster::kCloudSite, 0, 0.7 * clean.total_time}}, 1.0, interval);
     ckpt.add_row({interval == 0.0 ? std::string("off")
                                   : AsciiTable::num(interval, 0) + " s",
                   AsciiTable::num(result.total_time, 2),
@@ -103,7 +113,7 @@ int main() {
        throttled},
   };
   for (const Scenario& s : scenarios) {
-    const auto result = run_knn(s.failures, 1.0, 0.0, s.fault, retry);
+    const auto result = run_knn(args.seed, s.failures, 1.0, 0.0, s.fault, retry);
     compound.add_row({s.name, AsciiTable::num(result.total_time, 2),
                       AsciiTable::pct(result.total_time / clean.total_time - 1.0, 1),
                       std::to_string(result.store_faults()),

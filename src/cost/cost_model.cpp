@@ -56,8 +56,16 @@ CostInputs derive_run_inputs(const middleware::RunResult& result,
   inputs.run_seconds = result.total_time;
   inputs.cloud_instances =
       static_cast<std::uint32_t>(result.cloud_instance_starts.size());
-  for (double start : result.cloud_instance_starts) {
-    inputs.instance_seconds.push_back(std::max(0.0, result.total_time - start));
+  for (std::size_t i = 0; i < result.cloud_instance_starts.size(); ++i) {
+    const double start = result.cloud_instance_starts[i];
+    // A reclaimed or drained instance stops billing when its rental ended
+    // (cloud_instance_ends; negative = rented to the end of the run).
+    double until = result.total_time;
+    if (i < result.cloud_instance_ends.size() &&
+        result.cloud_instance_ends[i] >= 0.0) {
+      until = std::min(until, result.cloud_instance_ends[i]);
+    }
+    inputs.instance_seconds.push_back(std::max(0.0, until - start));
   }
 
   // Billable stores: the ones owned by cloud-billed sites. Every chunk fetch

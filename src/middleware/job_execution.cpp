@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/rng.hpp"
+
 namespace cloudburst::middleware {
 
 void validate_run(const cluster::Platform& platform, const storage::DataLayout& layout,
@@ -59,6 +61,76 @@ void validate_run(const cluster::Platform& platform, const storage::DataLayout& 
           "run_distributed: failures would leave a cluster with no live slaves");
     }
   }
+
+  // --- node lifecycle (crash / drain / spot reclamation / migration) --------
+  const bool has_lifecycle = !options.lifecycle.empty() ||
+                             options.spot.reclaim_rate_per_hour > 0.0 ||
+                             options.migration.standby_nodes > 0;
+  if (has_lifecycle && options.reduction_tree) {
+    throw std::invalid_argument(
+        "run_distributed: node lifecycle events require reduction_tree = false "
+        "(the master must track per-slave work)");
+  }
+  if (has_lifecycle && options.elastic.enabled) {
+    throw std::invalid_argument(
+        "run_distributed: node lifecycle events are mutually exclusive with "
+        "elastic bursting (one controller owns the dormant pool)");
+  }
+  if (has_lifecycle && options.static_assignment) {
+    throw std::invalid_argument(
+        "run_distributed: static assignment excludes node lifecycle events");
+  }
+  if (options.spot.reclaim_rate_per_hour < 0.0) {
+    throw std::invalid_argument("run_distributed: spot reclaim rate must be >= 0");
+  }
+  for (const auto& ev : options.lifecycle) {
+    if (ev.site >= platform.cluster_count()) {
+      throw std::invalid_argument(
+          "run_distributed: lifecycle event names an unknown cluster");
+    }
+    if (ev.node_index >= platform.nodes(ev.site).size()) {
+      throw std::invalid_argument(
+          "run_distributed: lifecycle event names an unknown node");
+    }
+    if (ev.at_seconds < 0.0) {
+      throw std::invalid_argument(
+          "run_distributed: lifecycle event time must be >= 0");
+    }
+    if (ev.kind == RunOptions::LifecycleEvent::Kind::SpotReclaim &&
+        ev.notice_seconds < 0.0) {
+      throw std::invalid_argument(
+          "run_distributed: spot reclaim notice must be >= 0");
+    }
+  }
+  if (options.migration.standby_nodes > 0) {
+    if (platform.cloud_node_count() <= options.migration.standby_nodes) {
+      throw std::invalid_argument(
+          "run_distributed: migration standbys must leave at least one active "
+          "cloud node");
+    }
+    if (options.migration.boot_seconds < 0.0) {
+      throw std::invalid_argument("run_distributed: migration boot time must be >= 0");
+    }
+  }
+  // Every scheduled removal (legacy failures plus lifecycle events — a drain
+  // also takes its node out of the run) must leave each cluster one live,
+  // non-standby slave; distinct victims only, so a node named twice counts once.
+  for (cluster::ClusterId site = 0; site < platform.cluster_count(); ++site) {
+    const auto& nodes = platform.nodes(site);
+    if (nodes.empty()) continue;
+    std::set<std::uint32_t> victims;
+    for (const auto& f : options.failures) {
+      if (f.side == site) victims.insert(f.node_index);
+    }
+    for (const auto& ev : options.lifecycle) {
+      if (ev.site == site) victims.insert(ev.node_index);
+    }
+    if (victims.size() >= nodes.size()) {
+      throw std::invalid_argument(
+          "run_distributed: lifecycle events would leave a cluster with no live "
+          "slaves");
+    }
+  }
 }
 
 JobExecution::JobExecution(cluster::Platform& platform, const storage::DataLayout& layout,
@@ -76,6 +148,22 @@ JobExecution::JobExecution(cluster::Platform& platform, const storage::DataLayou
   apply_static_assignment();
   schedule_failures();
   setup_elastic();
+  setup_migration();
+  schedule_lifecycle();
+}
+
+SlaveNode* JobExecution::slave_by_endpoint(net::EndpointId ep) {
+  for (auto& s : slaves_) {
+    if (s->endpoint() == ep) return s.get();
+  }
+  return nullptr;
+}
+
+MasterNode* JobExecution::master_of(cluster::ClusterId site) {
+  for (auto& m : masters_) {
+    if (m->site() == site) return m.get();
+  }
+  return nullptr;
 }
 
 void JobExecution::setup_chunk_offsets() {
@@ -243,12 +331,212 @@ void JobExecution::schedule_failures() {
     }
     platform_.sim().schedule(des::from_seconds(f.at_seconds), [this, victim] {
       ctx_.trace(trace::EventKind::SlaveFailed, "node", 0, 0);
+      ++ctx_.recorder.lifecycle.nodes_crashed;
       victim->kill();
     });
     platform_.sim().schedule(
         des::from_seconds(f.at_seconds + ctx_.options.failure_detection_seconds),
         [master, victim_ep] { master->on_slave_failed(victim_ep); });
   }
+}
+
+namespace {
+/// Stochastic spot draws beyond this horizon are never scheduled: the DES
+/// runs until its queue drains, so a reclaim drawn months into simulated
+/// time must not keep the run alive.
+constexpr double kSpotHorizonSeconds = 1e7;
+}  // namespace
+
+void JobExecution::schedule_lifecycle() {
+  const RunOptions& options = ctx_.options;
+  using Kind = RunOptions::LifecycleEvent::Kind;
+  for (const auto& ev : options.lifecycle) {
+    const auto& nodes = platform_.nodes(ev.site);
+    const net::EndpointId victim_ep = nodes.at(ev.node_index).endpoint;
+    const std::string victim_name = nodes.at(ev.node_index).name;
+    switch (ev.kind) {
+      case Kind::Crash: {
+        // Same mechanics as a legacy FailureEvent, with guards: a node that
+        // already vacated (or a never-leased standby) cannot crash.
+        SlaveNode* victim = slave_by_endpoint(victim_ep);
+        MasterNode* master = master_of(ev.site);
+        if (!victim || !master) {
+          throw std::logic_error("run_distributed: lifecycle target not instantiated");
+        }
+        platform_.sim().schedule(des::from_seconds(ev.at_seconds), [this, victim] {
+          if (ctx_.recorder.finished || !victim->alive()) return;
+          if (dormant_standby_.count(victim->endpoint())) return;
+          ctx_.trace(trace::EventKind::SlaveFailed, "node", 0, 0);
+          ++ctx_.recorder.lifecycle.nodes_crashed;
+          victim->kill();
+        });
+        platform_.sim().schedule(
+            des::from_seconds(ev.at_seconds + options.failure_detection_seconds),
+            [this, master, victim_ep] {
+              if (ctx_.recorder.finished) return;
+              if (dormant_standby_.count(victim_ep)) return;
+              master->on_slave_failed(victim_ep);
+            });
+        break;
+      }
+      case Kind::Drain:
+        schedule_drain(ev.site, victim_ep, victim_name, ev.at_seconds,
+                       /*notice_seconds=*/-1.0);
+        break;
+      case Kind::SpotReclaim:
+        schedule_drain(ev.site, victim_ep, victim_name, ev.at_seconds,
+                       std::max(0.0, ev.notice_seconds));
+        break;
+    }
+  }
+
+  if (options.spot.reclaim_rate_per_hour > 0.0) {
+    // One exponential reclaim draw per rented cloud node, each from its own
+    // deterministic substream (never-leased standbys are not rented yet;
+    // they redraw at lease time).
+    const std::uint64_t seed =
+        options.spot.seed ? options.spot.seed : options.random_seed;
+    const double rate_per_second = options.spot.reclaim_rate_per_hour / 3600.0;
+    for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
+      if (!platform_.is_cloud(site)) continue;
+      for (const auto& node : platform_.nodes(site)) {
+        Rng rng = Rng::substream(seed, spot_streams_used_++);
+        const double at = rng.exponential(rate_per_second);
+        if (dormant_standby_.count(node.endpoint)) continue;
+        if (at > kSpotHorizonSeconds) continue;
+        schedule_drain(site, node.endpoint, node.name, at,
+                       std::max(0.0, options.spot.notice_seconds));
+      }
+    }
+  }
+}
+
+void JobExecution::schedule_drain(cluster::ClusterId site, net::EndpointId victim_ep,
+                                  const std::string& victim_name, double at_seconds,
+                                  double notice_seconds) {
+  SlaveNode* victim = slave_by_endpoint(victim_ep);
+  MasterNode* master = master_of(site);
+  if (!victim || !master) {
+    throw std::logic_error("run_distributed: lifecycle target not instantiated");
+  }
+  const bool hard = notice_seconds >= 0.0;  // spot reclaim: kill at deadline
+  platform_.sim().schedule(
+      des::from_seconds(at_seconds),
+      [this, victim, victim_name, notice_seconds, hard] {
+        if (ctx_.recorder.finished || !victim->alive() || victim->draining()) return;
+        if (dormant_standby_.count(victim->endpoint())) return;
+        ctx_.trace(trace::EventKind::NodeDrainRequested, victim_name,
+                   hard ? static_cast<std::uint64_t>(notice_seconds) : 0,
+                   hard ? 1 : 0);
+        victim->begin_drain();
+      });
+  if (!hard) return;
+  platform_.sim().schedule(
+      des::from_seconds(at_seconds + notice_seconds),
+      [this, victim, master, victim_ep, victim_name] {
+        // Already vacated (or never drained because it was dead/dormant at
+        // notice time): nothing to reclaim.
+        if (ctx_.recorder.finished || !victim->alive()) return;
+        if (dormant_standby_.count(victim_ep)) return;
+        ctx_.trace(trace::EventKind::NodeReclaimed, victim_name, 0, 0);
+        ++ctx_.recorder.lifecycle.nodes_reclaimed;
+        // Spot billing stops the instant the provider takes the node back.
+        ctx_.recorder.end_cloud_billing(
+            victim_ep, ctx_.now_seconds() - ctx_.job_start_seconds);
+        victim->kill();
+        ctx_.sim().schedule(
+            des::from_seconds(ctx_.options.failure_detection_seconds),
+            [this, master, victim_ep] {
+              if (ctx_.recorder.finished) return;
+              master->on_slave_failed(victim_ep);
+            });
+      });
+}
+
+void JobExecution::setup_migration() {
+  const RunOptions& options = ctx_.options;
+  if (options.migration.standby_nodes == 0) return;
+  // Hold back the *last* standby_nodes cloud slaves in build order: they were
+  // just billed by setup_elastic's non-elastic branch, so un-bill them and
+  // keep them dormant (and lifecycle-immune) until leased.
+  std::vector<Standby> cloud;
+  for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
+    if (!platform_.is_cloud(site)) continue;
+    for (const auto& node : platform_.nodes(site)) {
+      cloud.push_back(Standby{slave_by_endpoint(node.endpoint), site, node.name});
+    }
+  }
+  for (std::size_t i = cloud.size() - options.migration.standby_nodes;
+       i < cloud.size(); ++i) {
+    standby_.push_back(cloud[i]);
+    dormant_standby_.insert(cloud[i].slave->endpoint());
+    master_of(cloud[i].site)->mark_dormant(cloud[i].slave->endpoint());
+  }
+  initial_active_.erase(
+      std::remove_if(initial_active_.begin(), initial_active_.end(),
+                     [this](SlaveNode* s) {
+                       return dormant_standby_.count(s->endpoint()) > 0;
+                     }),
+      initial_active_.end());
+  auto& starts = ctx_.recorder.cloud_instance_starts;
+  auto& nodes = ctx_.recorder.cloud_instance_nodes;
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    if (dormant_standby_.count(nodes[i])) {
+      nodes.erase(nodes.begin() + static_cast<std::ptrdiff_t>(i));
+      starts.erase(starts.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  ctx_.on_node_lost = [this](cluster::ClusterId site) {
+    return lease_replacement(site);
+  };
+}
+
+bool JobExecution::lease_replacement(cluster::ClusterId site) {
+  // Same-site only: a replacement pulls the lost node's re-pooled chunks from
+  // its own master, so a standby in another cluster cannot take over the
+  // work. Lease order is fixed (tail of cloud build order) for determinism.
+  std::size_t pick = standby_.size();
+  for (std::size_t i = next_standby_; i < standby_.size(); ++i) {
+    if (standby_[i].site != site) continue;
+    if (!dormant_standby_.count(standby_[i].slave->endpoint())) continue;
+    if (!standby_[i].slave->alive()) continue;
+    pick = i;
+    break;
+  }
+  if (pick == standby_.size()) return false;
+  const Standby chosen = standby_[pick];
+  if (pick == next_standby_) ++next_standby_;
+  dormant_standby_.erase(chosen.slave->endpoint());
+  master_of(site)->mark_leased(chosen.slave->endpoint());
+
+  const double now_rel = ctx_.now_seconds() - ctx_.job_start_seconds;
+  const double boot = ctx_.options.migration.boot_seconds;
+  // The replacement bills from the moment it comes up, like an elastic boot.
+  ctx_.recorder.cloud_instance_starts.push_back(now_rel + boot);
+  ctx_.recorder.cloud_instance_nodes.push_back(chosen.slave->endpoint());
+  ++ctx_.recorder.lifecycle.replacements_leased;
+  SlaveNode* booting = chosen.slave;
+  const std::string name = chosen.name;
+  platform_.sim().schedule(des::from_seconds(boot), [this, booting, name, site] {
+    master_of(site)->mark_booted(booting->endpoint());
+    if (ctx_.recorder.finished || !booting->alive()) return;
+    ctx_.trace(trace::EventKind::JobMigrated, name, site, 0);
+    booting->start();
+  });
+  // A leased replacement is itself a spot instance: give it its own reclaim
+  // draw, measured from the lease.
+  const RunOptions& options = ctx_.options;
+  if (options.spot.reclaim_rate_per_hour > 0.0) {
+    const std::uint64_t seed =
+        options.spot.seed ? options.spot.seed : options.random_seed;
+    Rng rng = Rng::substream(seed, spot_streams_used_++);
+    const double at = rng.exponential(options.spot.reclaim_rate_per_hour / 3600.0);
+    if (at <= kSpotHorizonSeconds) {
+      schedule_drain(site, chosen.slave->endpoint(), name, at,
+                     std::max(0.0, options.spot.notice_seconds));
+    }
+  }
+  return true;
 }
 
 void JobExecution::setup_elastic() {
@@ -333,6 +621,7 @@ void JobExecution::setup_elastic() {
 
 void JobExecution::start() {
   start_time_ = ctx_.now_seconds();
+  ctx_.job_start_seconds = start_time_;
   for (auto& master : masters_) master->start();
   for (SlaveNode* slave : initial_active_) slave->start();
 }
@@ -353,6 +642,12 @@ RunResult JobExecution::collect(bool use_platform_store_stats) {
   result.robj = head_->take_robj();
   result.cloud_instance_starts = ctx_.recorder.cloud_instance_starts;
   result.cloud_instance_nodes = ctx_.recorder.cloud_instance_nodes;
+  result.cloud_instance_ends = ctx_.recorder.cloud_instance_ends;
+  if (!result.cloud_instance_ends.empty()) {
+    // Instances rented after the last early end leave the vector short.
+    result.cloud_instance_ends.resize(result.cloud_instance_starts.size(), -1.0);
+  }
+  result.lifecycle = ctx_.recorder.lifecycle;
   result.elastic_activations = ctx_.recorder.elastic_activations;
   result.bytes_from_store = ctx_.recorder.bytes_from_store;
   result.bytes_from_cache = ctx_.recorder.bytes_from_cache;

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,21 @@ class JobExecution {
   void apply_static_assignment();
   void schedule_failures();
   void setup_elastic();
+  /// Checkpointed migration: hold back standby cloud slaves and install the
+  /// on_node_lost hook that leases them.
+  void setup_migration();
+  /// Schedule RunOptions::lifecycle events plus the stochastic spot-reclaim
+  /// draws (one exponential per active cloud node).
+  void schedule_lifecycle();
+  /// Drain notice at `at_seconds` (relative to now); `notice_seconds >= 0`
+  /// adds a spot-reclaim hard-kill deadline that far after the notice.
+  void schedule_drain(cluster::ClusterId site, net::EndpointId victim_ep,
+                      const std::string& victim_name, double at_seconds,
+                      double notice_seconds);
+  /// Lease the next same-site standby for a lost node; false when none left.
+  bool lease_replacement(cluster::ClusterId site);
+  SlaveNode* slave_by_endpoint(net::EndpointId ep);
+  MasterNode* master_of(cluster::ClusterId site);
 
   cluster::Platform& platform_;
   RunContext ctx_;
@@ -92,6 +108,21 @@ class JobExecution {
   std::vector<SlaveNode*> dormant_;
   /// Slaves start() launches (everyone, minus dormant ones).
   std::vector<SlaveNode*> initial_active_;
+
+  // --- checkpointed migration ----------------------------------------------
+  struct Standby {
+    SlaveNode* slave;
+    cluster::ClusterId site;
+    std::string name;
+  };
+  std::vector<Standby> standby_;   ///< lease order (tail of cloud build order)
+  std::size_t next_standby_ = 0;
+  /// Endpoints of standbys not yet leased: unbilled, immune to lifecycle
+  /// events (an instance that was never rented cannot crash or be reclaimed).
+  std::set<net::EndpointId> dormant_standby_;
+  /// Next Rng substream id for stochastic spot draws (initial nodes first,
+  /// then one fresh draw per leased replacement).
+  std::uint64_t spot_streams_used_ = 0;
 };
 
 }  // namespace cloudburst::middleware

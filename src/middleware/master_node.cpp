@@ -66,27 +66,54 @@ void MasterNode::handle(net::EndpointId from, Message msg) {
       } else {
         if (dead_.count(from)) break;  // lost robj: its chunks get re-run
         merge_slave_robj(msg);
+        if (msg.want == 0 && !done_unchk_[from].empty()) {
+          // A periodic flush that protects newly completed work.
+          const std::uint64_t bytes =
+              ctx_.options.profile.robj_bytes
+                  ? ctx_.options.profile.robj_bytes
+                  : std::max<std::uint64_t>(msg.robj_payload.size(), 64);
+          ++ctx_.recorder.lifecycle.checkpoint_flushes;
+          ctx_.recorder.lifecycle.checkpoint_bytes += bytes;
+          ctx_.trace(trace::EventKind::CheckpointFlushed, trace_name_,
+                     done_unchk_[from].size(), bytes);
+        }
         done_unchk_[from].clear();  // robj receipt == checkpoint of done work
         // Only robjs of the current commit round count toward completion;
         // periodic-checkpoint robjs (round 0) and stale rounds just merge.
         if (msg.want != commit_round_) break;
         ++robjs_received_;
-        if (committing_ && robjs_received_ == robjs_expected_) {
-          committing_ = false;
-          // If a failure re-opened work while we were committing, keep
-          // going; otherwise the cluster is done.
-          if (pool_.empty() && outstanding_total_ == 0 && no_more_) {
-            send_cluster_robj();
-          } else {
-            maybe_commit();
-          }
-        }
+        if (committing_) commit_responded_.insert(from);
+        finish_commit_if_complete();
       }
       break;
     }
+    case MsgType::ChunkReturned:
+      on_chunk_returned(from, msg.chunk);
+      break;
+    case MsgType::NodeVacated:
+      on_node_vacated(from, msg);
+      break;
     default:
       throw std::logic_error("MasterNode: unexpected message type");
   }
+}
+
+void MasterNode::finish_commit_if_complete() {
+  if (!committing_ || robjs_received_ < robjs_expected_) return;
+  committing_ = false;
+  commit_responded_.clear();
+  // If a failure re-opened work while we were committing, keep going;
+  // otherwise the cluster is done.
+  if (pool_.empty() && outstanding_total_ == 0 && no_more_) {
+    send_cluster_robj();
+  } else {
+    maybe_commit();
+  }
+}
+
+void MasterNode::drop_from_commit(net::EndpointId slave) {
+  if (!committing_ || commit_responded_.count(slave)) return;
+  if (robjs_expected_ > 0) --robjs_expected_;
 }
 
 void MasterNode::start() {
@@ -123,9 +150,10 @@ void MasterNode::on_slave_failed(net::EndpointId slave) {
   waiting_slaves_.erase(
       std::remove(waiting_slaves_.begin(), waiting_slaves_.end(), slave),
       waiting_slaves_.end());
+  drop_from_commit(slave);
 
   // Work not covered by a received robj is lost with the dead node's robj;
-  // re-enqueue and push it to the survivors.
+  // re-enqueue and replay it.
   std::vector<storage::ChunkId> lost = std::move(done_unchk_[slave]);
   auto& inflight = inflight_[slave];
   outstanding_total_ -= static_cast<std::uint32_t>(inflight.size());
@@ -133,6 +161,13 @@ void MasterNode::on_slave_failed(net::EndpointId slave) {
   inflight.clear();
   done_unchk_[slave].clear();
 
+  reclaim_lost_work(slave, std::move(lost));
+  finish_commit_if_complete();
+  maybe_commit();
+}
+
+void MasterNode::reclaim_lost_work(net::EndpointId slave,
+                                   std::vector<storage::ChunkId> lost) {
   if (cache::Prefetcher* pf = ctx_.prefetcher(site_)) {
     // The dead slave may be joined on in-flight prefetches — its completion
     // callbacks must never fire. And chunks it already consumed are about to
@@ -142,19 +177,163 @@ void MasterNode::on_slave_failed(net::EndpointId slave) {
     for (storage::ChunkId c : lost) pf->release(c);
   }
 
+  const bool work_remains = !lost.empty() || !pool_.empty() ||
+                            outstanding_total_ > 0 || !no_more_;
+  const bool migrated =
+      (ctx_.on_node_lost && work_remains) ? ctx_.on_node_lost(site_) : false;
+
   if (!lost.empty()) {
     reexecuted_jobs_ += static_cast<std::uint32_t>(lost.size());
-    std::vector<net::EndpointId> live;
-    for (net::EndpointId s : slaves_) {
-      if (!dead_.count(s)) live.push_back(s);
-    }
-    if (live.empty()) {
-      throw std::runtime_error("MasterNode: all slaves of a cluster failed");
-    }
+    ctx_.recorder.lifecycle.chunks_reexecuted +=
+        static_cast<std::uint32_t>(lost.size());
     for (storage::ChunkId c : lost) {
-      push_assign(c, live[push_cursor_++ % live.size()]);
+      ctx_.recorder.lifecycle.bytes_reexecuted += ctx_.layout.chunk(c).bytes;
+    }
+    if (migrated) {
+      // A replacement node was leased: re-pool the lost chunks for pull-based
+      // replay so the booted node (and any idle survivor still waiting)
+      // claims them on demand instead of overloading the survivors.
+      for (storage::ChunkId c : lost) pool_.push_back(c);
+      serve_waiting();
+    } else {
+      const std::vector<net::EndpointId> targets = push_targets();
+      if (targets.empty()) {
+        throw std::runtime_error("MasterNode: all slaves of a cluster failed");
+      }
+      for (storage::ChunkId c : lost) {
+        push_assign(c, targets[push_cursor_++ % targets.size()]);
+      }
     }
   }
+}
+
+std::vector<net::EndpointId> MasterNode::push_targets() const {
+  std::vector<net::EndpointId> targets;
+  for (net::EndpointId s : slaves_) {
+    if (!dead_.count(s) && !draining_slaves_.count(s) && !dormant_.count(s) &&
+        !booting_.count(s)) {
+      targets.push_back(s);
+    }
+  }
+  if (targets.empty()) {
+    // Every survivor is draining: bounce work at them anyway — each bounce
+    // re-pools the chunk, which either reaches a migration replacement or
+    // surfaces the wipe-out as a hard error once the last node vacates.
+    for (net::EndpointId s : slaves_) {
+      if (!dead_.count(s) && !dormant_.count(s) && !booting_.count(s)) {
+        targets.push_back(s);
+      }
+    }
+  }
+  return targets;
+}
+
+void MasterNode::flush_pool_if_endgame() {
+  if (!no_more_ || pool_.empty() || !waiting_slaves_.empty()) return;
+  // Idle survivors already got NoMoreJobs and will never pull again, so work
+  // that lands back in the pool at endgame must be pushed. Only running,
+  // non-draining nodes qualify; with none, the pool waits for a migration
+  // replacement to boot and pull.
+  std::vector<net::EndpointId> targets;
+  for (net::EndpointId s : slaves_) {
+    if (!dead_.count(s) && !draining_slaves_.count(s) && !dormant_.count(s) &&
+        !booting_.count(s)) {
+      targets.push_back(s);
+    }
+  }
+  if (targets.empty()) return;
+  while (!pool_.empty()) {
+    const storage::ChunkId c = pool_.front();
+    pool_.pop_front();
+    push_assign(c, targets[push_cursor_++ % targets.size()]);
+  }
+}
+
+void MasterNode::on_chunk_returned(net::EndpointId slave, storage::ChunkId chunk) {
+  draining_slaves_.insert(slave);
+  auto& inflight = inflight_[slave];
+  const auto it = std::find(inflight.begin(), inflight.end(), chunk);
+  if (it == inflight.end()) return;  // already reclaimed via the vacate path
+  inflight.erase(it);
+  --outstanding_total_;
+  // The chunk never started on the draining node: reverse the assignment
+  // accounting (its re-assignment will account it again) and re-pool it.
+  account_return(chunk);
+  ++ctx_.recorder.lifecycle.chunks_returned;
+  if (cache::Prefetcher* pf = ctx_.prefetcher(site_)) pf->release(chunk);
+  pool_.push_back(chunk);
+  serve_waiting();
+  flush_pool_if_endgame();
+  maybe_commit();
+}
+
+void MasterNode::on_node_vacated(net::EndpointId slave, const Message& msg) {
+  if (dead_.count(slave)) return;
+  // The final delta-robj rides the vacate notice: merging it checkpoints
+  // everything the node ever completed, so a drain loses zero finished work.
+  merge_slave_robj(msg);
+  const std::uint64_t bytes =
+      ctx_.options.profile.robj_bytes
+          ? ctx_.options.profile.robj_bytes
+          : std::max<std::uint64_t>(msg.robj_payload.size(), 64);
+  auto& rec = ctx_.recorder.lifecycle;
+  ++rec.nodes_vacated;
+  ++vacated_slaves_;
+  ++rec.checkpoint_flushes;
+  rec.checkpoint_bytes += bytes;
+  ctx_.trace(trace::EventKind::CheckpointFlushed, trace_name_,
+             done_unchk_[slave].size(), bytes);
+  done_unchk_[slave].clear();
+
+  draining_slaves_.insert(slave);
+  dead_.insert(slave);
+  waiting_slaves_.erase(
+      std::remove(waiting_slaves_.begin(), waiting_slaves_.end(), slave),
+      waiting_slaves_.end());
+  drop_from_commit(slave);
+
+  // An assignment pushed while the vacate notice was in flight crossed it on
+  // the wire and was silently dropped by the now-dead node: reverse its
+  // accounting and re-pool it (never fetched, so nothing is re-executed).
+  std::vector<storage::ChunkId> crossed = std::move(inflight_[slave]);
+  inflight_[slave].clear();
+  outstanding_total_ -= static_cast<std::uint32_t>(crossed.size());
+  if (cache::Prefetcher* pf = ctx_.prefetcher(site_)) {
+    pf->drop_owner(slave);
+    for (storage::ChunkId c : crossed) pf->release(c);
+  }
+  for (storage::ChunkId c : crossed) {
+    account_return(c);
+    ++rec.chunks_returned;
+    pool_.push_back(c);
+  }
+
+  const bool work_remains =
+      !pool_.empty() || outstanding_total_ > 0 || !no_more_;
+  const bool migrated = (ctx_.on_node_lost && work_remains)
+                            ? ctx_.on_node_lost(site_)
+                            : false;
+  if (work_remains && !migrated) {
+    // Without a replacement, stranded work needs a node that is (or will
+    // again be) pulling: dormant standbys never start on their own and this
+    // vacate already failed to lease one, so a fully-emptied cluster is a
+    // hard error, not a silent hang.
+    bool recoverable = false;
+    for (net::EndpointId s : slaves_) {
+      if (!dead_.count(s) && !dormant_.count(s)) {
+        recoverable = true;
+        break;
+      }
+    }
+    if (!recoverable) {
+      throw std::runtime_error(
+          "MasterNode: all slaves of a cluster vacated with work remaining "
+          "and no replacement available");
+    }
+  }
+  serve_waiting();
+  if (!migrated) flush_pool_if_endgame();
+  finish_commit_if_complete();
   maybe_commit();
 }
 
@@ -238,6 +417,19 @@ void MasterNode::account_assignment(storage::ChunkId chunk) {
   ctx_.recorder.bytes_from_store[site_][from] += info.bytes;
 }
 
+void MasterNode::account_return(storage::ChunkId chunk) {
+  const storage::ChunkInfo& info = ctx_.layout.chunk(chunk);
+  const storage::StoreId from = ctx_.layout.store_of(chunk);
+  if (from == preferred_store_) {
+    --ctx_.recorder.jobs_local[site_];
+    ctx_.recorder.bytes_local[site_] -= info.bytes;
+  } else {
+    --ctx_.recorder.jobs_stolen[site_];
+    ctx_.recorder.bytes_stolen[site_] -= info.bytes;
+  }
+  ctx_.recorder.bytes_from_store[site_][from] -= info.bytes;
+}
+
 void MasterNode::merge_slave_robj(const Message& msg) {
   if (msg.robj_payload.empty() || !ctx_.options.task) return;
   BufferReader reader(msg.robj_payload);
@@ -258,6 +450,7 @@ void MasterNode::maybe_commit() {
   ++commit_round_;
   robjs_expected_ = 0;
   robjs_received_ = 0;
+  commit_responded_.clear();
   for (net::EndpointId s : slaves_) {
     if (dead_.count(s)) continue;
     ++robjs_expected_;
@@ -267,6 +460,14 @@ void MasterNode::maybe_commit() {
     ctx_.send(self_, s, kControlMessageBytes, std::move(msg));
   }
   if (robjs_expected_ == 0) {
+    committing_ = false;
+    if (vacated_slaves_ > 0) {
+      // Every slave left gracefully: each vacate notice carried a final delta
+      // robj, so the master already holds the cluster's complete state (the
+      // guard above proved the pool is drained) — commit with what we have.
+      send_cluster_robj();
+      return;
+    }
     throw std::runtime_error("MasterNode: no live slaves left to commit");
   }
 }

@@ -46,6 +46,20 @@ class MasterNode {
   /// Heartbeat timeout fired for `slave`: reclaim its un-checkpointed work.
   void on_slave_failed(net::EndpointId slave);
 
+  std::uint32_t vacated_slaves() const { return vacated_slaves_; }
+
+  /// Migration standbys are wired into the cluster but stay dormant (unbilled,
+  /// never started) until leased: the master must not push work at them or
+  /// count them as live capacity. A leased standby is "booting" until its
+  /// boot delay elapses — still no push target, but it counts as capacity
+  /// that will pull re-pooled work, so the cluster is not written off.
+  void mark_dormant(net::EndpointId slave) { dormant_.insert(slave); }
+  void mark_leased(net::EndpointId slave) {
+    dormant_.erase(slave);
+    booting_.insert(slave);
+  }
+  void mark_booted(net::EndpointId slave) { booting_.erase(slave); }
+
   net::EndpointId endpoint() const { return self_; }
   cluster::ClusterId site() const { return site_; }
   std::uint32_t reexecuted_jobs() const { return reexecuted_jobs_; }
@@ -56,10 +70,31 @@ class MasterNode {
   void assign_to(net::EndpointId slave);
   void push_assign(storage::ChunkId chunk, net::EndpointId slave);
   void account_assignment(storage::ChunkId chunk);
+  /// Reverse account_assignment for a chunk a draining slave handed back
+  /// before fetching anything (its re-assignment will account it again).
+  void account_return(storage::ChunkId chunk);
   void merge_slave_robj(const Message& msg);
   void maybe_commit();
   void checkpoint_tick();
   void send_cluster_robj();
+  /// A draining slave handed an assigned chunk back unstarted.
+  void on_chunk_returned(net::EndpointId slave, storage::ChunkId chunk);
+  /// A draining slave flushed its final delta robj and went silent.
+  void on_node_vacated(net::EndpointId slave, const Message& msg);
+  /// Shared node-loss tail: settle the prefetcher, lease a replacement if a
+  /// migration policy is armed and work remains, then replay the lost chunks
+  /// (re-pooled for pull when a replacement was leased, push-assigned to the
+  /// survivors otherwise).
+  void reclaim_lost_work(net::EndpointId slave, std::vector<storage::ChunkId> lost);
+  /// Commit round bookkeeping: a counted slave can die mid-commit; its
+  /// expected robj is withdrawn and the round completes without it.
+  void drop_from_commit(net::EndpointId slave);
+  void finish_commit_if_complete();
+  /// Live, non-draining push targets (falls back to any live slave).
+  std::vector<net::EndpointId> push_targets() const;
+  /// Endgame: no_more_ was already announced, so idle survivors will never
+  /// pull again — push whatever sits in the pool at them directly.
+  void flush_pool_if_endgame();
 
   RunContext& ctx_;
   cluster::ClusterId site_;
@@ -81,6 +116,18 @@ class MasterNode {
 
   // --- direct-mode / fault-tolerance bookkeeping ----------------------------
   std::set<net::EndpointId> dead_;
+  /// Slaves known to be draining (they bounced a chunk or vacated): excluded
+  /// from push-assignment so returned work converges on running nodes.
+  std::set<net::EndpointId> draining_slaves_;
+  /// Dormant migration standbys: present in slaves_ but not running.
+  std::set<net::EndpointId> dormant_;
+  /// Leased replacements waiting out their boot delay.
+  std::set<net::EndpointId> booting_;
+  /// Slaves whose robj for the current commit round already arrived; a slave
+  /// dying mid-commit *before* responding shrinks robjs_expected_ instead of
+  /// deadlocking the round.
+  std::set<net::EndpointId> commit_responded_;
+  std::uint32_t vacated_slaves_ = 0;
   /// Chunks assigned but not yet JobDone'd (in flight on the slave).
   std::map<net::EndpointId, std::vector<storage::ChunkId>> inflight_;
   /// Chunks JobDone'd but not yet covered by a received robj. Only these are

@@ -7,6 +7,9 @@
 //                                              exhausted flag)
 //   slave  -> master : SlaveRobj              (intra-cluster reduction)
 //   master -> head   : MasterRobj             (global reduction input)
+//   slave  -> master : ChunkReturned | NodeVacated  (graceful drain: hand
+//                                              back unstarted work, flush the
+//                                              final delta-robj checkpoint)
 //
 // Messages ride the simulated network: control messages charge a small
 // fixed size, robj messages charge the application's robj_bytes — which is
@@ -31,6 +34,9 @@ enum class MsgType : std::uint8_t {
   // Fault-tolerant (direct-reduction) protocol additions:
   JobDone,      ///< slave -> master: chunk finished (completion tracking)
   RobjRequest,  ///< master -> slave: ship your reduction object now
+  // Node-lifecycle (graceful drain / spot reclamation) additions:
+  ChunkReturned,  ///< draining slave -> master: hand an assigned chunk back unstarted
+  NodeVacated,    ///< draining slave -> master: final delta-robj checkpoint + goodbye
 };
 
 struct Message {

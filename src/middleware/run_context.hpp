@@ -116,6 +116,50 @@ struct RunOptions {
   /// crash can lose to one interval instead of the whole run.
   double checkpoint_interval_seconds = 0.0;
 
+  /// Unified node-lifecycle event: how a node leaves the run. `Crash` is the
+  /// legacy FailureEvent (no notice, heartbeat detection, un-checkpointed
+  /// work re-executed). `Drain` is an operator notice (maintenance): the
+  /// slave stops claiming pool chunks, finishes what it holds, flushes a
+  /// final delta-robj checkpoint, and vacates — zero completed work is lost.
+  /// `SpotReclaim` is a drain with a hard deadline: `notice_seconds` after
+  /// the notice the node is killed whether or not it vacated (EC2 spot
+  /// semantics), and its billing stops at that instant.
+  struct LifecycleEvent {
+    enum class Kind : std::uint8_t { Crash, Drain, SpotReclaim };
+    Kind kind = Kind::Crash;
+    cluster::ClusterId site = cluster::kLocalSite;
+    std::uint32_t node_index = 0;
+    double at_seconds = 0.0;       ///< when the notice (or crash) fires
+    double notice_seconds = 120.0; ///< SpotReclaim only: notice-to-kill window
+  };
+  std::vector<LifecycleEvent> lifecycle;
+
+  /// Stochastic spot reclamation for cloud nodes: each cloud node draws one
+  /// exponential reclaim time at `reclaim_rate_per_hour` (0 = off) from a
+  /// deterministic per-node substream; a draw inside the run behaves like a
+  /// scheduled SpotReclaim with `notice_seconds` of warning.
+  struct SpotPolicy {
+    double reclaim_rate_per_hour = 0.0;
+    double notice_seconds = 120.0;
+    /// Substream seed; 0 = derive from RunOptions::random_seed.
+    std::uint64_t seed = 0;
+  };
+  SpotPolicy spot;
+
+  /// Checkpointed migration: hold back the last `standby_nodes` cloud slaves
+  /// as unbilled standbys; when a node is lost (crash, drain, reclaim) with
+  /// work remaining, lease one as a replacement — it boots for
+  /// `boot_seconds`, bills from the lease, and pulls the lost node's
+  /// re-pooled chunks (the checkpointed robj state already lives at the
+  /// master, so nothing else moves). Requires reduction_tree = false;
+  /// mutually exclusive with elastic bursting (one controller owns the
+  /// dormant pool).
+  struct MigrationPolicy {
+    std::uint32_t standby_nodes = 0;  ///< 0 = no migration
+    double boot_seconds = 60.0;
+  };
+  MigrationPolicy migration;
+
   /// Elastic bursting (Elastic Site-style, from the paper's related work):
   /// start with `initial_cloud_nodes` cloud instances; a controller checks
   /// progress every `check_interval_seconds` and, when the projected
@@ -153,7 +197,13 @@ struct RunRecorder {
   /// Physical node behind each cloud_instance_starts entry (parallel
   /// vector); lets a workload bill a node shared by several jobs once.
   std::vector<net::EndpointId> cloud_instance_nodes;
+  /// Billing end per entry (parallel; negative = end of run). Left empty
+  /// until a lifecycle event ends a rental early, so default runs carry no
+  /// extra state.
+  std::vector<double> cloud_instance_ends;
   std::uint32_t elastic_activations = 0;
+  /// Node-lifecycle accounting (drains, reclaims, checkpoints, migrations).
+  LifecycleStats lifecycle;
   // Per-cluster accounting, indexed by ClusterId; sized by init().
   std::vector<std::uint32_t> jobs_local;
   std::vector<std::uint32_t> jobs_stolen;
@@ -208,6 +258,22 @@ struct RunRecorder {
     bytes_retried.assign(clusters, std::vector<std::uint64_t>(stores, 0));
     store_fetch_requests.assign(clusters, std::vector<std::uint64_t>(stores, 0));
   }
+
+  /// Stop billing `node`'s open rental at `at_seconds` (job-relative). Lazily
+  /// sizes cloud_instance_ends; a node rented more than once (standby
+  /// re-lease) closes its most recent open rental. No-op for nodes that were
+  /// never billed (e.g. a drained local node).
+  void end_cloud_billing(net::EndpointId node, double at_seconds) {
+    if (cloud_instance_ends.size() < cloud_instance_nodes.size()) {
+      cloud_instance_ends.resize(cloud_instance_nodes.size(), -1.0);
+    }
+    for (std::size_t i = cloud_instance_nodes.size(); i-- > 0;) {
+      if (cloud_instance_nodes[i] == node && cloud_instance_ends[i] < 0.0) {
+        cloud_instance_ends[i] = at_seconds;
+        return;
+      }
+    }
+  }
 };
 
 struct RunContext {
@@ -241,6 +307,17 @@ struct RunContext {
   /// Fired once when the head completes the run's global reduction — the
   /// workload manager's job-completion signal.
   std::function<void()> on_finished;
+
+  /// Sim time this job's start() ran (0.0 for standalone runs); lifecycle
+  /// billing ends are recorded relative to it.
+  double job_start_seconds = 0.0;
+
+  /// Fired by a master when a node is lost (crashed, reclaimed, or vacated)
+  /// while the cluster still has work. Returns true if a replacement node
+  /// was leased — the master then re-pools the lost chunks so the booting
+  /// replacement (and idle survivors) pull them, instead of push-assigning
+  /// everything to survivors immediately. Null when migration is off.
+  std::function<bool(cluster::ClusterId)> on_node_lost;
 
   /// Should reads from `store` go through site `site`'s cache? Object-kind
   /// stores always qualify (they pay request latency and GET pricing even

@@ -15,6 +15,22 @@
 
 namespace cloudburst::middleware {
 
+/// Node-lifecycle accounting: crashes, graceful drains, spot reclamations,
+/// checkpoint flushes, and migration leases. All zero under the default
+/// model (no lifecycle events configured).
+struct LifecycleStats {
+  std::uint32_t drains_requested = 0;   ///< drain/reclaim notices delivered
+  std::uint32_t nodes_vacated = 0;      ///< drains that completed gracefully
+  std::uint32_t nodes_reclaimed = 0;    ///< hard-killed at the reclaim deadline
+  std::uint32_t nodes_crashed = 0;      ///< lifecycle Crash events fired
+  std::uint32_t replacements_leased = 0;  ///< standby nodes booted to migrate work
+  std::uint32_t chunks_returned = 0;    ///< assigned chunks handed back unstarted
+  std::uint32_t chunks_reexecuted = 0;  ///< completed-but-lost chunks re-run
+  std::uint64_t bytes_reexecuted = 0;   ///< wasted work: bytes of those chunks
+  std::uint32_t checkpoint_flushes = 0; ///< delta robjs that protected new work
+  std::uint64_t checkpoint_bytes = 0;   ///< wire bytes those flushes moved
+};
+
 struct NodeTimes {
   std::string name;
   cluster::ClusterId cluster = 0;
@@ -92,7 +108,15 @@ struct RunResult {
   /// vector). A workload uses it to bill a node shared by concurrent jobs
   /// once instead of once per job.
   std::vector<net::EndpointId> cloud_instance_nodes;
+  /// Billing end of each cloud_instance_starts entry (parallel vector;
+  /// negative = rented to the end of the run). Reclaimed or drained cloud
+  /// nodes stop billing when they vacate / hit the reclaim deadline. Empty
+  /// when no node lifecycle event ended a rental early.
+  std::vector<double> cloud_instance_ends;
   std::uint32_t elastic_activations = 0;  ///< instances booted mid-run
+
+  /// Node-lifecycle accounting (all zero with no lifecycle events).
+  LifecycleStats lifecycle;
 
   /// Present when RunOptions carried a real task: the finalized global robj.
   api::RobjPtr robj;

@@ -38,6 +38,7 @@ void SlaveNode::start() {
 }
 
 void SlaveNode::top_up_requests() {
+  if (draining_) return;  // drain notice: claim no new pool chunks
   const unsigned depth = std::max(1u, ctx_.options.pipeline_depth);
   while (!no_more_ && active_jobs_ + outstanding_requests_ < depth) {
     ++outstanding_requests_;
@@ -54,12 +55,23 @@ void SlaveNode::handle(net::EndpointId from, Message msg) {
     case MsgType::AssignJob:
       // Pushed recovery assignments arrive without a matching request.
       if (outstanding_requests_ > 0) --outstanding_requests_;
+      if (draining_) {
+        // Crossed the drain notice in flight: hand the chunk straight back so
+        // the master re-pools it for a node that will actually run it.
+        Message back;
+        back.type = MsgType::ChunkReturned;
+        back.chunk = msg.chunk;
+        ctx_.send(node_.endpoint, master_, kControlMessageBytes, std::move(back));
+        maybe_vacate();
+        break;
+      }
       on_assigned(msg.chunk);
       break;
     case MsgType::NoMoreJobs:
       if (outstanding_requests_ > 0) --outstanding_requests_;
       no_more_ = true;
       if (ctx_.options.reduction_tree) maybe_finish_tree();
+      maybe_vacate();
       break;
     case MsgType::SlaveRobj:
       on_child_robj(std::move(msg));
@@ -272,6 +284,46 @@ void SlaveNode::on_processed(storage::ChunkId chunk, double duration) {
   maybe_process();
   if (active_jobs_ == 0 && !processing_) idle_since_ = ctx_.now_seconds();
   if (ctx_.options.reduction_tree) maybe_finish_tree();
+  maybe_vacate();
+}
+
+void SlaveNode::begin_drain() {
+  if (!alive_ || draining_) return;
+  draining_ = true;
+  ++ctx_.recorder.lifecycle.drains_requested;
+  maybe_vacate();
+}
+
+void SlaveNode::maybe_vacate() {
+  if (!draining_ || vacated_ || !alive_) return;
+  // Finish everything already claimed — assigned chunks, fetched-but-queued
+  // chunks, and requests still in flight at the master (their replies are
+  // either bounced back or NoMoreJobs) — before flushing the final state.
+  if (active_jobs_ != 0 || processing_ || !ready_.empty() ||
+      outstanding_requests_ != 0) {
+    return;
+  }
+  vacated_ = true;
+  // Final delta-robj checkpoint rides the vacate notice: whatever this node
+  // computed since its last robj shipment reaches the master, so a drain
+  // with adequate notice loses zero completed work.
+  Message msg;
+  msg.type = MsgType::NodeVacated;
+  if (robj_) {
+    BufferWriter writer;
+    robj_->serialize(writer);
+    msg.robj_payload = writer.take();
+  }
+  const std::uint64_t bytes = ctx_.options.profile.robj_bytes
+                                  ? ctx_.options.profile.robj_bytes
+                                  : std::max<std::uint64_t>(msg.robj_payload.size(), 64);
+  ctx_.trace(trace::EventKind::NodeVacated, node_.name, stats().jobs, bytes);
+  ctx_.send(node_.endpoint, master_, bytes, std::move(msg));
+  // Rented capacity is handed back the instant the node vacates (no-op for
+  // nodes that were never billed, e.g. a drained local node).
+  ctx_.recorder.end_cloud_billing(node_.endpoint,
+                                  ctx_.now_seconds() - ctx_.job_start_seconds);
+  kill();  // silent from here; core slots return to the arbiter
 }
 
 void SlaveNode::on_child_robj(Message msg) {

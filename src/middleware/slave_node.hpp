@@ -57,6 +57,16 @@ class SlaveNode {
   }
   bool alive() const { return alive_; }
 
+  /// Graceful drain notice (maintenance drain or spot-reclaim warning): stop
+  /// claiming pool chunks, bounce any assignment that still arrives back to
+  /// the master (ChunkReturned), finish the fetched/in-flight chunks, then
+  /// flush the final delta-robj checkpoint and vacate. Direct mode only.
+  void begin_drain();
+  bool draining() const { return draining_; }
+  /// True once the final checkpoint was flushed and the node reported
+  /// vacated (it is no longer alive from that instant).
+  bool vacated() const { return vacated_; }
+
   net::EndpointId endpoint() const { return node_.endpoint; }
 
  private:
@@ -83,6 +93,9 @@ class SlaveNode {
   void on_child_robj(Message msg);
   void maybe_finish_tree();
   void send_robj(net::EndpointId dst, std::uint32_t round = 0);
+  /// Drain endgame: once no work is held or requested, ship the final delta
+  /// robj inside a NodeVacated and go silent.
+  void maybe_vacate();
 
   /// Number of binomial-tree children this rank waits for, and the parent
   /// rank it reports to (rank 0 reports to the master).
@@ -99,6 +112,8 @@ class SlaveNode {
   std::shared_ptr<const std::vector<net::EndpointId>> peers_;
 
   bool alive_ = true;
+  bool draining_ = false;  ///< drain notice received: claim no new work
+  bool vacated_ = false;   ///< final checkpoint flushed, node gone
   unsigned outstanding_requests_ = 0;
   unsigned active_jobs_ = 0;  ///< assigned but not fully processed
   bool no_more_ = false;

@@ -34,6 +34,11 @@ const char* to_string(EventKind kind) {
     case EventKind::JobStarted: return "JobStarted";
     case EventKind::JobPreempted: return "JobPreempted";
     case EventKind::JobFinished: return "JobFinished";
+    case EventKind::NodeDrainRequested: return "NodeDrainRequested";
+    case EventKind::NodeVacated: return "NodeVacated";
+    case EventKind::NodeReclaimed: return "NodeReclaimed";
+    case EventKind::CheckpointFlushed: return "CheckpointFlushed";
+    case EventKind::JobMigrated: return "JobMigrated";
   }
   return "?";
 }
@@ -79,6 +84,7 @@ std::string Tracer::render_gantt(std::size_t width) const {
     std::vector<std::pair<double, double>> queued;
     std::vector<std::pair<double, double>> running;
     std::vector<double> preempts;
+    std::vector<std::pair<double, char>> lifecycle;  ///< drain/vacate/reclaim/migrate marks
     std::map<std::uint64_t, double> open_fetch;
     std::map<std::uint64_t, double> open_process;
     std::map<std::uint64_t, double> open_queue;
@@ -114,6 +120,10 @@ std::string Tracer::render_gantt(std::size_t width) const {
         break;
       }
       case EventKind::JobPreempted: rows[e.actor].preempts.push_back(e.t); break;
+      case EventKind::NodeDrainRequested: rows[e.actor].lifecycle.emplace_back(e.t, 'D'); break;
+      case EventKind::NodeVacated: rows[e.actor].lifecycle.emplace_back(e.t, 'v'); break;
+      case EventKind::NodeReclaimed: rows[e.actor].lifecycle.emplace_back(e.t, 'R'); break;
+      case EventKind::JobMigrated: rows[e.actor].lifecycle.emplace_back(e.t, 'M'); break;
       case EventKind::JobFinished: {
         auto& row = rows[e.actor];
         const auto it = row.open_run.find(e.a);
@@ -182,6 +192,12 @@ std::string Tracer::render_gantt(std::size_t width) const {
       for (double t : row.faults) {
         if (t >= lo && t < hi) {
           bar[i] = '!';
+          break;
+        }
+      }
+      for (const auto& [t, mark] : row.lifecycle) {
+        if (t >= lo && t < hi) {
+          bar[i] = mark;
           break;
         }
       }

@@ -43,6 +43,12 @@ enum class EventKind : std::uint8_t {
   JobStarted,     ///< job's actors launched on the platform
   JobPreempted,   ///< job lost a core slot to a higher-priority job (b = winner)
   JobFinished,    ///< job's global reduction completed
+  // Node lifecycle (crash / drain / spot reclamation):
+  NodeDrainRequested,  ///< actor = slave, a = notice seconds, b = 1 for spot reclaim
+  NodeVacated,         ///< actor = slave, a = chunks still checkpoint-covered, b = checkpoint bytes
+  NodeReclaimed,       ///< actor = slave (hard-killed at the reclaim deadline)
+  CheckpointFlushed,   ///< actor = master, a = chunks newly protected, b = robj bytes
+  JobMigrated,         ///< actor = replacement slave, a = site of the lost node
 };
 
 const char* to_string(EventKind kind);
@@ -73,7 +79,8 @@ class Tracer {
   /// '!' a store fault or retry backoff hit this bin.
   /// Workload traces add one lane per job ('-' queued, 'J' running, 'x' a
   /// preemption hit this bin); per-job actor prefixes ("job/node") give each
-  /// job its own node lanes.
+  /// job its own node lanes. Node-lifecycle markers outrank everything:
+  /// 'D' drain requested, 'v' vacated, 'R' hard reclaim, 'M' migration lease.
   std::string render_gantt(std::size_t width = 80) const;
 
  private:

@@ -279,17 +279,27 @@ WorkloadResult WorkloadManager::aggregate() {
   // activations from different tenants) bills from its earliest rental to
   // the end of the workload, exactly once.
   std::map<net::EndpointId, double> rented_from;
+  // Latest rental end per node; a rental no lifecycle event closed runs to
+  // the workload's makespan, which then dominates every early end.
+  std::map<net::EndpointId, double> rented_until;
   for (const JobResult& r : result.jobs) {
     for (std::size_t i = 0; i < r.run.cloud_instance_nodes.size(); ++i) {
       const double at =
           r.start_seconds + (i < r.run.cloud_instance_starts.size()
                                  ? r.run.cloud_instance_starts[i]
                                  : 0.0);
-      const auto it = rented_from.find(r.run.cloud_instance_nodes[i]);
+      const double end = i < r.run.cloud_instance_ends.size() &&
+                                 r.run.cloud_instance_ends[i] >= 0.0
+                             ? r.start_seconds + r.run.cloud_instance_ends[i]
+                             : result.makespan;
+      const net::EndpointId node = r.run.cloud_instance_nodes[i];
+      const auto it = rented_from.find(node);
       if (it == rented_from.end()) {
-        rented_from[r.run.cloud_instance_nodes[i]] = at;
+        rented_from[node] = at;
+        rented_until[node] = end;
       } else {
         it->second = std::min(it->second, at);
+        rented_until[node] = std::max(rented_until[node], end);
       }
     }
   }
@@ -297,7 +307,8 @@ WorkloadResult WorkloadManager::aggregate() {
   platform_inputs.run_seconds = result.makespan;
   platform_inputs.cloud_instances = static_cast<std::uint32_t>(rented_from.size());
   for (const auto& [ep, from] : rented_from) {
-    platform_inputs.instance_seconds.push_back(std::max(0.0, result.makespan - from));
+    platform_inputs.instance_seconds.push_back(
+        std::max(0.0, rented_until.at(ep) - from));
   }
   for (const cost::CostInputs& in : job_inputs) {
     platform_inputs.s3_get_requests += in.s3_get_requests;

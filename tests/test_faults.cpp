@@ -330,6 +330,14 @@ TEST(PaperFidelity, DefaultFaultModelKeepsPaperRunsByteIdentical) {
     EXPECT_EQ(result.store_faults(), 0u);
     EXPECT_EQ(result.fetch_retries(), 0u);
     EXPECT_EQ(result.bytes_retried_total(), 0u);
+    // The node-lifecycle subsystem must stay inert by default: no drains, no
+    // reclaims, no early billing ends, not a single event moved.
+    EXPECT_EQ(result.lifecycle.drains_requested, 0u);
+    EXPECT_EQ(result.lifecycle.nodes_vacated, 0u);
+    EXPECT_EQ(result.lifecycle.nodes_reclaimed, 0u);
+    EXPECT_EQ(result.lifecycle.nodes_crashed, 0u);
+    EXPECT_EQ(result.lifecycle.replacements_leased, 0u);
+    EXPECT_TRUE(result.cloud_instance_ends.empty());
   }
 }
 

@@ -233,6 +233,11 @@ TEST(WorkloadManager, SoloFifoJobMatchesRunDistributedExactly) {
   EXPECT_EQ(run.bytes_from_store, baseline.bytes_from_store);
   EXPECT_DOUBLE_EQ(workload.makespan, baseline.total_time);
   EXPECT_EQ(workload.preemptions, 0u);
+  // Lifecycle subsystem off: no drains, no early rental ends on either path.
+  EXPECT_EQ(run.lifecycle.drains_requested, 0u);
+  EXPECT_EQ(run.lifecycle.nodes_crashed, 0u);
+  EXPECT_TRUE(run.cloud_instance_ends.empty());
+  EXPECT_TRUE(baseline.cloud_instance_ends.empty());
 }
 
 // --- admission policies ------------------------------------------------------
