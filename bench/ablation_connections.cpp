@@ -6,11 +6,15 @@
 // parallel range GETs (env-cloud: all data in S3, cloud computes).
 #include "paper_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudburst;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const std::vector<unsigned> sweep =
+      args.quick ? std::vector<unsigned>{1u, 4u, 16u}
+                 : std::vector<unsigned>{1u, 2u, 4u, 8u, 16u};
   AsciiTable table({"streams", "knn exec", "knn retrieval", "pagerank exec",
                     "pagerank retrieval"});
-  for (unsigned streams : {1u, 2u, 4u, 8u, 16u}) {
+  for (unsigned streams : sweep) {
     auto tweak = [streams](cluster::PlatformSpec&, middleware::RunOptions& o) {
       o.retrieval_streams = streams;
     };

@@ -30,12 +30,19 @@ middleware::RunResult run_knn(double jitter, bool static_assignment,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudburst;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const std::vector<double> jitters =
+      args.quick ? std::vector<double>{0.0, 0.10}
+                 : std::vector<double>{0.0, 0.03, 0.10, 0.20};
+  const std::vector<double> fractions =
+      args.quick ? std::vector<double>{0.5, 1.0 / 6}
+                 : std::vector<double>{0.5, 1.0 / 3, 1.0 / 6};
 
   AsciiTable table({"node speed jitter", "pooling (paper)", "static pre-assignment",
                     "pooling advantage"});
-  for (double jitter : {0.0, 0.03, 0.10, 0.20}) {
+  for (double jitter : jitters) {
     const auto pooled = run_knn(jitter, false);
     const auto fixed = run_knn(jitter, true);
     table.add_row({AsciiTable::pct(jitter, 0), AsciiTable::num(pooled.total_time, 2),
@@ -55,7 +62,7 @@ int main() {
   // static assignment cannot steal, so the data-heavy side sets the runtime.
   AsciiTable skew({"data split", "pooling (paper)", "static pre-assignment",
                    "pooling advantage"});
-  for (double fraction : {0.5, 1.0 / 3, 1.0 / 6}) {
+  for (double fraction : fractions) {
     const auto pooled = run_knn(0.03, false, fraction);
     const auto fixed = run_knn(0.03, true, fraction);
     skew.add_row({AsciiTable::pct(fraction, 0) + " local",

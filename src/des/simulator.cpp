@@ -1,9 +1,16 @@
 #include "des/simulator.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
 namespace cloudburst::des {
+
+namespace {
+/// Compact only when the dead entries amortize the rebuild: enough of them
+/// in absolute terms, and more dead than live in the queue.
+constexpr std::size_t kCompactMinDead = 64;
+}  // namespace
 
 std::string format(SimTime t) {
   char buf[48];
@@ -12,32 +19,94 @@ std::string format(SimTime t) {
 }
 
 void EventHandle::cancel() {
-  if (alive_) *alive_ = false;
+  if (owner_ && *owner_ != nullptr) {
+    (*owner_)->cancel(slot_, generation_);
+  }
 }
 
-bool EventHandle::pending() const { return alive_ && *alive_; }
+bool EventHandle::pending() const {
+  return owner_ && *owner_ != nullptr && (*owner_)->is_pending(slot_, generation_);
+}
 
-EventHandle Simulator::schedule(SimDuration delay, std::function<void()> fn) {
+EventHandle Simulator::schedule(SimDuration delay, EventFn fn) {
   if (delay < 0) throw std::invalid_argument("Simulator::schedule: negative delay");
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(SimTime when, EventFn fn) {
   if (when < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{when, next_seq_++, std::move(fn), alive});
-  return EventHandle(std::move(alive));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  EventRecord& rec = slab_[slot];
+  rec.time = when;
+  rec.seq = next_seq_++;
+  rec.live = true;
+  rec.fn = std::move(fn);
+  queue_.push_back(QueueEntry{rec.time, rec.seq, slot, rec.generation});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+  ++live_count_;
+  return EventHandle(self_, slot, rec.generation);
+}
+
+bool Simulator::cancel(std::uint32_t slot, std::uint32_t generation) {
+  if (slot >= slab_.size()) return false;
+  EventRecord& rec = slab_[slot];
+  if (rec.generation != generation || !rec.live) return false;
+  rec.live = false;
+  rec.fn.reset();  // release captures now, not when the entry is popped
+  ++rec.generation;
+  free_slots_.push_back(slot);
+  --live_count_;
+  ++dead_in_queue_;
+  maybe_compact();
+  return true;
+}
+
+bool Simulator::is_pending(std::uint32_t slot, std::uint32_t generation) const {
+  return slot < slab_.size() && slab_[slot].generation == generation &&
+         slab_[slot].live;
+}
+
+void Simulator::maybe_compact() {
+  if (dead_in_queue_ < kCompactMinDead || dead_in_queue_ * 2 <= queue_.size()) {
+    return;
+  }
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [this](const QueueEntry& e) {
+                                return slab_[e.slot].generation != e.generation;
+                              }),
+               queue_.end());
+  std::make_heap(queue_.begin(), queue_.end(), Later{});
+  dead_in_queue_ = 0;
 }
 
 bool Simulator::step() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (!*ev.alive) continue;  // cancelled
-    *ev.alive = false;         // mark fired so handles report !pending()
-    now_ = ev.time;
+    const QueueEntry top = queue_.front();
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    queue_.pop_back();
+    EventRecord& rec = slab_[top.slot];
+    if (rec.generation != top.generation) {
+      // Cancelled (slot possibly reused since): lazy deletion.
+      --dead_in_queue_;
+      continue;
+    }
+    // Release the slot before running: handles report !pending() during the
+    // callback, and the callback may itself schedule into this slot.
+    EventFn fn = std::move(rec.fn);
+    rec.live = false;
+    ++rec.generation;
+    free_slots_.push_back(top.slot);
+    --live_count_;
+    now_ = top.time;
     ++executed_;
-    ev.fn();
+    if (fn) fn();
     return true;
   }
   return false;
@@ -51,12 +120,15 @@ SimTime Simulator::run() {
 
 SimTime Simulator::run_until(SimTime deadline) {
   while (!queue_.empty()) {
-    // Skip cancelled events without advancing the clock.
-    if (!*queue_.top().alive) {
-      queue_.pop();
+    // Skip cancelled entries without advancing the clock.
+    const QueueEntry& top = queue_.front();
+    if (slab_[top.slot].generation != top.generation) {
+      std::pop_heap(queue_.begin(), queue_.end(), Later{});
+      queue_.pop_back();
+      --dead_in_queue_;
       continue;
     }
-    if (queue_.top().time > deadline) break;
+    if (top.time > deadline) break;
     step();
   }
   if (now_ < deadline && queue_.empty()) {

@@ -5,14 +5,35 @@
 // deterministic. Events may be cancelled via the EventHandle returned at
 // scheduling time (used by the network layer when fair-share rates change
 // and flow completion times must be re-estimated).
+//
+// Event storage & performance
+// ---------------------------
+// Event records live in a slab (a recycled vector of records addressed by
+// slot index); the priority queue holds small POD entries pointing into the
+// slab. Cancellation is lazy: the slab slot is recycled immediately (its
+// generation counter is bumped, so stale queue entries and handles no
+// longer match), but the queue entry stays behind and is skipped when
+// popped. When dead entries outnumber live ones the queue is compacted in
+// one pass. Callbacks are stored in an EventFn — a move-only callable with
+// 48 bytes of inline capture storage — so scheduling an event performs no
+// heap allocation on the hot paths. See DESIGN.md "Simulator internals &
+// performance".
+//
+// Lifetime contract
+// -----------------
+// An EventHandle may outlive its Simulator: it holds a shared tag that the
+// Simulator clears on destruction, after which pending() returns false and
+// cancel() is a no-op. Handles are plain values — copy them freely; cancel
+// after fire, double cancel, and cancel after the queue drained are all
+// no-ops. What a handle never does is keep the Simulator (or the event's
+// callback) alive.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "des/event_fn.hpp"
 #include "des/sim_time.hpp"
 
 namespace cloudburst::des {
@@ -20,36 +41,45 @@ namespace cloudburst::des {
 class Simulator;
 
 /// Cancellation token for a scheduled event. Copyable; cancelling twice is a
-/// no-op, as is cancelling an event that already fired.
+/// no-op, as is cancelling an event that already fired or whose Simulator is
+/// gone (see the lifetime contract above).
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Prevent the event from firing. Safe after the event has run.
+  /// Prevent the event from firing. Safe after the event has run, and safe
+  /// after the owning Simulator was destroyed.
   void cancel();
 
-  /// True if the event has neither fired nor been cancelled.
+  /// True if the event has neither fired nor been cancelled. False once the
+  /// owning Simulator has been destroyed.
   bool pending() const;
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(std::shared_ptr<Simulator*> owner, std::uint32_t slot,
+              std::uint32_t generation)
+      : owner_(std::move(owner)), slot_(slot), generation_(generation) {}
+
+  std::shared_ptr<Simulator*> owner_;  ///< pointee nulled by ~Simulator
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() : self_(std::make_shared<Simulator*>(this)) {}
+  ~Simulator() { *self_ = nullptr; }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
 
   /// Schedule `fn` to run at now() + delay (delay >= 0).
-  EventHandle schedule(SimDuration delay, std::function<void()> fn);
+  EventHandle schedule(SimDuration delay, EventFn fn);
 
   /// Schedule at an absolute time >= now().
-  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  EventHandle schedule_at(SimTime when, EventFn fn);
 
   /// Run until the event queue drains. Returns the final simulated time.
   SimTime run();
@@ -61,27 +91,56 @@ class Simulator {
   /// Execute at most one event. False if the queue was empty.
   bool step();
 
-  std::size_t pending_events() const { return queue_.size(); }
+  /// Number of scheduled events that have neither fired nor been cancelled
+  /// (live events only; lazily-deleted queue entries are not counted).
+  std::size_t pending_events() const { return live_count_; }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  /// One slab cell. `generation` advances every time the slot is released
+  /// (fire or cancel), invalidating stale handles and queue entries.
+  struct EventRecord {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t generation = 0;
+    bool live = false;
+    EventFn fn;
+  };
+
+  /// Priority-queue entry: the (time, seq) ordering key plus the slab slot
+  /// it refers to. `generation` detects entries whose event was cancelled
+  /// (and whose slot possibly reused) after this entry was pushed.
+  struct QueueEntry {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> alive;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
+  bool cancel(std::uint32_t slot, std::uint32_t generation);
+  bool is_pending(std::uint32_t slot, std::uint32_t generation) const;
+  /// Drop dead queue entries once they outnumber live ones.
+  void maybe_compact();
+
   SimTime now_ = kSimStart;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t live_count_ = 0;
+  std::size_t dead_in_queue_ = 0;
+
+  std::vector<EventRecord> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<QueueEntry> queue_;  ///< binary heap ordered by Later
+
+  std::shared_ptr<Simulator*> self_;  ///< handles' liveness tag
 };
 
 }  // namespace cloudburst::des

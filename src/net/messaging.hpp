@@ -30,12 +30,14 @@ class Postman {
   }
 
   /// Send `msg` from src to dst, charging `bytes` on the network path.
-  /// Delivery happens when the simulated transfer completes.
+  /// Delivery happens when the simulated transfer completes. The payload is
+  /// moved into the flow's completion callback (EventFn is move-only), so a
+  /// send costs no allocation beyond the flow itself for small messages.
   void send(EndpointId src, EndpointId dst, std::uint64_t bytes, Message msg) {
-    auto boxed = std::make_shared<Message>(std::move(msg));
-    network_.start_flow(src, dst, bytes, /*rate_cap=*/0.0, [this, src, dst, boxed] {
-      deliver(src, dst, std::move(*boxed));
-    });
+    network_.start_flow(src, dst, bytes, /*rate_cap=*/0.0,
+                        [this, src, dst, msg = std::move(msg)]() mutable {
+                          deliver(src, dst, std::move(msg));
+                        });
   }
 
   Network& network() { return network_; }

@@ -13,6 +13,9 @@ namespace {
 // Residual bytes below this count as "delivered" — absorbs double rounding
 // from settling at recomputed rates.
 constexpr double kByteEpsilon = 1e-6;
+// Rate given to flows with an empty path and no cap (loopback transfers):
+// effectively instantaneous.
+constexpr double kInfiniteRate = 1e18;
 }  // namespace
 
 SiteId Network::add_site(std::string name) {
@@ -27,6 +30,9 @@ LinkId Network::add_link(std::string name, double bandwidth_bytes_per_sec,
   }
   if (latency < 0) throw std::invalid_argument("link latency must be >= 0: " + name);
   links_.push_back(Link{std::move(name), bandwidth_bytes_per_sec, latency, 0});
+  link_active_.emplace_back();
+  link_epoch_.push_back(0);
+  water_.emplace_back();
   return static_cast<LinkId>(links_.size() - 1);
 }
 
@@ -74,7 +80,7 @@ des::SimDuration Network::path_latency(EndpointId src, EndpointId dst) const {
 }
 
 FlowId Network::start_flow(EndpointId src, EndpointId dst, std::uint64_t bytes,
-                           double rate_cap, std::function<void()> on_complete) {
+                           double rate_cap, des::EventFn on_complete) {
   const FlowId id = next_flow_id_++;
   Flow flow;
   flow.id = id;
@@ -91,27 +97,220 @@ FlowId Network::start_flow(EndpointId src, EndpointId dst, std::uint64_t bytes,
   return id;
 }
 
+void Network::attach_to_links(Flow& flow) {
+  flow.link_pos.resize(flow.links.size());
+  for (std::size_t i = 0; i < flow.links.size(); ++i) {
+    auto& list = link_active_[flow.links[i]];
+    flow.link_pos[i] = static_cast<std::uint32_t>(list.size());
+    list.push_back(ActiveRef{flow.id, static_cast<std::uint32_t>(i)});
+  }
+}
+
+void Network::detach_from_links(Flow& flow) {
+  for (std::size_t i = 0; i < flow.links.size(); ++i) {
+    auto& list = link_active_[flow.links[i]];
+    const std::uint32_t pos = flow.link_pos[i];
+    const ActiveRef moved = list.back();
+    list[pos] = moved;
+    list.pop_back();
+    if (moved.flow != flow.id) {
+      flows_.find(moved.flow)->second.link_pos[moved.slot] = pos;
+    } else if (moved.slot != i) {
+      flow.link_pos[moved.slot] = pos;  // path crosses this link twice
+    }
+  }
+}
+
+void Network::collect_component(const std::vector<LinkId>& seed_links) {
+  ++epoch_;
+  comp_flows_.clear();
+  comp_links_.clear();
+  bfs_stack_.clear();
+  const auto push_link = [this](LinkId l) {
+    if (link_epoch_[l] != epoch_) {
+      link_epoch_[l] = epoch_;
+      comp_links_.push_back(l);
+      bfs_stack_.push_back(l);
+    }
+  };
+  for (LinkId l : seed_links) push_link(l);
+  while (!bfs_stack_.empty()) {
+    const LinkId l = bfs_stack_.back();
+    bfs_stack_.pop_back();
+    for (const ActiveRef& ref : link_active_[l]) {
+      Flow& flow = flows_.find(ref.flow)->second;
+      if (flow.visit_epoch == epoch_) continue;
+      flow.visit_epoch = epoch_;
+      comp_flows_.push_back(&flow);
+      for (LinkId l2 : flow.links) push_link(l2);
+    }
+  }
+  std::sort(comp_flows_.begin(), comp_flows_.end(),
+            [](const Flow* a, const Flow* b) { return a->id < b->id; });
+  std::sort(comp_links_.begin(), comp_links_.end());
+}
+
+void Network::settle_flows(const std::vector<Flow*>& flows) {
+  const des::SimTime now = sim_.now();
+  for (Flow* flow : flows) {
+    if (!flow->active) continue;
+    const double dt = des::to_seconds(now - flow->last_update);
+    if (dt > 0.0 && flow->rate > 0.0) {
+      const double moved = std::min(flow->remaining, flow->rate * dt);
+      flow->remaining -= moved;
+      for (LinkId l : flow->links) {
+        links_[l].bytes_carried += moved;
+      }
+    }
+    flow->last_update = now;
+  }
+}
+
+void Network::recompute_and_rearm(std::vector<Flow*>& comp) {
+  if (rebalance_mode_ == RebalanceMode::kGlobalReference) {
+    // Reference mode: recompute everything. The solver below is a pure
+    // function of each connected component, so this must reproduce the
+    // scoped result bit-for-bit (see header).
+    comp.clear();
+    for (auto& [id, flow] : flows_) {
+      if (flow.active) comp.push_back(&flow);
+    }
+  }
+  if (comp.empty()) return;
+
+  // Freeze-event water-filling. All unfrozen flows share one rising level r;
+  // link l saturates at level (bandwidth - committed) / count. Each round
+  // jumps r straight to the smallest binding constraint (a link saturation
+  // level or a flow cap) and freezes every flow pinned there, so each round
+  // freezes at least one flow and rates come out of a single division per
+  // link instead of O(rounds) incremental passes.
+  ++water_epoch_;
+  water_links_.clear();
+  for (const Flow* flow : comp) {
+    for (LinkId l : flow->links) {
+      LinkWater& w = water_[l];
+      if (w.epoch != water_epoch_) {
+        w.committed = 0.0;
+        w.count = 0;
+        w.epoch = water_epoch_;
+        water_links_.push_back(l);
+      }
+      ++w.count;  // a path crossing a link twice contends twice, as before
+    }
+  }
+
+  unfrozen_ = comp;  // sorted by id => deterministic freeze order
+  while (!unfrozen_.empty()) {
+    double r = std::numeric_limits<double>::infinity();
+    for (LinkId l : water_links_) {
+      LinkWater& w = water_[l];
+      if (w.count == 0) continue;
+      w.level = std::max(
+          (links_[l].bandwidth - w.committed) / static_cast<double>(w.count), 0.0);
+      r = std::min(r, w.level);
+    }
+    for (const Flow* flow : unfrozen_) {
+      if (flow->rate_cap > 0.0) r = std::min(r, flow->rate_cap);
+    }
+    if (!std::isfinite(r)) {
+      // Only link-less, uncapped flows remain (loopback): infinitely fast.
+      for (Flow* flow : unfrozen_) flow->next_rate = kInfiniteRate;
+      break;
+    }
+
+    still_.clear();
+    bool froze = false;
+    for (Flow* flow : unfrozen_) {
+      bool frozen = flow->rate_cap > 0.0 && flow->rate_cap <= r;
+      if (!frozen) {
+        for (LinkId l : flow->links) {
+          const LinkWater& w = water_[l];
+          // level is this round's snapshot; it equals r exactly when this
+          // link is the binding constraint (both came out of the same min).
+          if (w.level <= r) {
+            frozen = true;
+            break;
+          }
+        }
+      }
+      if (frozen) {
+        flow->next_rate = r;
+        froze = true;
+        for (LinkId l : flow->links) {
+          LinkWater& w = water_[l];
+          w.committed += r;
+          --w.count;
+        }
+      } else {
+        still_.push_back(flow);
+      }
+    }
+    if (!froze) {
+      // Unreachable by construction (r always binds some flow); freeze the
+      // rest at the current level rather than loop forever.
+      for (Flow* flow : unfrozen_) flow->next_rate = r;
+      break;
+    }
+    unfrozen_.swap(still_);
+  }
+
+  // Re-arm completion events, but only where the rate actually changed: an
+  // unchanged rate means the armed completion time is still correct, and
+  // skipping the cancel/re-schedule churn is where the scoped rebalance
+  // saves most of its event traffic.
+  for (Flow* flow : comp) {
+    const double new_rate = flow->next_rate;
+    if (new_rate == flow->rate) continue;
+    flow->rate = new_rate;
+    flow->completion.cancel();
+    const FlowId fid = flow->id;
+    if (flow->remaining <= kByteEpsilon) {
+      flow->completion = sim_.schedule(0, [this, fid] { finish_flow(fid); });
+    } else if (new_rate > 0.0) {
+      const double secs = flow->remaining / new_rate;
+      flow->completion =
+          sim_.schedule(std::max<des::SimDuration>(des::from_seconds(secs), 1),
+                        [this, fid] { finish_flow(fid); });
+    }
+    // rate == 0 (fully starved): no completion until a rebalance frees capacity.
+  }
+}
+
 void Network::activate_flow(FlowId id) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return;  // cancelled during latency phase
-  settle();
-  it->second.active = true;
-  it->second.last_update = sim_.now();
-  if (it->second.remaining <= kByteEpsilon) {
+  Flow& flow = it->second;
+  flow.active = true;
+  flow.last_update = sim_.now();
+  attach_to_links(flow);
+  collect_component(flow.links);  // finds `flow` itself via its links
+  if (flow.links.empty()) comp_flows_.push_back(&flow);  // loopback: own component
+  settle_flows(comp_flows_);
+  if (flow.remaining <= kByteEpsilon) {
     finish_flow(id);
     return;
   }
-  rebalance();
+  recompute_and_rearm(comp_flows_);
 }
 
 void Network::cancel_flow(FlowId id) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return;
-  settle();
-  it->second.activation.cancel();
-  it->second.completion.cancel();
+  Flow& flow = it->second;
+  flow.activation.cancel();
+  flow.completion.cancel();
+  if (!flow.active) {
+    // Latency phase: the flow never held bandwidth, nothing to rebalance.
+    flows_.erase(it);
+    return;
+  }
+  collect_component(flow.links);
+  if (flow.links.empty()) comp_flows_.push_back(&flow);
+  settle_flows(comp_flows_);
+  detach_from_links(flow);
+  comp_flows_.erase(std::find(comp_flows_.begin(), comp_flows_.end(), &flow));
   flows_.erase(it);
-  rebalance();
+  recompute_and_rearm(comp_flows_);
 }
 
 double Network::flow_rate(FlowId id) const {
@@ -119,126 +318,30 @@ double Network::flow_rate(FlowId id) const {
   return it == flows_.end() ? 0.0 : it->second.rate;
 }
 
-void Network::settle() {
-  const des::SimTime now = sim_.now();
-  for (auto& [id, flow] : flows_) {
-    if (!flow.active) continue;
-    const double dt = des::to_seconds(now - flow.last_update);
-    if (dt > 0.0 && flow.rate > 0.0) {
-      const double moved = std::min(flow.remaining, flow.rate * dt);
-      flow.remaining -= moved;
-      for (LinkId l : flow.links) {
-        links_[l].bytes_carried += moved;
-      }
-    }
-    flow.last_update = now;
-  }
-  last_settle_ = now;
-}
-
-void Network::rebalance() {
-  // Progressive filling (water-filling): raise every unfrozen flow's rate in
-  // lock-step until a link saturates or a flow hits its cap; freeze and
-  // repeat. Produces the max-min fair allocation with per-flow caps.
-  std::vector<double> link_residual(links_.size());
-  for (std::size_t l = 0; l < links_.size(); ++l) link_residual[l] = links_[l].bandwidth;
-
-  std::vector<Flow*> unfrozen;
-  for (auto& [id, flow] : flows_) {
-    if (!flow.active) continue;
-    flow.rate = 0.0;
-    unfrozen.push_back(&flow);
-  }
-
-  std::vector<std::uint32_t> link_load(links_.size(), 0);
-  while (!unfrozen.empty()) {
-    std::fill(link_load.begin(), link_load.end(), 0);
-    for (const Flow* f : unfrozen) {
-      for (LinkId l : f->links) ++link_load[l];
-    }
-
-    // Largest uniform rate increment every unfrozen flow can take.
-    double inc = std::numeric_limits<double>::infinity();
-    for (std::size_t l = 0; l < links_.size(); ++l) {
-      if (link_load[l] > 0) {
-        inc = std::min(inc, link_residual[l] / static_cast<double>(link_load[l]));
-      }
-    }
-    for (const Flow* f : unfrozen) {
-      if (f->rate_cap > 0.0) inc = std::min(inc, f->rate_cap - f->rate);
-    }
-    if (!std::isfinite(inc)) {
-      // Flows with empty paths (same endpoint) — treat as infinitely fast;
-      // give them an effectively unbounded rate.
-      for (Flow* f : unfrozen) f->rate = 1e18;
-      break;
-    }
-    inc = std::max(inc, 0.0);
-
-    for (Flow* f : unfrozen) {
-      f->rate += inc;
-      for (LinkId l : f->links) link_residual[l] -= inc;
-    }
-
-    // Freeze flows at their cap or crossing a saturated link.
-    std::vector<Flow*> still;
-    still.reserve(unfrozen.size());
-    for (Flow* f : unfrozen) {
-      bool frozen = f->rate_cap > 0.0 && f->rate >= f->rate_cap - 1e-12;
-      if (!frozen) {
-        for (LinkId l : f->links) {
-          if (link_residual[l] <= 1e-9 * links_[l].bandwidth) {
-            frozen = true;
-            break;
-          }
-        }
-      }
-      if (!frozen) still.push_back(f);
-    }
-    if (still.size() == unfrozen.size()) {
-      // Numerical stall guard: freeze everything rather than loop forever.
-      break;
-    }
-    unfrozen.swap(still);
-  }
-
-  // Re-arm completion events at the new rates.
-  for (auto& [id, flow] : flows_) {
-    if (!flow.active) continue;
-    flow.completion.cancel();
-    if (flow.remaining <= kByteEpsilon) {
-      const FlowId fid = id;
-      flow.completion = sim_.schedule(0, [this, fid] { finish_flow(fid); });
-    } else if (flow.rate > 0.0) {
-      const double secs = flow.remaining / flow.rate;
-      const FlowId fid = id;
-      flow.completion =
-          sim_.schedule(std::max<des::SimDuration>(des::from_seconds(secs), 0),
-                        [this, fid] { finish_flow(fid); });
-    }
-    // rate == 0 (fully starved): no completion until a rebalance frees capacity.
-  }
-}
-
 void Network::finish_flow(FlowId id) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return;
-  settle();
   Flow& flow = it->second;
+  collect_component(flow.links);
+  if (flow.links.empty()) comp_flows_.push_back(&flow);
+  settle_flows(comp_flows_);
   if (flow.remaining > kByteEpsilon) {
     // Rates changed since this event was armed; re-estimate.
     if (flow.rate > 0.0) {
       const double secs = flow.remaining / flow.rate;
       const FlowId fid = id;
-      flow.completion = sim_.schedule(
-          std::max<des::SimDuration>(des::from_seconds(secs), 1), [this, fid] { finish_flow(fid); });
+      flow.completion =
+          sim_.schedule(std::max<des::SimDuration>(des::from_seconds(secs), 1),
+                        [this, fid] { finish_flow(fid); });
     }
     return;
   }
   auto callback = std::move(flow.on_complete);
   flow.completion.cancel();
+  detach_from_links(flow);
+  comp_flows_.erase(std::find(comp_flows_.begin(), comp_flows_.end(), &flow));
   flows_.erase(it);
-  rebalance();
+  recompute_and_rearm(comp_flows_);
   if (callback) callback();
 }
 

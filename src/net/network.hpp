@@ -13,15 +13,36 @@
 // A *flow* carries `bytes` along its path. After the path's total latency it
 // becomes active and drains at its max-min fair rate; every flow arrival or
 // departure triggers a re-balance (progressive filling / water-filling),
-// which also re-estimates all completion times. Flows may carry an optional
+// which also re-estimates completion times. Flows may carry an optional
 // per-flow rate cap — this is how the S3 model expresses its per-connection
 // throughput limit without dedicating a simulated link per connection.
 //
-// Everything is deterministic: flows are kept in id order, and completion
-// events inherit the DES kernel's (time, sequence) total ordering.
+// Scoped rebalancing
+// ------------------
+// A flow arrival or departure can only change the rates of flows it shares
+// bandwidth with, directly or transitively. Each link keeps the list of
+// active flows crossing it, so a mutation walks the *connected component*
+// of the affected links (flows <-> links), settles exactly those flows,
+// recomputes their max-min rates with a freeze-event water-filling pass
+// (O(component) instead of O(all flows x all links) per filling round), and
+// re-arms completion events only for flows whose rate actually changed.
+// Disjoint traffic — e.g. independent sites, or the thousands of concurrent
+// chunk fetches that never meet on a link — pays nothing for each other's
+// churn.
+//
+// The per-component solver is a pure function of the component's (sorted)
+// flows, caps and link bandwidths, so recomputing an unaffected component
+// reproduces its current rates bit-for-bit. RebalanceMode::kGlobalReference
+// exploits that: it recomputes *every* active flow on each mutation, which
+// must be byte-identical to the scoped result — the randomized differential
+// test in tests/test_network_perf.cpp drives both modes through the same
+// operation sequence and asserts exactly that.
+//
+// Everything is deterministic: component flows are processed in id order,
+// and completion events inherit the DES kernel's (time, sequence) total
+// ordering.
 #pragma once
 
-#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -59,7 +80,7 @@ class Network {
   /// this single flow (0 = unlimited). `on_complete` fires when the last
   /// byte arrives. Returns a FlowId usable with cancel_flow/flow_rate.
   FlowId start_flow(EndpointId src, EndpointId dst, std::uint64_t bytes,
-                    double rate_cap, std::function<void()> on_complete);
+                    double rate_cap, des::EventFn on_complete);
 
   /// Abort an in-progress flow; its completion callback never fires.
   /// Harmless if the flow already finished.
@@ -80,6 +101,12 @@ class Network {
   SiteId site_of(EndpointId ep) const { return endpoints_.at(ep).site; }
   std::size_t link_count() const { return links_.size(); }
 
+  /// Test hook (see "Scoped rebalancing" above): kGlobalReference recomputes
+  /// every active flow on each mutation instead of just the affected
+  /// connected component. Results must be bit-identical to kScoped.
+  enum class RebalanceMode { kScoped, kGlobalReference };
+  void set_rebalance_mode_for_test(RebalanceMode mode) { rebalance_mode_ = mode; }
+
  private:
   struct Endpoint {
     std::string name;
@@ -93,19 +120,50 @@ class Network {
     double remaining;  ///< bytes still to drain once active
     double rate_cap;   ///< 0 = uncapped
     double rate = 0.0;
-    bool active = false;  ///< false during the latency phase
+    double next_rate = 0.0;  ///< scratch for the water-filling pass
+    bool active = false;     ///< false during the latency phase
     des::SimTime last_update = 0;
     des::EventHandle completion;
     des::EventHandle activation;
-    std::function<void()> on_complete;
+    des::EventFn on_complete;
+    /// For each links[i]: this flow's position in link_active_[links[i]]
+    /// (back-pointer for O(1) swap-remove).
+    std::vector<std::uint32_t> link_pos;
+    std::uint64_t visit_epoch = 0;  ///< component-BFS visited stamp
   };
 
-  /// Charge elapsed drain time to every active flow; updates link stats.
-  void settle();
+  /// One active-flow registration on a link: the flow plus which of the
+  /// flow's path slots this entry belongs to (paths may repeat a link).
+  struct ActiveRef {
+    FlowId flow;
+    std::uint32_t slot;
+  };
 
-  /// Recompute max-min fair rates and re-arm completion events. Must be
-  /// called with flows settled.
-  void rebalance();
+  /// Per-link scratch for the freeze-event water-filling pass, reset lazily
+  /// via `epoch` (no O(links) clearing per rebalance).
+  struct LinkWater {
+    double committed = 0.0;  ///< sum of frozen flow rates crossing the link
+    double level = 0.0;      ///< saturation level snapshot for this round
+    std::uint32_t count = 0; ///< unfrozen flows crossing the link
+    std::uint64_t epoch = 0;
+  };
+
+  /// Register/unregister an active flow on its path's link lists.
+  void attach_to_links(Flow& flow);
+  void detach_from_links(Flow& flow);
+
+  /// Gather the connected component (active flows <-> links) reachable from
+  /// `seed_links` into comp_flows_/comp_links_, sorted by id.
+  void collect_component(const std::vector<LinkId>& seed_links);
+
+  /// Charge elapsed drain time to the given flows; updates link stats.
+  /// Must run before any of their rates change.
+  void settle_flows(const std::vector<Flow*>& flows);
+
+  /// Max-min fair rates for `comp` (sorted by id; in kGlobalReference mode
+  /// the argument is replaced by all active flows) and re-arm completion
+  /// events for flows whose rate changed.
+  void recompute_and_rearm(std::vector<Flow*>& comp);
 
   void activate_flow(FlowId id);
   void finish_flow(FlowId id);
@@ -117,7 +175,22 @@ class Network {
   std::map<std::pair<SiteId, SiteId>, std::vector<LinkId>> routes_;
   std::map<FlowId, Flow> flows_;  // id order => deterministic iteration
   FlowId next_flow_id_ = 0;
-  des::SimTime last_settle_ = 0;
+
+  RebalanceMode rebalance_mode_ = RebalanceMode::kScoped;
+
+  std::vector<std::vector<ActiveRef>> link_active_;  // parallel to links_
+  std::vector<std::uint64_t> link_epoch_;            // parallel to links_
+  std::vector<LinkWater> water_;                     // parallel to links_
+  std::uint64_t epoch_ = 0;        ///< component-BFS stamp
+  std::uint64_t water_epoch_ = 0;  ///< water-filling scratch stamp
+
+  // Scratch buffers reused across mutations (never live across a callback).
+  std::vector<Flow*> comp_flows_;
+  std::vector<LinkId> comp_links_;
+  std::vector<LinkId> water_links_;
+  std::vector<LinkId> bfs_stack_;
+  std::vector<Flow*> unfrozen_;
+  std::vector<Flow*> still_;
 };
 
 }  // namespace cloudburst::net

@@ -2,6 +2,7 @@
 // cancellation, bounded runs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "des/simulator.hpp"
@@ -155,6 +156,84 @@ TEST(Simulator, ManyEventsStressOrdering) {
   sim.run();
   EXPECT_TRUE(monotone);
   EXPECT_EQ(sim.executed_events(), 10000u);
+}
+
+// --- handle lifetime contract (see simulator.hpp) ---------------------------
+
+TEST(EventHandleLifetime, PendingIsFalseAfterSimulatorDestroyed) {
+  EventHandle h;
+  {
+    Simulator sim;
+    h = sim.schedule(kSecond, [] {});
+    EXPECT_TRUE(h.pending());
+  }
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not touch the destroyed simulator
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventHandleLifetime, CancelAfterRunAndAfterDrainAreNoops) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.schedule(kSecond, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+  h.cancel();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // The drained simulator keeps working afterwards.
+  sim.schedule(kSecond, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventHandleLifetime, StaleHandleCannotCancelRecycledSlot) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle a = sim.schedule(kSecond, [&] { fired = 1; });
+  a.cancel();
+  // b reuses a's slab slot; a's stale generation must not reach it.
+  EventHandle b = sim.schedule(kSecond, [&] { fired = 2; });
+  a.cancel();
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(b.pending());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventHandleLifetime, SelfCancelDuringCallbackIsNoop) {
+  // The slot is released before the callback runs, so a handle reports
+  // !pending() inside its own callback and self-cancel is harmless.
+  Simulator sim;
+  bool fired = false;
+  EventHandle h;
+  h = sim.schedule(kSecond, [&] {
+    fired = true;
+    EXPECT_FALSE(h.pending());
+    h.cancel();
+  });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Simulator, CompactionKeepsOrderUnderMassCancellation) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10000; ++i) {
+    handles.push_back(
+        sim.schedule((i + 1) * kMillisecond, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    if (i % 10 != 3) handles[i].cancel();  // 90% dead => queue compaction
+  }
+  EXPECT_EQ(sim.pending_events(), 1000u);
+  sim.run();
+  ASSERT_EQ(order.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(sim.executed_events(), 1000u);
 }
 
 }  // namespace

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Gate engine-performance regressions against a committed baseline.
+
+Usage:
+    tools/check_bench_regression.py CURRENT.json BASELINE.json \
+        [--max-regression 0.15] [--update]
+
+Compares the events/sec reported by bench/perf_engine (BENCH_engine.json)
+against the committed baseline and exits non-zero when throughput dropped by
+more than --max-regression (default 15%). Deterministic fields (event count,
+simulated makespan, workload shape) are compared too: a mismatch there means
+the kernel's behavior changed, which is reported as a warning so intentional
+behavior changes can update the baseline (--update rewrites it in place).
+
+Wall-clock throughput varies across hosts; the gate is meant to catch real
+hot-path regressions (allocation churn, O(F^2) rebalances creeping back),
+not scheduler noise — hence the generous default threshold.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+# Same seed + config => these must reproduce exactly; a drift is a behavior
+# change, not a performance change.
+DETERMINISTIC_FIELDS = (
+    "mode",
+    "seed",
+    "fleet_nodes",
+    "jobs",
+    "chunks_total",
+    "executed_events",
+    "sim_makespan_seconds",
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced BENCH_engine.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--max-regression", type=float, default=0.15,
+                        help="allowed fractional events/sec drop (default 0.15)")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with the current result")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    for field in DETERMINISTIC_FIELDS:
+        if current.get(field) != baseline.get(field):
+            print(f"warning: deterministic field '{field}' drifted: "
+                  f"baseline={baseline.get(field)!r} current={current.get(field)!r}"
+                  " (behavior change? refresh the baseline with --update)")
+
+    base_eps = float(baseline["events_per_sec"])
+    cur_eps = float(current["events_per_sec"])
+    if base_eps <= 0:
+        print("error: baseline events_per_sec is not positive")
+        return 2
+    change = cur_eps / base_eps - 1.0
+    print(f"events/sec: baseline {base_eps:,.0f} -> current {cur_eps:,.0f} "
+          f"({change:+.1%})")
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if change < -args.max_regression:
+        print(f"FAIL: events/sec regressed more than "
+              f"{args.max_regression:.0%} vs committed baseline")
+        return 1
+    print("OK: within regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
