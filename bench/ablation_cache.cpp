@@ -33,13 +33,15 @@ double pass_retrieval(const middleware::RunResult& pass) {
   return total;
 }
 
-SweepPoint run_point(const storage::DataLayout& layout, cache::CacheFleet* fleet) {
+SweepPoint run_point(const storage::DataLayout& layout, cache::CacheFleet* fleet,
+                     const cloudburst::bench::BenchArgs& args) {
   middleware::IterativeRequest request;
   request.platform_spec = cluster::PlatformSpec::paper_testbed(0, 44);
   request.layout = &layout;
   request.options = apps::paper_run_options(apps::PaperApp::Kmeans);
   request.options.cache = fleet;
-  request.iterations = 10;
+  request.options.random_seed = args.seed;
+  request.iterations = args.quick ? 3 : 10;
   const auto result = run_iterative(std::move(request));
 
   SweepPoint point;
@@ -60,27 +62,33 @@ SweepPoint run_point(const storage::DataLayout& layout, cache::CacheFleet* fleet
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   const auto layout = apps::paper_layout(apps::PaperApp::Kmeans, 0.0, 0, 1);
 
   AsciiTable table({"policy", "capacity", "cold fetch s", "warm fetch s", "total s",
                     "hit rate", "S3 GETs", "speedup"});
-  const SweepPoint off = run_point(layout, nullptr);
+  const SweepPoint off = run_point(layout, nullptr, args);
   table.add_row({"off", "-", AsciiTable::num(off.cold_retrieval, 0),
                  AsciiTable::num(off.warm_retrieval, 0),
                  AsciiTable::num(off.total_seconds, 1), "-",
                  std::to_string(off.s3_gets), "1.00x"});
   table.add_separator();
 
-  for (cache::EvictionPolicy policy :
-       {cache::EvictionPolicy::Lru, cache::EvictionPolicy::Lfu,
-        cache::EvictionPolicy::Fifo}) {
-    for (std::uint64_t capacity : {GiB(2), GiB(6), GiB(16)}) {
+  std::vector<cache::EvictionPolicy> policies = {
+      cache::EvictionPolicy::Lru, cache::EvictionPolicy::Lfu, cache::EvictionPolicy::Fifo};
+  std::vector<std::uint64_t> capacities = {GiB(2), GiB(6), GiB(16)};
+  if (args.quick) {
+    policies = {cache::EvictionPolicy::Lru};
+    capacities = {GiB(16)};
+  }
+  for (cache::EvictionPolicy policy : policies) {
+    for (std::uint64_t capacity : capacities) {
       cache::CacheConfig cfg;
       cfg.policy = policy;
       cfg.capacity_bytes = capacity;
       cache::CacheFleet fleet(cfg);
-      const SweepPoint point = run_point(layout, &fleet);
+      const SweepPoint point = run_point(layout, &fleet, args);
       char cap[16], rate[16], speedup[16];
       std::snprintf(cap, sizeof(cap), "%lluG",
                     static_cast<unsigned long long>(capacity >> 30));
@@ -104,13 +112,15 @@ int main() {
   // transfers with processing, later passes are hits either way.
   AsciiTable pf({"prefetch", "cold fetch s", "total s", "hit rate", "S3 GETs",
                  "issued", "wasted", "speedup"});
-  for (unsigned depth : {0u, 2u, 4u, 8u}) {
+  std::vector<unsigned> depths = {0u, 2u, 4u, 8u};
+  if (args.quick) depths = {0u, 4u};
+  for (unsigned depth : depths) {
     cache::CacheConfig cfg;
     cfg.capacity_bytes = GiB(16);
     cfg.prefetch.enabled = depth > 0;
     cfg.prefetch.depth = depth;
     cache::CacheFleet fleet(cfg);
-    const SweepPoint point = run_point(layout, &fleet);
+    const SweepPoint point = run_point(layout, &fleet, args);
     char rate[16], speedup[16];
     std::snprintf(rate, sizeof(rate), "%.0f%%", point.hit_rate * 100.0);
     std::snprintf(speedup, sizeof(speedup), "%.2fx",

@@ -16,7 +16,8 @@ using namespace cloudburst;
 using namespace cloudburst::units;
 
 middleware::RunResult run_with_chunks(bench::PaperApp app, apps::Env env,
-                                      std::uint32_t chunks_per_file) {
+                                      std::uint32_t chunks_per_file,
+                                      std::uint64_t seed) {
   const auto config = apps::env_config(env, app);
   cluster::Platform platform(
       cluster::PlatformSpec::paper_testbed(config.local_cores, config.cloud_cores));
@@ -28,23 +29,27 @@ middleware::RunResult run_with_chunks(bench::PaperApp app, apps::Env env,
   storage::DataLayout layout = storage::build_layout(spec);
   storage::assign_stores_by_fraction(layout, config.local_data_fraction,
                                      platform.local_store_id(), platform.cloud_store_id());
-  return middleware::run_distributed(platform, layout,
-                                     apps::paper_run_options(app));
+  auto options = apps::paper_run_options(app);
+  options.random_seed = seed;
+  return middleware::run_distributed(platform, layout, options);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudburst;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   AsciiTable table({"chunks/file", "jobs", "chunk size", "knn 50/50", "kmeans 50/50",
                     "pagerank 50/50"});
-  for (std::uint32_t cpf : {1u, 3u, 6u, 12u, 24u}) {
+  std::vector<std::uint32_t> sweep = {1u, 3u, 6u, 12u, 24u};
+  if (args.quick) sweep = {1u, 3u};
+  for (std::uint32_t cpf : sweep) {
     std::vector<std::string> row = {std::to_string(cpf), std::to_string(32 * cpf),
                                     units::format_bytes(GiB(12) / (32 * cpf))};
     for (bench::PaperApp app :
          {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
       row.push_back(
-          AsciiTable::num(run_with_chunks(app, apps::Env::Hybrid5050, cpf).total_time, 1));
+          AsciiTable::num(run_with_chunks(app, apps::Env::Hybrid5050, cpf, args.seed).total_time, 1));
     }
     table.add_row(std::move(row));
   }

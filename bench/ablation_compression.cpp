@@ -10,12 +10,15 @@
 
 #include "common/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudburst;
   using namespace cloudburst::units;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
 
   AsciiTable table({"WAN", "ratio 1x (off)", "ratio 2x", "ratio 4x", "best gain"});
-  for (double mbit : {250.0, 1000.0, 4000.0}) {
+  std::vector<double> wan_sweep = {250.0, 1000.0, 4000.0};
+  if (args.quick) wan_sweep = {250.0};
+  for (double mbit : wan_sweep) {
     std::vector<double> times;
     for (double ratio : {1.0, 2.0, 4.0}) {
       times.push_back(apps::run_env(apps::Env::Hybrid1783, apps::PaperApp::Knn,
@@ -23,6 +26,7 @@ int main() {
                                         middleware::RunOptions& o) {
                                       spec.wan_bandwidth = mbps(mbit);
                                       o.profile.compression_ratio = ratio;
+                                      o.random_seed = args.seed;
                                     })
                           .total_time);
     }

@@ -6,18 +6,22 @@
 // processing of the current one.
 #include "paper_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudburst;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   AsciiTable table({"app", "env", "depth 1", "depth 2", "depth 4", "best speedup"});
-  for (bench::PaperApp app :
-       {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
+  std::vector<bench::PaperApp> apps_sweep = {
+      bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank};
+  if (args.quick) apps_sweep = {bench::PaperApp::Knn};
+  for (bench::PaperApp app : apps_sweep) {
     for (apps::Env env : {apps::Env::Cloud, apps::Env::Hybrid1783}) {
       double times[3];
       int i = 0;
       for (unsigned depth : {1u, 2u, 4u}) {
         times[i++] = apps::run_env(env, app,
-                                   [depth](cluster::PlatformSpec&, middleware::RunOptions& o) {
+                                   [&](cluster::PlatformSpec&, middleware::RunOptions& o) {
                                      o.pipeline_depth = depth;
+                                     o.random_seed = args.seed;
                                    })
                          .total_time;
       }

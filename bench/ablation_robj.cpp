@@ -9,15 +9,19 @@
 
 #include "common/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudburst;
   using namespace cloudburst::units;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
 
   AsciiTable table({"robj size", "env-local", "env-50/50", "sync local", "sync cloud",
                     "slowdown"});
-  for (std::uint64_t robj : {MiB(1), MiB(16), MiB(64), MiB(256), GiB(1)}) {
-    auto tweak = [robj](cluster::PlatformSpec&, middleware::RunOptions& o) {
+  std::vector<std::uint64_t> sweep = {MiB(1), MiB(16), MiB(64), MiB(256), GiB(1)};
+  if (args.quick) sweep = {MiB(1), MiB(256)};
+  for (std::uint64_t robj : sweep) {
+    auto tweak = [&](cluster::PlatformSpec&, middleware::RunOptions& o) {
       o.profile.robj_bytes = robj;
+      o.random_seed = args.seed;
     };
     const auto base = apps::run_env(apps::Env::Local, apps::PaperApp::PageRank, tweak);
     const auto hybrid =

@@ -7,21 +7,28 @@
 // reproduction's addition — see DESIGN.md).
 #include "paper_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudburst;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   AsciiTable table({"app", "env", "full policy", "no reservation", "no stealing",
                     "stealing benefit"});
-  for (bench::PaperApp app :
-       {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
+  std::vector<bench::PaperApp> apps_sweep = {
+      bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank};
+  if (args.quick) apps_sweep = {bench::PaperApp::Knn};
+  auto seeded = [&](middleware::RunOptions& o) { o.random_seed = args.seed; };
+  for (bench::PaperApp app : apps_sweep) {
     for (apps::Env env : {apps::Env::Hybrid3367, apps::Env::Hybrid1783}) {
-      const auto base = apps::run_env(env, app);
+      const auto base = apps::run_env(
+          env, app, [&](cluster::PlatformSpec&, middleware::RunOptions& o) { seeded(o); });
       const auto no_reserve =
-          apps::run_env(env, app, [](cluster::PlatformSpec&, middleware::RunOptions& o) {
+          apps::run_env(env, app, [&](cluster::PlatformSpec&, middleware::RunOptions& o) {
             o.policy.steal_reserve = 0;
+            seeded(o);
           });
       const auto no_steal =
-          apps::run_env(env, app, [](cluster::PlatformSpec&, middleware::RunOptions& o) {
+          apps::run_env(env, app, [&](cluster::PlatformSpec&, middleware::RunOptions& o) {
             o.policy.allow_stealing = false;
+            seeded(o);
           });
       table.add_row({apps::to_string(app), apps::env_config(env, app).name,
                      AsciiTable::num(base.total_time, 1),

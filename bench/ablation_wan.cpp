@@ -8,17 +8,21 @@
 
 #include "common/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudburst;
   using namespace cloudburst::units;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
 
   AsciiTable table({"WAN", "knn slowdown", "kmeans slowdown", "pagerank slowdown"});
-  for (double mbit : {100.0, 250.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0}) {
+  std::vector<double> sweep = {100.0, 250.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0};
+  if (args.quick) sweep = {100.0, 1000.0};
+  for (double mbit : sweep) {
     std::vector<std::string> row = {AsciiTable::num(mbit, 0) + " Mb/s"};
     for (bench::PaperApp app :
          {bench::PaperApp::Knn, bench::PaperApp::Kmeans, bench::PaperApp::PageRank}) {
-      auto tweak = [mbit](cluster::PlatformSpec& spec, middleware::RunOptions&) {
+      auto tweak = [&](cluster::PlatformSpec& spec, middleware::RunOptions& o) {
         spec.wan_bandwidth = mbps(mbit);
+        o.random_seed = args.seed;
       };
       const auto base = apps::run_env(apps::Env::Local, app, tweak);
       const auto hybrid = apps::run_env(apps::Env::Hybrid1783, app, tweak);

@@ -5,6 +5,11 @@
 
 namespace cloudburst::cache {
 
+storage::StoreId Prefetcher::resolve_store(storage::ChunkId chunk) const {
+  if (env_.resolve) return env_.resolve(chunk);
+  return layout_->store_of(chunk);
+}
+
 void Prefetcher::on_pool_update(const std::deque<storage::ChunkId>& pool,
                                 const storage::DataLayout& layout) {
   if (!config_.enabled) return;
@@ -12,7 +17,7 @@ void Prefetcher::on_pool_update(const std::deque<storage::ChunkId>& pool,
   for (const storage::ChunkId chunk : pool) {
     if (queued_.count(chunk) || issued_.count(chunk)) continue;
     if (cache_.contains(chunk)) continue;
-    if (env_.cacheable && !env_.cacheable(layout.store_of(chunk))) continue;
+    if (env_.cacheable && !env_.cacheable(resolve_store(chunk))) continue;
     queued_.insert(chunk);
     queue_.push_back(chunk);
   }
@@ -27,11 +32,12 @@ void Prefetcher::cancel(storage::ChunkId chunk) {
 
 void Prefetcher::wait_for(storage::ChunkId chunk, std::uint64_t owner,
                           std::function<void(bool)> cb) {
-  inflight_.at(chunk).push_back(Waiter{owner, std::move(cb)});
+  inflight_.at(chunk).waiters.push_back(Waiter{owner, std::move(cb)});
 }
 
 void Prefetcher::drop_owner(std::uint64_t owner) {
-  for (auto& [chunk, waiters] : inflight_) {
+  for (auto& [chunk, flight] : inflight_) {
+    auto& waiters = flight.waiters;
     waiters.erase(std::remove_if(waiters.begin(), waiters.end(),
                                  [owner](const Waiter& w) { return w.owner == owner; }),
                   waiters.end());
@@ -78,19 +84,24 @@ void Prefetcher::pump() {
         static_cast<double>(info.bytes) / env_.compression_ratio);
     if (wire.bytes == 0) wire.bytes = 1;
 
+    const storage::StoreId store = resolve_store(chunk);
     issued_.insert(chunk);
-    inflight_.emplace(chunk, std::vector<Waiter>{});
+    inflight_.emplace(chunk, Inflight{store, {}});
     if (env_.trace) env_.trace(trace::EventKind::PrefetchIssued, chunk, info.bytes);
-    if (env_.on_issue) env_.on_issue(layout_->store_of(chunk), info);
+    if (env_.on_issue) env_.on_issue(store, info);
 
     const std::uint64_t resident = wire.bytes;
-    env_.fetch(layout_->store_of(chunk), wire,
+    env_.fetch(store, wire,
                [this, chunk, resident](bool ok) { on_prefetched(chunk, resident, ok); });
   }
 }
 
 void Prefetcher::on_prefetched(storage::ChunkId chunk, std::uint64_t resident_bytes,
                                bool ok) {
+  const auto it = inflight_.find(chunk);
+  const storage::StoreId issued_store = it->second.store;
+  auto waiters = std::move(it->second.waiters);
+  inflight_.erase(it);
   if (ok) {
     const auto result = cache_.insert(chunk, resident_bytes, /*prefetched=*/true);
     if (env_.trace) {
@@ -100,16 +111,15 @@ void Prefetcher::on_prefetched(storage::ChunkId chunk, std::uint64_t resident_by
     }
   } else {
     // Permanent failure: nothing landed. Revert the issue-time accounting
-    // and reopen the chunk so a later pool update may try again.
+    // (against the store charged at issue, which a replica re-resolution may
+    // no longer return) and reopen the chunk so a later pool update may try
+    // again.
     if (env_.on_abort && layout_) {
-      env_.on_abort(layout_->store_of(chunk), layout_->chunk(chunk));
+      env_.on_abort(issued_store, layout_->chunk(chunk));
     }
     issued_.erase(chunk);
     consumed_.erase(chunk);
   }
-  const auto it = inflight_.find(chunk);
-  auto waiters = std::move(it->second);
-  inflight_.erase(it);
   for (auto& w : waiters) w.cb(ok);
   pump();
 }

@@ -65,6 +65,10 @@ class Prefetcher {
     /// Reverts on_issue when the GET permanently failed: nothing was
     /// delivered, so the issue-time store charge must not stand.
     std::function<void(storage::StoreId, const storage::ChunkInfo&)> on_abort;
+    /// Replica resolution: store to GET `chunk` from. Null (the default) means
+    /// the layout primary; the runtime binds this to the run's ReplicaSet so
+    /// prefetches also read the cheapest live copy.
+    std::function<storage::StoreId(storage::ChunkId)> resolve;
   };
 
   Prefetcher(ChunkCache& cache, PrefetchConfig config, Env env)
@@ -116,6 +120,16 @@ class Prefetcher {
     std::function<void(bool ok)> cb;
   };
 
+  /// One airborne GET. The store is pinned at issue time so an abort reverts
+  /// exactly the charge on_issue made, even if the replica set re-resolves
+  /// the chunk somewhere else meanwhile.
+  struct Inflight {
+    storage::StoreId store = storage::kInvalidStore;
+    std::vector<Waiter> waiters;
+  };
+
+  storage::StoreId resolve_store(storage::ChunkId chunk) const;
+
   ChunkCache& cache_;
   PrefetchConfig config_;
   Env env_;
@@ -123,7 +137,7 @@ class Prefetcher {
 
   std::deque<storage::ChunkId> queue_;  ///< candidate order
   std::set<storage::ChunkId> queued_;   ///< authoritative queue membership
-  std::map<storage::ChunkId, std::vector<Waiter>> inflight_;
+  std::map<storage::ChunkId, Inflight> inflight_;
   std::set<storage::ChunkId> issued_;
   std::set<storage::ChunkId> consumed_;
 };

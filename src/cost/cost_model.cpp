@@ -82,6 +82,11 @@ CostInputs derive_run_inputs(const middleware::RunResult& result,
                                        : platform.store(s).stats().requests;
     inputs.s3_get_requests += requests * std::max(1u, options.retrieval_streams);
     inputs.s3_resident_bytes += layout.bytes_on(s);
+    // Replication: live extra copies on a cloud store are resident bytes the
+    // provider bills just like the primaries.
+    if (s < result.replica.extra_replica_bytes.size()) {
+      inputs.s3_resident_bytes += result.replica.extra_replica_bytes[s];
+    }
     // Transfer out of the provider: chunks any *other* site pulled from this
     // store cross its egress boundary. Stored chunks move compressed.
     const cluster::ClusterId owner = platform.owner_of_store(s);

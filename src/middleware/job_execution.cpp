@@ -21,6 +21,12 @@ void validate_run(const cluster::Platform& platform, const storage::DataLayout& 
   if (layout.chunks().empty()) {
     throw std::invalid_argument("run_distributed: layout has no chunks");
   }
+  if (options.policy.remote_selection == RemoteSelection::CheapestReplica &&
+      options.replication == nullptr) {
+    throw std::invalid_argument(
+        "run_distributed: CheapestReplica remote selection requires "
+        "RunOptions::replication");
+  }
   if (options.checkpoint_interval_seconds > 0.0 && options.reduction_tree) {
     throw std::invalid_argument(
         "run_distributed: periodic checkpointing requires reduction_tree = false");
@@ -143,6 +149,7 @@ JobExecution::JobExecution(cluster::Platform& platform, const storage::DataLayou
            std::move(trace_tag), arbiter, std::move(on_finished)} {
   ctx_.recorder.init(platform.cluster_count(), platform.store_count());
   setup_chunk_offsets();
+  setup_replication();
   build_prefetchers();
   build_actors(register_mailbox);
   apply_static_assignment();
@@ -185,6 +192,62 @@ void JobExecution::setup_chunk_offsets() {
   }
 }
 
+void JobExecution::setup_replication() {
+  replica::ReplicaSet* rs = ctx_.options.replication;
+  if (!rs) return;
+  replication_built_here_ = !rs->built();
+  rs->attach(ctx_.layout, platform_);
+  if (replication_built_here_) {
+    // The initial placement is this job's doing: count and trace the extra
+    // copies it created (a workload job joining an already-built set is a
+    // pure consumer and records nothing here).
+    ctx_.recorder.replica.replicas_created += rs->replicas_created();
+    for (const auto& [chunk, store] : rs->initial_extras()) {
+      ctx_.trace(trace::EventKind::ReplicaCreated, "replica", chunk, store);
+    }
+  }
+
+  replica::RepairActor::Env env;
+  env.now = [this] { return ctx_.now_seconds(); };
+  env.schedule = [this](double delay_seconds, std::function<void()> fn) {
+    platform_.sim().schedule(des::from_seconds(delay_seconds), std::move(fn));
+  };
+  env.stopped = [this] { return ctx_.recorder.finished; };
+  env.trace = [this](trace::EventKind kind, std::uint64_t a, std::uint64_t b) {
+    ctx_.trace(kind, "repair", a, b);
+  };
+  // A repair is a store-to-store read: the destination's site pays the
+  // egress from the source store, on the same retry/fault machinery (and
+  // therefore the same recorder counters) as any slave fetch.
+  env.transfer = [this](const replica::ReplicaSet::RepairTask& task,
+                        std::function<void(bool ok)> done) {
+    const storage::ChunkInfo& info = ctx_.layout.chunk(task.chunk);
+    storage::ChunkInfo wire = info;
+    const double ratio = std::max(1.0, ctx_.options.profile.compression_ratio);
+    wire.bytes = static_cast<std::uint64_t>(static_cast<double>(info.bytes) / ratio);
+    if (wire.bytes == 0) wire.bytes = 1;
+    const cluster::ClusterId dst_site = platform_.owner_of_store(task.dst);
+    ctx_.recorder.bytes_from_store[dst_site][task.src] += info.bytes;
+    storage::fetch_with_retry(
+        platform_.sim(), platform_.store(task.src),
+        platform_.store(task.dst).endpoint(), wire, ctx_.options.retrieval_streams,
+        ctx_.options.retry, ctx_.retry_hooks(dst_site, "repair", task.chunk, task.src),
+        [this, task, dst_site, done = std::move(done)](const storage::FetchResult& r) {
+          if (!r.ok) {
+            // Nothing landed: revert the issue-time egress charge.
+            ctx_.recorder.bytes_from_store[dst_site][task.src] -=
+                ctx_.layout.chunk(task.chunk).bytes;
+          }
+          if (done) done(r.ok);
+        });
+  };
+  env.on_repaired = [this](const replica::ReplicaSet::RepairTask& task) {
+    ++ctx_.recorder.replica.replicas_repaired;
+    ctx_.recorder.replica.repair_bytes += ctx_.layout.chunk(task.chunk).bytes;
+  };
+  repair_ = std::make_unique<replica::RepairActor>(*rs, std::move(env));
+}
+
 void JobExecution::build_prefetchers() {
   // One per compute site when the attached cache fleet enables prefetching.
   // The Env hooks close over this, which outlives the prefetchers.
@@ -225,6 +288,11 @@ void JobExecution::build_prefetchers() {
     env.on_abort = [this, site](storage::StoreId s, const storage::ChunkInfo& info) {
       ctx_.recorder.bytes_from_store[site][s] -= info.bytes;
     };
+    if (replica::ReplicaSet* rs = options.replication) {
+      env.resolve = [this, rs, site](storage::ChunkId chunk) {
+        return rs->resolve(chunk, site, ctx_.now_seconds());
+      };
+    }
     ctx_.prefetchers[site] = std::make_unique<cache::Prefetcher>(
         options.cache->site(site), cfg.prefetch, std::move(env));
   }
@@ -258,9 +326,23 @@ void JobExecution::build_actors(const MailboxRegistrar& register_mailbox) {
   // the SchedulerPolicy default.
   SchedulerPolicy policy = ctx_.options.policy;
   policy.random_seed = ctx_.options.random_seed;
+  JobPool::ReplicaView view;
+  if (replica::ReplicaSet* rs = ctx_.options.replication) {
+    // The pool stays decoupled from cb_replica: it sees replicas only through
+    // these two hooks (live-copy membership and route cost for a requester).
+    view.on_store = [rs](storage::ChunkId chunk, storage::StoreId store) {
+      return rs->is_live(chunk, store);
+    };
+    view.steal_cost = [this, rs](storage::ChunkId chunk, storage::StoreId preferred) {
+      const cluster::ClusterId site = preferred == storage::kInvalidStore
+                                          ? cluster::ClusterId{0}
+                                          : platform_.owner_of_store(preferred);
+      return rs->route_cost(chunk, site, ctx_.now_seconds());
+    };
+  }
   head_ = std::make_unique<HeadNode>(ctx_, platform_.head_endpoint(),
-                                     JobPool(ctx_.layout, policy), master_infos_,
-                                     ctx_.options.task);
+                                     JobPool(ctx_.layout, policy, std::move(view)),
+                                     master_infos_, ctx_.options.task);
 
   // --- wire mailboxes --------------------------------------------------------
   HeadNode* head = head_.get();
@@ -624,6 +706,7 @@ void JobExecution::start() {
   ctx_.job_start_seconds = start_time_;
   for (auto& master : masters_) master->start();
   for (SlaveNode* slave : initial_active_) slave->start();
+  if (repair_) repair_->start();
 }
 
 RunResult JobExecution::collect(bool use_platform_store_stats) {
@@ -648,6 +731,13 @@ RunResult JobExecution::collect(bool use_platform_store_stats) {
     result.cloud_instance_ends.resize(result.cloud_instance_starts.size(), -1.0);
   }
   result.lifecycle = ctx_.recorder.lifecycle;
+  result.replica = ctx_.recorder.replica;
+  if (ctx_.options.replication && replication_built_here_) {
+    // Snapshot the live extra-copy bytes: the cost model bills them as extra
+    // resident storage. Only the building job carries them so a workload
+    // sharing one set does not bill the same copies once per tenant.
+    result.replica.extra_replica_bytes = ctx_.options.replication->extra_bytes_per_store();
+  }
   result.elastic_activations = ctx_.recorder.elastic_activations;
   result.bytes_from_store = ctx_.recorder.bytes_from_store;
   result.bytes_from_cache = ctx_.recorder.bytes_from_cache;

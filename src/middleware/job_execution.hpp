@@ -17,6 +17,7 @@
 
 #include "cluster/platform.hpp"
 #include "middleware/head_node.hpp"
+#include "replica/repair.hpp"
 #include "middleware/master_node.hpp"
 #include "middleware/run_context.hpp"
 #include "middleware/run_result.hpp"
@@ -75,6 +76,10 @@ class JobExecution {
 
  private:
   void setup_chunk_offsets();
+  /// Attach the caller-owned ReplicaSet (first attach builds placement and
+  /// emits the initial ReplicaCreated events) and construct the background
+  /// repair actor.
+  void setup_replication();
   void build_prefetchers();
   void build_actors(const MailboxRegistrar& register_mailbox);
   void apply_static_assignment();
@@ -104,6 +109,11 @@ class JobExecution {
   std::vector<std::unique_ptr<MasterNode>> masters_;
   std::vector<std::unique_ptr<SlaveNode>> slaves_;
   std::unique_ptr<HeadNode> head_;
+  /// Replication only: background re-replicator (null otherwise).
+  std::unique_ptr<replica::RepairActor> repair_;
+  /// True when this execution's attach() built the set — that job (and only
+  /// that job, under a shared workload set) bills the replica storage.
+  bool replication_built_here_ = false;
   /// Elastic mode: cloud slaves beyond the initial allocation, boot order.
   std::vector<SlaveNode*> dormant_;
   /// Slaves start() launches (everyone, minus dormant ones).

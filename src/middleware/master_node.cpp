@@ -147,6 +147,11 @@ void MasterNode::assign_static(
 void MasterNode::on_slave_failed(net::EndpointId slave) {
   if (dead_.count(slave)) return;
   dead_.insert(slave);
+  if (ctx_.options.replication) {
+    // Lifecycle composition: a site losing nodes is degrading — steer reads
+    // (and new replica placements) away from its store for a while.
+    ctx_.options.replication->mark_site_suspect(site_, ctx_.now_seconds());
+  }
   waiting_slaves_.erase(
       std::remove(waiting_slaves_.begin(), waiting_slaves_.end(), slave),
       waiting_slaves_.end());
@@ -287,6 +292,9 @@ void MasterNode::on_node_vacated(net::EndpointId slave, const Message& msg) {
 
   draining_slaves_.insert(slave);
   dead_.insert(slave);
+  if (ctx_.options.replication) {
+    ctx_.options.replication->mark_site_suspect(site_, ctx_.now_seconds());
+  }
   waiting_slaves_.erase(
       std::remove(waiting_slaves_.begin(), waiting_slaves_.end(), slave),
       waiting_slaves_.end());
@@ -393,7 +401,11 @@ void MasterNode::push_assign(storage::ChunkId chunk, net::EndpointId slave) {
     // is the transfer (an already-airborne GET stays up and gets joined).
     pf->cancel(chunk);
   }
-  account_assignment(chunk);
+  // Replication: resolve the cheapest live replica once, at assignment time;
+  // accounting, the wire message, and the slave's fetch all use that store.
+  const storage::StoreId from = ctx_.resolve_store(site_, chunk);
+  if (ctx_.options.replication) assigned_store_[chunk] = from;
+  account_assignment(chunk, from);
   if (!ctx_.options.reduction_tree) {
     inflight_[slave].push_back(chunk);
     ++outstanding_total_;
@@ -401,12 +413,19 @@ void MasterNode::push_assign(storage::ChunkId chunk, net::EndpointId slave) {
   Message msg;
   msg.type = MsgType::AssignJob;
   msg.chunk = chunk;
+  if (ctx_.options.replication) msg.store = from;
   ctx_.send(self_, slave, kControlMessageBytes, std::move(msg));
 }
 
-void MasterNode::account_assignment(storage::ChunkId chunk) {
+storage::StoreId MasterNode::assigned_store(storage::ChunkId chunk) const {
+  if (const auto it = assigned_store_.find(chunk); it != assigned_store_.end()) {
+    return it->second;
+  }
+  return ctx_.layout.store_of(chunk);
+}
+
+void MasterNode::account_assignment(storage::ChunkId chunk, storage::StoreId from) {
   const storage::ChunkInfo& info = ctx_.layout.chunk(chunk);
-  const storage::StoreId from = ctx_.layout.store_of(chunk);
   if (from == preferred_store_) {
     ++ctx_.recorder.jobs_local[site_];
     ctx_.recorder.bytes_local[site_] += info.bytes;
@@ -419,7 +438,7 @@ void MasterNode::account_assignment(storage::ChunkId chunk) {
 
 void MasterNode::account_return(storage::ChunkId chunk) {
   const storage::ChunkInfo& info = ctx_.layout.chunk(chunk);
-  const storage::StoreId from = ctx_.layout.store_of(chunk);
+  const storage::StoreId from = assigned_store(chunk);
   if (from == preferred_store_) {
     --ctx_.recorder.jobs_local[site_];
     ctx_.recorder.bytes_local[site_] -= info.bytes;

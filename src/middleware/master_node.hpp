@@ -69,10 +69,13 @@ class MasterNode {
   void serve_waiting();
   void assign_to(net::EndpointId slave);
   void push_assign(storage::ChunkId chunk, net::EndpointId slave);
-  void account_assignment(storage::ChunkId chunk);
+  void account_assignment(storage::ChunkId chunk, storage::StoreId from);
   /// Reverse account_assignment for a chunk a draining slave handed back
   /// before fetching anything (its re-assignment will account it again).
   void account_return(storage::ChunkId chunk);
+  /// Store this master charged the chunk's assignment to: the replica the
+  /// ReplicaSet resolved at assignment time, or the layout primary.
+  storage::StoreId assigned_store(storage::ChunkId chunk) const;
   void merge_slave_robj(const Message& msg);
   void maybe_commit();
   void checkpoint_tick();
@@ -113,6 +116,11 @@ class MasterNode {
   /// that continues a slave's sequential position so the storage node sees
   /// sequential reads ("compute units sequentially read jobs from files").
   std::map<net::EndpointId, std::pair<storage::FileId, std::uint32_t>> last_read_;
+
+  /// Replication only: replica store each chunk's latest assignment resolved
+  /// to (account_return must reverse the same store the assignment charged).
+  /// Empty without a ReplicaSet attached.
+  std::map<storage::ChunkId, storage::StoreId> assigned_store_;
 
   // --- direct-mode / fault-tolerance bookkeeping ----------------------------
   std::set<net::EndpointId> dead_;

@@ -51,6 +51,11 @@ struct Message {
   // AssignJob
   storage::ChunkId chunk = 0;
 
+  /// AssignJob under replication: the replica store the master resolved for
+  /// this chunk (kInvalidStore = read the layout primary). Out of band like
+  /// `job` — the charged wire size does not change.
+  storage::StoreId store = storage::kInvalidStore;
+
   // BatchRequest: jobs wanted. RobjRequest/SlaveRobj: checkpoint round id
   // (the slave echoes it so the master can tell a commit-round robj from a
   // periodic-checkpoint robj).

@@ -19,6 +19,7 @@
 #include "middleware/run_result.hpp"
 #include "middleware/scheduler.hpp"
 #include "net/messaging.hpp"
+#include "replica/replica_set.hpp"
 #include "storage/retry.hpp"
 #include "trace/trace.hpp"
 
@@ -186,6 +187,14 @@ struct RunOptions {
   /// default) keeps every fetch on the store path — paper-fidelity runs are
   /// byte-identical with no fleet attached.
   cache::CacheFleet* cache = nullptr;
+
+  /// Optional chunk replication (owned by the caller, like the cache fleet,
+  /// so replica state survives iterative passes and is shareable across a
+  /// workload's jobs). When set, masters/slaves/prefetchers resolve chunk
+  /// reads through the ReplicaSet's cheapest live replica, failed GETs mark
+  /// copies lost, and a background repair actor re-replicates. nullptr (the
+  /// default) keeps the single-owner read path — byte-identical paper runs.
+  replica::ReplicaSet* replication = nullptr;
 };
 
 /// Mutable per-run recorder; actors write, the runtime aggregates.
@@ -236,6 +245,9 @@ struct RunRecorder {
   /// workload it is the per-job share the tenant cost attribution needs
   /// (the store's global counter aggregates every job).
   std::vector<std::vector<std::uint64_t>> store_fetch_requests;
+  /// Replication accounting (extra_replica_bytes stays empty here; the
+  /// runtime snapshots it from the ReplicaSet at collect time).
+  ReplicaStats replica;
   double end_time = 0.0;
   bool finished = false;
 
@@ -344,6 +356,13 @@ struct RunContext {
 
   des::Simulator& sim() { return platform.sim(); }
   double now_seconds() const { return des::to_seconds(platform.sim().now()); }
+
+  /// Store a reader at `site` should fetch `chunk` from: the layout primary,
+  /// or — with replication attached — the cheapest live replica right now.
+  storage::StoreId resolve_store(cluster::ClusterId site, storage::ChunkId chunk) const {
+    if (!options.replication) return layout.store_of(chunk);
+    return options.replication->resolve(chunk, site, now_seconds());
+  }
 
   void trace(trace::EventKind kind, const std::string& actor, std::uint64_t a = 0,
              std::uint64_t b = 0) {

@@ -31,6 +31,19 @@ struct LifecycleStats {
   std::uint64_t checkpoint_bytes = 0;   ///< wire bytes those flushes moved
 };
 
+/// Chunk-replication accounting: copies placed, lost to store faults, and
+/// re-created by the repair actor. All zero (and extra_replica_bytes empty)
+/// unless a ReplicaSet is attached via RunOptions::replication.
+struct ReplicaStats {
+  std::uint32_t replicas_created = 0;   ///< initial placement extra copies
+  std::uint32_t replicas_lost = 0;      ///< copies marked dead after failed GETs
+  std::uint32_t replicas_repaired = 0;  ///< repair transfers that landed
+  std::uint64_t repair_bytes = 0;       ///< wire bytes repair transfers moved
+  /// Live non-primary replica bytes per store at run end; the cost model
+  /// bills the cloud stores' entries as extra resident storage.
+  std::vector<std::uint64_t> extra_replica_bytes;
+};
+
 struct NodeTimes {
   std::string name;
   cluster::ClusterId cluster = 0;
@@ -117,6 +130,9 @@ struct RunResult {
 
   /// Node-lifecycle accounting (all zero with no lifecycle events).
   LifecycleStats lifecycle;
+
+  /// Chunk-replication accounting (all zero with no ReplicaSet attached).
+  ReplicaStats replica;
 
   /// Present when RunOptions carried a real task: the finalized global robj.
   api::RobjPtr robj;

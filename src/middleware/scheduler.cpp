@@ -6,8 +6,10 @@
 
 namespace cloudburst::middleware {
 
-JobPool::JobPool(const storage::DataLayout& layout, SchedulerPolicy policy)
-    : layout_(layout), policy_(policy), files_(layout.files().size()),
+JobPool::JobPool(const storage::DataLayout& layout, SchedulerPolicy policy,
+                 ReplicaView view)
+    : layout_(layout), policy_(policy), view_(std::move(view)),
+      files_(layout.files().size()),
       rng_(Rng::substream(policy.random_seed, 0x5c4ed)) {
   for (const auto& chunk : layout.chunks()) {
     files_[chunk.file].chunks.push_back(chunk.id);
@@ -50,25 +52,46 @@ void JobPool::take_from_file(storage::FileId file, std::uint32_t want,
   if (take > 0) ++state.readers;
 }
 
-storage::FileId JobPool::pick_remote_file(const std::vector<storage::FileId>& candidates) {
+storage::FileId JobPool::pick_remote_file(const std::vector<storage::FileId>& candidates,
+                                          storage::StoreId preferred) {
+  // "The remote jobs are chosen from files which the minimum number of
+  // nodes are currently processing."
+  auto min_contention = [&] {
+    storage::FileId best = candidates.front();
+    std::uint32_t best_readers = std::numeric_limits<std::uint32_t>::max();
+    for (storage::FileId f : candidates) {
+      if (files_[f].readers < best_readers) {
+        best_readers = files_[f].readers;
+        best = f;
+      }
+    }
+    return best;
+  };
   switch (policy_.remote_selection) {
     case RemoteSelection::Sequential:
       return candidates.front();
     case RemoteSelection::Random:
       return candidates[rng_.next_below(candidates.size())];
-    case RemoteSelection::MinContention: {
-      // "The remote jobs are chosen from files which the minimum number of
-      // nodes are currently processing."
+    case RemoteSelection::CheapestReplica: {
+      if (!view_.steal_cost) return min_contention();  // no replica view
+      // Cheapest reachable data first: rank files by the route cost of their
+      // next chunk's best live replica, then by contention, then file id.
       storage::FileId best = candidates.front();
+      double best_cost = std::numeric_limits<double>::max();
       std::uint32_t best_readers = std::numeric_limits<std::uint32_t>::max();
       for (storage::FileId f : candidates) {
-        if (files_[f].readers < best_readers) {
+        const double cost = view_.steal_cost(files_[f].chunks.front(), preferred);
+        if (cost < best_cost ||
+            (cost == best_cost && files_[f].readers < best_readers)) {
+          best_cost = cost;
           best_readers = files_[f].readers;
           best = f;
         }
       }
       return best;
     }
+    case RemoteSelection::MinContention:
+      return min_contention();
   }
   return candidates.front();
 }
@@ -122,7 +145,14 @@ std::vector<storage::ChunkId> JobPool::take_batch(
     for (std::size_t f = 0; f < files_.size(); ++f) {
       if (files_[f].chunks.empty()) continue;
       const storage::StoreId s = layout_.file(static_cast<storage::FileId>(f)).store;
-      if ((s == preferred) != on_preferred) continue;
+      // Replica-aware locality: a file whose next chunk has a live copy on
+      // the requester's preferred store reads locally even though its
+      // primary lives elsewhere (and costs no steal allowance).
+      bool local = s == preferred;
+      if (!local && view_.on_store) {
+        local = view_.on_store(files_[f].chunks.front(), preferred);
+      }
+      if (local != on_preferred) continue;
       if (!on_preferred && policy_.prefer_locality && stealable_from(s) == 0) continue;
       ids.push_back(static_cast<storage::FileId>(f));
     }
@@ -136,7 +166,7 @@ std::vector<storage::ChunkId> JobPool::take_batch(
       if (local_files.empty()) break;
       // Continue the file with the fewest readers among local files too; for
       // a single requesting cluster this degenerates to sequential files.
-      const storage::FileId file = pick_remote_file(local_files);
+      const storage::FileId file = pick_remote_file(local_files, preferred);
       const auto remaining_want = static_cast<std::uint32_t>(want - out.size());
       take_from_file(file, policy_.consecutive_batches ? remaining_want : 1, out);
     }
@@ -159,7 +189,7 @@ std::vector<storage::ChunkId> JobPool::take_batch(
         std::sort(candidates.begin(), candidates.end());
       }
       if (candidates.empty()) break;
-      const storage::FileId file = pick_remote_file(candidates);
+      const storage::FileId file = pick_remote_file(candidates, preferred);
       const storage::StoreId store = layout_.file(file).store;
       auto remaining_want = static_cast<std::uint32_t>(target - out.size());
       if (policy_.prefer_locality && store != preferred) {

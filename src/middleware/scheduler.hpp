@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -28,6 +29,11 @@ enum class RemoteSelection : std::uint8_t {
   MinContention,  ///< paper's heuristic
   Random,         ///< ablation baseline
   Sequential,     ///< lowest file id first
+  /// Replica-aware: steal from the file whose data is cheapest to reach —
+  /// WAN cost of the nearest live replica plus current fault/throttle
+  /// penalties. Requires RunOptions::replication; without a replica view it
+  /// falls back to MinContention.
+  CheapestReplica,
 };
 
 struct SchedulerPolicy {
@@ -52,7 +58,20 @@ struct SchedulerPolicy {
 /// store, plus per-file reader counts for the contention heuristic.
 class JobPool {
  public:
-  JobPool(const storage::DataLayout& layout, SchedulerPolicy policy);
+  /// Replica-awareness hooks, kept as bare functions so the scheduler stays
+  /// decoupled from the replica subsystem. Both null by default — the pool
+  /// then sees exactly the single-owner layout (byte-identical paper runs).
+  struct ReplicaView {
+    /// Does `store` hold a live copy of `chunk`? Files whose lead chunk has
+    /// a live replica on the requester's preferred store count as local.
+    std::function<bool(storage::ChunkId, storage::StoreId)> on_store;
+    /// Route cost of reading `chunk` for a requester preferring `store`
+    /// (RemoteSelection::CheapestReplica ranks steal candidates with this).
+    std::function<double(storage::ChunkId, storage::StoreId)> steal_cost;
+  };
+
+  JobPool(const storage::DataLayout& layout, SchedulerPolicy policy,
+          ReplicaView view = {});
 
   /// Select and remove up to `want` jobs for a requester whose preferred
   /// store is `preferred`. Jobs from non-preferred stores are only returned
@@ -84,8 +103,10 @@ class JobPool {
     std::uint32_t readers = 0;            ///< batches handed out from this file
   };
 
-  /// Pick the file to draw non-preferred ("stolen") jobs from.
-  storage::FileId pick_remote_file(const std::vector<storage::FileId>& candidates);
+  /// Pick the file to draw non-preferred ("stolen") jobs from, for a
+  /// requester preferring `preferred`.
+  storage::FileId pick_remote_file(const std::vector<storage::FileId>& candidates,
+                                   storage::StoreId preferred);
 
   /// Take up to `want` chunks from one file (front = lowest index).
   void take_from_file(storage::FileId file, std::uint32_t want,
@@ -93,6 +114,7 @@ class JobPool {
 
   const storage::DataLayout& layout_;
   SchedulerPolicy policy_;
+  ReplicaView view_;
   std::vector<FileState> files_;
   std::uint64_t remaining_ = 0;
   Rng rng_;

@@ -65,7 +65,7 @@ void SlaveNode::handle(net::EndpointId from, Message msg) {
         maybe_vacate();
         break;
       }
-      on_assigned(msg.chunk);
+      on_assigned(msg.chunk, msg.store);
       break;
     case MsgType::NoMoreJobs:
       if (outstanding_requests_ > 0) --outstanding_requests_;
@@ -87,17 +87,49 @@ void SlaveNode::handle(net::EndpointId from, Message msg) {
   }
 }
 
-void SlaveNode::on_assigned(storage::ChunkId chunk) {
+void SlaveNode::on_assigned(storage::ChunkId chunk, storage::StoreId store) {
   if (active_jobs_ == 0 && !processing_) {
     // Leaving idle: account the time spent waiting for the assignment.
     stats().wait += ctx_.now_seconds() - idle_since_;
   }
   ++active_jobs_;
+  if (store != storage::kInvalidStore) assigned_store_[chunk] = store;
   top_up_requests();
   ctx_.trace(trace::EventKind::JobAssigned, node_.name, chunk);
   fetch_start_[chunk] = ctx_.now_seconds();
-  ctx_.trace(trace::EventKind::FetchStart, node_.name, chunk, ctx_.layout.store_of(chunk));
+  ctx_.trace(trace::EventKind::FetchStart, node_.name, chunk, fetch_store(chunk));
   begin_fetch(chunk);
+}
+
+storage::StoreId SlaveNode::fetch_store(storage::ChunkId chunk) const {
+  if (const auto it = assigned_store_.find(chunk); it != assigned_store_.end()) {
+    return it->second;
+  }
+  return ctx_.layout.store_of(chunk);
+}
+
+void SlaveNode::reassign_store(storage::ChunkId chunk, storage::StoreId from,
+                               storage::StoreId to) {
+  assigned_store_[chunk] = to;
+  const storage::ChunkInfo& info = ctx_.layout.chunk(chunk);
+  auto& rec = ctx_.recorder;
+  rec.bytes_from_store[node_.cluster][from] -= info.bytes;
+  rec.bytes_from_store[node_.cluster][to] += info.bytes;
+  const storage::StoreId preferred = ctx_.platform.store_of_cluster(node_.cluster);
+  const bool was_local = from == preferred;
+  const bool is_local = to == preferred;
+  if (was_local == is_local) return;
+  if (is_local) {
+    ++rec.jobs_local[node_.cluster];
+    rec.bytes_local[node_.cluster] += info.bytes;
+    --rec.jobs_stolen[node_.cluster];
+    rec.bytes_stolen[node_.cluster] -= info.bytes;
+  } else {
+    --rec.jobs_local[node_.cluster];
+    rec.bytes_local[node_.cluster] -= info.bytes;
+    ++rec.jobs_stolen[node_.cluster];
+    rec.bytes_stolen[node_.cluster] += info.bytes;
+  }
 }
 
 void SlaveNode::begin_fetch(storage::ChunkId chunk) {
@@ -107,7 +139,7 @@ void SlaveNode::begin_fetch(storage::ChunkId chunk) {
   // processing phase.
   const double ratio = std::max(1.0, ctx_.options.profile.compression_ratio);
   info.bytes = static_cast<std::uint64_t>(static_cast<double>(info.bytes) / ratio);
-  const storage::StoreId store_id = ctx_.layout.store_of(chunk);
+  const storage::StoreId store_id = fetch_store(chunk);
 
   if (cache::ChunkCache* cache = ctx_.site_cache(node_.cluster, store_id)) {
     cache::Prefetcher* pf = ctx_.prefetcher(node_.cluster);
@@ -118,6 +150,7 @@ void SlaveNode::begin_fetch(storage::ChunkId chunk) {
       ++ctx_.recorder.cache_hits[node_.cluster];
       ctx_.recorder.bytes_from_cache[node_.cluster][store_id] += full_bytes;
       ctx_.trace(trace::EventKind::CacheHit, node_.name, chunk, info.bytes);
+      if (ctx_.options.replication) ctx_.options.replication->record_hit(chunk);
       if (pf) pf->mark_consumed(chunk);
       const cache::CacheConfig& cfg = ctx_.options.cache->config();
       const double delay = cfg.hit_latency_seconds +
@@ -143,6 +176,7 @@ void SlaveNode::begin_fetch(storage::ChunkId chunk) {
                      ++ctx_.recorder.cache_hits[node_.cluster];
                      ctx_.recorder.bytes_from_cache[node_.cluster][store_id] += full_bytes;
                      ctx_.trace(trace::EventKind::CacheHit, node_.name, chunk, wire_bytes);
+                     if (ctx_.options.replication) ctx_.options.replication->record_hit(chunk);
                      pf->mark_consumed(chunk);
                      on_fetched(chunk);
                    });
@@ -165,11 +199,16 @@ void SlaveNode::fetch_from_store(storage::ChunkId chunk, const storage::ChunkInf
   storage::fetch_with_retry(
       ctx_.sim(), store, node_.endpoint, wire, ctx_.options.retrieval_streams,
       ctx_.options.retry, ctx_.retry_hooks(node_.cluster, node_.name, chunk, store_id),
-      [this, chunk, cache, resident](const storage::FetchResult& r) {
+      [this, chunk, store_id, cache, resident](const storage::FetchResult& r) {
         if (!alive_) return;
         if (!r.ok) {
           on_fetch_failed(chunk);
           return;
+        }
+        if (ctx_.options.replication) {
+          // The copy demonstrably exists — revive it if a previous failure
+          // had marked it lost.
+          ctx_.options.replication->note_fetch_ok(chunk, store_id);
         }
         if (cache) {
           const auto result = cache->insert(chunk, resident);
@@ -186,6 +225,18 @@ void SlaveNode::on_fetch_failed(storage::ChunkId chunk) {
   // the policy's attempts are exhausted, take one maximal backoff and re-open
   // a whole new fetch cycle (which also re-checks the site cache — another
   // slave's copy may have landed meanwhile).
+  if (replica::ReplicaSet* rs = ctx_.options.replication) {
+    // Replica failover: write the copy off, then re-route the retry cycle to
+    // the cheapest surviving replica instead of hammering the failed store.
+    const storage::StoreId failed = fetch_store(chunk);
+    const double now = ctx_.now_seconds();
+    if (rs->mark_lost(chunk, failed, now)) {
+      ++ctx_.recorder.replica.replicas_lost;
+      ctx_.trace(trace::EventKind::ReplicaLost, node_.name, chunk, failed);
+    }
+    const storage::StoreId next = rs->resolve(chunk, node_.cluster, now);
+    if (next != failed) reassign_store(chunk, failed, next);
+  }
   const storage::RetryPolicy& p = ctx_.options.retry;
   double delay = std::max(p.backoff_base_seconds, 1e-3);
   for (unsigned k = 1; k < p.max_attempts; ++k) delay *= p.backoff_multiplier;
@@ -262,6 +313,7 @@ void SlaveNode::on_processed(storage::ChunkId chunk, double duration) {
   ctx_.trace(trace::EventKind::ProcessEnd, node_.name, chunk);
   processing_ = false;
   --active_jobs_;
+  assigned_store_.erase(chunk);
   stats().processing += duration;
   stats().finish_time = ctx_.now_seconds();
   ++stats().jobs;

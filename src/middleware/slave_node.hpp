@@ -71,7 +71,7 @@ class SlaveNode {
 
  private:
   void top_up_requests();
-  void on_assigned(storage::ChunkId chunk);
+  void on_assigned(storage::ChunkId chunk, storage::StoreId store);
   /// Resolve one fetch: site cache hit, in-flight prefetch join, or a
   /// (possibly retrying) store fetch. Re-entered when a joined prefetch or a
   /// whole retry cycle permanently fails — an assigned chunk must complete.
@@ -84,6 +84,14 @@ class SlaveNode {
   /// Every attempt of a retry cycle failed: back off once more, then re-open
   /// a fresh cycle (the simulation cannot drop assigned work).
   void on_fetch_failed(storage::ChunkId chunk);
+  /// Store this slave will fetch `chunk` from: the replica store the master
+  /// resolved at assignment (or re-resolved after a failure), else the
+  /// layout primary.
+  storage::StoreId fetch_store(storage::ChunkId chunk) const;
+  /// Replication failover: the chunk's read moves from `from` to `to` —
+  /// re-point the assignment accounting the master charged to `from`.
+  void reassign_store(storage::ChunkId chunk, storage::StoreId from,
+                      storage::StoreId to);
   void on_fetched(storage::ChunkId chunk);
   /// Gate on the CPU (and, under a workload, the node's core slot); pops the
   /// ready queue into start_processing() once the slot is ours.
@@ -125,6 +133,9 @@ class SlaveNode {
   double idle_since_ = 0.0;
   std::deque<storage::ChunkId> ready_;                       ///< fetched, awaiting CPU
   std::unordered_map<storage::ChunkId, double> fetch_start_; ///< per-chunk timer
+  /// Replication only: replica store each assigned chunk reads from (empty
+  /// without a ReplicaSet — the layout primary is implied).
+  std::unordered_map<storage::ChunkId, storage::StoreId> assigned_store_;
 
   api::RobjPtr robj_;  ///< real-execution accumulator (may be null)
 };

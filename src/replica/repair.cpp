@@ -1,0 +1,36 @@
+#include "replica/repair.hpp"
+
+#include <utility>
+
+namespace cloudburst::replica {
+
+RepairActor::RepairActor(ReplicaSet& set, Env env)
+    : set_(set), env_(std::move(env)) {}
+
+void RepairActor::start() {
+  env_.schedule(set_.config().repair_interval_seconds, [this] { tick(); });
+}
+
+void RepairActor::tick() {
+  if (env_.stopped()) return;  // no reschedule: lets the event queue drain
+  const unsigned budget = set_.config().repair_concurrency;
+  if (inflight_ < budget) {
+    const double now = env_.now();
+    for (const ReplicaSet::RepairTask& task :
+         set_.plan_repairs(budget - inflight_, now)) {
+      ++inflight_;
+      ++started_;
+      env_.transfer(task, [this, task](bool ok) {
+        --inflight_;
+        set_.repair_done(task, ok, env_.now());
+        if (ok) {
+          if (env_.trace) env_.trace(trace::EventKind::ReplicaRepaired, task.chunk, task.dst);
+          if (env_.on_repaired) env_.on_repaired(task);
+        }
+      });
+    }
+  }
+  env_.schedule(set_.config().repair_interval_seconds, [this] { tick(); });
+}
+
+}  // namespace cloudburst::replica

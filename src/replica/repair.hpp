@@ -1,0 +1,54 @@
+// Background replica repair actor.
+//
+// Periodically asks its ReplicaSet for under-replicated chunks and runs the
+// store-to-store transfers that bring them back to target copy count —
+// Sector's replica maintenance daemon, scaled down to one actor per run. The
+// actor is environment-injected like the prefetcher: the middleware binds
+// `transfer` to a fetch_with_retry from the source store to the destination
+// store's endpoint (so repair traffic rides the same WAN flows, fault model,
+// and egress accounting as any other read) and `stopped` to the run's
+// finished flag, which is what terminates the tick loop — an unguarded
+// periodic event would keep the DES queue alive forever.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "replica/replica_set.hpp"
+#include "trace/trace.hpp"
+
+namespace cloudburst::replica {
+
+class RepairActor {
+ public:
+  struct Env {
+    std::function<double()> now;
+    /// schedule(delay_seconds, fn): run fn after the delay.
+    std::function<void(double, std::function<void()>)> schedule;
+    /// Run is over — stop rescheduling, ignore late completions' planning.
+    std::function<bool()> stopped;
+    /// Copy task.chunk from task.src to task.dst; done(ok) when settled.
+    std::function<void(const ReplicaSet::RepairTask&, std::function<void(bool)>)> transfer;
+    /// trace(kind, a, b) — ReplicaRepaired events.
+    std::function<void(trace::EventKind, std::uint64_t, std::uint64_t)> trace;
+    /// Successful repair landed (accounting hook).
+    std::function<void(const ReplicaSet::RepairTask&)> on_repaired;
+  };
+
+  RepairActor(ReplicaSet& set, Env env);
+
+  /// Schedule the first scan one repair interval from now.
+  void start();
+
+  std::uint32_t transfers_started() const { return started_; }
+
+ private:
+  void tick();
+
+  ReplicaSet& set_;
+  Env env_;
+  unsigned inflight_ = 0;
+  std::uint32_t started_ = 0;
+};
+
+}  // namespace cloudburst::replica

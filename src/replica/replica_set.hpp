@@ -1,0 +1,200 @@
+// Chunk replication over the platform's stores.
+//
+// The paper's middleware reads every chunk from the single store that owns
+// its file; a remote read always crosses the WAN to that one store, and a
+// store fault stalls the read until retries succeed. Sector/Sphere showed
+// that a data cloud gets fast by replicating segments across the wide area
+// and steering reads to the nearest replica. A ReplicaSet brings that to the
+// simulated platform:
+//
+//  * k-way placement over the existing stores, pluggable policy —
+//    cross-site spread (fault isolation), same-site (cheap repair, no WAN
+//    diversity), or hot-chunk-only (extra copies earned by cache/prefetch
+//    hit counts instead of paid up front);
+//  * a route oracle: resolve(chunk, reader site, now) picks the cheapest
+//    *live* replica by WAN cost, penalizing stores inside a throttle window,
+//    with a configured failure probability, or recently implicated in a
+//    fault ("suspect");
+//  * replica health: failed GETs mark a copy lost, successful ones revive
+//    it, and plan_repairs() hands a background repair actor the transfers
+//    that bring every chunk back to its target copy count.
+//
+// The set is caller-owned and survives platform rebuilds (iterative runs):
+// attach() builds placement on first use and re-targets the platform pointer
+// afterwards, keeping lost/hot/suspect state across passes. Nothing here is
+// reachable unless RunOptions::replication points at an instance, so default
+// runs stay byte-identical to the paper model.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "storage/data_layout.hpp"
+
+namespace cloudburst::replica {
+
+enum class PlacementPolicy : std::uint8_t {
+  /// Extra copies on the stores cheapest to reach from the primary's site.
+  /// With one store per site this degenerates to the nearest *other* sites,
+  /// ordered by WAN cost — "same-site" names the intent (replicas cluster
+  /// around the primary), not a literal co-located copy.
+  SameSite,
+  /// Extra copies spread deterministically across the other sites' stores,
+  /// maximizing the chance a reader finds a replica off the faulted path.
+  CrossSite,
+  /// No extra copies up front; a chunk earns its k copies once cache /
+  /// prefetch hits promote it to "hot" (record_hit reaches hot_threshold),
+  /// after which the repair actor replicates it like any under-replicated
+  /// chunk. Placement of earned copies follows the CrossSite spread.
+  HotChunk,
+};
+
+const char* to_string(PlacementPolicy policy);
+
+struct ReplicationConfig {
+  /// Target copies per chunk, primary included; clamped to the store count.
+  /// k = 1 keeps only primaries (useful as the sweep baseline).
+  unsigned replication_factor = 2;
+  PlacementPolicy placement = PlacementPolicy::CrossSite;
+
+  /// HotChunk: cache/prefetch hits on a chunk before it is promoted to the
+  /// full replication_factor.
+  unsigned hot_threshold = 2;
+
+  /// Background repair actor: scan cadence and transfers in flight at once.
+  double repair_interval_seconds = 5.0;
+  unsigned repair_concurrency = 2;
+
+  /// How long a store implicated in a fault (failed GET, lifecycle loss on
+  /// its site) is penalized by the route oracle.
+  double suspect_seconds = 120.0;
+};
+
+class ReplicaSet {
+ public:
+  explicit ReplicaSet(ReplicationConfig config = {});
+
+  /// Bind to a built platform. First call derives placement and the WAN cost
+  /// matrix from the layout/spec; later calls (iterative passes, workload
+  /// jobs sharing the set) only re-point the platform and must present the
+  /// same dataset geometry. Throws std::invalid_argument on mismatch.
+  void attach(const storage::DataLayout& layout, const cluster::Platform& platform);
+  bool built() const { return built_; }
+  const ReplicationConfig& config() const { return config_; }
+
+  /// (chunk, store) pairs of the non-primary copies created by the initial
+  /// placement — the ReplicaCreated trace feed.
+  const std::vector<std::pair<storage::ChunkId, storage::StoreId>>& initial_extras() const {
+    return initial_extras_;
+  }
+
+  // --- routing --------------------------------------------------------------
+
+  /// Cheapest live replica for a reader at `reader_site`, by WAN transfer
+  /// cost plus fault/throttle/suspect penalties at time `now`. Falls back to
+  /// the primary when every copy is marked lost (the caller's retry loop
+  /// deals with the store as it finds it). Ties break to the lowest store id.
+  storage::StoreId resolve(storage::ChunkId chunk, cluster::ClusterId reader_site,
+                           double now) const;
+
+  /// The score resolve() minimizes, for the chosen replica — the scheduler's
+  /// CheapestReplica policy ranks candidate steals with this.
+  double route_cost(storage::ChunkId chunk, cluster::ClusterId reader_site,
+                    double now) const;
+
+  /// True when `store` holds a live copy of `chunk`.
+  bool is_live(storage::ChunkId chunk, storage::StoreId store) const;
+
+  // --- replica health -------------------------------------------------------
+
+  /// A GET against `store` failed past retry: mark that copy lost and the
+  /// store suspect. Returns true when the copy was live until now (callers
+  /// trace ReplicaLost exactly once per transition).
+  bool mark_lost(storage::ChunkId chunk, storage::StoreId store, double now);
+
+  /// A GET against `store` delivered: revive the copy if a transient fault
+  /// had it marked lost.
+  void note_fetch_ok(storage::ChunkId chunk, storage::StoreId store);
+
+  /// Penalize a store (or a site's affinity store) in routing for
+  /// config().suspect_seconds — lifecycle losses route around the site.
+  void mark_store_suspect(storage::StoreId store, double now);
+  void mark_site_suspect(cluster::ClusterId site, double now);
+
+  /// Cache/prefetch hit on `chunk` (HotChunk promotion input; no-op for the
+  /// other policies).
+  void record_hit(storage::ChunkId chunk);
+
+  /// Copies this chunk should have right now (HotChunk: 1 until promoted).
+  unsigned target_copies(storage::ChunkId chunk) const;
+
+  // --- repair ---------------------------------------------------------------
+
+  struct RepairTask {
+    storage::ChunkId chunk = 0;
+    storage::StoreId src = storage::kInvalidStore;
+    storage::StoreId dst = storage::kInvalidStore;
+  };
+
+  /// Up to `max_tasks` transfers that raise under-replicated chunks toward
+  /// their target copy count, lowest chunk id first. Planned chunks are
+  /// marked in-flight until repair_done() so overlapping planners (one per
+  /// concurrent job sharing the set) never duplicate a transfer.
+  std::vector<RepairTask> plan_repairs(std::size_t max_tasks, double now);
+
+  /// Settle a planned transfer; ok installs a live copy at task.dst.
+  void repair_done(const RepairTask& task, bool ok, double now);
+
+  // --- accounting -----------------------------------------------------------
+
+  /// Live non-primary replica bytes per store id — the storage the cost
+  /// model bills on top of the layout's resident bytes.
+  std::vector<std::uint64_t> extra_bytes_per_store() const;
+
+  std::uint32_t replicas_created() const { return created_; }
+  std::uint32_t replicas_lost() const { return lost_; }
+  std::uint32_t replicas_repaired() const { return repaired_; }
+  std::size_t store_count() const { return store_sites_.size(); }
+
+ private:
+  struct ChunkState {
+    /// Replica locations; index 0 is the layout primary.
+    std::vector<storage::StoreId> stores;
+    std::vector<bool> live;
+    std::uint32_t hits = 0;
+    bool hot = false;
+    bool repair_pending = false;
+  };
+
+  void build(const storage::DataLayout& layout, const cluster::Platform& platform);
+  double pair_cost_seconds(const cluster::PlatformSpec& spec, cluster::ClusterId a,
+                           cluster::ClusterId b) const;
+  /// Routing score of reading `chunk`'s copy on `store` from `reader_site`.
+  double store_score(storage::StoreId store, cluster::ClusterId reader_site,
+                     double now) const;
+  /// CrossSite/HotChunk spread target for copy j of chunk c.
+  storage::StoreId spread_store(storage::ChunkId chunk, storage::StoreId primary,
+                                unsigned copy_index) const;
+  storage::StoreId pick_repair_destination(const ChunkState& state,
+                                           storage::ChunkId chunk, double now) const;
+  unsigned live_count(const ChunkState& state) const;
+
+  ReplicationConfig config_;
+  bool built_ = false;
+  const cluster::Platform* platform_ = nullptr;
+
+  std::vector<ChunkState> chunks_;
+  std::vector<std::uint64_t> chunk_bytes_;          ///< full (uncompressed) bytes
+  std::vector<cluster::ClusterId> store_sites_;     ///< owning site per store
+  std::vector<std::vector<double>> wan_cost_;       ///< [site][site] ref-transfer seconds
+  std::vector<double> suspect_until_;               ///< per store
+  std::vector<std::pair<storage::ChunkId, storage::StoreId>> initial_extras_;
+
+  std::uint32_t created_ = 0;
+  std::uint32_t lost_ = 0;
+  std::uint32_t repaired_ = 0;
+};
+
+}  // namespace cloudburst::replica

@@ -33,6 +33,12 @@ struct FaultProfile {
   double hang_seconds = 0.0;
 
   /// A degraded-service period (overload, SlowDown storm).
+  ///
+  /// Window membership is half-open — [begin_seconds, end_seconds): a GET
+  /// issued exactly at begin_seconds is throttled, one issued exactly at
+  /// end_seconds is not (ObjectStore tests `now >= begin && now < end`).
+  /// Callers aligning windows to other events rely on this; it is pinned by
+  /// ObjectStoreFaults.ThrottleWindowBoundaryIsHalfOpen.
   struct Throttle {
     double begin_seconds = 0.0;
     double end_seconds = 0.0;

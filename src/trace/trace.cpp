@@ -39,6 +39,9 @@ const char* to_string(EventKind kind) {
     case EventKind::NodeReclaimed: return "NodeReclaimed";
     case EventKind::CheckpointFlushed: return "CheckpointFlushed";
     case EventKind::JobMigrated: return "JobMigrated";
+    case EventKind::ReplicaCreated: return "ReplicaCreated";
+    case EventKind::ReplicaLost: return "ReplicaLost";
+    case EventKind::ReplicaRepaired: return "ReplicaRepaired";
   }
   return "?";
 }
@@ -124,6 +127,9 @@ std::string Tracer::render_gantt(std::size_t width) const {
       case EventKind::NodeVacated: rows[e.actor].lifecycle.emplace_back(e.t, 'v'); break;
       case EventKind::NodeReclaimed: rows[e.actor].lifecycle.emplace_back(e.t, 'R'); break;
       case EventKind::JobMigrated: rows[e.actor].lifecycle.emplace_back(e.t, 'M'); break;
+      case EventKind::ReplicaCreated: rows[e.actor].lifecycle.emplace_back(e.t, '+'); break;
+      case EventKind::ReplicaLost: rows[e.actor].lifecycle.emplace_back(e.t, '~'); break;
+      case EventKind::ReplicaRepaired: rows[e.actor].lifecycle.emplace_back(e.t, 'r'); break;
       case EventKind::JobFinished: {
         auto& row = rows[e.actor];
         const auto it = row.open_run.find(e.a);
@@ -162,7 +168,7 @@ std::string Tracer::render_gantt(std::size_t width) const {
   out += header;
   for (const auto& [actor, row] : rows) {
     if (row.fetch.empty() && row.cache_fetch.empty() && row.process.empty() &&
-        row.queued.empty() && row.running.empty()) {
+        row.queued.empty() && row.running.empty() && row.lifecycle.empty()) {
       continue;
     }
     std::string bar(width, '.');

@@ -49,6 +49,10 @@ enum class EventKind : std::uint8_t {
   NodeReclaimed,       ///< actor = slave (hard-killed at the reclaim deadline)
   CheckpointFlushed,   ///< actor = master, a = chunks newly protected, b = robj bytes
   JobMigrated,         ///< actor = replacement slave, a = site of the lost node
+  // Chunk replication (actor = "replica" or the fetching actor):
+  ReplicaCreated,      ///< a = chunk id, b = store id (initial placement copy)
+  ReplicaLost,         ///< a = chunk id, b = store id (copy marked dead)
+  ReplicaRepaired,     ///< a = chunk id, b = store id (repair transfer landed)
 };
 
 const char* to_string(EventKind kind);
@@ -81,6 +85,8 @@ class Tracer {
   /// preemption hit this bin); per-job actor prefixes ("job/node") give each
   /// job its own node lanes. Node-lifecycle markers outrank everything:
   /// 'D' drain requested, 'v' vacated, 'R' hard reclaim, 'M' migration lease.
+  /// Replication marks share that rank: '+' replica created, '~' replica
+  /// lost, 'r' replica repaired.
   std::string render_gantt(std::size_t width = 80) const;
 
  private:

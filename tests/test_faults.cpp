@@ -149,6 +149,41 @@ TEST(ObjectStoreFaults, ThrottleWindowDegradesBandwidth) {
   EXPECT_EQ(store.stats().throttled, 1u);       // second GET was outside
 }
 
+// The window is half-open [begin, end): a GET issued exactly at the begin
+// tick is throttled, one issued exactly at the end tick runs at full speed.
+// Schedulers and replica route oracles align decisions to these edges, so the
+// convention is pinned here (and documented on FaultProfile::Throttle).
+TEST(ObjectStoreFaults, ThrottleWindowBoundaryIsHalfOpen) {
+  storage::FaultProfile fault;
+  fault.throttles.push_back({/*begin=*/5.0, /*end=*/10.0,
+                             /*bandwidth_factor=*/0.25, /*fail=*/0.0});
+  FaultStoreRig rig(1e9);
+  ObjectStore store(1, rig.sim, rig.net, rig.store_ep,
+                    ObjectStore::Params{0, /*per_connection=*/1e6, fault});
+
+  double at_begin = -1;
+  rig.sim.schedule(from_seconds(5.0), [&] {
+    store.fetch(rig.reader, make_chunk(0, 1'000'000), 1, [&](const FetchResult& r) {
+      EXPECT_TRUE(r.ok);
+      at_begin = des::to_seconds(rig.sim.now());
+    });
+  });
+  rig.sim.run();
+  EXPECT_NEAR(at_begin - 5.0, 4.0, 1e-6);  // t == begin: inside, 0.25 MB/s
+  EXPECT_EQ(store.stats().throttled, 1u);
+
+  double at_end = -1;
+  rig.sim.schedule(from_seconds(10.0 - des::to_seconds(rig.sim.now())), [&] {
+    store.fetch(rig.reader, make_chunk(1, 1'000'000), 1, [&](const FetchResult& r) {
+      EXPECT_TRUE(r.ok);
+      at_end = des::to_seconds(rig.sim.now());
+    });
+  });
+  rig.sim.run();
+  EXPECT_NEAR(at_end - 10.0, 1.0, 1e-6);  // t == end: outside, full 1 MB/s
+  EXPECT_EQ(store.stats().throttled, 1u);  // the end-tick GET was not counted
+}
+
 TEST(ObjectStoreFaults, HungGetBalloonsLatency) {
   storage::FaultProfile fault;
   fault.hang_probability = 1.0;
@@ -338,6 +373,13 @@ TEST(PaperFidelity, DefaultFaultModelKeepsPaperRunsByteIdentical) {
     EXPECT_EQ(result.lifecycle.nodes_crashed, 0u);
     EXPECT_EQ(result.lifecycle.replacements_leased, 0u);
     EXPECT_TRUE(result.cloud_instance_ends.empty());
+    // Replication defaults off (RunOptions::replication == nullptr): no
+    // copies created, lost, or repaired, and no replica storage billed.
+    EXPECT_EQ(result.replica.replicas_created, 0u);
+    EXPECT_EQ(result.replica.replicas_lost, 0u);
+    EXPECT_EQ(result.replica.replicas_repaired, 0u);
+    EXPECT_EQ(result.replica.repair_bytes, 0u);
+    EXPECT_TRUE(result.replica.extra_replica_bytes.empty());
   }
 }
 

@@ -3,18 +3,21 @@
 
 Usage:
     tools/check_bench_regression.py CURRENT.json BASELINE.json \
-        [--max-regression 0.15] [--update]
+        [--max-regression 0.15] [--max-rss-growth 0.25] [--update]
 
 Compares the events/sec reported by bench/perf_engine (BENCH_engine.json)
 against the committed baseline and exits non-zero when throughput dropped by
-more than --max-regression (default 15%). Deterministic fields (event count,
-simulated makespan, workload shape) are compared too: a mismatch there means
-the kernel's behavior changed, which is reported as a warning so intentional
-behavior changes can update the baseline (--update rewrites it in place).
+more than --max-regression (default 15%). Peak RSS is gated the same way:
+growth beyond --max-rss-growth (default 25%) fails, catching allocation
+regressions (per-event heap churn, unbounded queues) that throughput alone
+can hide. Deterministic fields (event count, simulated makespan, workload
+shape) are compared too: a mismatch there means the kernel's behavior
+changed, which is reported as a warning so intentional behavior changes can
+update the baseline (--update rewrites it in place).
 
 Wall-clock throughput varies across hosts; the gate is meant to catch real
 hot-path regressions (allocation churn, O(F^2) rebalances creeping back),
-not scheduler noise — hence the generous default threshold.
+not scheduler noise — hence the generous default thresholds.
 """
 
 import argparse
@@ -41,6 +44,8 @@ def main() -> int:
     parser.add_argument("baseline", help="committed baseline JSON")
     parser.add_argument("--max-regression", type=float, default=0.15,
                         help="allowed fractional events/sec drop (default 0.15)")
+    parser.add_argument("--max-rss-growth", type=float, default=0.25,
+                        help="allowed fractional peak-RSS growth (default 0.25)")
     parser.add_argument("--update", action="store_true",
                         help="overwrite the baseline with the current result")
     args = parser.parse_args()
@@ -65,14 +70,31 @@ def main() -> int:
     print(f"events/sec: baseline {base_eps:,.0f} -> current {cur_eps:,.0f} "
           f"({change:+.1%})")
 
+    # Older baselines predate the peak_rss_bytes field; gate only when both
+    # sides report it so refreshing the baseline is never a prerequisite.
+    rss_growth = None
+    base_rss = baseline.get("peak_rss_bytes")
+    cur_rss = current.get("peak_rss_bytes")
+    if base_rss and cur_rss:
+        rss_growth = float(cur_rss) / float(base_rss) - 1.0
+        print(f"peak RSS: baseline {int(base_rss):,} B -> current "
+              f"{int(cur_rss):,} B ({rss_growth:+.1%})")
+
     if args.update:
         shutil.copyfile(args.current, args.baseline)
         print(f"baseline updated: {args.baseline}")
         return 0
 
+    failed = False
     if change < -args.max_regression:
         print(f"FAIL: events/sec regressed more than "
               f"{args.max_regression:.0%} vs committed baseline")
+        failed = True
+    if rss_growth is not None and rss_growth > args.max_rss_growth:
+        print(f"FAIL: peak RSS grew more than {args.max_rss_growth:.0%} "
+              f"vs committed baseline")
+        failed = True
+    if failed:
         return 1
     print("OK: within regression budget")
     return 0

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Tests for tools/check_bench_regression.py.
+
+Runs the gate as a subprocess against synthetic BENCH_engine.json pairs and
+asserts on exit codes and output, so what is tested is exactly what CI runs.
+Uses only the standard library (unittest) — invoke directly or via ctest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "check_bench_regression.py")
+
+
+def bench_json(events_per_sec, peak_rss_bytes=None, **overrides):
+    doc = {
+        "mode": "quick",
+        "seed": 42,
+        "fleet_nodes": 64,
+        "jobs": 4,
+        "chunks_total": 512,
+        "executed_events": 100000,
+        "sim_makespan_seconds": 123.456,
+        "events_per_sec": events_per_sec,
+    }
+    if peak_rss_bytes is not None:
+        doc["peak_rss_bytes"] = peak_rss_bytes
+    doc.update(overrides)
+    return doc
+
+
+class CheckBenchRegressionTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+
+    def _write(self, name, doc):
+        path = os.path.join(self._tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def _run(self, current, baseline, *extra_args):
+        cur = self._write("current.json", current)
+        base = self._write("baseline.json", baseline)
+        proc = subprocess.run(
+            [sys.executable, TOOL, cur, base, *extra_args],
+            capture_output=True, text=True)
+        return proc, base
+
+    def test_within_budget_passes(self):
+        rss = 64 << 20
+        proc, _ = self._run(bench_json(95000.0, rss), bench_json(100000.0, rss))
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("OK", proc.stdout)
+
+    def test_throughput_regression_fails(self):
+        proc, _ = self._run(bench_json(80000.0), bench_json(100000.0))
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("events/sec regressed", proc.stdout)
+
+    def test_rss_growth_beyond_25pct_fails(self):
+        proc, _ = self._run(bench_json(100000.0, 130 << 20),
+                            bench_json(100000.0, 100 << 20))
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("peak RSS grew", proc.stdout)
+
+    def test_rss_growth_within_25pct_passes(self):
+        proc, _ = self._run(bench_json(100000.0, 120 << 20),
+                            bench_json(100000.0, 100 << 20))
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_rss_threshold_is_configurable(self):
+        proc, _ = self._run(bench_json(100000.0, 110 << 20),
+                            bench_json(100000.0, 100 << 20),
+                            "--max-rss-growth", "0.05")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+
+    def test_missing_rss_in_baseline_skips_rss_gate(self):
+        # Baselines predating peak_rss_bytes must not force an update.
+        proc, _ = self._run(bench_json(100000.0, 500 << 20),
+                            bench_json(100000.0))
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertNotIn("peak RSS", proc.stdout)
+
+    def test_deterministic_drift_warns_but_passes(self):
+        proc, _ = self._run(bench_json(100000.0, executed_events=99999),
+                            bench_json(100000.0))
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("drifted", proc.stdout)
+
+    def test_update_rewrites_baseline_and_passes(self):
+        current = bench_json(50000.0, 300 << 20)
+        proc, base = self._run(current, bench_json(100000.0, 100 << 20),
+                               "--update")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        with open(base) as f:
+            self.assertEqual(json.load(f), current)
+
+    def test_nonpositive_baseline_throughput_errors(self):
+        proc, _ = self._run(bench_json(100000.0), bench_json(0.0))
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
