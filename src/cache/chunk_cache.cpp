@@ -13,11 +13,18 @@ const char* to_string(EvictionPolicy policy) {
   return "?";
 }
 
-storage::ChunkId ChunkCache::victim() const {
+bool ChunkCache::victim_for(std::uint32_t inserter, bool own_only,
+                            storage::ChunkId* out) const {
+  bool found = false;
   storage::ChunkId best_id = storage::ChunkId(0);
   std::uint64_t best_primary = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t best_secondary = std::numeric_limits<std::uint64_t>::max();
   for (const auto& [id, e] : entries_) {
+    if (own_only) {
+      if (e.owner != inserter) continue;
+    } else if (e.owner != inserter && budgets_.count(e.owner)) {
+      continue;  // another budgeted tenant's working set is off limits
+    }
     std::uint64_t primary = 0;
     std::uint64_t secondary = e.last_used;  // tie-break: least recently used
     switch (config_.policy) {
@@ -30,13 +37,26 @@ storage::ChunkId ChunkCache::victim() const {
       best_primary = primary;
       best_secondary = secondary;
       best_id = id;
+      found = true;
     }
   }
-  return best_id;
+  if (found) *out = best_id;
+  return found;
+}
+
+void ChunkCache::evict_entry(storage::ChunkId id, InsertResult& result) {
+  const auto it = entries_.find(id);
+  used_ -= it->second.bytes;
+  if (it->second.owner != kSharedOwner) {
+    owner_used_[it->second.owner] -= it->second.bytes;
+  }
+  result.evicted.emplace_back(id, it->second.bytes);
+  entries_.erase(it);
+  ++evictions_;
 }
 
 ChunkCache::InsertResult ChunkCache::insert(storage::ChunkId chunk, std::uint64_t bytes,
-                                            bool prefetched) {
+                                            bool prefetched, std::uint32_t owner) {
   InsertResult result;
   if (config_.capacity_bytes == 0) return result;
 
@@ -57,13 +77,24 @@ ChunkCache::InsertResult ChunkCache::insert(storage::ChunkId chunk, std::uint64_
     return result;
   }
 
+  // Per-tenant share: an owner over its budget evicts only itself.
+  const auto budget = budgets_.find(owner);
+  if (budget != budgets_.end()) {
+    if (bytes > budget->second) return result;
+    while (owner_bytes(owner) + bytes > budget->second) {
+      storage::ChunkId evictee;
+      if (!victim_for(owner, /*own_only=*/true, &evictee)) break;
+      evict_entry(evictee, result);
+    }
+  }
+
   while (used_ + bytes > config_.capacity_bytes) {
-    const storage::ChunkId evictee = victim();
-    const auto it = entries_.find(evictee);
-    used_ -= it->second.bytes;
-    result.evicted.emplace_back(evictee, it->second.bytes);
-    entries_.erase(it);
-    ++evictions_;
+    storage::ChunkId evictee;
+    if (!victim_for(owner, /*own_only=*/false, &evictee)) {
+      // Everything resident belongs to other budgeted tenants: not admitted.
+      return result;
+    }
+    evict_entry(evictee, result);
   }
 
   ++tick_;
@@ -73,8 +104,10 @@ ChunkCache::InsertResult ChunkCache::insert(storage::ChunkId chunk, std::uint64_
   e.last_used = tick_;
   e.inserted = tick_;
   e.prefetched = prefetched;
+  e.owner = owner;
   entries_.emplace(chunk, e);
   used_ += bytes;
+  if (owner != kSharedOwner) owner_used_[owner] += bytes;
   ++insertions_;
   result.admitted = true;
   return result;
@@ -97,19 +130,32 @@ bool ChunkCache::erase(storage::ChunkId chunk) {
   const auto it = entries_.find(chunk);
   if (it == entries_.end()) return false;
   used_ -= it->second.bytes;
+  if (it->second.owner != kSharedOwner) {
+    owner_used_[it->second.owner] -= it->second.bytes;
+  }
   entries_.erase(it);
   return true;
 }
 
 void ChunkCache::clear() {
   entries_.clear();
+  owner_used_.clear();
   used_ = 0;
 }
 
 ChunkCache& CacheFleet::site(std::uint32_t site_id) {
   const auto it = sites_.find(site_id);
   if (it != sites_.end()) return it->second;
-  return sites_.emplace(site_id, ChunkCache(config_)).first->second;
+  ChunkCache& cache = sites_.emplace(site_id, ChunkCache(config_)).first->second;
+  for (const auto& [owner, budget] : owner_budgets_) {
+    cache.set_owner_budget(owner, budget);
+  }
+  return cache;
+}
+
+void CacheFleet::set_owner_budget(std::uint32_t owner, std::uint64_t budget_bytes) {
+  owner_budgets_[owner] = budget_bytes;
+  for (auto& [id, cache] : sites_) cache.set_owner_budget(owner, budget_bytes);
 }
 
 void CacheFleet::clear() {

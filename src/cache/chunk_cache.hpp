@@ -68,6 +68,10 @@ class ChunkCache {
  public:
   ChunkCache(const CacheConfig& config) : config_(config) {}
 
+  /// Insertions not billed to any tenant (the default, and every run without
+  /// a StoreQos attached).
+  static constexpr std::uint32_t kSharedOwner = 0xffffffffu;
+
   struct InsertResult {
     bool admitted = false;
     /// (chunk, bytes) evicted to make room, in eviction order.
@@ -76,8 +80,22 @@ class ChunkCache {
 
   /// Admit `chunk` (`bytes` resident size), evicting per policy as needed.
   /// Re-inserting a resident chunk refreshes it and evicts nothing.
+  /// `owner` bills the bytes to a tenant: a budgeted owner evicts its own
+  /// entries when over its budget, and global evictions never claim another
+  /// budgeted tenant's entries (see set_owner_budget).
   InsertResult insert(storage::ChunkId chunk, std::uint64_t bytes,
-                      bool prefetched = false);
+                      bool prefetched = false, std::uint32_t owner = kSharedOwner);
+
+  /// Cap `owner`'s resident bytes at `budget_bytes` (its cache share). Once
+  /// any budget exists, unbudgeted insertions (other tenants, kSharedOwner)
+  /// can no longer evict a budgeted tenant's working set.
+  void set_owner_budget(std::uint32_t owner, std::uint64_t budget_bytes) {
+    budgets_[owner] = budget_bytes;
+  }
+  std::uint64_t owner_bytes(std::uint32_t owner) const {
+    const auto it = owner_used_.find(owner);
+    return it != owner_used_.end() ? it->second : 0;
+  }
 
   /// Lookup that counts: touches the entry (LRU recency / LFU frequency) and
   /// records a lifetime hit or miss.
@@ -107,13 +125,20 @@ class ChunkCache {
     std::uint64_t last_used = 0;  ///< LRU (logical tick)
     std::uint64_t inserted = 0;   ///< FIFO (logical tick)
     bool prefetched = false;
+    std::uint32_t owner = kSharedOwner;
   };
 
-  /// Policy victim among current entries; entries_ must be non-empty.
-  storage::ChunkId victim() const;
+  /// Policy victim among entries `inserter` may evict: its own, plus any
+  /// unbudgeted entry. Returns false when every entry is another budgeted
+  /// tenant's (nothing evictable).
+  bool victim_for(std::uint32_t inserter, bool own_only,
+                  storage::ChunkId* out) const;
+  void evict_entry(storage::ChunkId id, InsertResult& result);
 
   const CacheConfig& config_;
   std::unordered_map<storage::ChunkId, Entry> entries_;
+  std::map<std::uint32_t, std::uint64_t> budgets_;     ///< owner -> byte cap
+  std::map<std::uint32_t, std::uint64_t> owner_used_;  ///< owner -> resident
   std::uint64_t used_ = 0;
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
@@ -132,6 +157,10 @@ class CacheFleet {
   ChunkCache& site(std::uint32_t site_id);
   const CacheConfig& config() const { return config_; }
 
+  /// Per-tenant capacity share, applied to every existing and future site
+  /// cache (StoreQos::cache_budgets feeds this).
+  void set_owner_budget(std::uint32_t owner, std::uint64_t budget_bytes);
+
   /// Drop every site's contents (cold restart); lifetime counters survive.
   void clear();
 
@@ -142,6 +171,7 @@ class CacheFleet {
  private:
   CacheConfig config_;
   std::map<std::uint32_t, ChunkCache> sites_;
+  std::map<std::uint32_t, std::uint64_t> owner_budgets_;
 };
 
 }  // namespace cloudburst::cache

@@ -103,7 +103,8 @@ void Prefetcher::on_prefetched(storage::ChunkId chunk, std::uint64_t resident_by
   auto waiters = std::move(it->second.waiters);
   inflight_.erase(it);
   if (ok) {
-    const auto result = cache_.insert(chunk, resident_bytes, /*prefetched=*/true);
+    const auto result = cache_.insert(chunk, resident_bytes, /*prefetched=*/true,
+                                      env_.cache_owner);
     if (env_.trace) {
       for (const auto& [evictee, bytes] : result.evicted) {
         env_.trace(trace::EventKind::CacheEvict, evictee, bytes);

@@ -69,6 +69,9 @@ class Prefetcher {
     /// the layout primary; the runtime binds this to the run's ReplicaSet so
     /// prefetches also read the cheapest live copy.
     std::function<storage::StoreId(storage::ChunkId)> resolve;
+    /// Tenant the prefetched bytes are billed to in the cache (per-tenant
+    /// capacity shares); default = unbudgeted shared residency.
+    std::uint32_t cache_owner = ChunkCache::kSharedOwner;
   };
 
   Prefetcher(ChunkCache& cache, PrefetchConfig config, Env env)

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 
 namespace cloudburst::middleware {
@@ -66,6 +67,15 @@ void validate_run(const cluster::Platform& platform, const storage::DataLayout& 
       throw std::invalid_argument(
           "run_distributed: failures would leave a cluster with no live slaves");
     }
+  }
+
+  // --- store QoS -------------------------------------------------------------
+  if (options.qos) {
+    // Weight validation happened at StoreQos construction; what can only be
+    // checked against *this* run's platform is whether granted reservations
+    // still fit the stores' access links (mirrors the lifecycle combo checks:
+    // fail loudly up front, not with a starved fair pool mid-run).
+    options.qos->validate_against(platform);
   }
 
   // --- node lifecycle (crash / drain / spot reclamation / migration) --------
@@ -149,6 +159,7 @@ JobExecution::JobExecution(cluster::Platform& platform, const storage::DataLayou
            std::move(trace_tag), arbiter, std::move(on_finished)} {
   ctx_.recorder.init(platform.cluster_count(), platform.store_count());
   setup_chunk_offsets();
+  setup_qos();
   setup_replication();
   build_prefetchers();
   build_actors(register_mailbox);
@@ -192,6 +203,23 @@ void JobExecution::setup_chunk_offsets() {
   }
 }
 
+void JobExecution::setup_qos() {
+  qos::StoreQos* q = ctx_.options.qos;
+  if (!q) return;
+  q->attach(platform_);
+  ctx_.qos_tenant = q->tenant_id(ctx_.options.tenant);
+  if (ctx_.options.tracer) q->set_tracer(ctx_.options.tracer);
+  if (ctx_.options.cache) {
+    // Per-tenant cache shares: explicitly-weighted tenants each get their
+    // slice of every site cache; one tenant can no longer flush another's
+    // working set.
+    for (const auto& [tenant, budget] :
+         q->cache_budgets(ctx_.options.cache->config().capacity_bytes)) {
+      ctx_.options.cache->set_owner_budget(tenant, budget);
+    }
+  }
+}
+
 void JobExecution::setup_replication() {
   replica::ReplicaSet* rs = ctx_.options.replication;
   if (!rs) return;
@@ -204,6 +232,18 @@ void JobExecution::setup_replication() {
     ctx_.recorder.replica.replicas_created += rs->replicas_created();
     for (const auto& [chunk, store] : rs->initial_extras()) {
       ctx_.trace(trace::EventKind::ReplicaCreated, "replica", chunk, store);
+    }
+  }
+  if (rs->config().placement == replica::PlacementPolicy::HotChunk) {
+    // Promotion heat: cache/prefetch hits when a fleet is attached; plain
+    // per-chunk fetch counts otherwise (without the fallback an uncached run
+    // would silently never promote anything).
+    const replica::HeatSource source = ctx_.options.cache
+                                           ? replica::HeatSource::CacheHits
+                                           : replica::HeatSource::FetchCounts;
+    rs->set_heat_source(source);
+    if (replication_built_here_) {
+      log::info("replica", "hot-chunk heat source: ", replica::to_string(source));
     }
   }
 
@@ -228,17 +268,26 @@ void JobExecution::setup_replication() {
     if (wire.bytes == 0) wire.bytes = 1;
     const cluster::ClusterId dst_site = platform_.owner_of_store(task.dst);
     ctx_.recorder.bytes_from_store[dst_site][task.src] += info.bytes;
-    storage::fetch_with_retry(
-        platform_.sim(), platform_.store(task.src),
-        platform_.store(task.dst).endpoint(), wire, ctx_.options.retrieval_streams,
-        ctx_.options.retry, ctx_.retry_hooks(dst_site, "repair", task.chunk, task.src),
-        [this, task, dst_site, done = std::move(done)](const storage::FetchResult& r) {
-          if (!r.ok) {
-            // Nothing landed: revert the issue-time egress charge.
-            ctx_.recorder.bytes_from_store[dst_site][task.src] -=
-                ctx_.layout.chunk(task.chunk).bytes;
-          }
-          if (done) done(r.ok);
+    // Repairs are background traffic: they bill to the "system" tenant and
+    // queue behind (or alongside) foreground fetches at the source store's
+    // arbiter.
+    ctx_.qos_gate(
+        dst_site, task.src, wire.bytes, "repair", task.chunk, qos::kSystemTenant,
+        [this, task, wire, dst_site, done = std::move(done)]() mutable {
+          storage::fetch_with_retry(
+              platform_.sim(), platform_.store(task.src),
+              platform_.store(task.dst).endpoint(), wire,
+              ctx_.options.retrieval_streams, ctx_.options.retry,
+              ctx_.retry_hooks(dst_site, "repair", task.chunk, task.src),
+              [this, task, dst_site,
+               done = std::move(done)](const storage::FetchResult& r) {
+                if (!r.ok) {
+                  // Nothing landed: revert the issue-time egress charge.
+                  ctx_.recorder.bytes_from_store[dst_site][task.src] -=
+                      ctx_.layout.chunk(task.chunk).bytes;
+                }
+                if (done) done(r.ok);
+              });
         });
   };
   env.on_repaired = [this](const replica::ReplicaSet::RepairTask& task) {
@@ -267,16 +316,27 @@ void JobExecution::build_prefetchers() {
     const unsigned streams = cfg.prefetch.streams
                                  ? cfg.prefetch.streams
                                  : std::max(1u, options.retrieval_streams);
-    // Prefetch GETs ride the same retry machinery as slave fetches; a
-    // permanently failed GET settles done(false) and the prefetcher aborts.
+    // Prefetch GETs ride the same retry machinery as slave fetches — and the
+    // same QoS admission, billed to this run's tenant; a permanently failed
+    // GET settles done(false) and the prefetcher aborts.
     env.fetch = [this, site, pf_name, master_ep, streams](
                     storage::StoreId s, const storage::ChunkInfo& wire,
                     std::function<void(bool ok)> done) {
-      storage::fetch_with_retry(
-          platform_.sim(), platform_.store(s), master_ep, wire, streams,
-          ctx_.options.retry, ctx_.retry_hooks(site, pf_name, wire.id, s),
-          [done = std::move(done)](const storage::FetchResult& r) {
-            if (done) done(r.ok);
+      ctx_.qos_gate(
+          site, s, wire.bytes, pf_name, wire.id, ctx_.qos_tenant,
+          [this, site, pf_name, master_ep, streams, s, wire,
+           done = std::move(done)]() mutable {
+            storage::fetch_with_retry(
+                platform_.sim(), platform_.store(s), master_ep, wire, streams,
+                ctx_.options.retry, ctx_.retry_hooks(site, pf_name, wire.id, s),
+                [this, s, wire, done = std::move(done)](const storage::FetchResult& r) {
+                  // Clear the route-load charge resolve() booked for this GET
+                  // without touching replica health.
+                  if (ctx_.options.replication) {
+                    ctx_.options.replication->settle_route(wire.id, s);
+                  }
+                  if (done) done(r.ok);
+                });
           });
     };
     env.trace = [this, pf_name](trace::EventKind kind, std::uint64_t a,
@@ -293,6 +353,7 @@ void JobExecution::build_prefetchers() {
         return rs->resolve(chunk, site, ctx_.now_seconds());
       };
     }
+    env.cache_owner = ctx_.cache_owner();
     ctx_.prefetchers[site] = std::make_unique<cache::Prefetcher>(
         options.cache->site(site), cfg.prefetch, std::move(env));
   }
@@ -794,6 +855,8 @@ RunResult JobExecution::collect(bool use_platform_store_stats) {
     c.cache_misses = ctx_.recorder.cache_misses[site];
     c.prefetch_issued = ctx_.recorder.prefetch_issued[site];
     c.prefetch_wasted = ctx_.recorder.prefetch_wasted[site];
+    c.qos_throttled = ctx_.recorder.qos_throttled[site];
+    c.qos_wait_seconds = ctx_.recorder.qos_wait_seconds[site];
     c.store_faults = ctx_.recorder.store_faults[site];
     c.fetch_retries = ctx_.recorder.fetch_retries[site];
     c.hedges_issued = ctx_.recorder.hedges_issued[site];

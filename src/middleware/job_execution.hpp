@@ -76,6 +76,9 @@ class JobExecution {
 
  private:
   void setup_chunk_offsets();
+  /// Attach the StoreQos (if any): bind store capacities, resolve this run's
+  /// tenant id, and apply per-tenant cache shares to the fleet.
+  void setup_qos();
   /// Attach the caller-owned ReplicaSet (first attach builds placement and
   /// emits the initial ReplicaCreated events) and construct the background
   /// repair actor.

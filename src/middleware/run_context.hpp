@@ -19,6 +19,7 @@
 #include "middleware/run_result.hpp"
 #include "middleware/scheduler.hpp"
 #include "net/messaging.hpp"
+#include "qos/store_qos.hpp"
 #include "replica/replica_set.hpp"
 #include "storage/retry.hpp"
 #include "trace/trace.hpp"
@@ -195,6 +196,19 @@ struct RunOptions {
   /// copies lost, and a background repair actor re-replicates. nullptr (the
   /// default) keeps the single-owner read path — byte-identical paper runs.
   replica::ReplicaSet* replication = nullptr;
+
+  /// Optional per-tenant store I/O QoS (owned by the caller, shareable
+  /// across a workload's jobs). When set, every store fetch — slave,
+  /// prefetcher, repair actor — is admitted through the store's
+  /// weighted-fair arbiter under this run's tenant (repairs bill to the
+  /// "system" tenant), and per-tenant cache shares apply when a fleet is
+  /// also attached. nullptr (the default) gates nothing: paper runs stay
+  /// byte-identical.
+  qos::StoreQos* qos = nullptr;
+
+  /// Tenant this run's store traffic bills to when `qos` is set. The
+  /// workload manager overrides it with JobSpec::tenant per job.
+  std::string tenant = "default";
 };
 
 /// Mutable per-run recorder; actors write, the runtime aggregates.
@@ -229,6 +243,10 @@ struct RunRecorder {
   std::vector<std::uint32_t> cache_misses;
   std::vector<std::uint32_t> prefetch_issued;
   std::vector<std::uint32_t> prefetch_wasted;
+  // Store QoS accounting, per cluster (throttled releases and the waits
+  // they paid; zero unless RunOptions::qos is attached).
+  std::vector<std::uint32_t> qos_throttled;
+  std::vector<double> qos_wait_seconds;
   // Fault / retry accounting, per cluster.
   std::vector<std::uint32_t> store_faults;    ///< failed or timed-out attempts
   std::vector<std::uint32_t> fetch_retries;   ///< backoffs taken before re-attempts
@@ -263,6 +281,8 @@ struct RunRecorder {
     cache_misses.assign(clusters, 0);
     prefetch_issued.assign(clusters, 0);
     prefetch_wasted.assign(clusters, 0);
+    qos_throttled.assign(clusters, 0);
+    qos_wait_seconds.assign(clusters, 0.0);
     store_faults.assign(clusters, 0);
     fetch_retries.assign(clusters, 0);
     hedges_issued.assign(clusters, 0);
@@ -323,6 +343,40 @@ struct RunContext {
   /// Sim time this job's start() ran (0.0 for standalone runs); lifecycle
   /// billing ends are recorded relative to it.
   double job_start_seconds = 0.0;
+
+  /// Tenant id this run bills store traffic to (resolved from
+  /// RunOptions::tenant by JobExecution when a StoreQos is attached;
+  /// meaningless otherwise).
+  qos::TenantId qos_tenant = qos::kSystemTenant;
+
+  /// Cache-ownership tag for this run's insertions: the tenant id under QoS,
+  /// shared residency otherwise.
+  std::uint32_t cache_owner() const {
+    return options.qos ? qos_tenant : cache::ChunkCache::kSharedOwner;
+  }
+
+  /// Admit a store access through the QoS arbiter (when attached) before
+  /// running `launch`. Released synchronously when no QoS is attached, the
+  /// store is a pass-through, or its arbiter is idle; a throttled release
+  /// books the wait into the recorder and traces QosThrottled under `actor`.
+  void qos_gate(cluster::ClusterId site, storage::StoreId store, std::uint64_t bytes,
+                const std::string& actor, storage::ChunkId chunk,
+                qos::TenantId tenant, std::function<void()> launch) {
+    if (!options.qos) {
+      launch();
+      return;
+    }
+    options.qos->submit(store, tenant, bytes,
+                        [this, site, store, actor, chunk,
+                         launch = std::move(launch)](double waited_seconds) {
+                          if (waited_seconds > 0.0) {
+                            ++recorder.qos_throttled[site];
+                            recorder.qos_wait_seconds[site] += waited_seconds;
+                            trace(trace::EventKind::QosThrottled, actor, chunk, store);
+                          }
+                          launch();
+                        });
+  }
 
   /// Fired by a master when a node is lost (crashed, reclaimed, or vacated)
   /// while the cluster still has work. Returns true if a replacement node

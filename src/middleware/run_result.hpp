@@ -73,6 +73,10 @@ struct ClusterResult {
   std::uint32_t prefetch_issued = 0;  ///< speculative GETs the prefetcher sent
   std::uint32_t prefetch_wasted = 0;  ///< issued but never consumed by a slave
 
+  // Store-QoS accounting (all zero with no StoreQos attached).
+  std::uint32_t qos_throttled = 0;   ///< fetches the arbiter held back
+  double qos_wait_seconds = 0.0;     ///< total seconds fetches queued at stores
+
   // Fault / retry accounting (all zero under the default fault-free model).
   std::uint32_t store_faults = 0;   ///< failed or timed-out fetch attempts
   std::uint32_t fetch_retries = 0;  ///< backoffs taken before re-attempts
@@ -169,6 +173,17 @@ struct RunResult {
   double cache_hit_rate() const {
     const double total = static_cast<double>(cache_hits()) + cache_misses();
     return total > 0.0 ? static_cast<double>(cache_hits()) / total : 0.0;
+  }
+
+  std::uint32_t qos_throttled() const {
+    std::uint32_t n = 0;
+    for (const auto& c : clusters) n += c.qos_throttled;
+    return n;
+  }
+  double qos_wait_seconds() const {
+    double n = 0.0;
+    for (const auto& c : clusters) n += c.qos_wait_seconds;
+    return n;
   }
 
   std::uint32_t store_faults() const {

@@ -150,7 +150,13 @@ void SlaveNode::begin_fetch(storage::ChunkId chunk) {
       ++ctx_.recorder.cache_hits[node_.cluster];
       ctx_.recorder.bytes_from_cache[node_.cluster][store_id] += full_bytes;
       ctx_.trace(trace::EventKind::CacheHit, node_.name, chunk, info.bytes);
-      if (ctx_.options.replication) ctx_.options.replication->record_hit(chunk);
+      if (ctx_.options.qos) ctx_.options.qos->note_cache_hit(ctx_.qos_tenant);
+      if (ctx_.options.replication) {
+        ctx_.options.replication->record_hit(chunk);
+        // No store fetch will happen: clear the route-load charge the
+        // assignment-time resolve() booked against store_id.
+        ctx_.options.replication->settle_route(chunk, store_id);
+      }
       if (pf) pf->mark_consumed(chunk);
       const cache::CacheConfig& cfg = ctx_.options.cache->config();
       const double delay = cfg.hit_latency_seconds +
@@ -176,7 +182,11 @@ void SlaveNode::begin_fetch(storage::ChunkId chunk) {
                      ++ctx_.recorder.cache_hits[node_.cluster];
                      ctx_.recorder.bytes_from_cache[node_.cluster][store_id] += full_bytes;
                      ctx_.trace(trace::EventKind::CacheHit, node_.name, chunk, wire_bytes);
-                     if (ctx_.options.replication) ctx_.options.replication->record_hit(chunk);
+                     if (ctx_.options.qos) ctx_.options.qos->note_cache_hit(ctx_.qos_tenant);
+                     if (ctx_.options.replication) {
+                       ctx_.options.replication->record_hit(chunk);
+                       ctx_.options.replication->settle_route(chunk, store_id);
+                     }
                      pf->mark_consumed(chunk);
                      on_fetched(chunk);
                    });
@@ -185,6 +195,7 @@ void SlaveNode::begin_fetch(storage::ChunkId chunk) {
     // Miss: fetch from the store and admit the chunk on arrival.
     ++ctx_.recorder.cache_misses[node_.cluster];
     ctx_.trace(trace::EventKind::CacheMiss, node_.name, chunk, store_id);
+    if (ctx_.options.qos) ctx_.options.qos->note_cache_miss(ctx_.qos_tenant);
     fetch_from_store(chunk, info, store_id, cache, info.bytes);
     return;
   }
@@ -195,28 +206,40 @@ void SlaveNode::begin_fetch(storage::ChunkId chunk) {
 void SlaveNode::fetch_from_store(storage::ChunkId chunk, const storage::ChunkInfo& wire,
                                  storage::StoreId store_id, cache::ChunkCache* cache,
                                  std::uint64_t resident) {
-  storage::StoreService& store = ctx_.platform.store(store_id);
-  storage::fetch_with_retry(
-      ctx_.sim(), store, node_.endpoint, wire, ctx_.options.retrieval_streams,
-      ctx_.options.retry, ctx_.retry_hooks(node_.cluster, node_.name, chunk, store_id),
-      [this, chunk, store_id, cache, resident](const storage::FetchResult& r) {
+  if (ctx_.options.replication) {
+    // Demand-fetch heat for HotChunk promotion when no cache feeds hits.
+    ctx_.options.replication->record_fetch(chunk);
+  }
+  ctx_.qos_gate(
+      node_.cluster, store_id, wire.bytes, node_.name, chunk, ctx_.qos_tenant,
+      [this, chunk, wire, store_id, cache, resident] {
         if (!alive_) return;
-        if (!r.ok) {
-          on_fetch_failed(chunk);
-          return;
-        }
-        if (ctx_.options.replication) {
-          // The copy demonstrably exists — revive it if a previous failure
-          // had marked it lost.
-          ctx_.options.replication->note_fetch_ok(chunk, store_id);
-        }
-        if (cache) {
-          const auto result = cache->insert(chunk, resident);
-          for (const auto& [evictee, bytes] : result.evicted) {
-            ctx_.trace(trace::EventKind::CacheEvict, node_.name, evictee, bytes);
-          }
-        }
-        on_fetched(chunk);
+        storage::StoreService& store = ctx_.platform.store(store_id);
+        storage::fetch_with_retry(
+            ctx_.sim(), store, node_.endpoint, wire, ctx_.options.retrieval_streams,
+            ctx_.options.retry,
+            ctx_.retry_hooks(node_.cluster, node_.name, chunk, store_id),
+            [this, chunk, store_id, cache, resident](const storage::FetchResult& r) {
+              if (!alive_) return;
+              if (!r.ok) {
+                on_fetch_failed(chunk);
+                return;
+              }
+              if (ctx_.options.replication) {
+                // The copy demonstrably exists — revive it if a previous
+                // failure had marked it lost.
+                ctx_.options.replication->note_fetch_ok(chunk, store_id);
+              }
+              if (cache) {
+                const auto result = cache->insert(chunk, resident,
+                                                  /*prefetched=*/false,
+                                                  ctx_.cache_owner());
+                for (const auto& [evictee, bytes] : result.evicted) {
+                  ctx_.trace(trace::EventKind::CacheEvict, node_.name, evictee, bytes);
+                }
+              }
+              on_fetched(chunk);
+            });
       });
 }
 

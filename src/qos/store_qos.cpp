@@ -1,0 +1,394 @@
+#include "qos/store_qos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cluster/platform.hpp"
+
+namespace cloudburst::qos {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+StoreQos::StoreQos(QosConfig config) : config_(std::move(config)) {
+  for (const auto& [name, weight] : config_.tenant_weights) {
+    if (!(weight > 0.0)) {
+      throw std::invalid_argument("StoreQos: share weight for tenant '" + name +
+                                  "' must be > 0 (all-zero weights are rejected)");
+    }
+  }
+  if (!(config_.default_weight > 0.0)) {
+    throw std::invalid_argument("StoreQos: default_weight must be > 0");
+  }
+  if (!(config_.system_weight > 0.0)) {
+    throw std::invalid_argument("StoreQos: system_weight must be > 0");
+  }
+  if (!(config_.pacing_factor > 0.0) || config_.pacing_factor > 1.0) {
+    throw std::invalid_argument("StoreQos: pacing_factor must be in (0, 1]");
+  }
+  if (!(config_.min_fair_rate > 0.0)) {
+    throw std::invalid_argument("StoreQos: min_fair_rate must be > 0");
+  }
+  tenants_.push_back(kSystemTenantName);
+  tenant_ids_.emplace(kSystemTenantName, kSystemTenant);
+  per_tenant_.resize(1);
+  cache_counters_.resize(1);
+}
+
+TenantId StoreQos::tenant_id(const std::string& name) {
+  const auto it = tenant_ids_.find(name);
+  if (it != tenant_ids_.end()) return it->second;
+  const TenantId id = static_cast<TenantId>(tenants_.size());
+  tenants_.push_back(name);
+  tenant_ids_.emplace(name, id);
+  per_tenant_.resize(tenants_.size());
+  cache_counters_.resize(tenants_.size());
+  return id;
+}
+
+double StoreQos::weight_of(TenantId id) const {
+  if (id == kSystemTenant) return config_.system_weight;
+  const auto it = config_.tenant_weights.find(tenants_.at(id));
+  return it != config_.tenant_weights.end() ? it->second : config_.default_weight;
+}
+
+void StoreQos::attach(cluster::Platform& platform) {
+  std::vector<double> capacities;
+  capacities.reserve(platform.store_count());
+  for (storage::StoreId s = 0; s < platform.store_count(); ++s) {
+    const cluster::ClusterId owner = platform.owner_of_store(s);
+    const auto& store_spec = platform.spec().sites.at(owner).store;
+    capacities.push_back(store_spec ? store_spec->front_bandwidth : 0.0);
+  }
+  bind(platform.sim(), std::move(capacities));
+}
+
+void StoreQos::bind(des::Simulator& sim, std::vector<double> store_capacities) {
+  if (!stores_.empty() && stores_.size() != store_capacities.size()) {
+    throw std::invalid_argument(
+        "StoreQos: re-attach with a different store count (" +
+        std::to_string(store_capacities.size()) + " vs " +
+        std::to_string(stores_.size()) + " at first attach)");
+  }
+  sim_ = &sim;
+  // Rebuild scheduler state from scratch (stale busy flags would reference
+  // events of a previous simulator); reservations and stats survive.
+  stores_.assign(store_capacities.size(), StoreState{});
+  for (std::size_t s = 0; s < store_capacities.size(); ++s) {
+    stores_[s].capacity = store_capacities[s];
+  }
+  rebuild_lanes();
+}
+
+void StoreQos::rebuild_lanes() {
+  for (std::size_t i = 0; i < reservations_.size(); ++i) {
+    const Reservation& r = reservations_[i];
+    if (r.store < stores_.size()) {
+      stores_[r.store].lanes.push_back(LaneState{i, false, {}});
+    }
+  }
+}
+
+double StoreQos::now_seconds() const {
+  return sim_ ? des::to_seconds(sim_->now()) : 0.0;
+}
+
+double StoreQos::fair_rate(const StoreState& st, double now) const {
+  double rate = config_.pacing_factor * st.capacity;
+  for (const LaneState& lane : st.lanes) {
+    const Reservation& r = reservations_[lane.reservation];
+    if (now >= r.begin_seconds - kEps && now < r.end_seconds - kEps) {
+      rate -= r.bytes_per_sec;
+    }
+  }
+  return std::max(rate, config_.min_fair_rate);
+}
+
+int StoreQos::active_lane(const StoreState& st, TenantId tenant, double now) const {
+  for (std::size_t i = 0; i < st.lanes.size(); ++i) {
+    const Reservation& r = reservations_[st.lanes[i].reservation];
+    if (r.tenant == tenant && now >= r.begin_seconds - kEps &&
+        now < r.end_seconds - kEps) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+double StoreQos::max_reserved_overlap(storage::StoreId store, double begin,
+                                      double end, double extra) const {
+  // Reserved rates are piecewise-constant; the max over [begin, end) is
+  // attained at one of the window-begin points inside the candidate window
+  // (or at `begin` itself).
+  std::vector<double> points{begin};
+  for (const Reservation& r : reservations_) {
+    if (r.store == store && r.begin_seconds > begin && r.begin_seconds < end) {
+      points.push_back(r.begin_seconds);
+    }
+  }
+  double worst = 0.0;
+  for (double t : points) {
+    double sum = extra;
+    for (const Reservation& r : reservations_) {
+      if (r.store == store && t >= r.begin_seconds - kEps &&
+          t < r.end_seconds - kEps) {
+        sum += r.bytes_per_sec;
+      }
+    }
+    worst = std::max(worst, sum);
+  }
+  return worst;
+}
+
+void StoreQos::trace_reservation(bool granted, storage::StoreId store,
+                                 double bytes_per_sec) {
+  if (!tracer_) return;
+  tracer_->record(now_seconds(),
+                  granted ? trace::EventKind::ReservationGranted
+                          : trace::EventKind::ReservationRejected,
+                  "qos", store, static_cast<std::uint64_t>(bytes_per_sec));
+}
+
+bool StoreQos::reserve(const std::string& tenant, storage::StoreId store,
+                       double bytes_per_sec, double begin_seconds,
+                       double end_seconds) {
+  if (!sim_) {
+    throw std::logic_error(
+        "StoreQos::reserve: attach()/bind() the platform first so link "
+        "capacities are known");
+  }
+  if (store >= stores_.size()) {
+    throw std::invalid_argument("StoreQos::reserve: store " +
+                                std::to_string(store) + " does not exist");
+  }
+  if (!(bytes_per_sec > 0.0) || end_seconds <= begin_seconds ||
+      begin_seconds < 0.0) {
+    throw std::invalid_argument(
+        "StoreQos::reserve: need bytes_per_sec > 0 and 0 <= begin < end");
+  }
+  const TenantId id = tenant_id(tenant);
+  StoreState& st = stores_[store];
+  bool granted = st.capacity > 0.0;
+  if (granted) {
+    // The carve-out must leave the fair pool its floor.
+    const double limit = config_.pacing_factor * st.capacity - config_.min_fair_rate;
+    granted = max_reserved_overlap(store, begin_seconds, end_seconds,
+                                   bytes_per_sec) <= limit + kEps;
+  }
+  trace_reservation(granted, store, bytes_per_sec);
+  if (!granted) {
+    ++rejected_;
+    return false;
+  }
+  reservations_.push_back(
+      Reservation{id, store, bytes_per_sec, begin_seconds, end_seconds});
+  st.lanes.push_back(LaneState{reservations_.size() - 1, false, {}});
+  return true;
+}
+
+void StoreQos::validate_against(const cluster::Platform& platform) const {
+  if (!stores_.empty() && stores_.size() != platform.store_count()) {
+    throw std::invalid_argument(
+        "StoreQos: attached to " + std::to_string(stores_.size()) +
+        " stores but the run's platform has " +
+        std::to_string(platform.store_count()));
+  }
+  for (const Reservation& r : reservations_) {
+    if (r.store >= platform.store_count()) {
+      throw std::invalid_argument("StoreQos: reservation on store " +
+                                  std::to_string(r.store) +
+                                  " which the platform does not have");
+    }
+    const cluster::ClusterId owner = platform.owner_of_store(r.store);
+    const auto& store_spec = platform.spec().sites.at(owner).store;
+    const double capacity = store_spec ? store_spec->front_bandwidth : 0.0;
+    const double limit = config_.pacing_factor * capacity - config_.min_fair_rate;
+    const double worst =
+        max_reserved_overlap(r.store, r.begin_seconds, r.end_seconds, 0.0);
+    if (worst > limit + kEps) {
+      throw std::invalid_argument(
+          "StoreQos: reservations on store " + std::to_string(r.store) +
+          " peak at " + std::to_string(worst) +
+          " bytes/sec, exceeding the access link's schedulable capacity (" +
+          std::to_string(std::max(limit, 0.0)) + " bytes/sec)");
+    }
+  }
+}
+
+TenantStoreStats& StoreQos::stats_slot(TenantId tenant, storage::StoreId store) {
+  return per_tenant_.at(tenant)[store];
+}
+
+void StoreQos::record_release(TenantId tenant, storage::StoreId store,
+                              const Pending& p, double now,
+                              double slot_seconds) {
+  TenantStoreStats& ts = stats_slot(tenant, store);
+  const double waited = now - p.submit_seconds;
+  if (waited > kEps) {
+    ++ts.throttled;
+    ts.wait_seconds += waited;
+  }
+  ts.bytes += p.bytes;
+  if (ts.first_active_seconds < 0.0) ts.first_active_seconds = p.submit_seconds;
+  ts.last_active_seconds = std::max(ts.last_active_seconds, now + slot_seconds);
+}
+
+void StoreQos::submit(storage::StoreId store, TenantId tenant,
+                      std::uint64_t bytes, Release release) {
+  bytes = std::max<std::uint64_t>(bytes, 1);
+  TenantStoreStats& ts = stats_slot(tenant, store);
+  ++ts.requests;
+  if (!sim_ || store >= stores_.size() || stores_[store].capacity <= 0.0) {
+    // Pass-through: no known access link to arbitrate.
+    const double now = now_seconds();
+    ts.bytes += bytes;
+    if (ts.first_active_seconds < 0.0) ts.first_active_seconds = now;
+    ts.last_active_seconds = std::max(ts.last_active_seconds, now);
+    release(0.0);
+    return;
+  }
+  StoreState& st = stores_[store];
+  const double now = now_seconds();
+
+  Pending p;
+  p.tenant = tenant;
+  p.bytes = bytes;
+  p.submit_seconds = now;
+  p.seq = seq_++;
+  p.release = std::move(release);
+
+  const int lane = active_lane(st, tenant, now);
+  if (lane >= 0) {
+    st.lanes[static_cast<std::size_t>(lane)].queue.push_back(std::move(p));
+    pump_lane(store, static_cast<std::size_t>(lane));
+    return;
+  }
+
+  // Start-time fair queueing: tag with virtual start/finish times scaled by
+  // the tenant's weight; serve in finish-tag order.
+  double& last_finish = st.last_finish[tenant];
+  p.start_tag = std::max(st.vtime, last_finish);
+  p.finish_tag = p.start_tag + static_cast<double>(bytes) / weight_of(tenant);
+  last_finish = p.finish_tag;
+
+  const auto later = [](const Pending& a, const Pending& b) {
+    return a.finish_tag > b.finish_tag ||
+           (a.finish_tag == b.finish_tag && a.seq > b.seq);
+  };
+  st.heap.push_back(std::move(p));
+  std::push_heap(st.heap.begin(), st.heap.end(), later);
+  pump_fair(store);
+}
+
+void StoreQos::pump_fair(storage::StoreId store) {
+  StoreState& st = stores_[store];
+  if (st.busy || st.heap.empty()) return;
+
+  const auto later = [](const Pending& a, const Pending& b) {
+    return a.finish_tag > b.finish_tag ||
+           (a.finish_tag == b.finish_tag && a.seq > b.seq);
+  };
+  std::pop_heap(st.heap.begin(), st.heap.end(), later);
+  Pending p = std::move(st.heap.back());
+  st.heap.pop_back();
+
+  st.vtime = std::max(st.vtime, p.start_tag);
+  const double now = now_seconds();
+  const double slot = static_cast<double>(p.bytes) / fair_rate(st, now);
+  record_release(p.tenant, store, p, now, slot);
+
+  st.busy = true;
+  sim_->schedule(des::from_seconds(slot), [this, store] {
+    stores_[store].busy = false;
+    pump_fair(store);
+  });
+  p.release(now - p.submit_seconds);
+}
+
+void StoreQos::pump_lane(storage::StoreId store, std::size_t lane_idx) {
+  StoreState& st = stores_[store];
+  LaneState& lane = st.lanes[lane_idx];
+  if (lane.busy || lane.queue.empty()) return;
+
+  Pending p = std::move(lane.queue.front());
+  lane.queue.pop_front();
+  const Reservation& r = reservations_[lane.reservation];
+  const double now = now_seconds();
+  const double slot = static_cast<double>(p.bytes) / r.bytes_per_sec;
+  record_release(p.tenant, store, p, now, slot);
+
+  lane.busy = true;
+  sim_->schedule(des::from_seconds(slot), [this, store, lane_idx] {
+    stores_[store].lanes[lane_idx].busy = false;
+    pump_lane(store, lane_idx);
+  });
+  p.release(now - p.submit_seconds);
+}
+
+void StoreQos::note_cache_hit(TenantId tenant) {
+  ++cache_counters_.at(tenant).hits;
+}
+
+void StoreQos::note_cache_miss(TenantId tenant) {
+  ++cache_counters_.at(tenant).misses;
+}
+
+std::map<TenantId, std::uint64_t> StoreQos::cache_budgets(
+    std::uint64_t capacity_bytes) {
+  std::map<TenantId, std::uint64_t> budgets;
+  double total = 0.0;
+  for (const auto& [name, weight] : config_.tenant_weights) total += weight;
+  if (total <= 0.0) return budgets;
+  for (const auto& [name, weight] : config_.tenant_weights) {
+    budgets[tenant_id(name)] = static_cast<std::uint64_t>(
+        static_cast<double>(capacity_bytes) * weight / total);
+  }
+  return budgets;
+}
+
+const TenantStoreStats* StoreQos::store_stats(TenantId tenant,
+                                              storage::StoreId store) const {
+  if (tenant >= per_tenant_.size()) return nullptr;
+  const auto it = per_tenant_[tenant].find(store);
+  return it != per_tenant_[tenant].end() ? &it->second : nullptr;
+}
+
+TenantQosReport StoreQos::report(TenantId tenant) const {
+  TenantQosReport out;
+  if (tenant >= tenants_.size()) return out;
+  out.active = true;
+  double first = -1.0;
+  double last = 0.0;
+  for (const auto& [store, ts] : per_tenant_[tenant]) {
+    out.store_requests += ts.requests;
+    out.bytes += ts.bytes;
+    out.throttled += ts.throttled;
+    out.wait_seconds += ts.wait_seconds;
+    if (ts.first_active_seconds >= 0.0 &&
+        (first < 0.0 || ts.first_active_seconds < first)) {
+      first = ts.first_active_seconds;
+    }
+    last = std::max(last, ts.last_active_seconds);
+  }
+  if (first >= 0.0 && last > first) {
+    out.achieved_bytes_per_sec = static_cast<double>(out.bytes) / (last - first);
+  }
+  out.cache_hits = cache_counters_.at(tenant).hits;
+  out.cache_misses = cache_counters_.at(tenant).misses;
+  return out;
+}
+
+TenantQosReport StoreQos::report(const std::string& tenant) const {
+  const auto it = tenant_ids_.find(tenant);
+  if (it == tenant_ids_.end()) return TenantQosReport{};
+  return report(it->second);
+}
+
+double StoreQos::store_capacity(storage::StoreId store) const {
+  return store < stores_.size() ? stores_[store].capacity : 0.0;
+}
+
+}  // namespace cloudburst::qos

@@ -38,6 +38,14 @@ const char* to_string(PlacementPolicy policy) {
   return "?";
 }
 
+const char* to_string(HeatSource source) {
+  switch (source) {
+    case HeatSource::CacheHits: return "cache-hits";
+    case HeatSource::FetchCounts: return "fetch-counts";
+  }
+  return "?";
+}
+
 ReplicaSet::ReplicaSet(ReplicationConfig config) : config_(config) {
   if (config_.replication_factor == 0) {
     throw std::invalid_argument("replication_factor must be >= 1");
@@ -71,6 +79,7 @@ void ReplicaSet::build(const storage::DataLayout& layout,
   }
   store_sites_.resize(stores);
   suspect_until_.assign(stores, 0.0);
+  routed_bytes_.assign(stores, 0);
   for (storage::StoreId s = 0; s < stores; ++s) {
     store_sites_[s] = platform.owner_of_store(s);
   }
@@ -176,6 +185,18 @@ double ReplicaSet::store_score(storage::StoreId store, cluster::ClusterId reader
   return score;
 }
 
+std::uint64_t ReplicaSet::route_hash(storage::ChunkId chunk,
+                                     storage::StoreId store) const {
+  // splitmix64 over (seed, chunk, store): a stable per-pair coin that keeps
+  // residual ties deterministic across runs without favoring low store ids.
+  std::uint64_t x = config_.route_seed ^ (static_cast<std::uint64_t>(chunk) << 32) ^
+                    (static_cast<std::uint64_t>(store) + 1);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 storage::StoreId ReplicaSet::resolve(storage::ChunkId chunk,
                                      cluster::ClusterId reader_site, double now) const {
   const ChunkState& st = chunks_.at(chunk);
@@ -184,15 +205,33 @@ storage::StoreId ReplicaSet::resolve(storage::ChunkId chunk,
   bool any_live = false;
   for (std::size_t i = 0; i < st.stores.size(); ++i) {
     if (!st.live[i]) continue;
-    any_live = true;
-    const double score = store_score(st.stores[i], reader_site, now);
-    if (score < best_score || (score == best_score && st.stores[i] < best)) {
-      best_score = score;
-      best = st.stores[i];
+    const storage::StoreId cand = st.stores[i];
+    const double score = store_score(cand, reader_site, now);
+    bool take = !any_live || score < best_score;
+    if (!take && score == best_score && cand != best) {
+      // Equal-cost copies share load: least outstanding routed bytes first,
+      // then a seeded hash so a fully-idle tie still alternates per chunk.
+      const std::uint64_t cand_load = routed_bytes_[cand];
+      const std::uint64_t best_load = routed_bytes_[best];
+      take = cand_load < best_load ||
+             (cand_load == best_load &&
+              route_hash(chunk, cand) < route_hash(chunk, best));
     }
+    if (take) {
+      best_score = score;
+      best = cand;
+    }
+    any_live = true;
   }
   if (!any_live) return st.stores.front();
+  routed_bytes_[best] += chunk_bytes_.at(chunk);
   return best;
+}
+
+void ReplicaSet::settle_route(storage::ChunkId chunk, storage::StoreId store) {
+  if (store >= routed_bytes_.size()) return;
+  const std::uint64_t bytes = chunk < chunk_bytes_.size() ? chunk_bytes_[chunk] : 0;
+  routed_bytes_[store] -= std::min(routed_bytes_[store], bytes);
 }
 
 double ReplicaSet::route_cost(storage::ChunkId chunk, cluster::ClusterId reader_site,
@@ -218,6 +257,7 @@ bool ReplicaSet::is_live(storage::ChunkId chunk, storage::StoreId store) const {
 }
 
 bool ReplicaSet::mark_lost(storage::ChunkId chunk, storage::StoreId store, double now) {
+  settle_route(chunk, store);  // the routed fetch ended (in failure)
   mark_store_suspect(store, now);
   ChunkState& st = chunks_.at(chunk);
   for (std::size_t i = 0; i < st.stores.size(); ++i) {
@@ -231,6 +271,7 @@ bool ReplicaSet::mark_lost(storage::ChunkId chunk, storage::StoreId store, doubl
 }
 
 void ReplicaSet::note_fetch_ok(storage::ChunkId chunk, storage::StoreId store) {
+  settle_route(chunk, store);
   ChunkState& st = chunks_.at(chunk);
   for (std::size_t i = 0; i < st.stores.size(); ++i) {
     if (st.stores[i] == store && !st.live[i]) {
@@ -254,11 +295,25 @@ void ReplicaSet::mark_site_suspect(cluster::ClusterId site, double now) {
   mark_store_suspect(store, now);
 }
 
-void ReplicaSet::record_hit(storage::ChunkId chunk) {
-  if (config_.placement != PlacementPolicy::HotChunk) return;
-  ChunkState& st = chunks_.at(chunk);
+void ReplicaSet::bump_heat(ChunkState& st) {
   if (st.hot) return;
   if (++st.hits >= config_.hot_threshold) st.hot = true;
+}
+
+void ReplicaSet::record_hit(storage::ChunkId chunk) {
+  if (config_.placement != PlacementPolicy::HotChunk ||
+      heat_source_ != HeatSource::CacheHits) {
+    return;
+  }
+  bump_heat(chunks_.at(chunk));
+}
+
+void ReplicaSet::record_fetch(storage::ChunkId chunk) {
+  if (config_.placement != PlacementPolicy::HotChunk ||
+      heat_source_ != HeatSource::FetchCounts) {
+    return;
+  }
+  bump_heat(chunks_.at(chunk));
 }
 
 unsigned ReplicaSet::target_copies(storage::ChunkId chunk) const {

@@ -10,7 +10,8 @@
 //  * k-way placement over the existing stores, pluggable policy —
 //    cross-site spread (fault isolation), same-site (cheap repair, no WAN
 //    diversity), or hot-chunk-only (extra copies earned by cache/prefetch
-//    hit counts instead of paid up front);
+//    hit counts — or plain fetch counts when no cache is attached —
+//    instead of paid up front);
 //  * a route oracle: resolve(chunk, reader site, now) picks the cheapest
 //    *live* replica by WAN cost, penalizing stores inside a throttle window,
 //    with a configured failure probability, or recently implicated in a
@@ -44,14 +45,26 @@ enum class PlacementPolicy : std::uint8_t {
   /// Extra copies spread deterministically across the other sites' stores,
   /// maximizing the chance a reader finds a replica off the faulted path.
   CrossSite,
-  /// No extra copies up front; a chunk earns its k copies once cache /
-  /// prefetch hits promote it to "hot" (record_hit reaches hot_threshold),
-  /// after which the repair actor replicates it like any under-replicated
-  /// chunk. Placement of earned copies follows the CrossSite spread.
+  /// No extra copies up front; a chunk earns its k copies once its heat
+  /// source promotes it to "hot" (record_hit / record_fetch reaches
+  /// hot_threshold — see HeatSource), after which the repair actor
+  /// replicates it like any under-replicated chunk. Placement of earned
+  /// copies follows the CrossSite spread.
   HotChunk,
 };
 
 const char* to_string(PlacementPolicy policy);
+
+/// Where HotChunk promotion heat comes from. With a CacheFleet attached,
+/// cache/prefetch hits (record_hit) are the signal; without one the set falls
+/// back to plain per-chunk fetch counts (record_fetch) so the policy still
+/// promotes — the middleware picks the source at setup and logs it.
+enum class HeatSource : std::uint8_t {
+  CacheHits,
+  FetchCounts,
+};
+
+const char* to_string(HeatSource source);
 
 struct ReplicationConfig {
   /// Target copies per chunk, primary included; clamped to the store count.
@@ -70,6 +83,10 @@ struct ReplicationConfig {
   /// How long a store implicated in a fault (failed GET, lifecycle loss on
   /// its site) is penalized by the route oracle.
   double suspect_seconds = 120.0;
+
+  /// Seed for the deterministic hash that breaks routing ties left over
+  /// after the outstanding-bytes comparison (see resolve()).
+  std::uint64_t route_seed = 0x9e3779b97f4a7c15ull;
 };
 
 class ReplicaSet {
@@ -95,9 +112,24 @@ class ReplicaSet {
   /// Cheapest live replica for a reader at `reader_site`, by WAN transfer
   /// cost plus fault/throttle/suspect penalties at time `now`. Falls back to
   /// the primary when every copy is marked lost (the caller's retry loop
-  /// deals with the store as it finds it). Ties break to the lowest store id.
+  /// deals with the store as it finds it). Equal-cost copies split load:
+  /// ties go to the store with the fewest outstanding routed bytes, and
+  /// residual ties fall to a seeded deterministic hash of (chunk, store) —
+  /// never blindly to the lowest store id, which would pile every reader
+  /// onto one copy. The chosen store is charged the chunk's bytes until
+  /// note_fetch_ok / mark_lost / settle_route settles the fetch.
   storage::StoreId resolve(storage::ChunkId chunk, cluster::ClusterId reader_site,
                            double now) const;
+
+  /// Bytes resolve() has routed at `store` that no settle has cleared yet —
+  /// the tie-break load signal.
+  std::uint64_t routed_bytes(storage::StoreId store) const {
+    return store < routed_bytes_.size() ? routed_bytes_[store] : 0;
+  }
+
+  /// Clear a resolve() charge without touching replica health (fetch paths
+  /// that don't report ok/lost, e.g. an aborted prefetch).
+  void settle_route(storage::ChunkId chunk, storage::StoreId store);
 
   /// The score resolve() minimizes, for the chosen replica — the scheduler's
   /// CheapestReplica policy ranks candidate steals with this.
@@ -123,9 +155,18 @@ class ReplicaSet {
   void mark_store_suspect(storage::StoreId store, double now);
   void mark_site_suspect(cluster::ClusterId site, double now);
 
-  /// Cache/prefetch hit on `chunk` (HotChunk promotion input; no-op for the
-  /// other policies).
+  /// Cache/prefetch hit on `chunk` (HotChunk promotion input when the heat
+  /// source is CacheHits; no-op otherwise).
   void record_hit(storage::ChunkId chunk);
+
+  /// Demand fetch of `chunk` (HotChunk promotion input when the heat source
+  /// is FetchCounts; no-op otherwise).
+  void record_fetch(storage::ChunkId chunk);
+
+  /// HotChunk promotion signal; the middleware selects CacheHits when a
+  /// CacheFleet is attached and FetchCounts otherwise.
+  void set_heat_source(HeatSource source) { heat_source_ = source; }
+  HeatSource heat_source() const { return heat_source_; }
 
   /// Copies this chunk should have right now (HotChunk: 1 until promoted).
   unsigned target_copies(storage::ChunkId chunk) const;
@@ -180,6 +221,8 @@ class ReplicaSet {
   storage::StoreId pick_repair_destination(const ChunkState& state,
                                            storage::ChunkId chunk, double now) const;
   unsigned live_count(const ChunkState& state) const;
+  std::uint64_t route_hash(storage::ChunkId chunk, storage::StoreId store) const;
+  void bump_heat(ChunkState& st);
 
   ReplicationConfig config_;
   bool built_ = false;
@@ -190,6 +233,10 @@ class ReplicaSet {
   std::vector<cluster::ClusterId> store_sites_;     ///< owning site per store
   std::vector<std::vector<double>> wan_cost_;       ///< [site][site] ref-transfer seconds
   std::vector<double> suspect_until_;               ///< per store
+  /// In-flight bytes charged by resolve(); mutable because routing is a
+  /// logically-const query whose load signal must still update.
+  mutable std::vector<std::uint64_t> routed_bytes_;
+  HeatSource heat_source_ = HeatSource::CacheHits;
   std::vector<std::pair<storage::ChunkId, storage::StoreId>> initial_extras_;
 
   std::uint32_t created_ = 0;

@@ -42,6 +42,9 @@ const char* to_string(EventKind kind) {
     case EventKind::ReplicaCreated: return "ReplicaCreated";
     case EventKind::ReplicaLost: return "ReplicaLost";
     case EventKind::ReplicaRepaired: return "ReplicaRepaired";
+    case EventKind::QosThrottled: return "QosThrottled";
+    case EventKind::ReservationGranted: return "ReservationGranted";
+    case EventKind::ReservationRejected: return "ReservationRejected";
   }
   return "?";
 }

@@ -53,6 +53,10 @@ enum class EventKind : std::uint8_t {
   ReplicaCreated,      ///< a = chunk id, b = store id (initial placement copy)
   ReplicaLost,         ///< a = chunk id, b = store id (copy marked dead)
   ReplicaRepaired,     ///< a = chunk id, b = store id (repair transfer landed)
+  // Store QoS (RunOptions::qos):
+  QosThrottled,        ///< actor = fetching actor, a = chunk id, b = store id
+  ReservationGranted,  ///< actor = "qos", a = store id, b = bytes/sec
+  ReservationRejected, ///< actor = "qos", a = store id, b = bytes/sec
 };
 
 const char* to_string(EventKind kind);

@@ -112,6 +112,10 @@ struct TenantReport {
   std::uint32_t slo_met = 0;
   double service_seconds = 0.0;  ///< core-seconds of processing consumed
   cost::CostReport attributed_cost;
+  /// Store-QoS view of this tenant (zeros/inactive when no StoreQos was
+  /// attached to the jobs' RunOptions): wait time, achieved bandwidth, and
+  /// per-tenant cache hit/miss counts.
+  qos::TenantQosReport qos;
 };
 
 struct WorkloadResult {

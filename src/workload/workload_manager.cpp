@@ -91,6 +91,7 @@ std::uint32_t WorkloadManager::submit(JobSpec spec, double at_seconds) {
   if (spec.name.empty()) spec.name = "job" + std::to_string(job->id);
   job->submit_seconds = at_seconds;
   job->effective = spec.options;
+  job->effective.tenant = spec.tenant;
   if (options_.tracer) job->effective.tracer = options_.tracer;
   job->spec = std::move(spec);
   job->estimate_seconds =
@@ -375,6 +376,14 @@ WorkloadResult WorkloadManager::aggregate() {
       for (const JobResult& r : result.jobs) {
         if (r.tenant != name) continue;
         for (const auto& node : r.run.nodes) report.service_seconds += node.processing;
+      }
+    }
+    // Store-QoS rollup: any of the tenant's jobs that carried a StoreQos
+    // shares the same arbiter-wide per-tenant counters.
+    for (const auto& job : jobs_) {
+      if (job->spec.tenant == name && job->effective.qos) {
+        report.qos = job->effective.qos->report(name);
+        break;
       }
     }
     result.tenants.push_back(report);

@@ -181,7 +181,168 @@ TEST(ReplicaPlacement, HotChunkStartsBareAndEarnsCopiesFromHits) {
   EXPECT_EQ(rs.replicas_repaired(), 1u);
 }
 
+TEST(ReplicaPlacement, HotChunkFallsBackToFetchCountHeatWithoutACache) {
+  Platform p(three_site_spec());
+  const auto layout = three_way_layout(p);
+  ReplicationConfig cfg;
+  cfg.replication_factor = 2;
+  cfg.placement = PlacementPolicy::HotChunk;
+  cfg.hot_threshold = 2;
+  ReplicaSet rs{cfg};
+  rs.attach(layout, p);
+
+  // Default heat source is cache hits: demand fetches are not heat, so the
+  // old silent-degradation bug (no cache -> no promotions, ever) would
+  // reproduce here if fetches counted for the wrong source.
+  EXPECT_EQ(rs.heat_source(), replica::HeatSource::CacheHits);
+  rs.record_fetch(0);
+  rs.record_fetch(0);
+  EXPECT_EQ(rs.target_copies(0), 1u);
+
+  // Cacheless runs switch the source: now only fetches count.
+  rs.set_heat_source(replica::HeatSource::FetchCounts);
+  rs.record_hit(1);
+  rs.record_hit(1);
+  EXPECT_EQ(rs.target_copies(1), 1u);
+  rs.record_fetch(1);
+  rs.record_fetch(1);
+  EXPECT_EQ(rs.target_copies(1), 2u);  // promoted from demand fetches
+}
+
+// The end-to-end regression for the silent HotChunk degradation: with no
+// CacheFleet attached the middleware selects fetch-count heat, so promotions
+// (and the repair transfers that realize them) still happen.
+TEST(ReplicaAcceptance, HotChunkPromotesFromDemandFetchesWhenNoCacheRuns) {
+  ReplicationConfig cfg;
+  cfg.replication_factor = 2;
+  cfg.placement = PlacementPolicy::HotChunk;
+  cfg.hot_threshold = 1;  // one demand fetch is enough to earn a copy
+  ReplicaSet rs{cfg};
+  const auto result = apps::run_env(
+      apps::Env::Hybrid5050, apps::PaperApp::Knn,
+      [&](cluster::PlatformSpec&, middleware::RunOptions& options) {
+        options.replication = &rs;
+      });
+  EXPECT_EQ(rs.heat_source(), replica::HeatSource::FetchCounts);
+  EXPECT_EQ(result.total_jobs(), 96u);
+  EXPECT_GT(result.replica.replicas_repaired, 0u);
+
+  // With a cache attached the source stays cache hits, as before.
+  cache::CacheConfig ccfg;
+  ccfg.capacity_bytes = GiB(4);
+  cache::CacheFleet fleet(ccfg);
+  ReplicaSet rs2{cfg};
+  apps::run_env(apps::Env::Hybrid5050, apps::PaperApp::Knn,
+                [&](cluster::PlatformSpec&, middleware::RunOptions& options) {
+                  options.replication = &rs2;
+                  options.cache = &fleet;
+                });
+  EXPECT_EQ(rs2.heat_source(), replica::HeatSource::CacheHits);
+}
+
 // --- route oracle ------------------------------------------------------------
+
+// Equal-cost replicas must split read load instead of piling onto the lowest
+// store id (the old tie-break). The outstanding-routed-bytes signal makes
+// successive resolves alternate between the two copies.
+TEST(ReplicaRouting, EqualCostTiesSplitLoadAcrossReplicas) {
+  PlatformSpec spec;
+  spec.sites.push_back(PlatformSpec::paper_local_site(8));
+  spec.sites.push_back(PlatformSpec::paper_cloud_site(8, "east"));
+  spec.sites.push_back(PlatformSpec::paper_cloud_site(8, "west"));
+  spec.wan_bandwidth = MBps(125);
+  spec.wan_latency = des::from_seconds(ms(25));
+  // East <-> west is cheap, so CrossSite replicates east's chunks to west;
+  // site 0 then reads both copies at identical (default) WAN cost.
+  spec.set_wan(1, 2, MBps(500), des::from_seconds(ms(5)));
+  Platform p(spec);
+
+  storage::LayoutSpec lspec;
+  lspec.total_bytes = MiB(96);
+  lspec.num_files = 6;
+  lspec.chunks_per_file = 2;
+  lspec.unit_bytes = 64;
+  storage::DataLayout layout = storage::build_layout(lspec);
+  const StoreId east = p.store_of_cluster(1);
+  const StoreId west = p.store_of_cluster(2);
+  storage::assign_stores_by_fraction(layout, 1.0, east, west);
+
+  ReplicationConfig cfg;
+  cfg.replication_factor = 2;
+  cfg.placement = PlacementPolicy::CrossSite;
+  ReplicaSet rs{cfg};
+  rs.attach(layout, p);
+  // CrossSite fans copies round-robin: even chunks replicate east -> west
+  // (both remote and equidistant from site 0), odd ones east -> local.
+  std::vector<storage::ChunkId> tied;
+  for (const auto& chunk : layout.chunks()) {
+    if (rs.is_live(chunk.id, east) && rs.is_live(chunk.id, west)) {
+      tied.push_back(chunk.id);
+    }
+  }
+  ASSERT_GE(tied.size(), 6u);
+
+  // One resolve per tied chunk from the equidistant reader: the split must
+  // come out near 50/50, not 100% on the lower store id.
+  std::map<StoreId, unsigned> counts;
+  std::vector<StoreId> sequence;
+  for (const storage::ChunkId chunk : tied) {
+    const StoreId s = rs.resolve(chunk, /*reader_site=*/0, 0.0);
+    ++counts[s];
+    sequence.push_back(s);
+  }
+  const double n = static_cast<double>(tied.size());
+  EXPECT_GE(counts[east], static_cast<unsigned>(0.4 * n));
+  EXPECT_GE(counts[west], static_cast<unsigned>(0.4 * n));
+
+  // Deterministic: an identical set resolves the identical sequence.
+  ReplicaSet again{cfg};
+  again.attach(layout, p);
+  std::vector<StoreId> sequence2;
+  for (const storage::ChunkId chunk : tied) {
+    sequence2.push_back(again.resolve(chunk, 0, 0.0));
+  }
+  EXPECT_EQ(sequence, sequence2);
+}
+
+TEST(ReplicaRouting, ResolveChargesRoutedBytesUntilSettled) {
+  PlatformSpec spec;
+  spec.sites.push_back(PlatformSpec::paper_local_site(8));
+  spec.sites.push_back(PlatformSpec::paper_cloud_site(8, "east"));
+  spec.sites.push_back(PlatformSpec::paper_cloud_site(8, "west"));
+  spec.wan_bandwidth = MBps(125);
+  spec.wan_latency = des::from_seconds(ms(25));
+  spec.set_wan(1, 2, MBps(500), des::from_seconds(ms(5)));
+  Platform p(spec);
+
+  storage::LayoutSpec lspec;
+  lspec.total_bytes = MiB(96);
+  lspec.num_files = 6;
+  lspec.chunks_per_file = 2;
+  lspec.unit_bytes = 64;
+  storage::DataLayout layout = storage::build_layout(lspec);
+  storage::assign_stores_by_fraction(layout, 1.0, p.store_of_cluster(1),
+                                     p.store_of_cluster(2));
+  ReplicationConfig cfg;
+  cfg.replication_factor = 2;
+  cfg.placement = PlacementPolicy::CrossSite;
+  ReplicaSet rs{cfg};
+  rs.attach(layout, p);
+
+  const std::uint64_t bytes = layout.chunk(0).bytes;
+  const StoreId first = rs.resolve(0, 0, 0.0);
+  EXPECT_EQ(rs.routed_bytes(first), bytes);
+  // The charge is live, so the same chunk re-routes to the other copy.
+  const StoreId second = rs.resolve(0, 0, 0.0);
+  EXPECT_NE(second, first);
+  // Settling clears the charge without touching replica health.
+  rs.settle_route(0, first);
+  rs.settle_route(0, second);
+  EXPECT_EQ(rs.routed_bytes(first), 0u);
+  EXPECT_EQ(rs.routed_bytes(second), 0u);
+  EXPECT_TRUE(rs.is_live(0, first));
+  EXPECT_TRUE(rs.is_live(0, second));
+}
 
 TEST(ReplicaRouting, ResolvePrefersOwnSiteThenFailsOverAndRevives) {
   Platform p(three_site_spec());
