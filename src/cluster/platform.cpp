@@ -264,6 +264,7 @@ void Platform::build_cluster(ClusterId id, const ClusterSpec& cspec, net::SiteId
       const double factor = 1.0 + spec_.node_speed_jitter * jitter.normal();
       handle.core_speed *= std::max(0.5, factor);
     }
+    handle.offline = cspec.nodes[i].offline;
     handle.name = cspec.name + "-node" + std::to_string(i);
     const net::LinkId nic =
         net.add_link(handle.name + "-nic", cspec.nic_bandwidth, cspec.nic_latency);

@@ -50,6 +50,11 @@ struct NodeSpec {
   /// Per-core throughput relative to the reference core the AppProfiles are
   /// calibrated against (local Xeon == 1.0).
   double core_speed = 1.0;
+  /// Physical capacity that exists in the fabric but has not joined the
+  /// platform yet: offline nodes are built (NIC, endpoint) but skipped by
+  /// PlatformDirectory::bootstrap, so a run only sees them after an explicit
+  /// mid-run register_node. Requires a directory (validate_run enforces it).
+  bool offline = false;
 };
 
 struct ClusterSpec {
@@ -167,6 +172,7 @@ struct NodeHandle {
   double core_speed = 1.0;
   net::EndpointId endpoint = 0;
   std::string name;
+  bool offline = false;  ///< built into the fabric but absent at bootstrap
 };
 
 /// Builds and owns the simulated deployment: simulator, network, stores.

@@ -20,18 +20,24 @@ std::string CostReport::to_string() const {
 CostReport price(const CostInputs& inputs, const CloudPricing& pricing) {
   CostReport report;
 
-  // Per-started-hour billing: every instance pays ceil(duration) hours.
+  // Per-started-quantum billing: every instance pays ceil(duration) quanta
+  // (whole hours at the default quantum — the 2011 rules — or finer windows
+  // under lease-granular pricing).
+  const double quantum = pricing.billing_quantum_hours > 0.0
+                             ? pricing.billing_quantum_hours
+                             : 1.0;
   if (!inputs.instance_seconds.empty()) {
     report.instance_hours = 0.0;
     for (double s : inputs.instance_seconds) {
-      // Launching bills the first hour even if the job finished before the
-      // instance came up (cancel-at-boot still pays).
-      report.instance_hours += std::max(1.0, std::ceil(s / 3600.0));
+      // Launching bills the first quantum even if the job finished before
+      // the instance came up (cancel-at-boot still pays).
+      report.instance_hours +=
+          std::max(quantum, std::ceil(s / 3600.0 / quantum) * quantum);
     }
   } else {
     const double hours = inputs.run_seconds / 3600.0;
     report.instance_hours =
-        std::ceil(hours) * static_cast<double>(inputs.cloud_instances);
+        std::ceil(hours / quantum) * quantum * static_cast<double>(inputs.cloud_instances);
   }
   report.instance_usd = report.instance_hours * pricing.instance_hour_usd;
 

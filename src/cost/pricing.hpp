@@ -28,7 +28,21 @@ struct CloudPricing {
   /// hosted in the cloud, prorated to the run duration).
   double storage_gb_month_usd = 0.14;
 
+  /// Billing granularity in hours. 1.0 reproduces the 2011 per-started-hour
+  /// rules exactly; smaller values model lease-granular billing (per-minute
+  /// at 1/60.0), where a node-pool lease pays for the time it actually held
+  /// the instance instead of rounding every window up to a full hour.
+  double billing_quantum_hours = 1.0;
+
   static CloudPricing aws_2011() { return CloudPricing{}; }
+
+  /// 2011 rates with per-minute billing quanta — the pricing a shared node
+  /// pool's lease windows are metered under.
+  static CloudPricing aws_2011_per_minute() {
+    CloudPricing p;
+    p.billing_quantum_hours = 1.0 / 60.0;
+    return p;
+  }
 };
 
 /// Itemized cost of one distributed run.

@@ -1,0 +1,238 @@
+#include "directory/platform_directory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cloudburst::directory {
+
+PlatformDirectory::PlatformDirectory(cluster::Platform& platform)
+    : platform_(platform) {
+  nodes_.resize(platform_.cluster_count());
+  for (cluster::ClusterId site = 0; site < nodes_.size(); ++site) {
+    nodes_[site].resize(platform_.nodes(site).size());
+  }
+  stores_.assign(platform_.store_count(), ServiceState::Absent);
+  sites_.assign(platform_.cluster_count(), ServiceState::Absent);
+}
+
+double PlatformDirectory::now_seconds() const {
+  return des::to_seconds(platform_.sim().now());
+}
+
+void PlatformDirectory::trace(trace::EventKind kind, const std::string& actor,
+                              cluster::ClusterId site, ServiceKind service) {
+  if (tracer_) {
+    tracer_->record(now_seconds(), kind, actor, site,
+                    static_cast<std::uint64_t>(service));
+  }
+}
+
+void PlatformDirectory::emit(const DirectoryEvent& event) {
+  // Snapshot: a watcher may unwatch (or watch) from inside its callback.
+  const auto snapshot = watchers_;
+  for (const auto& [id, fn] : snapshot) {
+    bool still_subscribed = false;
+    for (const auto& [live_id, live_fn] : watchers_) {
+      if (live_id == id) { still_subscribed = true; break; }
+    }
+    if (still_subscribed && fn) fn(event);
+  }
+}
+
+PlatformDirectory::NodeEntry& PlatformDirectory::entry(cluster::ClusterId site,
+                                                       std::uint32_t node_index) {
+  if (site >= nodes_.size() || node_index >= nodes_[site].size()) {
+    throw std::invalid_argument("PlatformDirectory: no such node in the platform spec");
+  }
+  return nodes_[site][node_index];
+}
+
+const PlatformDirectory::NodeEntry& PlatformDirectory::entry(
+    cluster::ClusterId site, std::uint32_t node_index) const {
+  if (site >= nodes_.size() || node_index >= nodes_[site].size()) {
+    throw std::invalid_argument("PlatformDirectory: no such node in the platform spec");
+  }
+  return nodes_[site][node_index];
+}
+
+void PlatformDirectory::bootstrap() {
+  const double at = now_seconds();
+  for (cluster::ClusterId site = 0; site < sites_.size(); ++site) {
+    sites_[site] = ServiceState::Active;
+    emit({DirectoryEvent::Kind::SiteRegistered, site, 0, 0, at});
+  }
+  for (storage::StoreId store = 0; store < stores_.size(); ++store) {
+    stores_[store] = ServiceState::Active;
+    emit({DirectoryEvent::Kind::StoreRegistered, platform_.owner_of_store(store), 0,
+          store, at});
+  }
+  for (cluster::ClusterId site = 0; site < nodes_.size(); ++site) {
+    const auto& handles = platform_.nodes(site);
+    for (std::uint32_t i = 0; i < handles.size(); ++i) {
+      if (handles[i].offline) continue;  // capacity that has not arrived yet
+      nodes_[site][i].state = ServiceState::Active;
+      emit({DirectoryEvent::Kind::NodeRegistered, site, i, 0, at});
+    }
+  }
+}
+
+void PlatformDirectory::register_node(cluster::ClusterId site,
+                                      std::uint32_t node_index) {
+  NodeEntry& e = entry(site, node_index);
+  if (e.state == ServiceState::Active || e.state == ServiceState::Draining) {
+    throw std::invalid_argument("PlatformDirectory: node is already registered");
+  }
+  if (e.state == ServiceState::Retired) ++e.generation;  // re-join, new identity
+  e.state = ServiceState::Active;
+  trace(trace::EventKind::NodeRegistered,
+        platform_.nodes(site).at(node_index).name, site, ServiceKind::Node);
+  emit({DirectoryEvent::Kind::NodeRegistered, site, node_index, 0, now_seconds()});
+}
+
+void PlatformDirectory::begin_node_retirement(cluster::ClusterId site,
+                                              std::uint32_t node_index) {
+  NodeEntry& e = entry(site, node_index);
+  if (e.state != ServiceState::Active) {
+    throw std::invalid_argument(
+        "PlatformDirectory: only an Active node can begin retirement");
+  }
+  e.state = ServiceState::Draining;
+  emit({DirectoryEvent::Kind::NodeDraining, site, node_index, 0, now_seconds()});
+}
+
+void PlatformDirectory::complete_node_retirement(cluster::ClusterId site,
+                                                 std::uint32_t node_index) {
+  NodeEntry& e = entry(site, node_index);
+  if (e.state != ServiceState::Active && e.state != ServiceState::Draining) {
+    throw std::invalid_argument("PlatformDirectory: node is not live");
+  }
+  e.state = ServiceState::Retired;
+  trace(trace::EventKind::NodeRetired,
+        platform_.nodes(site).at(node_index).name, site, ServiceKind::Node);
+  emit({DirectoryEvent::Kind::NodeRetired, site, node_index, 0, now_seconds()});
+}
+
+void PlatformDirectory::register_store(storage::StoreId store) {
+  if (store >= stores_.size()) {
+    throw std::invalid_argument("PlatformDirectory: no such store");
+  }
+  if (stores_[store] == ServiceState::Active) {
+    throw std::invalid_argument("PlatformDirectory: store is already registered");
+  }
+  stores_[store] = ServiceState::Active;
+  const cluster::ClusterId owner = platform_.owner_of_store(store);
+  trace(trace::EventKind::NodeRegistered, platform_.site_name(owner) + "-store",
+        owner, ServiceKind::Store);
+  emit({DirectoryEvent::Kind::StoreRegistered, owner, 0, store, now_seconds()});
+}
+
+void PlatformDirectory::retire_store(storage::StoreId store) {
+  if (store >= stores_.size() || stores_[store] != ServiceState::Active) {
+    throw std::invalid_argument("PlatformDirectory: store is not live");
+  }
+  stores_[store] = ServiceState::Retired;
+  const cluster::ClusterId owner = platform_.owner_of_store(store);
+  trace(trace::EventKind::NodeRetired, platform_.site_name(owner) + "-store",
+        owner, ServiceKind::Store);
+  emit({DirectoryEvent::Kind::StoreRetired, owner, 0, store, now_seconds()});
+}
+
+void PlatformDirectory::register_site(cluster::ClusterId site) {
+  if (site >= sites_.size()) {
+    throw std::invalid_argument("PlatformDirectory: no such site");
+  }
+  if (sites_[site] == ServiceState::Active) {
+    throw std::invalid_argument("PlatformDirectory: site is already registered");
+  }
+  sites_[site] = ServiceState::Active;
+  trace(trace::EventKind::NodeRegistered, platform_.site_name(site), site,
+        ServiceKind::Site);
+  emit({DirectoryEvent::Kind::SiteRegistered, site, 0, 0, now_seconds()});
+}
+
+void PlatformDirectory::retire_site(cluster::ClusterId site) {
+  if (site >= sites_.size() || sites_[site] != ServiceState::Active) {
+    throw std::invalid_argument("PlatformDirectory: site is not live");
+  }
+  sites_[site] = ServiceState::Retired;
+  trace(trace::EventKind::NodeRetired, platform_.site_name(site), site,
+        ServiceKind::Site);
+  emit({DirectoryEvent::Kind::SiteRetired, site, 0, 0, now_seconds()});
+}
+
+bool PlatformDirectory::node_live(net::EndpointId endpoint) const {
+  for (cluster::ClusterId site = 0; site < nodes_.size(); ++site) {
+    const auto& handles = platform_.nodes(site);
+    for (std::uint32_t i = 0; i < handles.size(); ++i) {
+      if (handles[i].endpoint != endpoint) continue;
+      const ServiceState s = nodes_[site][i].state;
+      return s == ServiceState::Active || s == ServiceState::Draining;
+    }
+  }
+  return false;
+}
+
+bool PlatformDirectory::node_active(net::EndpointId endpoint) const {
+  for (cluster::ClusterId site = 0; site < nodes_.size(); ++site) {
+    const auto& handles = platform_.nodes(site);
+    for (std::uint32_t i = 0; i < handles.size(); ++i) {
+      if (handles[i].endpoint != endpoint) continue;
+      return nodes_[site][i].state == ServiceState::Active;
+    }
+  }
+  return false;
+}
+
+ServiceState PlatformDirectory::node_state(cluster::ClusterId site,
+                                           std::uint32_t node_index) const {
+  return entry(site, node_index).state;
+}
+
+bool PlatformDirectory::store_live(storage::StoreId store) const {
+  return store < stores_.size() && stores_[store] == ServiceState::Active;
+}
+
+bool PlatformDirectory::site_live(cluster::ClusterId site) const {
+  return site < sites_.size() && sites_[site] == ServiceState::Active;
+}
+
+std::vector<cluster::NodeHandle> PlatformDirectory::active_nodes(
+    cluster::ClusterId site) const {
+  std::vector<cluster::NodeHandle> out;
+  if (site >= nodes_.size()) return out;
+  const auto& handles = platform_.nodes(site);
+  for (std::uint32_t i = 0; i < handles.size(); ++i) {
+    if (nodes_[site][i].state == ServiceState::Active) out.push_back(handles[i]);
+  }
+  return out;
+}
+
+std::size_t PlatformDirectory::active_node_count() const {
+  std::size_t total = 0;
+  for (const auto& site : nodes_) {
+    total += static_cast<std::size_t>(
+        std::count_if(site.begin(), site.end(), [](const NodeEntry& e) {
+          return e.state == ServiceState::Active;
+        }));
+  }
+  return total;
+}
+
+std::uint32_t PlatformDirectory::node_generation(cluster::ClusterId site,
+                                                 std::uint32_t node_index) const {
+  return entry(site, node_index).generation;
+}
+
+PlatformDirectory::WatchId PlatformDirectory::watch(Watcher fn) {
+  const WatchId id = next_watch_++;
+  watchers_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void PlatformDirectory::unwatch(WatchId id) {
+  watchers_.erase(std::remove_if(watchers_.begin(), watchers_.end(),
+                                 [id](const auto& w) { return w.first == id; }),
+                  watchers_.end());
+}
+
+}  // namespace cloudburst::directory

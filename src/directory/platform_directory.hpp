@@ -1,0 +1,153 @@
+// PlatformDirectory: the runtime service directory of a mutable platform.
+//
+// The static PlatformSpec describes the fabric that *can* exist — wires,
+// NICs, store fronts. The directory tracks what exists *right now*: which
+// nodes, stores, and sites are registered, draining, or retired at the
+// current simulated time. Services join and leave mid-run (capacity
+// arrival, node retirement, store decommission); consumers — JobExecution
+// membership resolution, the WorkloadManager's node pool, replication —
+// query the directory or subscribe to its change feed instead of trusting
+// build-time wiring.
+//
+// The static path survives as a bootstrap: `bootstrap()` registers every
+// non-offline node, every store, and every site at the current sim time, so
+// a run that never mutates the directory is indistinguishable from a run
+// without one (byte-identity with the paper benches is pinned by test).
+//
+// Lifecycle of an entry:
+//
+//     (absent) --register--> Active --begin_retirement--> Draining
+//         ^                    |  ^                          |
+//         |                    |  '----- re-register --------|
+//         '---- (never) ------ Retired <--complete_retirement'
+//
+// Re-registering a Retired node bumps its generation — consumers holding a
+// stale handle can detect that "node 3" today is not the "node 3" they saw
+// drain out yesterday.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/platform.hpp"
+#include "trace/trace.hpp"
+
+namespace cloudburst::directory {
+
+enum class ServiceState : std::uint8_t { Absent, Active, Draining, Retired };
+
+enum class ServiceKind : std::uint8_t { Node = 0, Store = 1, Site = 2 };
+
+/// One change in platform membership, delivered to watchers synchronously
+/// (in registration order) at the sim time the change happens.
+struct DirectoryEvent {
+  enum class Kind : std::uint8_t {
+    NodeRegistered,
+    NodeDraining,
+    NodeRetired,
+    StoreRegistered,
+    StoreRetired,
+    SiteRegistered,
+    SiteRetired,
+  };
+  Kind kind = Kind::NodeRegistered;
+  cluster::ClusterId site = 0;
+  std::uint32_t node_index = 0;        ///< Node* events: index within the site
+  storage::StoreId store = 0;          ///< Store* events
+  double at_seconds = 0.0;
+};
+
+class PlatformDirectory {
+ public:
+  explicit PlatformDirectory(cluster::Platform& platform);
+
+  /// Registers every site, every store, and every non-offline node at the
+  /// current sim time. Call once before running; mid-run mutations layer on
+  /// top. Offline nodes (NodeSpec::offline) stay Absent until an explicit
+  /// register_node — that is the capacity-arrival hook.
+  void bootstrap();
+
+  // --- mutations -----------------------------------------------------------
+
+  /// A node joins (capacity arrival) or re-joins (generation bump) the
+  /// platform. Throws if the spec has no such node or it is already live.
+  void register_node(cluster::ClusterId site, std::uint32_t node_index);
+
+  /// Marks a node Draining: still live for running work, but consumers that
+  /// place new work (the pool, membership resolution) must stop using it.
+  /// Watchers see NodeDraining; the owner finishes with
+  /// complete_node_retirement once the drain settles.
+  void begin_node_retirement(cluster::ClusterId site, std::uint32_t node_index);
+
+  /// Drain settled (or the node is being removed without ceremony): the node
+  /// leaves the directory. Legal from Active or Draining.
+  void complete_node_retirement(cluster::ClusterId site, std::uint32_t node_index);
+
+  /// Active/Draining -> Retired in one step.
+  void retire_node(cluster::ClusterId site, std::uint32_t node_index) {
+    complete_node_retirement(site, node_index);
+  }
+
+  void register_store(storage::StoreId store);
+  void retire_store(storage::StoreId store);
+  void register_site(cluster::ClusterId site);
+  void retire_site(cluster::ClusterId site);
+
+  // --- queries -------------------------------------------------------------
+
+  /// Live means Active or Draining: existing work may still touch the
+  /// service, but nothing new should be placed on a Draining one.
+  bool node_live(net::EndpointId endpoint) const;
+  bool node_active(net::EndpointId endpoint) const;
+  ServiceState node_state(cluster::ClusterId site, std::uint32_t node_index) const;
+  bool store_live(storage::StoreId store) const;
+  bool site_live(cluster::ClusterId site) const;
+
+  /// Active nodes of one site, in platform order.
+  std::vector<cluster::NodeHandle> active_nodes(cluster::ClusterId site) const;
+  /// Active node count across all sites.
+  std::size_t active_node_count() const;
+  /// Times a node re-joined after retirement (0 for a first registration).
+  std::uint32_t node_generation(cluster::ClusterId site, std::uint32_t node_index) const;
+
+  // --- change feed ---------------------------------------------------------
+
+  using WatchId = std::uint64_t;
+  using Watcher = std::function<void(const DirectoryEvent&)>;
+  /// Subscribe to membership changes; callbacks fire synchronously at the
+  /// mutating call, in subscription order. Returns a token for unwatch.
+  WatchId watch(Watcher fn);
+  void unwatch(WatchId id);
+
+  /// Attach a tracer: mutations record NodeRegistered / NodeRetired trace
+  /// events (actor = service name, a = site, b = ServiceKind).
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
+  cluster::Platform& platform() { return platform_; }
+  const cluster::Platform& platform() const { return platform_; }
+
+ private:
+  struct NodeEntry {
+    ServiceState state = ServiceState::Absent;
+    std::uint32_t generation = 0;
+  };
+
+  NodeEntry& entry(cluster::ClusterId site, std::uint32_t node_index);
+  const NodeEntry& entry(cluster::ClusterId site, std::uint32_t node_index) const;
+  void emit(const DirectoryEvent& event);
+  void trace(trace::EventKind kind, const std::string& actor,
+             cluster::ClusterId site, ServiceKind service);
+  double now_seconds() const;
+
+  cluster::Platform& platform_;
+  std::vector<std::vector<NodeEntry>> nodes_;    ///< [site][node_index]
+  std::vector<ServiceState> stores_;
+  std::vector<ServiceState> sites_;
+  std::vector<std::pair<WatchId, Watcher>> watchers_;
+  WatchId next_watch_ = 1;
+  trace::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace cloudburst::directory

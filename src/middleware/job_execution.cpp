@@ -69,6 +69,41 @@ void validate_run(const cluster::Platform& platform, const storage::DataLayout& 
     }
   }
 
+  // --- dynamic control plane (directory / elastic node pool) -----------------
+  if (!options.directory) {
+    for (cluster::ClusterId site = 0; site < platform.cluster_count(); ++site) {
+      for (const auto& node : platform.nodes(site)) {
+        if (node.offline) {
+          throw std::invalid_argument(
+              "run_distributed: offline nodes (deferred capacity) require "
+              "RunOptions::directory");
+        }
+      }
+    }
+  }
+  if (options.pool_plan.enabled) {
+    if (options.reduction_tree) {
+      throw std::invalid_argument(
+          "run_distributed: pool leases require reduction_tree = false "
+          "(the master must track per-slave work for cross-job drain)");
+    }
+    if (!options.directory) {
+      throw std::invalid_argument(
+          "run_distributed: pool leases require RunOptions::directory");
+    }
+    if (options.elastic.enabled || options.migration.standby_nodes > 0 ||
+        !options.lifecycle.empty() || !options.failures.empty() ||
+        options.spot.reclaim_rate_per_hour > 0.0) {
+      throw std::invalid_argument(
+          "run_distributed: the elastic node pool owns cloud-node lifetime — "
+          "per-job elastic/migration/lifecycle/failure machinery is excluded");
+    }
+    if (options.static_assignment) {
+      throw std::invalid_argument(
+          "run_distributed: static assignment excludes pool leases");
+    }
+  }
+
   // --- store QoS -------------------------------------------------------------
   if (options.qos) {
     // Weight validation happened at StoreQos construction; what can only be
@@ -159,6 +194,7 @@ JobExecution::JobExecution(cluster::Platform& platform, const storage::DataLayou
            std::move(trace_tag), arbiter, std::move(on_finished)} {
   ctx_.recorder.init(platform.cluster_count(), platform.store_count());
   setup_chunk_offsets();
+  resolve_membership();
   setup_qos();
   setup_replication();
   build_prefetchers();
@@ -168,6 +204,101 @@ JobExecution::JobExecution(cluster::Platform& platform, const storage::DataLayou
   setup_elastic();
   setup_migration();
   schedule_lifecycle();
+  setup_pool();
+  setup_directory();
+}
+
+JobExecution::~JobExecution() {
+  if (directory_watch_ != 0 && ctx_.options.directory) {
+    ctx_.options.directory->unwatch(directory_watch_);
+  }
+}
+
+void JobExecution::resolve_membership() {
+  site_nodes_.resize(platform_.cluster_count());
+  const directory::PlatformDirectory* dir = ctx_.options.directory;
+  const bool pooled = ctx_.options.pool_plan.enabled;
+  std::set<net::EndpointId> leased;
+  for (const auto& lease : ctx_.options.pool_plan.leases) leased.insert(lease.node);
+  std::size_t live_total = 0;
+  for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
+    for (const auto& node : platform_.nodes(site)) {
+      // Directory-absent (offline, retired) nodes do not exist for this job;
+      // a pooled job's cloud membership is exactly its leases.
+      if (dir && !dir->node_live(node.endpoint)) continue;
+      if (!dir && node.offline) continue;  // validate_run already rejected this
+      if (pooled && platform_.is_cloud(site) && !leased.count(node.endpoint)) {
+        continue;
+      }
+      site_nodes_[site].push_back(node);
+      ++live_total;
+    }
+  }
+  if (live_total == 0) {
+    throw std::invalid_argument(
+        "run_distributed: the service directory lists no live compute nodes");
+  }
+}
+
+void JobExecution::setup_directory() {
+  directory::PlatformDirectory* dir = ctx_.options.directory;
+  if (!dir) return;
+  directory_watch_ = dir->watch([this](const directory::DirectoryEvent& ev) {
+    if (ctx_.recorder.finished) return;
+    if (ev.kind != directory::DirectoryEvent::Kind::StoreRetired) return;
+    // A retired store takes its resident copies with it: mark them lost so
+    // reads re-route to surviving replicas and the repair actor re-creates
+    // the coverage elsewhere.
+    replica::ReplicaSet* rs = ctx_.options.replication;
+    if (!rs) return;
+    for (const auto& chunk : ctx_.layout.chunks()) {
+      if (!rs->is_live(chunk.id, ev.store)) continue;
+      if (rs->mark_lost(chunk.id, ev.store, ctx_.now_seconds())) {
+        ++ctx_.recorder.replica.replicas_lost;
+        ctx_.trace(trace::EventKind::ReplicaLost, "replica", chunk.id, ev.store);
+      }
+    }
+  });
+}
+
+bool JobExecution::drain_node(net::EndpointId ep) {
+  if (ctx_.options.reduction_tree) return false;  // no per-slave work tracking
+  if (ctx_.recorder.finished) return false;
+  SlaveNode* victim = slave_by_endpoint(ep);
+  if (!victim || !victim->alive() || victim->draining()) return false;
+  if (dormant_standby_.count(ep)) return false;
+  ctx_.trace(trace::EventKind::NodeDrainRequested, victim->name(), 0, 0);
+  victim->begin_drain();
+  return true;
+}
+
+void JobExecution::setup_pool() {
+  const RunOptions::PoolPlan& plan = ctx_.options.pool_plan;
+  if (!plan.enabled) return;
+  // Instance time bills at the pool's lease windows, shared across every
+  // job holding the node — drop the per-job rental entries setup_elastic's
+  // non-elastic branch recorded.
+  ctx_.recorder.cloud_instance_starts.clear();
+  ctx_.recorder.cloud_instance_nodes.clear();
+  for (const auto& lease : plan.leases) {
+    if (lease.ready_in_seconds <= 0.0) continue;  // warm: starts with the job
+    SlaveNode* booting = slave_by_endpoint(lease.node);
+    if (!booting) continue;  // lease on a site this job has no master for
+    MasterNode* master = master_of(booting->site());
+    if (!master) continue;
+    // Booting: no push target yet, but counted as capacity that will pull.
+    master->mark_leased(lease.node);
+    initial_active_.erase(
+        std::remove(initial_active_.begin(), initial_active_.end(), booting),
+        initial_active_.end());
+    platform_.sim().schedule(
+        des::from_seconds(lease.ready_in_seconds), [this, booting, master] {
+          master->mark_booted(booting->endpoint());
+          if (ctx_.recorder.finished || !booting->alive()) return;
+          ctx_.trace(trace::EventKind::InstanceActivated, booting->name());
+          booting->start();
+        });
+  }
 }
 
 SlaveNode* JobExecution::slave_by_endpoint(net::EndpointId ep) {
@@ -305,7 +436,7 @@ void JobExecution::build_prefetchers() {
   const cache::CacheConfig& cfg = options.cache->config();
   ctx_.prefetchers.resize(platform_.cluster_count());
   for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
-    if (platform_.nodes(site).empty()) continue;
+    if (site_nodes_[site].empty()) continue;
     cache::Prefetcher::Env env;
     env.compression_ratio = std::max(1.0, options.profile.compression_ratio);
     env.cacheable = [this, site](storage::StoreId s) {
@@ -361,7 +492,7 @@ void JobExecution::build_prefetchers() {
 
 void JobExecution::build_actors(const MailboxRegistrar& register_mailbox) {
   for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
-    const auto& nodes = platform_.nodes(site);
+    const auto& nodes = site_nodes_[site];
     if (nodes.empty()) continue;
     const net::EndpointId master_ep = platform_.master_endpoint(site);
     master_infos_.push_back(
@@ -446,7 +577,7 @@ void JobExecution::apply_static_assignment() {
     const auto it = store_owner.find(ctx_.layout.store_of(chunk.id));
     const std::size_t m =
         it != store_owner.end() ? it->second : orphan_cursor++ % masters_.size();
-    const auto& nodes = platform_.nodes(masters_[m]->site());
+    const auto& nodes = site_nodes_[masters_[m]->site()];
     plans[m].emplace_back(nodes[cursors[m]++ % nodes.size()].endpoint, chunk.id);
   }
   for (std::size_t m = 0; m < masters_.size(); ++m) {
@@ -542,7 +673,7 @@ void JobExecution::schedule_lifecycle() {
     const double rate_per_second = options.spot.reclaim_rate_per_hour / 3600.0;
     for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
       if (!platform_.is_cloud(site)) continue;
-      for (const auto& node : platform_.nodes(site)) {
+      for (const auto& node : site_nodes_[site]) {
         Rng rng = Rng::substream(seed, spot_streams_used_++);
         const double at = rng.exponential(rate_per_second);
         if (dormant_standby_.count(node.endpoint)) continue;
@@ -605,7 +736,7 @@ void JobExecution::setup_migration() {
   std::vector<Standby> cloud;
   for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
     if (!platform_.is_cloud(site)) continue;
-    for (const auto& node : platform_.nodes(site)) {
+    for (const auto& node : site_nodes_[site]) {
       cloud.push_back(Standby{slave_by_endpoint(node.endpoint), site, node.name});
     }
   }
@@ -688,10 +819,12 @@ void JobExecution::setup_elastic() {
   const RunOptions& options = ctx_.options;
   for (auto& slave : slaves_) initial_active_.push_back(slave.get());
   if (!options.elastic.enabled) {
-    ctx_.recorder.cloud_instance_starts.assign(platform_.cloud_node_count(), 0.0);
+    // Bill the cloud nodes this job was actually built with (== every cloud
+    // node unless a directory or pool plan filtered the membership).
     for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
       if (!platform_.is_cloud(site)) continue;
-      for (const auto& node : platform_.nodes(site)) {
+      for (const auto& node : site_nodes_[site]) {
+        ctx_.recorder.cloud_instance_starts.push_back(0.0);
         ctx_.recorder.cloud_instance_nodes.push_back(node.endpoint);
       }
     }
@@ -702,7 +835,7 @@ void JobExecution::setup_elastic() {
   std::set<net::EndpointId> cloud_eps;
   for (cluster::ClusterId site = 0; site < platform_.cluster_count(); ++site) {
     if (!platform_.is_cloud(site)) continue;
-    for (const auto& node : platform_.nodes(site)) cloud_eps.insert(node.endpoint);
+    for (const auto& node : site_nodes_[site]) cloud_eps.insert(node.endpoint);
   }
   std::uint32_t cloud_seen = 0;
   for (auto& slave : slaves_) {

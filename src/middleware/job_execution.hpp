@@ -54,6 +54,13 @@ class JobExecution {
 
   JobExecution(const JobExecution&) = delete;
   JobExecution& operator=(const JobExecution&) = delete;
+  ~JobExecution();
+
+  /// Cross-job drain entry point (workload manager): begin draining the
+  /// slave this job runs on `ep`. Returns false when the job has no live,
+  /// non-draining slave there (tree-mode job, already vacated, never built)
+  /// — the caller must not wait for a vacate from it.
+  bool drain_node(net::EndpointId ep);
 
   /// Launch the masters and the initially-active slaves. The job then runs
   /// as the shared simulator executes; ctx().on_finished fires when the
@@ -76,6 +83,17 @@ class JobExecution {
 
  private:
   void setup_chunk_offsets();
+  /// Resolve this job's platform membership: per-site node lists filtered
+  /// through the service directory (Active only) and, on cloud sites under a
+  /// pool plan, down to the leased nodes. Without a directory or plan the
+  /// lists equal the platform's — default runs are byte-identical.
+  void resolve_membership();
+  /// Subscribe to the directory's change feed (store retirement marks the
+  /// store's replicas lost so the repair actor re-replicates).
+  void setup_directory();
+  /// Elastic-pool leases: booting nodes start once warm; per-job instance
+  /// billing is dropped (the pool's lease windows are the billing record).
+  void setup_pool();
   /// Attach the StoreQos (if any): bind store capacities, resolve this run's
   /// tenant id, and apply per-tenant cache shares to the fleet.
   void setup_qos();
@@ -107,6 +125,11 @@ class JobExecution {
   cluster::Platform& platform_;
   RunContext ctx_;
   double start_time_ = 0.0;
+
+  /// Per-site membership this job was built with (see resolve_membership).
+  std::vector<std::vector<cluster::NodeHandle>> site_nodes_;
+  /// Directory change-feed subscription (0 = none).
+  directory::PlatformDirectory::WatchId directory_watch_ = 0;
 
   std::vector<HeadNode::MasterInfo> master_infos_;
   std::vector<std::unique_ptr<MasterNode>> masters_;

@@ -13,6 +13,7 @@
 #include "cache/chunk_cache.hpp"
 #include "cache/prefetcher.hpp"
 #include "cluster/platform.hpp"
+#include "directory/platform_directory.hpp"
 #include "engine/memory_dataset.hpp"
 #include "middleware/app_profile.hpp"
 #include "middleware/messages.hpp"
@@ -209,6 +210,30 @@ struct RunOptions {
   /// Tenant this run's store traffic bills to when `qos` is set. The
   /// workload manager overrides it with JobSpec::tenant per job.
   std::string tenant = "default";
+
+  /// Optional runtime service directory (owned by the caller). When set, the
+  /// job resolves platform membership through it at build time: only
+  /// directory-Active nodes get slave actors, and a StoreRetired event marks
+  /// the store's replicas lost so the repair actor re-replicates. nullptr
+  /// (the default) trusts the static PlatformSpec — paper runs stay
+  /// byte-identical.
+  directory::PlatformDirectory* directory = nullptr;
+
+  /// Elastic node pool lease plan (workload-manager internal). When enabled,
+  /// the job's cloud-side membership is exactly these leased nodes: a lease
+  /// still booting (ready_in_seconds > 0) starts processing once warm, and
+  /// instance billing moves from the job to the pool's lease windows.
+  /// Requires reduction_tree = false; mutually exclusive with per-job
+  /// elastic / migration / failure machinery (the pool owns node lifetime).
+  struct PoolLease {
+    net::EndpointId node = 0;
+    double ready_in_seconds = 0.0;  ///< 0 = warm now
+  };
+  struct PoolPlan {
+    bool enabled = false;
+    std::vector<PoolLease> leases;
+  };
+  PoolPlan pool_plan;
 };
 
 /// Mutable per-run recorder; actors write, the runtime aggregates.
@@ -384,6 +409,12 @@ struct RunContext {
   /// replacement (and idle survivors) pull them, instead of push-assigning
   /// everything to survivors immediately. Null when migration is off.
   std::function<bool(cluster::ClusterId)> on_node_lost;
+
+  /// Fired by a slave the moment it vacates (drain settled, final delta-robj
+  /// shipped). The workload manager uses it to settle cross-job drains:
+  /// once every job sharing the node has vacated it, the node retires from
+  /// the directory and leaves the pool. Null outside managed workloads.
+  std::function<void(net::EndpointId)> on_node_vacated;
 
   /// Should reads from `store` go through site `site`'s cache? Object-kind
   /// stores always qualify (they pay request latency and GET pricing even

@@ -399,6 +399,9 @@ void SlaveNode::maybe_vacate() {
   ctx_.recorder.end_cloud_billing(node_.endpoint,
                                   ctx_.now_seconds() - ctx_.job_start_seconds);
   kill();  // silent from here; core slots return to the arbiter
+  // Cross-job drain settlement: tell the workload manager this job no
+  // longer holds the node (fires after kill so the hook sees final state).
+  if (ctx_.on_node_vacated) ctx_.on_node_vacated(node_.endpoint);
 }
 
 void SlaveNode::on_child_robj(Message msg) {

@@ -68,6 +68,8 @@ class SlaveNode {
   bool vacated() const { return vacated_; }
 
   net::EndpointId endpoint() const { return node_.endpoint; }
+  cluster::ClusterId site() const { return node_.cluster; }
+  const std::string& name() const { return node_.name; }
 
  private:
   void top_up_requests();

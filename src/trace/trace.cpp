@@ -45,6 +45,11 @@ const char* to_string(EventKind kind) {
     case EventKind::QosThrottled: return "QosThrottled";
     case EventKind::ReservationGranted: return "ReservationGranted";
     case EventKind::ReservationRejected: return "ReservationRejected";
+    case EventKind::NodeRegistered: return "NodeRegistered";
+    case EventKind::NodeRetired: return "NodeRetired";
+    case EventKind::LeaseGranted: return "LeaseGranted";
+    case EventKind::LeaseReturned: return "LeaseReturned";
+    case EventKind::JobRejected: return "JobRejected";
   }
   return "?";
 }
@@ -133,6 +138,11 @@ std::string Tracer::render_gantt(std::size_t width) const {
       case EventKind::ReplicaCreated: rows[e.actor].lifecycle.emplace_back(e.t, '+'); break;
       case EventKind::ReplicaLost: rows[e.actor].lifecycle.emplace_back(e.t, '~'); break;
       case EventKind::ReplicaRepaired: rows[e.actor].lifecycle.emplace_back(e.t, 'r'); break;
+      case EventKind::NodeRegistered: rows[e.actor].lifecycle.emplace_back(e.t, '>'); break;
+      case EventKind::NodeRetired: rows[e.actor].lifecycle.emplace_back(e.t, '<'); break;
+      case EventKind::LeaseGranted: rows[e.actor].lifecycle.emplace_back(e.t, 'L'); break;
+      case EventKind::LeaseReturned: rows[e.actor].lifecycle.emplace_back(e.t, '='); break;
+      case EventKind::JobRejected: rows[e.actor].lifecycle.emplace_back(e.t, '#'); break;
       case EventKind::JobFinished: {
         auto& row = rows[e.actor];
         const auto it = row.open_run.find(e.a);

@@ -57,6 +57,12 @@ enum class EventKind : std::uint8_t {
   QosThrottled,        ///< actor = fetching actor, a = chunk id, b = store id
   ReservationGranted,  ///< actor = "qos", a = store id, b = bytes/sec
   ReservationRejected, ///< actor = "qos", a = store id, b = bytes/sec
+  // Dynamic control plane (service directory + elastic node pool):
+  NodeRegistered,      ///< actor = service name, a = site, b = 0 node / 1 store / 2 site
+  NodeRetired,         ///< actor = service name, a = site, b = 0 node / 1 store / 2 site
+  LeaseGranted,        ///< actor = node name, a = job id, b = 1 for a cold boot
+  LeaseReturned,       ///< actor = node name, a = job id, b = leases still active
+  JobRejected,         ///< actor = job name, a = job id, b = quota reason (QuotaReject)
 };
 
 const char* to_string(EventKind kind);
@@ -90,7 +96,9 @@ class Tracer {
   /// job its own node lanes. Node-lifecycle markers outrank everything:
   /// 'D' drain requested, 'v' vacated, 'R' hard reclaim, 'M' migration lease.
   /// Replication marks share that rank: '+' replica created, '~' replica
-  /// lost, 'r' replica repaired.
+  /// lost, 'r' replica repaired. Control-plane marks likewise: '>' service
+  /// registered, '<' service retired, 'L' pool lease granted, '=' lease
+  /// returned, '#' job rejected by an admission quota.
   std::string render_gantt(std::size_t width = 80) const;
 
  private:

@@ -1,0 +1,173 @@
+#include "workload/node_pool.hpp"
+
+#include <algorithm>
+
+#include "des/sim_time.hpp"
+
+namespace cloudburst::workload {
+
+NodePool::NodePool(des::Simulator& sim, PoolOptions options, trace::Tracer* tracer)
+    : sim_(sim), options_(options), tracer_(tracer) {}
+
+NodePool::Node* NodePool::find(net::EndpointId endpoint) {
+  for (auto& n : nodes_) {
+    if (n.endpoint == endpoint) return &n;
+  }
+  return nullptr;
+}
+
+void NodePool::trace(trace::EventKind kind, const Node& node, std::uint64_t a,
+                     std::uint64_t b) {
+  if (!tracer_) return;
+  tracer_->record(des::to_seconds(sim_.now()), kind, node.name, a, b);
+}
+
+void NodePool::add_node(net::EndpointId endpoint, std::string name) {
+  if (Node* existing = find(endpoint)) {
+    // Directory re-registration of a node the pool retired: back to Cold.
+    if (existing->state == State::Retired || existing->state == State::Blocked) {
+      existing->state = State::Cold;
+      existing->holders = 0;
+      ++existing->reap_epoch;
+    }
+    return;
+  }
+  Node node;
+  node.endpoint = endpoint;
+  node.name = std::move(name);
+  nodes_.push_back(std::move(node));
+}
+
+std::vector<NodePool::Lease> NodePool::lease(std::uint32_t job,
+                                             const std::string& tenant,
+                                             std::size_t want, double now) {
+  std::vector<Lease> granted;
+  job_tenant_[job] = tenant;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (want != 0 && granted.size() >= want) break;
+    Node& n = nodes_[i];
+    if (n.state == State::Blocked || n.state == State::Retired) continue;
+
+    Lease lease;
+    lease.node = n.endpoint;
+    lease.name = n.name;
+    if (n.state == State::Cold) {
+      n.state = State::Provisioned;
+      n.warm_at = now + options_.boot_seconds;
+      n.windows.push_back(Window{n.endpoint, now, -1.0});
+      lease.cold = true;
+      ++stats_.cold_boots;
+    } else {
+      ++stats_.warm_leases;
+    }
+    lease.ready_in_seconds = std::max(0.0, n.warm_at - now);
+    stats_.boot_wait_seconds += lease.ready_in_seconds;
+
+    ++n.holders;
+    ++n.reap_epoch;  // cancel any pending idle reap
+    held_[job].push_back(Held{i, now});
+    trace(trace::EventKind::LeaseGranted, n, job, lease.cold ? 1 : 0);
+    granted.push_back(std::move(lease));
+  }
+  return granted;
+}
+
+void NodePool::settle_release(std::uint32_t job, Node& node, double since,
+                              double now) {
+  const double held_seconds = std::max(0.0, now - since);
+  job_seconds_[job] += held_seconds;
+  auto tenant = job_tenant_.find(job);
+  if (tenant != job_tenant_.end()) tenant_seconds_[tenant->second] += held_seconds;
+
+  if (node.holders > 0) --node.holders;
+  trace(trace::EventKind::LeaseReturned, node, job, node.holders);
+  if (node.holders != 0 || node.state != State::Provisioned) return;
+  if (options_.idle_reap_seconds <= 0.0) return;  // keep warm to the end
+
+  const std::size_t idx = static_cast<std::size_t>(&node - nodes_.data());
+  const std::uint64_t epoch = ++node.reap_epoch;
+  sim_.schedule(des::from_seconds(options_.idle_reap_seconds),
+                [this, idx, epoch] {
+                  Node& n = nodes_[idx];
+                  if (n.reap_epoch != epoch) return;  // re-leased meanwhile
+                  if (n.state != State::Provisioned || n.holders != 0) return;
+                  if (!n.windows.empty() && n.windows.back().end < 0.0) {
+                    n.windows.back().end = des::to_seconds(sim_.now());
+                  }
+                  n.state = State::Cold;
+                  ++stats_.reaps;
+                });
+}
+
+void NodePool::release_node(std::uint32_t job, net::EndpointId endpoint,
+                            double now) {
+  auto held = held_.find(job);
+  if (held == held_.end()) return;
+  auto& leases = held->second;
+  for (std::size_t i = 0; i < leases.size(); ++i) {
+    if (nodes_[leases[i].node].endpoint != endpoint) continue;
+    const Held entry = leases[i];
+    leases.erase(leases.begin() + static_cast<std::ptrdiff_t>(i));
+    settle_release(job, nodes_[entry.node], entry.since, now);
+    return;
+  }
+}
+
+void NodePool::release_job(std::uint32_t job, double now) {
+  auto held = held_.find(job);
+  if (held == held_.end()) return;
+  std::vector<Held> leases = std::move(held->second);
+  held_.erase(held);
+  for (const Held& entry : leases) {
+    settle_release(job, nodes_[entry.node], entry.since, now);
+  }
+}
+
+void NodePool::block_node(net::EndpointId endpoint) {
+  Node* n = find(endpoint);
+  if (!n || n->state == State::Retired) return;
+  n->state = State::Blocked;
+  ++n->reap_epoch;  // a blocked node's window closes at retirement, not reap
+}
+
+void NodePool::retire_node(net::EndpointId endpoint, double now) {
+  Node* n = find(endpoint);
+  if (!n || n->state == State::Retired) return;
+  if (!n->windows.empty() && n->windows.back().end < 0.0) {
+    n->windows.back().end = now;
+  }
+  n->state = State::Retired;
+  ++n->reap_epoch;
+}
+
+std::vector<NodePool::Window> NodePool::windows(double fallback_end) const {
+  std::vector<Window> out;
+  for (const auto& n : nodes_) {
+    for (const auto& w : n.windows) {
+      Window closed = w;
+      if (closed.end < 0.0) closed.end = std::max(fallback_end, closed.start);
+      out.push_back(closed);
+    }
+  }
+  return out;
+}
+
+double NodePool::job_lease_seconds(std::uint32_t job) const {
+  auto it = job_seconds_.find(job);
+  return it == job_seconds_.end() ? 0.0 : it->second;
+}
+
+double NodePool::tenant_lease_seconds(const std::string& tenant) const {
+  auto it = tenant_seconds_.find(tenant);
+  return it == tenant_seconds_.end() ? 0.0 : it->second;
+}
+
+std::size_t NodePool::leasable() const {
+  std::size_t count = 0;
+  for (const auto& n : nodes_) {
+    if (n.state == State::Cold || n.state == State::Provisioned) ++count;
+  }
+  return count;
+}
+
+}  // namespace cloudburst::workload

@@ -1,0 +1,141 @@
+// Elastic node pool: workload-manager-owned leasing of cloud nodes.
+//
+// Per-job elastic controllers thrash boot windows: every job that bursts
+// pays its own boot delay and its own billed hour, even when the node it
+// wants was warm a second ago under another job. The pool inverts the
+// ownership — the WorkloadManager provisions cloud nodes once, keeps them
+// warm across jobs, and *leases* them: a job arriving while the node is
+// warm starts immediately; only the first lease after a cold period pays
+// the boot window. Billing moves with the ownership: the pool's
+// provisioning windows (cold boot -> idle reap / retirement) are the
+// platform's instance bill, and each job's lease-seconds are the raw usage
+// its attributed share is derived from.
+//
+// Node lifecycle inside the pool:
+//
+//   Cold --lease--> Provisioned (booting for boot_seconds, then warm)
+//     ^                 |  holders ref-counted; last release starts the
+//     '----idle reap----'  idle clock (idle_reap_seconds; 0 = keep warm)
+//   Blocked: drain in progress — no new leases (existing ones finish).
+//   Retired: left the directory; re-registration resets it to Cold.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "net/network.hpp"
+#include "trace/trace.hpp"
+
+namespace cloudburst::workload {
+
+/// WorkloadOptions::pool — the manager builds a NodePool when enabled.
+struct PoolOptions {
+  bool enabled = false;
+  /// Cold-lease boot window: a job leasing a Cold node waits this long
+  /// before the node processes (billing starts at the lease).
+  double boot_seconds = 60.0;
+  /// A node idle (zero leases) this long returns to Cold and stops billing.
+  /// 0 keeps warm nodes provisioned until the workload ends.
+  double idle_reap_seconds = 0.0;
+};
+
+class NodePool {
+ public:
+  struct Lease {
+    net::EndpointId node = 0;
+    std::string name;
+    double ready_in_seconds = 0.0;  ///< 0 = warm now
+    bool cold = false;              ///< this lease opened the billing window
+  };
+
+  /// One billed provisioning window of one node (absolute sim seconds;
+  /// end < 0 = still open).
+  struct Window {
+    net::EndpointId node = 0;
+    double start = 0.0;
+    double end = -1.0;
+  };
+
+  struct Stats {
+    std::uint32_t cold_boots = 0;   ///< leases that opened a billing window
+    std::uint32_t warm_leases = 0;  ///< leases served by a provisioned node
+    std::uint32_t reaps = 0;        ///< idle nodes returned to Cold
+    /// Boot-window wait summed over every lease (a warm lease adds 0; a
+    /// lease joining mid-boot adds the residual).
+    double boot_wait_seconds = 0.0;
+  };
+
+  NodePool(des::Simulator& sim, PoolOptions options, trace::Tracer* tracer);
+
+  /// Add a cloud node to the pool (Cold). Re-adding a Retired node resets
+  /// it to Cold (directory re-registration); re-adding a live one is a no-op.
+  void add_node(net::EndpointId endpoint, std::string name);
+
+  /// Lease up to `want` leasable nodes (0 = all) to `job`, in pool order.
+  /// Cold nodes open a billing window and boot; nodes mid-boot or warm are
+  /// shared at their current readiness. Blocked/Retired nodes are skipped.
+  std::vector<Lease> lease(std::uint32_t job, const std::string& tenant,
+                           std::size_t want, double now);
+
+  /// Job no longer holds `endpoint` (its slave vacated). No-op without a
+  /// matching lease. The last holder starts the idle-reap clock.
+  void release_node(std::uint32_t job, net::EndpointId endpoint, double now);
+  /// Release every lease `job` still holds (job finished).
+  void release_job(std::uint32_t job, double now);
+
+  /// Drain in progress: stop granting leases on `endpoint`.
+  void block_node(net::EndpointId endpoint);
+  /// Node left the directory: close its billing window at `now`.
+  void retire_node(net::EndpointId endpoint, double now);
+
+  /// Billing windows of every node, open ones closed at `fallback_end`.
+  std::vector<Window> windows(double fallback_end) const;
+
+  const Stats& stats() const { return stats_; }
+  /// Lease-seconds `job` accumulated over released leases.
+  double job_lease_seconds(std::uint32_t job) const;
+  /// Lease-seconds accumulated by `tenant`'s jobs.
+  double tenant_lease_seconds(const std::string& tenant) const;
+  std::size_t size() const { return nodes_.size(); }
+  /// Nodes a lease() call right now could return.
+  std::size_t leasable() const;
+
+ private:
+  enum class State : std::uint8_t { Cold, Provisioned, Blocked, Retired };
+
+  struct Node {
+    net::EndpointId endpoint = 0;
+    std::string name;
+    State state = State::Cold;
+    std::uint32_t holders = 0;
+    double warm_at = 0.0;        ///< boot completes (Provisioned)
+    std::uint64_t reap_epoch = 0;  ///< invalidates stale scheduled reaps
+    std::vector<Window> windows;
+  };
+
+  struct Held {
+    std::size_t node = 0;   ///< index into nodes_
+    double since = 0.0;
+  };
+
+  Node* find(net::EndpointId endpoint);
+  void trace(trace::EventKind kind, const Node& node, std::uint64_t a,
+             std::uint64_t b);
+  void settle_release(std::uint32_t job, Node& node, double since, double now);
+
+  des::Simulator& sim_;
+  PoolOptions options_;
+  trace::Tracer* tracer_;
+  std::vector<Node> nodes_;  ///< add order == lease preference order
+  /// job -> (node index -> lease grant time); tenant kept per job.
+  std::map<std::uint32_t, std::vector<Held>> held_;
+  std::map<std::uint32_t, std::string> job_tenant_;
+  std::map<std::uint32_t, double> job_seconds_;
+  std::map<std::string, double> tenant_seconds_;
+  Stats stats_;
+};
+
+}  // namespace cloudburst::workload

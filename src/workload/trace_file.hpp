@@ -1,0 +1,36 @@
+// CSV arrival-trace loader.
+//
+// Workload studies replay production logs: a CSV with one job per row —
+// submission time, tenant, job size — feeds ArrivalTrace::replay plus the
+// per-job tenant/size fields a driver uses to build JobSpecs. The parser is
+// strict: malformed rows fail with "<path>:<line>: <reason>" instead of
+// silently skewing the experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/arrivals.hpp"
+
+namespace cloudburst::workload {
+
+/// One row of an arrival trace file.
+struct TraceRecord {
+  double submit_seconds = 0.0;  ///< non-negative; rows need not be sorted
+  std::string tenant;
+  std::uint64_t job_bytes = 0;  ///< dataset size; must be positive
+};
+
+/// Parse `path` as a 3-column CSV: submit_seconds,tenant,job_bytes.
+/// Blank lines and '#' comment lines are skipped; an optional header row
+/// (first line whose first field is not a number) is skipped too. Throws
+/// std::runtime_error("<path>:<line>: <reason>") on unreadable files, wrong
+/// column counts, unparsable numbers, negative times, empty tenants, or
+/// non-positive sizes.
+std::vector<TraceRecord> load_arrival_csv(const std::string& path);
+
+/// The records' submission times as a replayable (sorted) ArrivalTrace.
+ArrivalTrace to_arrival_trace(const std::vector<TraceRecord>& records);
+
+}  // namespace cloudburst::workload

@@ -18,6 +18,7 @@
 #include "middleware/run_context.hpp"
 #include "middleware/run_result.hpp"
 #include "storage/data_layout.hpp"
+#include "workload/node_pool.hpp"
 
 namespace cloudburst::workload {
 
@@ -55,7 +56,35 @@ struct JobSpec {
   /// cache, tracer) must outlive the workload run; the manager overrides
   /// `tracer` with the workload tracer when one is attached.
   middleware::RunOptions options;
+
+  /// Elastic node pool only: cloud nodes this job leases at start (0 = every
+  /// leasable node). Ignored when WorkloadOptions::pool is disabled.
+  std::size_t pool_nodes = 0;
 };
+
+/// Per-tenant admission quotas, enforced at submission time. 0 = unlimited
+/// for each field. A submission that would exceed any limit is rejected (not
+/// queued): its JobResult carries rejected = true and the reject reason.
+struct TenantQuota {
+  /// Max jobs a tenant may have admitted-but-unfinished at once.
+  std::uint32_t max_concurrent_jobs = 0;
+  /// Max summed dataset bytes across the tenant's in-flight jobs.
+  std::uint64_t max_bytes_in_flight = 0;
+  /// Max estimated cloud burn rate (USD/hour) across in-flight jobs: each
+  /// job's share is its cloud-node count times the instance-hour price.
+  double max_usd_per_hour = 0.0;
+};
+
+/// Why a submission was rejected (JobResult::reject_reason, and the `b`
+/// payload of the JobRejected trace event).
+enum class QuotaReject : std::uint8_t {
+  None = 0,
+  ConcurrentJobs = 1,
+  BytesInFlight = 2,
+  UsdPerHour = 3,
+};
+
+const char* to_string(QuotaReject reason);
 
 struct WorkloadOptions {
   SchedulingPolicy policy = SchedulingPolicy::Fifo;
@@ -75,6 +104,22 @@ struct WorkloadOptions {
   trace::Tracer* tracer = nullptr;
 
   cost::CloudPricing pricing = cost::CloudPricing::aws_2011();
+
+  /// Dynamic control plane: the service directory jobs resolve membership
+  /// through (caller-owned, must outlive the manager). Cloud nodes that
+  /// register mid-run join the pool; NodeDraining events trigger a cross-job
+  /// drain that vacates every affected job before the node retires.
+  directory::PlatformDirectory* directory = nullptr;
+
+  /// Elastic node pool (requires `directory`): the manager leases cloud
+  /// nodes to jobs instead of each job activating its own instances. Pooled
+  /// jobs must not combine with per-job elastic/migration/lifecycle/failure
+  /// options (validate_run enforces this) and need reduction_tree = false.
+  PoolOptions pool;
+
+  /// Admission quotas keyed by tenant (tenants without an entry are
+  /// unlimited).
+  std::map<std::string, TenantQuota> quotas;
 };
 
 /// One finished job, with the timing the tenant experienced.
@@ -89,6 +134,12 @@ struct JobResult {
   double start_seconds = 0.0;
   double finish_seconds = 0.0;
   std::uint32_t preemptions = 0;
+
+  /// Rejected at submission by an admission quota: never queued or run (run
+  /// and cost reports stay zero; start = finish = submit; excluded from the
+  /// latency percentiles and SLO rate).
+  bool rejected = false;
+  QuotaReject reject_reason = QuotaReject::None;
 
   middleware::RunResult run;  ///< this job's own timing decomposition
   /// What the job would cost billed alone (its own usage at list prices).
@@ -110,7 +161,9 @@ struct TenantReport {
   double weight = 1.0;
   std::uint32_t jobs = 0;
   std::uint32_t slo_met = 0;
+  std::uint32_t rejected = 0;    ///< submissions an admission quota refused
   double service_seconds = 0.0;  ///< core-seconds of processing consumed
+  double lease_seconds = 0.0;    ///< node-pool lease time held by this tenant
   cost::CostReport attributed_cost;
   /// Store-QoS view of this tenant (zeros/inactive when no StoreQos was
   /// attached to the jobs' RunOptions): wait time, achieved bandwidth, and
@@ -129,9 +182,14 @@ struct WorkloadResult {
   double makespan = 0.0;  ///< last job finish (workload starts at t = 0)
   double p50_latency_seconds = 0.0;
   double p95_latency_seconds = 0.0;
-  double slo_hit_rate = 1.0;  ///< fraction of jobs meeting their deadline
+  double slo_hit_rate = 1.0;  ///< fraction of admitted jobs meeting their deadline
   std::uint32_t preemptions = 0;
   std::uint32_t elastic_activations = 0;  ///< summed over all jobs
+
+  /// Admission control: submissions refused by a tenant quota.
+  std::uint32_t rejected_jobs = 0;
+  /// Elastic node pool (zeros when WorkloadOptions::pool is disabled).
+  NodePool::Stats pool;
 
   const JobResult& job(std::uint32_t id) const { return jobs.at(id - 1); }
   const TenantReport* tenant(const std::string& name) const {

@@ -20,6 +20,16 @@ const char* to_string(SchedulingPolicy policy) {
   return "?";
 }
 
+const char* to_string(QuotaReject reason) {
+  switch (reason) {
+    case QuotaReject::None: return "none";
+    case QuotaReject::ConcurrentJobs: return "concurrent-jobs";
+    case QuotaReject::BytesInFlight: return "bytes-in-flight";
+    case QuotaReject::UsdPerHour: return "usd-per-hour";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Split `total` across entries proportional to `raw`, exactly: every entry
@@ -63,6 +73,48 @@ double percentile(std::vector<double> sorted, double p) {
 WorkloadManager::WorkloadManager(cluster::Platform& platform, WorkloadOptions options)
     : platform_(platform), options_(std::move(options)),
       postman_(platform.network()) {
+  if (options_.pool.enabled) {
+    if (!options_.directory) {
+      throw std::invalid_argument(
+          "WorkloadManager: the elastic node pool requires a service directory");
+    }
+    pool_ = std::make_unique<NodePool>(platform_.sim(), options_.pool,
+                                       options_.tracer);
+    // Seed the pool with the cloud nodes the directory lists as Active now;
+    // later registrations join through the change feed below.
+    for (cluster::ClusterId c = 0; c < platform_.cluster_count(); ++c) {
+      if (!platform_.is_cloud(c)) continue;
+      const auto& nodes = platform_.nodes(c);
+      for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+        if (options_.directory->node_state(c, i) == directory::ServiceState::Active) {
+          pool_->add_node(nodes[i].endpoint, nodes[i].name);
+        }
+      }
+    }
+  }
+  if (options_.directory) {
+    directory_watch_ = options_.directory->watch(
+        [this](const directory::DirectoryEvent& ev) {
+          switch (ev.kind) {
+            case directory::DirectoryEvent::Kind::NodeRegistered:
+              // Capacity arrival: a cloud node joining the directory joins
+              // the pool (Cold) and serves the next lease.
+              if (pool_ && platform_.is_cloud(ev.site)) {
+                const auto& nodes = platform_.nodes(ev.site);
+                if (ev.node_index < nodes.size()) {
+                  pool_->add_node(nodes[ev.node_index].endpoint,
+                                  nodes[ev.node_index].name);
+                }
+              }
+              break;
+            case directory::DirectoryEvent::Kind::NodeDraining:
+              begin_cross_job_drain(ev.site, ev.node_index);
+              break;
+            default:
+              break;
+          }
+        });
+  }
   if (concurrent_policy()) {
     arbiter_ = std::make_unique<CoreSlotArbiter>(
         options_.policy == SchedulingPolicy::FairShare
@@ -84,7 +136,6 @@ std::uint32_t WorkloadManager::submit(JobSpec spec, double at_seconds) {
   if (at_seconds < 0.0) {
     throw std::invalid_argument("WorkloadManager: negative submission time");
   }
-  middleware::validate_run(platform_, spec.layout, spec.options);
 
   auto job = std::make_unique<Job>();
   job->id = static_cast<std::uint32_t>(jobs_.size()) + 1;
@@ -93,9 +144,26 @@ std::uint32_t WorkloadManager::submit(JobSpec spec, double at_seconds) {
   job->effective = spec.options;
   job->effective.tenant = spec.tenant;
   if (options_.tracer) job->effective.tracer = options_.tracer;
+  if (options_.directory) job->effective.directory = options_.directory;
+  if (pool_) job->effective.pool_plan.enabled = true;  // leases fill at start
+  // Validate the effective options (directory and pool flags included), so a
+  // pooled job combining per-job elastic/lifecycle machinery fails here.
+  middleware::validate_run(platform_, spec.layout, job->effective);
   job->spec = std::move(spec);
   job->estimate_seconds =
       cost::estimate_exec_seconds(platform_, job->spec.layout, job->spec.options);
+  job->bytes = job->spec.layout.total_bytes();
+  // Estimated cloud burn while the job is in flight: the cloud nodes it can
+  // occupy times the instance-hour price (pool jobs: their lease request).
+  std::size_t cloud_nodes = 0;
+  for (cluster::ClusterId c = 0; c < platform_.cluster_count(); ++c) {
+    if (platform_.is_cloud(c)) cloud_nodes += platform_.nodes(c).size();
+  }
+  if (pool_ && job->spec.pool_nodes > 0) {
+    cloud_nodes = std::min(cloud_nodes, job->spec.pool_nodes);
+  }
+  job->burn_usd_per_hour =
+      static_cast<double>(cloud_nodes) * options_.pricing.instance_hour_usd;
 
   Job* raw = job.get();
   jobs_.push_back(std::move(job));
@@ -119,7 +187,57 @@ void WorkloadManager::record(trace::EventKind kind, const Job& job, std::uint64_
                           job.id, b);
 }
 
+WorkloadManager::~WorkloadManager() {
+  if (options_.directory && directory_watch_ != 0) {
+    options_.directory->unwatch(directory_watch_);
+  }
+}
+
+double WorkloadManager::now_seconds() const {
+  return des::to_seconds(platform_.sim().now());
+}
+
+QuotaReject WorkloadManager::admission_check(const Job& job) const {
+  const auto q = options_.quotas.find(job.spec.tenant);
+  if (q == options_.quotas.end()) return QuotaReject::None;
+  const TenantQuota& quota = q->second;
+  TenantUsage usage;
+  const auto u = usage_.find(job.spec.tenant);
+  if (u != usage_.end()) usage = u->second;
+  if (quota.max_concurrent_jobs != 0 &&
+      usage.inflight_jobs + 1 > quota.max_concurrent_jobs) {
+    return QuotaReject::ConcurrentJobs;
+  }
+  if (quota.max_bytes_in_flight != 0 &&
+      usage.inflight_bytes + job.bytes > quota.max_bytes_in_flight) {
+    return QuotaReject::BytesInFlight;
+  }
+  if (quota.max_usd_per_hour > 0.0 &&
+      usage.burn_usd_per_hour + job.burn_usd_per_hour >
+          quota.max_usd_per_hour * (1.0 + 1e-12)) {
+    return QuotaReject::UsdPerHour;
+  }
+  return QuotaReject::None;
+}
+
 void WorkloadManager::on_submitted(Job& job) {
+  // Admission control happens at submission time, against the tenant's
+  // in-flight usage at this instant — a rejected job is never queued.
+  const QuotaReject verdict = admission_check(job);
+  if (verdict != QuotaReject::None) {
+    job.rejected = true;
+    job.reject_reason = verdict;
+    job.start_seconds = job.submit_seconds;
+    job.finish_seconds = job.submit_seconds;
+    record(trace::EventKind::JobRejected, job,
+           static_cast<std::uint64_t>(verdict));
+    return;
+  }
+  TenantUsage& usage = usage_[job.spec.tenant];
+  ++usage.inflight_jobs;
+  usage.inflight_bytes += job.bytes;
+  usage.burn_usd_per_hour += job.burn_usd_per_hour;
+
   queue_.push_back(job.id);
   record(trace::EventKind::JobSubmitted, job);
   // Pump from a follow-up event, not inline: submissions at the same instant
@@ -199,6 +317,18 @@ void WorkloadManager::start_job(Job& job) {
     share.weight = w != options_.tenant_weights.end() ? w->second : 1.0;
     arbiter_->register_job(job.id, share);
   }
+  if (pool_) {
+    // Lease cloud nodes now, at start time: a warm node is ready immediately,
+    // a cold one boots inside the lease. The leases become the job's
+    // RunOptions::pool_plan, which setup_pool() turns into deferred starts.
+    const auto leases = pool_->lease(job.id, job.spec.tenant,
+                                     job.spec.pool_nodes, job.start_seconds);
+    job.effective.pool_plan.leases.clear();
+    for (const auto& lease : leases) {
+      job.effective.pool_plan.leases.push_back(
+          {lease.node, lease.ready_in_seconds});
+    }
+  }
   // A solo job keeps bare actor names so its trace (and everything downstream
   // of it) matches run_distributed exactly; concurrent jobs get "name/" lanes.
   std::string tag = jobs_.size() > 1 ? job.spec.name + "/" : std::string{};
@@ -210,8 +340,54 @@ void WorkloadManager::start_job(Job& job) {
         add_route(ep, id, std::move(handler));
       },
       job.id, std::move(tag), arbiter_.get(), [this, &job] { on_job_finished(job); });
+  job.exec->ctx().on_node_vacated = [this, &job](net::EndpointId ep) {
+    on_slave_vacated(job, ep);
+  };
   ++active_;
   job.exec->start();
+}
+
+void WorkloadManager::on_slave_vacated(Job& job, net::EndpointId ep) {
+  if (pool_) pool_->release_node(job.id, ep, now_seconds());
+  const auto it = drains_.find(ep);
+  if (it == drains_.end()) return;
+  it->second.waiting_jobs.erase(job.id);
+  if (!it->second.assembling && it->second.waiting_jobs.empty()) settle_drain(ep);
+}
+
+void WorkloadManager::begin_cross_job_drain(cluster::ClusterId site,
+                                            std::uint32_t node_index) {
+  const auto& nodes = platform_.nodes(site);
+  if (node_index >= nodes.size()) return;
+  const net::EndpointId ep = nodes[node_index].endpoint;
+  if (drains_.find(ep) != drains_.end()) return;  // already draining
+  if (pool_) pool_->block_node(ep);  // no new leases while work drains off
+
+  DrainState& drain = drains_[ep];
+  drain.site = site;
+  drain.node_index = node_index;
+  drain.assembling = true;
+  for (auto& jptr : jobs_) {
+    Job& job = *jptr;
+    if (!job.started || job.finished || !job.exec) continue;
+    // Insert before asking: an idle slave vacates synchronously inside
+    // drain_node, and its on_node_vacated must find the id to erase.
+    drain.waiting_jobs.insert(job.id);
+    if (!job.exec->drain_node(ep)) drain.waiting_jobs.erase(job.id);
+  }
+  drain.assembling = false;
+  if (drain.waiting_jobs.empty()) settle_drain(ep);
+}
+
+void WorkloadManager::settle_drain(net::EndpointId ep) {
+  const auto it = drains_.find(ep);
+  if (it == drains_.end()) return;
+  const DrainState drain = it->second;
+  drains_.erase(it);
+  if (pool_) pool_->retire_node(ep, now_seconds());
+  if (options_.directory) {
+    options_.directory->complete_node_retirement(drain.site, drain.node_index);
+  }
 }
 
 void WorkloadManager::on_job_finished(Job& job) {
@@ -219,6 +395,24 @@ void WorkloadManager::on_job_finished(Job& job) {
   job.finish_seconds = des::to_seconds(platform_.sim().now());
   record(trace::EventKind::JobFinished, job);
   --active_;
+
+  const auto usage = usage_.find(job.spec.tenant);
+  if (usage != usage_.end()) {
+    TenantUsage& u = usage->second;
+    if (u.inflight_jobs > 0) --u.inflight_jobs;
+    u.inflight_bytes -= std::min(u.inflight_bytes, job.bytes);
+    u.burn_usd_per_hour = std::max(0.0, u.burn_usd_per_hour - job.burn_usd_per_hour);
+  }
+  if (pool_) pool_->release_job(job.id, job.finish_seconds);
+  // A finished job can no longer vacate: drop it from every pending drain
+  // (a tree-less job whose slaves idled out finishes without vacating them).
+  std::vector<net::EndpointId> settled;
+  for (auto& [ep, drain] : drains_) {
+    drain.waiting_jobs.erase(job.id);
+    if (!drain.assembling && drain.waiting_jobs.empty()) settled.push_back(ep);
+  }
+  for (const net::EndpointId ep : settled) settle_drain(ep);
+
   pump();
 }
 
@@ -234,7 +428,7 @@ WorkloadResult WorkloadManager::run() {
 
   std::size_t unfinished = 0;
   for (const auto& job : jobs_) {
-    if (!job->finished) ++unfinished;
+    if (!job->finished && !job->rejected) ++unfinished;
   }
   if (unfinished > 0) {
     throw std::runtime_error("WorkloadManager: " + std::to_string(unfinished) +
@@ -261,12 +455,31 @@ WorkloadResult WorkloadManager::aggregate() {
     r.start_seconds = job.start_seconds;
     r.finish_seconds = job.finish_seconds;
     r.preemptions = job.preemptions;
+    if (job.rejected) {
+      // Quota-rejected: never ran. Zero run/cost records, a zero CostInputs
+      // placeholder keeps job_inputs parallel with result.jobs.
+      r.rejected = true;
+      r.reject_reason = job.reject_reason;
+      job_inputs.emplace_back();
+      result.jobs.push_back(std::move(r));
+      ++result.rejected_jobs;
+      continue;
+    }
     // Solo workloads keep run_distributed's historical store_requests source
     // (the stores' own counters); concurrent jobs use their own per-job
     // counts, since the store counters aggregate every tenant.
     r.run = job.exec->collect(/*use_platform_store_stats=*/solo);
     job_inputs.push_back(cost::derive_run_inputs(r.run, platform_, job.spec.layout,
                                                  job.effective));
+    if (pool_) {
+      // Pooled jobs carry no per-job instance rentals (the pool owns the
+      // billing windows); their raw instance usage is the lease time held.
+      const double lease_seconds = pool_->job_lease_seconds(job.id);
+      if (lease_seconds > 0.0) {
+        job_inputs.back().instance_seconds.push_back(lease_seconds);
+        job_inputs.back().cloud_instances = 1;
+      }
+    }
     r.raw_cost = cost::price(job_inputs.back(), options_.pricing);
     result.jobs.push_back(std::move(r));
 
@@ -311,6 +524,18 @@ WorkloadResult WorkloadManager::aggregate() {
     platform_inputs.instance_seconds.push_back(
         std::max(0.0, rented_until.at(ep) - from));
   }
+  if (pool_) {
+    // Under the node pool the per-job rental lists above are empty by
+    // construction; the pool's provisioning windows ARE the platform bill
+    // (a window still open when the workload ends closes at the makespan).
+    for (const auto& window : pool_->windows(result.makespan)) {
+      platform_inputs.instance_seconds.push_back(
+          std::max(0.0, window.end - window.start));
+    }
+    platform_inputs.cloud_instances =
+        static_cast<std::uint32_t>(platform_inputs.instance_seconds.size());
+    result.pool = pool_->stats();
+  }
   for (const cost::CostInputs& in : job_inputs) {
     platform_inputs.s3_get_requests += in.s3_get_requests;
     platform_inputs.bytes_out_of_cloud += in.bytes_out_of_cloud;
@@ -353,10 +578,14 @@ WorkloadResult WorkloadManager::aggregate() {
   std::map<std::string, TenantReport> tenants;
   for (const JobResult& r : result.jobs) {
     TenantReport& t = tenants[r.tenant];
-    if (t.jobs == 0) {
+    if (t.tenant.empty()) {
       t.tenant = r.tenant;
       const auto w = options_.tenant_weights.find(r.tenant);
       t.weight = w != options_.tenant_weights.end() ? w->second : 1.0;
+    }
+    if (r.rejected) {
+      ++t.rejected;
+      continue;
     }
     ++t.jobs;
     if (r.slo_met()) ++t.slo_met;
@@ -386,20 +615,26 @@ WorkloadResult WorkloadManager::aggregate() {
         break;
       }
     }
+    if (pool_) report.lease_seconds = pool_->tenant_lease_seconds(name);
     result.tenants.push_back(report);
   }
 
   // --- latency distribution ---------------------------------------------------
   std::vector<double> latencies;
   std::size_t slo_ok = 0;
+  std::size_t admitted = 0;
   for (const JobResult& r : result.jobs) {
+    if (r.rejected) continue;  // never ran: no latency, no SLO verdict
+    ++admitted;
     latencies.push_back(r.latency_seconds());
     if (r.slo_met()) ++slo_ok;
   }
   std::sort(latencies.begin(), latencies.end());
   result.p50_latency_seconds = percentile(latencies, 0.50);
   result.p95_latency_seconds = percentile(latencies, 0.95);
-  result.slo_hit_rate = static_cast<double>(slo_ok) / static_cast<double>(n);
+  result.slo_hit_rate = admitted == 0 ? 1.0
+                                      : static_cast<double>(slo_ok) /
+                                            static_cast<double>(admitted);
   return result;
 }
 

@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "cluster/platform.hpp"
@@ -33,6 +34,7 @@
 #include "net/messaging.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/core_slot_arbiter.hpp"
+#include "workload/node_pool.hpp"
 #include "workload/workload.hpp"
 
 namespace cloudburst::workload {
@@ -40,6 +42,7 @@ namespace cloudburst::workload {
 class WorkloadManager {
  public:
   WorkloadManager(cluster::Platform& platform, WorkloadOptions options);
+  ~WorkloadManager();
 
   /// Queue `spec` for submission at `at_seconds` (sim time). Validates the
   /// spec immediately (throws std::invalid_argument on a bad one). Returns
@@ -65,7 +68,20 @@ class WorkloadManager {
     std::uint32_t preemptions = 0;
     bool started = false;
     bool finished = false;
+    bool rejected = false;  ///< admission quota refused it; never queued
+    QuotaReject reject_reason = QuotaReject::None;
+    std::uint64_t bytes = 0;            ///< layout.total_bytes(), quota input
+    double burn_usd_per_hour = 0.0;     ///< estimated cloud burn, quota input
     std::unique_ptr<middleware::JobExecution> exec;
+  };
+
+  /// One in-progress cross-job drain (directory NodeDraining -> node
+  /// retirement once every affected job's slave has vacated).
+  struct DrainState {
+    cluster::ClusterId site = 0;
+    std::uint32_t node_index = 0;
+    bool assembling = false;  ///< begin_cross_job_drain is mid-loop
+    std::set<std::uint32_t> waiting_jobs;
   };
 
   bool concurrent_policy() const {
@@ -84,16 +100,39 @@ class WorkloadManager {
   void record(trace::EventKind kind, const Job& job, std::uint64_t b = 0);
   WorkloadResult aggregate();
 
+  /// Quota check at submission time; returns the violated limit (None = admit).
+  QuotaReject admission_check(const Job& job) const;
+  /// A slave of `job` vacated `ep` (pool lease release + drain settlement).
+  void on_slave_vacated(Job& job, net::EndpointId ep);
+  /// Directory NodeDraining: block pool leases, ask every running job to
+  /// drain its slave on the node, retire the node once they all vacated.
+  void begin_cross_job_drain(cluster::ClusterId site, std::uint32_t node_index);
+  /// All waiting jobs vacated `ep`: complete the directory retirement.
+  void settle_drain(net::EndpointId ep);
+  double now_seconds() const;
+
   cluster::Platform& platform_;
   WorkloadOptions options_;
   net::Postman<middleware::Message> postman_;
   std::unique_ptr<CoreSlotArbiter> arbiter_;  ///< concurrent policies only
+  std::unique_ptr<NodePool> pool_;            ///< WorkloadOptions::pool.enabled
 
   std::vector<std::unique_ptr<Job>> jobs_;  ///< by id - 1; stable storage
   std::vector<std::uint32_t> queue_;        ///< submitted, not yet started (arrival order)
   std::uint32_t active_ = 0;
   bool pump_pending_ = false;  ///< a deferred pump event is already queued
   bool running_ = false;
+
+  // --- dynamic control plane -----------------------------------------------
+  directory::PlatformDirectory::WatchId directory_watch_ = 0;
+  std::map<net::EndpointId, DrainState> drains_;
+  /// Per-tenant in-flight usage the admission quotas meter.
+  struct TenantUsage {
+    std::uint32_t inflight_jobs = 0;
+    std::uint64_t inflight_bytes = 0;
+    double burn_usd_per_hour = 0.0;
+  };
+  std::map<std::string, TenantUsage> usage_;
 
   /// Per-endpoint, per-job-id message routes (Message::job demux).
   std::map<net::EndpointId,

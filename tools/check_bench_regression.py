@@ -1,19 +1,27 @@
 #!/usr/bin/env python3
-"""Gate engine-performance regressions against a committed baseline.
+"""Gate bench regressions against a committed baseline.
 
 Usage:
     tools/check_bench_regression.py CURRENT.json BASELINE.json \
-        [--max-regression 0.15] [--max-rss-growth 0.25] [--update]
+        [--max-regression 0.15] [--max-rss-growth 0.25] [--update] \
+        [--metric DOTTED.PATH[:lower]]...
 
-Compares the events/sec reported by bench/perf_engine (BENCH_engine.json)
-against the committed baseline and exits non-zero when throughput dropped by
-more than --max-regression (default 15%). Peak RSS is gated the same way:
-growth beyond --max-rss-growth (default 25%) fails, catching allocation
-regressions (per-event heap churn, unbounded queues) that throughput alone
-can hide. Deterministic fields (event count, simulated makespan, workload
-shape) are compared too: a mismatch there means the kernel's behavior
-changed, which is reported as a warning so intentional behavior changes can
-update the baseline (--update rewrites it in place).
+Default mode compares the events/sec reported by bench/perf_engine
+(BENCH_engine.json) against the committed baseline and exits non-zero when
+throughput dropped by more than --max-regression (default 15%). Peak RSS is
+gated the same way: growth beyond --max-rss-growth (default 25%) fails,
+catching allocation regressions (per-event heap churn, unbounded queues)
+that throughput alone can hide. Deterministic fields (event count, simulated
+makespan, workload shape) are compared too: a mismatch there means the
+kernel's behavior changed, which is reported as a warning so intentional
+behavior changes can update the baseline (--update rewrites it in place).
+
+With one or more --metric flags the tool instead gates arbitrary numeric
+values addressed by dotted key path into the JSON documents (e.g.
+`burst.savings.usd_fraction` for BENCH_directory.json). A metric is
+higher-is-better by default — a drop beyond --max-regression fails; append
+`:lower` for lower-is-better values, where growth beyond the threshold
+fails. The events/sec and RSS gates are skipped in metric mode.
 
 Wall-clock throughput varies across hosts; the gate is meant to catch real
 hot-path regressions (allocation churn, O(F^2) rebalances creeping back),
@@ -38,6 +46,46 @@ DETERMINISTIC_FIELDS = (
 )
 
 
+def lookup(doc, path):
+    """Resolve a dotted key path; returns None when any segment is missing."""
+    node = doc
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def check_metric(spec, current, baseline, max_regression):
+    """Gate one --metric spec ('path' or 'path:lower'). Returns True on pass."""
+    path, _, direction = spec.partition(":")
+    if direction not in ("", "higher", "lower"):
+        print(f"error: --metric direction must be 'higher' or 'lower': {spec}")
+        return False
+    lower_is_better = direction == "lower"
+
+    base_val = lookup(baseline, path)
+    cur_val = lookup(current, path)
+    for side, val in (("baseline", base_val), ("current", cur_val)):
+        if not isinstance(val, (int, float)) or isinstance(val, bool):
+            print(f"error: metric '{path}' missing or non-numeric in {side}")
+            return False
+    if float(base_val) == 0.0:
+        print(f"error: baseline metric '{path}' is zero; cannot gate a ratio")
+        return False
+
+    change = float(cur_val) / float(base_val) - 1.0
+    print(f"{path}: baseline {base_val:g} -> current {cur_val:g} ({change:+.1%})")
+    regressed = change > max_regression if lower_is_better \
+        else change < -max_regression
+    if regressed:
+        word = "grew" if lower_is_better else "regressed"
+        print(f"FAIL: metric '{path}' {word} more than "
+              f"{max_regression:.0%} vs committed baseline")
+        return False
+    return True
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="freshly produced BENCH_engine.json")
@@ -48,6 +96,11 @@ def main() -> int:
                         help="allowed fractional peak-RSS growth (default 0.25)")
     parser.add_argument("--update", action="store_true",
                         help="overwrite the baseline with the current result")
+    parser.add_argument("--metric", action="append", default=[],
+                        metavar="DOTTED.PATH[:lower]",
+                        help="gate this numeric JSON field instead of the "
+                             "events/sec+RSS defaults (repeatable; append "
+                             ":lower when smaller is better)")
     args = parser.parse_args()
 
     with open(args.current) as f:
@@ -60,6 +113,20 @@ def main() -> int:
             print(f"warning: deterministic field '{field}' drifted: "
                   f"baseline={baseline.get(field)!r} current={current.get(field)!r}"
                   " (behavior change? refresh the baseline with --update)")
+
+    if args.metric:
+        # Explicit metric list replaces the engine-specific gates entirely so
+        # the tool can police any bench's JSON (e.g. BENCH_directory.json).
+        results = [check_metric(m, current, baseline, args.max_regression)
+                   for m in args.metric]
+        if args.update:
+            shutil.copyfile(args.current, args.baseline)
+            print(f"baseline updated: {args.baseline}")
+            return 0
+        if not all(results):
+            return 1
+        print("OK: within regression budget")
+        return 0
 
     base_eps = float(baseline["events_per_sec"])
     cur_eps = float(current["events_per_sec"])

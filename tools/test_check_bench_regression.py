@@ -34,7 +34,7 @@ def bench_json(events_per_sec, peak_rss_bytes=None, **overrides):
     return doc
 
 
-class CheckBenchRegressionTest(unittest.TestCase):
+class GateTestBase(unittest.TestCase):
     def setUp(self):
         self._tmp = tempfile.TemporaryDirectory()
         self.addCleanup(self._tmp.cleanup)
@@ -53,6 +53,8 @@ class CheckBenchRegressionTest(unittest.TestCase):
             capture_output=True, text=True)
         return proc, base
 
+
+class CheckBenchRegressionTest(GateTestBase):
     def test_within_budget_passes(self):
         rss = 64 << 20
         proc, _ = self._run(bench_json(95000.0, rss), bench_json(100000.0, rss))
@@ -105,6 +107,93 @@ class CheckBenchRegressionTest(unittest.TestCase):
     def test_nonpositive_baseline_throughput_errors(self):
         proc, _ = self._run(bench_json(100000.0), bench_json(0.0))
         self.assertEqual(proc.returncode, 2, proc.stdout)
+
+
+def directory_json(boot_wait_fraction, usd_fraction):
+    return {
+        "bench": "ablation_directory",
+        "mode": "quick",
+        "seed": 42,
+        "burst": {"savings": {"boot_wait_fraction": boot_wait_fraction,
+                              "usd_fraction": usd_fraction}},
+    }
+
+
+class MetricGateTest(GateTestBase):
+    METRICS = ("--metric", "burst.savings.boot_wait_fraction",
+               "--metric", "burst.savings.usd_fraction")
+
+    def test_equal_metrics_pass(self):
+        proc, _ = self._run(directory_json(0.55, 0.60),
+                            directory_json(0.55, 0.60), *self.METRICS)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("OK", proc.stdout)
+        # Metric mode must not require the engine fields.
+        self.assertNotIn("events/sec", proc.stdout)
+
+    def test_drop_within_budget_passes(self):
+        proc, _ = self._run(directory_json(0.50, 0.55),
+                            directory_json(0.55, 0.60), *self.METRICS)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_drop_beyond_budget_fails(self):
+        proc, _ = self._run(directory_json(0.20, 0.60),
+                            directory_json(0.55, 0.60), *self.METRICS)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("boot_wait_fraction", proc.stdout)
+        self.assertIn("regressed", proc.stdout)
+
+    def test_improvement_passes(self):
+        proc, _ = self._run(directory_json(0.80, 0.90),
+                            directory_json(0.55, 0.60), *self.METRICS)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_lower_is_better_growth_fails(self):
+        proc, _ = self._run({"makespan": 200.0}, {"makespan": 100.0},
+                            "--metric", "makespan:lower")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("grew", proc.stdout)
+
+    def test_lower_is_better_drop_passes(self):
+        proc, _ = self._run({"makespan": 50.0}, {"makespan": 100.0},
+                            "--metric", "makespan:lower")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_threshold_is_configurable(self):
+        proc, _ = self._run(directory_json(0.50, 0.60),
+                            directory_json(0.55, 0.60),
+                            "--max-regression", "0.01", *self.METRICS)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+
+    def test_missing_metric_in_current_fails(self):
+        proc, _ = self._run({"other": 1.0}, directory_json(0.55, 0.60),
+                            "--metric", "burst.savings.usd_fraction")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("missing or non-numeric", proc.stdout)
+
+    def test_non_numeric_metric_fails(self):
+        proc, _ = self._run({"burst": {"savings": {"usd_fraction": "big"}}},
+                            directory_json(0.55, 0.60),
+                            "--metric", "burst.savings.usd_fraction")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+
+    def test_zero_baseline_metric_fails(self):
+        proc, _ = self._run({"x": 1.0}, {"x": 0.0}, "--metric", "x")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("zero", proc.stdout)
+
+    def test_bad_direction_suffix_fails(self):
+        proc, _ = self._run({"x": 1.0}, {"x": 1.0}, "--metric", "x:sideways")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("direction", proc.stdout)
+
+    def test_update_rewrites_baseline_in_metric_mode(self):
+        current = directory_json(0.10, 0.10)
+        proc, base = self._run(current, directory_json(0.55, 0.60),
+                               "--update", *self.METRICS)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        with open(base) as f:
+            self.assertEqual(json.load(f), current)
 
 
 if __name__ == "__main__":
