@@ -148,7 +148,8 @@ Platform::Platform(const PlatformSpec& spec) : spec_(spec) {
     }
     return std::make_pair(spec_.wan_bandwidth, spec_.wan_latency);
   };
-  std::vector<std::vector<net::LinkId>> wan(n_sites, std::vector<net::LinkId>(n_sites));
+  wan_.assign(n_sites, std::vector<net::LinkId>(n_sites));
+  auto& wan = wan_;
   for (ClusterId a = 0; a < n_sites; ++a) {
     for (ClusterId b = a + 1; b < n_sites; ++b) {
       const auto [bw, lat] = wan_edge(a, b);
@@ -291,6 +292,11 @@ std::size_t Platform::cloud_node_count() const {
 storage::StoreService& Platform::store(storage::StoreId id) {
   if (id >= stores_.size()) throw std::out_of_range("unknown store id");
   return *stores_[id];
+}
+
+net::LinkId Platform::wan_link(ClusterId a, ClusterId b) const {
+  if (a == b) throw std::invalid_argument("wan_link: a site has no WAN to itself");
+  return wan_.at(a).at(b);
 }
 
 }  // namespace cloudburst::cluster

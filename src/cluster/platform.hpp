@@ -215,6 +215,10 @@ class Platform {
     return master_ep_.at(cluster);
   }
 
+  /// The physical WAN link between two distinct sites (fault injection:
+  /// chaos windows scale its capacity). Throws if a == b.
+  net::LinkId wan_link(ClusterId a, ClusterId b) const;
+
  private:
   void build_cluster(ClusterId id, const ClusterSpec& cspec, net::SiteId site);
 
@@ -227,6 +231,7 @@ class Platform {
   std::vector<std::unique_ptr<storage::StoreService>> stores_;
   std::vector<storage::StoreId> cluster_store_;  ///< affinity store per site
   std::vector<ClusterId> store_owner_;           ///< owning site per store
+  std::vector<std::vector<net::LinkId>> wan_;    ///< WAN link per site pair
 };
 
 }  // namespace cloudburst::cluster

@@ -8,6 +8,8 @@
 // result; merges are charged compute time and serialize on the head.
 #pragma once
 
+#include <map>
+#include <set>
 #include <vector>
 
 #include "middleware/run_context.hpp"
@@ -26,6 +28,19 @@ class HeadNode {
            std::vector<MasterInfo> masters, const api::GRTask* task);
 
   void handle(net::EndpointId from, Message msg);
+
+  /// A master's whole site went dark (chaos site outage). Every chunk granted
+  /// to it since its last MasterRobj is of unknown status — but since that
+  /// robj will never merge, re-granting ALL of them to surviving masters is
+  /// exactly-once by construction. Survivors adopt the work via unsolicited
+  /// reopen BatchAssigns (a survivor that already committed re-opens and
+  /// later ships a delta robj); a failed master's late BatchRequests and
+  /// MasterRobj are dropped. Idempotent.
+  void on_master_failed(net::EndpointId master);
+
+  bool master_failed(net::EndpointId master) const {
+    return failed_masters_.count(master) != 0;
+  }
 
   const JobPool& pool() const { return pool_; }
   net::EndpointId endpoint() const { return self_; }
@@ -48,6 +63,13 @@ class HeadNode {
   std::uint32_t robjs_merged_ = 0;
   double merge_free_at_ = 0.0;  ///< head merges serialize on one core
   api::RobjPtr robj_;
+
+  // --- master-failover bookkeeping (pure memory; byte-identity safe) -------
+  /// Chunks granted to each master and not yet covered by a MasterRobj.
+  std::map<net::EndpointId, std::vector<storage::ChunkId>> granted_;
+  /// Masters whose cluster robj has arrived (their granted work committed).
+  std::set<net::EndpointId> robj_received_;
+  std::set<net::EndpointId> failed_masters_;
 };
 
 }  // namespace cloudburst::middleware

@@ -182,6 +182,72 @@ void validate_run(const cluster::Platform& platform, const storage::DataLayout& 
           "slaves");
     }
   }
+
+  // --- scripted chaos --------------------------------------------------------
+  if (options.chaos && !options.chaos->events.empty()) {
+    if (options.reduction_tree) {
+      throw std::invalid_argument(
+          "run_distributed: a chaos plan requires reduction_tree = false "
+          "(the master must track per-slave work to survive faults)");
+    }
+    if (options.static_assignment) {
+      throw std::invalid_argument(
+          "run_distributed: static assignment excludes chaos plans");
+    }
+    using ChaosKind = chaos::ChaosEvent::Kind;
+    for (const auto& ev : options.chaos->events) {
+      if (ev.at_seconds < 0.0) {
+        throw std::invalid_argument("run_distributed: chaos event time must be >= 0");
+      }
+      if (ev.site_a >= platform.cluster_count()) {
+        throw std::invalid_argument("run_distributed: chaos event names an unknown site");
+      }
+      switch (ev.kind) {
+        case ChaosKind::LinkFault:
+          if (ev.site_b >= platform.cluster_count() || ev.site_b == ev.site_a) {
+            throw std::invalid_argument(
+                "run_distributed: chaos link fault needs two distinct sites");
+          }
+          if (ev.factor < 0.0 || ev.factor > 1.0) {
+            throw std::invalid_argument(
+                "run_distributed: chaos link factor must be in [0, 1]");
+          }
+          break;
+        case ChaosKind::SitePartition:
+          break;
+        case ChaosKind::StoreOutage:
+          if (platform.store_of_cluster(ev.site_a) == storage::kInvalidStore) {
+            throw std::invalid_argument(
+                "run_distributed: chaos store outage targets a site with no store");
+          }
+          break;
+        case ChaosKind::SiteOutage:
+          if (ev.site_a == cluster::kLocalSite) {
+            throw std::invalid_argument(
+                "run_distributed: a chaos site outage cannot black out the head's "
+                "site");
+          }
+          break;
+        case ChaosKind::NodeCrash:
+        case ChaosKind::NodeDrain:
+          if (ev.node_index >= platform.nodes(ev.site_a).size()) {
+            throw std::invalid_argument(
+                "run_distributed: chaos event names an unknown node");
+          }
+          break;
+        case ChaosKind::SpotReclaim:
+          if (ev.node_index >= platform.nodes(ev.site_a).size()) {
+            throw std::invalid_argument(
+                "run_distributed: chaos event names an unknown node");
+          }
+          if (ev.notice_seconds < 0.0) {
+            throw std::invalid_argument(
+                "run_distributed: chaos spot-reclaim notice must be >= 0");
+          }
+          break;
+      }
+    }
+  }
 }
 
 JobExecution::JobExecution(cluster::Platform& platform, const storage::DataLayout& layout,
@@ -206,6 +272,7 @@ JobExecution::JobExecution(cluster::Platform& platform, const storage::DataLayou
   schedule_lifecycle();
   setup_pool();
   setup_directory();
+  setup_chaos();
 }
 
 JobExecution::~JobExecution() {
@@ -245,17 +312,26 @@ void JobExecution::setup_directory() {
   if (!dir) return;
   directory_watch_ = dir->watch([this](const directory::DirectoryEvent& ev) {
     if (ctx_.recorder.finished) return;
-    if (ev.kind != directory::DirectoryEvent::Kind::StoreRetired) return;
-    // A retired store takes its resident copies with it: mark them lost so
-    // reads re-route to surviving replicas and the repair actor re-creates
-    // the coverage elsewhere.
     replica::ReplicaSet* rs = ctx_.options.replication;
     if (!rs) return;
+    // A retired store takes its resident copies with it: mark them lost so
+    // reads re-route to surviving replicas and the repair actor re-creates
+    // the coverage elsewhere. A retired *site* implies the same for its
+    // affinity store — directory retire_site does not cascade, so a site
+    // blackout that never issued the per-store event must still lose the
+    // copies (mark_lost is idempotent when it did).
+    storage::StoreId store = storage::kInvalidStore;
+    if (ev.kind == directory::DirectoryEvent::Kind::StoreRetired) {
+      store = ev.store;
+    } else if (ev.kind == directory::DirectoryEvent::Kind::SiteRetired) {
+      store = platform_.store_of_cluster(ev.site);
+    }
+    if (store == storage::kInvalidStore) return;
     for (const auto& chunk : ctx_.layout.chunks()) {
-      if (!rs->is_live(chunk.id, ev.store)) continue;
-      if (rs->mark_lost(chunk.id, ev.store, ctx_.now_seconds())) {
+      if (!rs->is_live(chunk.id, store)) continue;
+      if (rs->mark_lost(chunk.id, store, ctx_.now_seconds())) {
         ++ctx_.recorder.replica.replicas_lost;
-        ctx_.trace(trace::EventKind::ReplicaLost, "replica", chunk.id, ev.store);
+        ctx_.trace(trace::EventKind::ReplicaLost, "replica", chunk.id, store);
       }
     }
   });
@@ -725,6 +801,247 @@ void JobExecution::schedule_drain(cluster::ClusterId site, net::EndpointId victi
               master->on_slave_failed(victim_ep);
             });
       });
+}
+
+void JobExecution::setup_chaos() {
+  const chaos::ChaosPlan* plan = ctx_.options.chaos;
+  if (!plan) return;
+  using ChaosKind = chaos::ChaosEvent::Kind;
+  for (const auto& ev : plan->events) {
+    switch (ev.kind) {
+      case ChaosKind::LinkFault: {
+        const net::LinkId link = platform_.wan_link(ev.site_a, ev.site_b);
+        const double factor = ev.factor;
+        const cluster::ClusterId a = ev.site_a;
+        const cluster::ClusterId b = ev.site_b;
+        platform_.sim().schedule(
+            des::from_seconds(ev.at_seconds), [this, link, factor, a, b] {
+              ctx_.trace(trace::EventKind::LinkDown, "chaos", link,
+                         static_cast<std::uint64_t>(factor * 1000.0));
+              platform_.network().set_link_capacity_factor(link, factor);
+              // Feed the route oracle: readers should prefer replicas off
+              // the degraded path until the suspect window lapses.
+              if (replica::ReplicaSet* rs = ctx_.options.replication) {
+                rs->mark_site_suspect(a, ctx_.now_seconds());
+                rs->mark_site_suspect(b, ctx_.now_seconds());
+              }
+            });
+        if (ev.duration_seconds > 0.0) {
+          platform_.sim().schedule(
+              des::from_seconds(ev.at_seconds + ev.duration_seconds), [this, link] {
+                platform_.network().set_link_capacity_factor(link, 1.0);
+                ctx_.trace(trace::EventKind::LinkRestored, "chaos", link, 0);
+              });
+        }
+        break;
+      }
+      case ChaosKind::SitePartition: {
+        std::vector<net::LinkId> links;
+        for (cluster::ClusterId s = 0; s < platform_.cluster_count(); ++s) {
+          if (s != ev.site_a) links.push_back(platform_.wan_link(ev.site_a, s));
+        }
+        const cluster::ClusterId site = ev.site_a;
+        platform_.sim().schedule(des::from_seconds(ev.at_seconds), [this, links, site] {
+          for (const net::LinkId link : links) {
+            ctx_.trace(trace::EventKind::LinkDown, "chaos", link, 0);
+            platform_.network().set_link_capacity_factor(link, 0.0);
+          }
+          if (replica::ReplicaSet* rs = ctx_.options.replication) {
+            rs->mark_site_suspect(site, ctx_.now_seconds());
+          }
+        });
+        if (ev.duration_seconds > 0.0) {
+          platform_.sim().schedule(
+              des::from_seconds(ev.at_seconds + ev.duration_seconds), [this, links] {
+                for (const net::LinkId link : links) {
+                  platform_.network().set_link_capacity_factor(link, 1.0);
+                  ctx_.trace(trace::EventKind::LinkRestored, "chaos", link, 0);
+                }
+              });
+        }
+        break;
+      }
+      case ChaosKind::StoreOutage: {
+        const storage::StoreId store = platform_.store_of_cluster(ev.site_a);
+        if (store == storage::kInvalidStore) break;
+        platform_.sim().schedule(des::from_seconds(ev.at_seconds), [this, store] {
+          ctx_.trace(trace::EventKind::StoreOffline, "chaos", store, 0);
+          platform_.store(store).set_offline(true);
+          if (replica::ReplicaSet* rs = ctx_.options.replication) {
+            rs->mark_store_suspect(store, ctx_.now_seconds());
+          }
+        });
+        if (ev.duration_seconds > 0.0) {
+          platform_.sim().schedule(
+              des::from_seconds(ev.at_seconds + ev.duration_seconds), [this, store] {
+                platform_.store(store).set_offline(false);
+                ctx_.trace(trace::EventKind::StoreOnline, "chaos", store, 0);
+              });
+        }
+        break;
+      }
+      case ChaosKind::NodeCrash: {
+        // Random plans may target nodes outside this job's membership
+        // (directory-filtered, pooled): those events miss quietly instead of
+        // throwing like the hand-written lifecycle specs.
+        const auto& nodes = platform_.nodes(ev.site_a);
+        if (ev.node_index >= nodes.size()) break;
+        const net::EndpointId victim_ep = nodes[ev.node_index].endpoint;
+        SlaveNode* victim = slave_by_endpoint(victim_ep);
+        MasterNode* master = master_of(ev.site_a);
+        if (!victim || !master) break;
+        platform_.sim().schedule(des::from_seconds(ev.at_seconds), [this, victim] {
+          if (ctx_.recorder.finished || !victim->alive()) return;
+          if (dormant_standby_.count(victim->endpoint())) return;
+          ctx_.trace(trace::EventKind::SlaveFailed, "node", 0, 0);
+          ++ctx_.recorder.lifecycle.nodes_crashed;
+          victim->kill();
+        });
+        platform_.sim().schedule(
+            des::from_seconds(ev.at_seconds + ctx_.options.failure_detection_seconds),
+            [this, master, victim_ep] {
+              if (ctx_.recorder.finished) return;
+              if (dormant_standby_.count(victim_ep)) return;
+              master->on_slave_failed(victim_ep);
+            });
+        break;
+      }
+      case ChaosKind::NodeDrain:
+      case ChaosKind::SpotReclaim: {
+        const auto& nodes = platform_.nodes(ev.site_a);
+        if (ev.node_index >= nodes.size()) break;
+        const net::EndpointId victim_ep = nodes[ev.node_index].endpoint;
+        if (!slave_by_endpoint(victim_ep) || !master_of(ev.site_a)) break;
+        schedule_drain(ev.site_a, victim_ep, nodes[ev.node_index].name, ev.at_seconds,
+                       ev.kind == ChaosKind::SpotReclaim
+                           ? std::max(0.0, ev.notice_seconds)
+                           : -1.0);
+        break;
+      }
+      case ChaosKind::SiteOutage: {
+        const cluster::ClusterId site = ev.site_a;
+        platform_.sim().schedule(des::from_seconds(ev.at_seconds),
+                                 [this, site] { begin_site_outage(site); });
+        if (ev.duration_seconds > 0.0) {
+          platform_.sim().schedule(
+              des::from_seconds(ev.at_seconds + ev.duration_seconds),
+              [this, site] { recover_site(site); });
+        }
+        break;
+      }
+    }
+  }
+}
+
+void JobExecution::begin_site_outage(cluster::ClusterId site) {
+  if (ctx_.recorder.finished) return;
+  const double now = ctx_.now_seconds();
+
+  // 1. Cut every WAN path touching the site: in-flight flows stall at rate 0
+  //    until cancelled below (victims) or until recovery (bystanders).
+  for (cluster::ClusterId s = 0; s < platform_.cluster_count(); ++s) {
+    if (s == site) continue;
+    const net::LinkId link = platform_.wan_link(site, s);
+    ctx_.trace(trace::EventKind::LinkDown, "chaos", link, 0);
+    platform_.network().set_link_capacity_factor(link, 0.0);
+  }
+
+  // 2. The site's store goes dark *before* the nodes: its abort path fails
+  //    every in-flight GET immediately, so remote readers re-enter their
+  //    retry cycle and the route oracle steers them to surviving replicas.
+  const storage::StoreId store = platform_.store_of_cluster(site);
+  if (store != storage::kInvalidStore && !platform_.store(store).offline()) {
+    ctx_.trace(trace::EventKind::StoreOffline, "chaos", store, 0);
+    platform_.store(store).set_offline(true);
+  }
+  if (replica::ReplicaSet* rs = ctx_.options.replication) {
+    rs->mark_site_suspect(site, now);
+    if (store != storage::kInvalidStore) rs->mark_store_suspect(store, now);
+  }
+
+  // 3. Directory: the site's services leave the platform. Nodes first (the
+  //    workload manager closes their pool lease windows), then the store
+  //    (the watcher above marks its replicas lost), then the site itself.
+  if (directory::PlatformDirectory* dir = ctx_.options.directory) {
+    const auto& nodes = platform_.nodes(site);
+    for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+      if (dir->node_live(nodes[i].endpoint)) dir->retire_node(site, i);
+    }
+    if (store != storage::kInvalidStore && dir->store_live(store)) {
+      dir->retire_store(store);
+    }
+    if (dir->site_live(site)) dir->retire_site(site);
+  }
+
+  // 4. Kill this job's slaves on the site; a cloud site's meters stop at the
+  //    blackout (nobody pays for a rack that is gone).
+  for (auto& s : slaves_) {
+    if (s->site() != site || !s->alive()) continue;
+    ctx_.trace(trace::EventKind::SlaveFailed, s->name(), 0, 0);
+    ++ctx_.recorder.lifecycle.nodes_crashed;
+    if (platform_.is_cloud(site)) {
+      ctx_.recorder.end_cloud_billing(s->endpoint(), now - ctx_.job_start_seconds);
+    }
+    s->kill();
+  }
+
+  // 5. Flows to or from the dead endpoints must settle, not sit in the
+  //    per-link active lists holding shares forever.
+  std::uint64_t cancelled = 0;
+  for (auto& s : slaves_) {
+    if (s->site() == site) {
+      cancelled += platform_.network().cancel_flows_with_endpoint(s->endpoint());
+    }
+  }
+  MasterNode* master = master_of(site);
+  if (master) {
+    cancelled += platform_.network().cancel_flows_with_endpoint(master->endpoint());
+  }
+  ctx_.trace(trace::EventKind::SiteOutage, "chaos", site, cancelled);
+
+  // 6. Control plane: the master goes silent now; the head notices one
+  //    detection interval later and re-grants every chunk it had granted the
+  //    dead cluster to the survivors (exactly-once: the dead cluster's robj
+  //    never merges).
+  if (master && !master->evacuated()) {
+    master->evacuate();
+    const net::EndpointId master_ep = master->endpoint();
+    platform_.sim().schedule(
+        des::from_seconds(ctx_.options.failure_detection_seconds),
+        [this, master_ep] {
+          if (ctx_.recorder.finished) return;
+          head_->on_master_failed(master_ep);
+        });
+  }
+}
+
+void JobExecution::recover_site(cluster::ClusterId site) {
+  // Fabric back first: links at nominal capacity, store serving again.
+  for (cluster::ClusterId s = 0; s < platform_.cluster_count(); ++s) {
+    if (s == site) continue;
+    const net::LinkId link = platform_.wan_link(site, s);
+    platform_.network().set_link_capacity_factor(link, 1.0);
+    ctx_.trace(trace::EventKind::LinkRestored, "chaos", link, 0);
+  }
+  const storage::StoreId store = platform_.store_of_cluster(site);
+  if (store != storage::kInvalidStore && platform_.store(store).offline()) {
+    platform_.store(store).set_offline(false);
+    ctx_.trace(trace::EventKind::StoreOnline, "chaos", store, 0);
+  }
+  // Directory re-registration (generation bump): the recovered capacity is
+  // placeable for *future* work — this job's dead slaves stay dead, and the
+  // evacuated master never speaks again.
+  if (directory::PlatformDirectory* dir = ctx_.options.directory) {
+    if (!dir->site_live(site)) dir->register_site(site);
+    if (store != storage::kInvalidStore && !dir->store_live(store)) {
+      dir->register_store(store);
+    }
+    const auto& nodes = platform_.nodes(site);
+    for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+      if (!dir->node_live(nodes[i].endpoint)) dir->register_node(site, i);
+    }
+  }
+  ctx_.trace(trace::EventKind::SiteRecovered, "chaos", site, 0);
 }
 
 void JobExecution::setup_migration() {

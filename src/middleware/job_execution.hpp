@@ -112,6 +112,18 @@ class JobExecution {
   /// Schedule RunOptions::lifecycle events plus the stochastic spot-reclaim
   /// draws (one exponential per active cloud node).
   void schedule_lifecycle();
+  /// Schedule every window of RunOptions::chaos (no-op when null): link
+  /// faults and partitions, store outages, node crash/drain/reclaim events,
+  /// and whole-site blackouts with recovery.
+  void setup_chaos();
+  /// Site blackout: WAN links cut, store dark, slaves killed and their
+  /// in-flight flows cancelled, directory services retired, master
+  /// evacuated and the head told to re-grant its uncommitted work.
+  void begin_site_outage(cluster::ClusterId site);
+  /// Window end: links back to nominal capacity, store online, directory
+  /// services re-registered (fresh generation) for future placement. Nodes
+  /// killed by the outage stay dead for this job.
+  void recover_site(cluster::ClusterId site);
   /// Drain notice at `at_seconds` (relative to now); `notice_seconds >= 0`
   /// adds a spot-reclaim hard-kill deadline that far after the notice.
   void schedule_drain(cluster::ClusterId site, net::EndpointId victim_ep,

@@ -13,6 +13,7 @@ MasterNode::MasterNode(RunContext& ctx, cluster::ClusterId site, net::EndpointId
       preferred_store_(preferred_store) {}
 
 void MasterNode::handle(net::EndpointId from, Message msg) {
+  if (evacuated_) return;  // site blacked out: every late message is void
   switch (msg.type) {
     case MsgType::SlaveJobRequest: {
       if (dead_.count(from)) break;  // late message from a crashed node
@@ -30,6 +31,26 @@ void MasterNode::handle(net::EndpointId from, Message msg) {
       break;
     }
     case MsgType::BatchAssign: {
+      if (msg.reopen) {
+        // Unsolicited grant: a peer master's site died and the head is
+        // re-homing its uncommitted chunks here. If this cluster already
+        // committed, re-open: the shipped robj lives safely at the head, so
+        // drop local state and let the next commit carry only the delta.
+        if (cluster_robj_sent_) {
+          cluster_robj_sent_ = false;
+          robj_.reset();
+        }
+        ctx_.trace(trace::EventKind::BatchGranted, trace_name_, msg.batch.size(), 2);
+        for (storage::ChunkId c : msg.batch) pool_.push_back(c);
+        serve_waiting();
+        if (cache::Prefetcher* pf = ctx_.prefetcher(site_)) {
+          pf->on_pool_update(pool_, ctx_.layout);
+        }
+        // Slaves idled by NoMoreJobs will never pull again — push at them.
+        flush_pool_if_endgame();
+        maybe_commit();
+        break;
+      }
       refill_outstanding_ = false;
       ctx_.trace(trace::EventKind::BatchGranted, trace_name_, msg.batch.size(),
                  msg.exhausted ? 1 : 0);
@@ -144,7 +165,26 @@ void MasterNode::assign_static(
   for (const auto& [slave, chunk] : plan) push_assign(chunk, slave);
 }
 
+void MasterNode::evacuate() {
+  if (evacuated_) return;
+  evacuated_ = true;
+  cluster_robj_sent_ = true;  // permanently silences checkpoint_tick
+  committing_ = false;
+  no_more_ = true;
+  if (cache::Prefetcher* pf = ctx_.prefetcher(site_)) {
+    for (net::EndpointId s : slaves_) pf->drop_owner(s);
+  }
+  for (net::EndpointId s : slaves_) dead_.insert(s);
+  pool_.clear();
+  waiting_slaves_.clear();
+  inflight_.clear();
+  done_unchk_.clear();
+  commit_responded_.clear();
+  outstanding_total_ = 0;
+}
+
 void MasterNode::on_slave_failed(net::EndpointId slave) {
+  if (evacuated_) return;  // whole site already written off
   if (dead_.count(slave)) return;
   dead_.insert(slave);
   if (ctx_.options.replication) {

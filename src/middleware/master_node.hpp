@@ -46,6 +46,16 @@ class MasterNode {
   /// Heartbeat timeout fired for `slave`: reclaim its un-checkpointed work.
   void on_slave_failed(net::EndpointId slave);
 
+  /// Chaos site outage: the whole cluster went dark at once. Silences the
+  /// master for good — checkpoint ticks stop, late messages are ignored, no
+  /// commit is attempted (reclaiming locally would throw with zero survivors).
+  /// The head re-grants this cluster's uncommitted work to surviving masters
+  /// via HeadNode::on_master_failed; this master never speaks again even if
+  /// its site later recovers (recovered capacity serves *future* jobs).
+  void evacuate();
+
+  bool evacuated() const { return evacuated_; }
+
   std::uint32_t vacated_slaves() const { return vacated_slaves_; }
 
   /// Migration standbys are wired into the cluster but stay dormant (unbilled,
@@ -111,6 +121,7 @@ class MasterNode {
   std::deque<net::EndpointId> waiting_slaves_;
   bool refill_outstanding_ = false;
   bool no_more_ = false;
+  bool evacuated_ = false;  ///< site blackout: ignore everything forever
 
   /// Last (file, next index) each slave read — assignment prefers the chunk
   /// that continues a slave's sequential position so the storage node sees

@@ -65,6 +65,13 @@ struct Message {
   std::vector<storage::ChunkId> batch;
   bool exhausted = false;
 
+  /// BatchAssign only: head-driven reopen after a peer master's site went
+  /// dark. The batch is that master's reclaimed (uncommitted) work, pushed
+  /// unsolicited at a survivor; a master that already shipped its cluster
+  /// robj re-opens its commit to cover the adopted chunks. Out of band like
+  /// `job` — the charged wire size does not change.
+  bool reopen = false;
+
   // SlaveRobj / MasterRobj: payload travels by size only in the timing
   // model; when a real task is attached (RunOptions::task) the serialized
   // robj rides along here.

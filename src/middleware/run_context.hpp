@@ -12,6 +12,7 @@
 #include "api/generalized_reduction.hpp"
 #include "cache/chunk_cache.hpp"
 #include "cache/prefetcher.hpp"
+#include "chaos/chaos_plan.hpp"
 #include "cluster/platform.hpp"
 #include "directory/platform_directory.hpp"
 #include "engine/memory_dataset.hpp"
@@ -234,6 +235,18 @@ struct RunOptions {
     std::vector<PoolLease> leases;
   };
   PoolPlan pool_plan;
+
+  /// Optional scripted chaos plan (owned by the caller; pure data, see
+  /// chaos/chaos_plan.hpp). When set, JobExecution schedules every fault
+  /// window against this run: WAN link faults and partitions act on the
+  /// platform's inter-site links, store outages flip the store offline and
+  /// abort its in-flight GETs, node events reuse the failure/drain/reclaim
+  /// machinery, and a site outage composes all of it — links cut, store
+  /// dark, slaves killed, master evacuated, its uncommitted grants re-issued
+  /// to surviving clusters — with directory-driven recovery at window end.
+  /// Requires reduction_tree = false. nullptr (the default) leaves every
+  /// run byte-identical to the un-chaosed simulator.
+  const chaos::ChaosPlan* chaos = nullptr;
 };
 
 /// Mutable per-run recorder; actors write, the runtime aggregates.

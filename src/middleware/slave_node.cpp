@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "common/rng.hpp"
 
 namespace cloudburst::middleware {
 
@@ -264,6 +265,18 @@ void SlaveNode::on_fetch_failed(storage::ChunkId chunk) {
   double delay = std::max(p.backoff_base_seconds, 1e-3);
   for (unsigned k = 1; k < p.max_attempts; ++k) delay *= p.backoff_multiplier;
   delay = std::min(delay, p.backoff_max_seconds);
+  if (p.jitter_fraction > 0.0) {
+    // Every slave that lost the same outage computes the same maximal delay
+    // above, so without jitter they all retry in lockstep and re-overload the
+    // store together. The draw comes from a substream keyed by (endpoint,
+    // chunk, per-node draw count) — independent of event interleaving, so a
+    // fixed seed still replays bit-identically.
+    Rng rng = Rng::substream(
+        p.seed, (static_cast<std::uint64_t>(node_.endpoint) << 40) ^
+                    (static_cast<std::uint64_t>(chunk) << 16) ^ backoff_draws_++);
+    delay *= rng.uniform(std::max(0.0, 1.0 - p.jitter_fraction),
+                         1.0 + p.jitter_fraction);
+  }
   ++ctx_.recorder.fetch_retries[node_.cluster];
   ctx_.trace(trace::EventKind::RetryBackoff, node_.name, chunk, p.max_attempts + 1);
   ctx_.sim().schedule(des::from_seconds(delay), [this, chunk] {

@@ -20,9 +20,14 @@ constexpr FlowId kInvalidFlow = static_cast<FlowId>(-1);
 /// shared max-min fairly between the flows crossing it.
 struct Link {
   std::string name;
-  double bandwidth = 0.0;          ///< bytes per second
+  double bandwidth = 0.0;          ///< bytes per second (nominal)
   des::SimDuration latency = 0;    ///< one-way propagation delay
   double bytes_carried = 0.0;      ///< cumulative settled bytes (stats)
+  /// Fault-injection multiplier on bandwidth: 1 = healthy, 0 = link down
+  /// (crossing flows stall at rate 0 until restored), in between = degraded.
+  double capacity_factor = 1.0;
+
+  double effective_bandwidth() const { return bandwidth * capacity_factor; }
 };
 
 }  // namespace cloudburst::net

@@ -84,6 +84,8 @@ FlowId Network::start_flow(EndpointId src, EndpointId dst, std::uint64_t bytes,
   const FlowId id = next_flow_id_++;
   Flow flow;
   flow.id = id;
+  flow.src = src;
+  flow.dst = dst;
   flow.links = path(src, dst);
   flow.remaining = static_cast<double>(bytes);
   flow.rate_cap = rate_cap;
@@ -206,7 +208,8 @@ void Network::recompute_and_rearm(std::vector<Flow*>& comp) {
       LinkWater& w = water_[l];
       if (w.count == 0) continue;
       w.level = std::max(
-          (links_[l].bandwidth - w.committed) / static_cast<double>(w.count), 0.0);
+          (links_[l].effective_bandwidth() - w.committed) / static_cast<double>(w.count),
+          0.0);
       r = std::min(r, w.level);
     }
     for (const Flow* flow : unfrozen_) {
@@ -293,29 +296,65 @@ void Network::activate_flow(FlowId id) {
   recompute_and_rearm(comp_flows_);
 }
 
-void Network::cancel_flow(FlowId id) {
+double Network::cancel_flow(FlowId id) {
   const auto it = flows_.find(id);
-  if (it == flows_.end()) return;
+  if (it == flows_.end()) return 0.0;
   Flow& flow = it->second;
   flow.activation.cancel();
   flow.completion.cancel();
   if (!flow.active) {
     // Latency phase: the flow never held bandwidth, nothing to rebalance.
+    const double unmoved = flow.remaining;
     flows_.erase(it);
-    return;
+    return unmoved;
   }
   collect_component(flow.links);
   if (flow.links.empty()) comp_flows_.push_back(&flow);
   settle_flows(comp_flows_);
+  const double unmoved = flow.remaining;
   detach_from_links(flow);
   comp_flows_.erase(std::find(comp_flows_.begin(), comp_flows_.end(), &flow));
   flows_.erase(it);
+  recompute_and_rearm(comp_flows_);
+  return unmoved;
+}
+
+std::size_t Network::cancel_flows_with_endpoint(EndpointId ep) {
+  // Collect first: cancel_flow mutates flows_, and each cancellation settles
+  // and rebalances its own component, so the per-link active lists stay
+  // consistent throughout. flows_ is id-ordered => deterministic teardown.
+  std::vector<FlowId> doomed;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.src == ep || flow.dst == ep) doomed.push_back(id);
+  }
+  for (FlowId id : doomed) cancel_flow(id);
+  return doomed.size();
+}
+
+void Network::set_link_capacity_factor(LinkId id, double factor) {
+  if (factor < 0.0) {
+    throw std::invalid_argument("link capacity factor must be >= 0");
+  }
+  Link& link = links_.at(id);
+  if (link.capacity_factor == factor) return;
+  // Settle the affected component at the old rates before the capacity
+  // changes, then recompute. A factor of 0 starves crossing flows to rate 0:
+  // recompute_and_rearm cancels their completion events and they stall until
+  // a later rebalance (e.g. restoring the link) frees capacity.
+  collect_component({id});
+  settle_flows(comp_flows_);
+  link.capacity_factor = factor;
   recompute_and_rearm(comp_flows_);
 }
 
 double Network::flow_rate(FlowId id) const {
   const auto it = flows_.find(id);
   return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double Network::flow_remaining(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.remaining;
 }
 
 void Network::finish_flow(FlowId id) {

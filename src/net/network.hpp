@@ -83,14 +83,33 @@ class Network {
                     double rate_cap, des::EventFn on_complete);
 
   /// Abort an in-progress flow; its completion callback never fires.
-  /// Harmless if the flow already finished.
-  void cancel_flow(FlowId id);
+  /// Harmless if the flow already finished. Returns the flow's un-moved
+  /// bytes, settled as of the cancellation instant (0 if unknown/finished).
+  double cancel_flow(FlowId id);
+
+  /// Abort every flow whose source or destination is `ep` (completion
+  /// callbacks never fire). Used when an endpoint dies mid-transfer — the
+  /// flows must settle and leave the per-link active lists, not stall
+  /// forever holding bandwidth. Returns the number of flows cancelled.
+  std::size_t cancel_flows_with_endpoint(EndpointId ep);
+
+  // --- fault injection -----------------------------------------------------
+
+  /// Scale a link's capacity: 1 restores nominal bandwidth, 0 takes the link
+  /// down (crossing flows drop to rate 0 and stall — their traffic is
+  /// delayed, not lost), intermediate values model degradation. Rebalances
+  /// the affected component immediately.
+  void set_link_capacity_factor(LinkId id, double factor);
 
   // --- introspection (tests, stats) ---------------------------------------
 
   /// Current fair-share rate (bytes/sec); 0 while in the latency phase or if
   /// the flow is unknown/finished.
   double flow_rate(FlowId id) const;
+
+  /// Bytes the flow still has to drain (settled as of the last rebalance);
+  /// 0 if the flow is unknown/finished.
+  double flow_remaining(FlowId id) const;
 
   std::size_t active_flows() const { return flows_.size(); }
 
@@ -116,6 +135,8 @@ class Network {
 
   struct Flow {
     FlowId id;
+    EndpointId src = 0;
+    EndpointId dst = 0;
     std::vector<LinkId> links;
     double remaining;  ///< bytes still to drain once active
     double rate_cap;   ///< 0 = uncapped

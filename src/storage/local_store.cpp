@@ -1,11 +1,24 @@
 #include "storage/local_store.hpp"
 
+#include <algorithm>
+
 namespace cloudburst::storage {
 
 void LocalStore::fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
                        FetchCallback on_complete) {
   (void)streams;  // one spindle: parallel streams do not help a local disk
   ++stats_.requests;
+
+  if (offline_) {
+    // Blacked-out storage node: the request still pays the service latency,
+    // then fails without moving a byte or disturbing the head position.
+    ++stats_.faults;
+    sim_.schedule(params_.request_latency, [cb = std::move(on_complete)] {
+      if (cb) cb(FetchResult{false, 0});
+    });
+    return;
+  }
+
   stats_.bytes_served += chunk.bytes;
 
   // Sequential-read detection: continuing the same file at the next chunk
@@ -19,13 +32,47 @@ void LocalStore::fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned str
   des::SimDuration delay = params_.request_latency;
   if (!sequential) delay += params_.seek_latency;
 
-  const std::uint64_t bytes = chunk.bytes;
-  sim_.schedule(delay, [this, dst, bytes, cb = std::move(on_complete)]() mutable {
-    net_.start_flow(endpoint_, dst, bytes, params_.per_stream_bandwidth,
-                    [bytes, cb = std::move(cb)] {
-                      if (cb) cb(FetchResult{true, bytes});
-                    });
+  auto pending = std::make_shared<Pending>();
+  pending->req_id = next_req_id_++;
+  pending->cb = std::move(on_complete);
+  pending->bytes = chunk.bytes;
+  inflight_.emplace(pending->req_id, pending);
+
+  sim_.schedule(delay, [this, dst, pending] {
+    if (pending->aborted) return;
+    pending->flow = net_.start_flow(endpoint_, dst, pending->bytes,
+                                    params_.per_stream_bandwidth, [this, pending] {
+                                      inflight_.erase(pending->req_id);
+                                      if (pending->cb) {
+                                        pending->cb(FetchResult{true, pending->bytes});
+                                      }
+                                    });
   });
+}
+
+void LocalStore::set_offline(bool offline) {
+  if (offline_ == offline) return;
+  offline_ = offline;
+  if (!offline_) return;
+  // Abort every in-flight read, in request order: cancel its transfer (the
+  // completion callback never fires), charge only the bytes that actually
+  // crossed, and fail the request so the reader's retry path reroutes it.
+  auto doomed = std::move(inflight_);
+  inflight_.clear();
+  for (auto& [req_id, pending] : doomed) {
+    pending->aborted = true;
+    const double unmoved = pending->flow == net::kInvalidFlow
+                               ? static_cast<double>(pending->bytes)
+                               : net_.cancel_flow(pending->flow);
+    const auto unmoved_bytes = static_cast<std::uint64_t>(
+        std::min(unmoved, static_cast<double>(pending->bytes)));
+    stats_.bytes_served -= unmoved_bytes;
+    ++stats_.faults;
+    const FetchResult result{false, pending->bytes - unmoved_bytes};
+    sim_.schedule(0, [pending, result] {
+      if (pending->cb) pending->cb(result);
+    });
+  }
 }
 
 }  // namespace cloudburst::storage

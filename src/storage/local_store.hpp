@@ -9,6 +9,8 @@
 // minimum-contention file selection measurable optimizations.
 #pragma once
 
+#include <map>
+#include <memory>
 #include <unordered_map>
 
 #include "des/simulator.hpp"
@@ -30,10 +32,14 @@ class LocalStore final : public StoreService {
              Params params)
       : id_(id), sim_(sim), net_(net), endpoint_(ep), params_(params) {}
 
-  /// Disks do not drop connections in this model: every fetch completes
-  /// with ok = true (a retry policy wrapped around this path is a no-op).
+  /// Disks do not drop connections in this model: barring an offline window
+  /// (site blackout), every fetch completes with ok = true (a retry policy
+  /// wrapped around this path is a no-op in the healthy case).
   void fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
              FetchCallback on_complete) override;
+
+  void set_offline(bool offline) override;
+  bool offline() const override { return offline_; }
 
   net::EndpointId endpoint() const override { return endpoint_; }
   const Stats& stats() const override { return stats_; }
@@ -45,6 +51,15 @@ class LocalStore final : public StoreService {
     std::uint32_t next_index = 0;  ///< chunk index that would be sequential
   };
 
+  /// One in-flight read: its transfer flow plus abort bookkeeping.
+  struct Pending {
+    std::uint64_t req_id = 0;
+    FetchCallback cb;
+    std::uint64_t bytes = 0;
+    net::FlowId flow = net::kInvalidFlow;  ///< invalid while in the seek phase
+    bool aborted = false;
+  };
+
   StoreId id_;
   des::Simulator& sim_;
   net::Network& net_;
@@ -52,6 +67,11 @@ class LocalStore final : public StoreService {
   Params params_;
   Stats stats_;
   std::unordered_map<FileId, FilePosition> positions_;
+  bool offline_ = false;
+  std::uint64_t next_req_id_ = 0;
+  /// In-flight reads by id (id order == request order => deterministic abort
+  /// order on set_offline).
+  std::map<std::uint64_t, std::shared_ptr<Pending>> inflight_;
 };
 
 }  // namespace cloudburst::storage

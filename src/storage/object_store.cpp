@@ -10,6 +10,17 @@ void ObjectStore::fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned st
   streams = std::max(1u, streams);
   ++stats_.requests;
 
+  if (offline_) {
+    // Blacked-out store: the request still pays the first-byte latency, then
+    // fails without moving a byte (and without consuming fault randomness,
+    // so the post-recovery draw sequence only depends on served requests).
+    ++stats_.faults;
+    sim_.schedule(params_.request_latency, [cb = std::move(on_complete)] {
+      if (cb) cb(FetchResult{false, 0});
+    });
+    return;
+  }
+
   // Fault model. Draw order is fixed (throttle scan, failure, hang) so runs
   // are reproducible; a disabled profile takes none of these branches and
   // consumes no randomness.
@@ -45,31 +56,66 @@ void ObjectStore::fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned st
   stats_.bytes_served += wire_bytes;
 
   // Split the transfer into `streams` range GETs; the completion counter
-  // fires the callback when the final range lands.
-  struct Pending {
-    unsigned remaining;
-    FetchCallback cb;
-    FetchResult result;
-  };
-  auto pending = std::make_shared<Pending>(
-      Pending{streams, std::move(on_complete), FetchResult{!failed, wire_bytes}});
+  // fires the callback when the final range lands. The request is tracked
+  // in inflight_ until it settles so set_offline can abort it.
+  auto pending = std::make_shared<Pending>();
+  pending->req_id = next_req_id_++;
+  pending->remaining = streams;
+  pending->cb = std::move(on_complete);
+  pending->result = FetchResult{!failed, wire_bytes};
+  inflight_.emplace(pending->req_id, pending);
 
   if (wire_bytes == 0) {
     // Instant abort (or empty chunk): still pays the request latency.
-    sim_.schedule(latency, [pending] {
+    sim_.schedule(latency, [this, pending] {
+      if (pending->aborted) return;
+      inflight_.erase(pending->req_id);
       if (pending->cb) pending->cb(pending->result);
     });
     return;
   }
 
+  pending->unstarted_bytes = static_cast<double>(wire_bytes);
   const std::uint64_t base = wire_bytes / streams;
   const std::uint64_t extra = wire_bytes % streams;
   for (unsigned s = 0; s < streams; ++s) {
     const std::uint64_t part = base + (s < extra ? 1 : 0);
     sim_.schedule(latency, [this, dst, part, bandwidth, pending] {
-      net_.start_flow(endpoint_, dst, part, bandwidth, [pending] {
-        if (--pending->remaining == 0 && pending->cb) pending->cb(pending->result);
-      });
+      if (pending->aborted) return;
+      pending->unstarted_bytes -= static_cast<double>(part);
+      const net::FlowId flow =
+          net_.start_flow(endpoint_, dst, part, bandwidth, [this, pending] {
+            if (--pending->remaining == 0) {
+              inflight_.erase(pending->req_id);
+              if (pending->cb) pending->cb(pending->result);
+            }
+          });
+      pending->flows.push_back(flow);
+    });
+  }
+}
+
+void ObjectStore::set_offline(bool offline) {
+  if (offline_ == offline) return;
+  offline_ = offline;
+  if (!offline_) return;
+  // Abort every in-flight request, in request order: cancel its flows (their
+  // completion callbacks never fire), charge only the bytes that actually
+  // crossed, and fail the request so the reader's retry path reroutes it.
+  auto doomed = std::move(inflight_);
+  inflight_.clear();
+  for (auto& [req_id, pending] : doomed) {
+    pending->aborted = true;
+    double unmoved = pending->unstarted_bytes;
+    for (net::FlowId f : pending->flows) unmoved += net_.cancel_flow(f);
+    const auto unmoved_bytes = static_cast<std::uint64_t>(
+        std::min(unmoved, static_cast<double>(pending->result.bytes_moved)));
+    pending->result.ok = false;
+    pending->result.bytes_moved -= unmoved_bytes;
+    stats_.bytes_served -= unmoved_bytes;
+    ++stats_.faults;
+    sim_.schedule(0, [pending] {
+      if (pending->cb) pending->cb(pending->result);
     });
   }
 }

@@ -10,6 +10,10 @@
 // topology, so many concurrent clients still contend.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "des/simulator.hpp"
 #include "storage/fault.hpp"
@@ -35,11 +39,25 @@ class ObjectStore final : public StoreService {
   void fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
              FetchCallback on_complete) override;
 
+  void set_offline(bool offline) override;
+  bool offline() const override { return offline_; }
+
   net::EndpointId endpoint() const override { return endpoint_; }
   const Stats& stats() const override { return stats_; }
   StoreId id() const override { return id_; }
 
  private:
+  /// One in-flight request: its range-GET flows plus abort bookkeeping.
+  struct Pending {
+    std::uint64_t req_id = 0;
+    unsigned remaining = 0;  ///< range GETs still in flight
+    FetchCallback cb;
+    FetchResult result;
+    std::vector<net::FlowId> flows;   ///< flows started so far
+    double unstarted_bytes = 0.0;     ///< parts still in the request-latency phase
+    bool aborted = false;
+  };
+
   StoreId id_;
   des::Simulator& sim_;
   net::Network& net_;
@@ -47,6 +65,11 @@ class ObjectStore final : public StoreService {
   Params params_;
   Stats stats_;
   Rng rng_;  ///< fault-model draws only; untouched while the profile is off
+  bool offline_ = false;
+  std::uint64_t next_req_id_ = 0;
+  /// In-flight requests by id (id order == request order => deterministic
+  /// abort order on set_offline).
+  std::map<std::uint64_t, std::shared_ptr<Pending>> inflight_;
 };
 
 }  // namespace cloudburst::storage

@@ -48,6 +48,14 @@ class StoreService {
   virtual void fetch(net::EndpointId dst, const ChunkInfo& chunk, unsigned streams,
                      FetchCallback on_complete) = 0;
 
+  /// Take the store offline (a site blackout) or bring it back. While
+  /// offline, new fetches fail fast (ok = false after the request latency)
+  /// and going offline aborts every in-flight request: its network flows are
+  /// cancelled and its callback fires with ok = false and the bytes that had
+  /// already crossed — so in-flight GETs reroute through the retry path.
+  virtual void set_offline(bool offline) = 0;
+  virtual bool offline() const = 0;
+
   virtual net::EndpointId endpoint() const = 0;
   virtual const Stats& stats() const = 0;
   virtual StoreId id() const = 0;

@@ -50,6 +50,12 @@ const char* to_string(EventKind kind) {
     case EventKind::LeaseGranted: return "LeaseGranted";
     case EventKind::LeaseReturned: return "LeaseReturned";
     case EventKind::JobRejected: return "JobRejected";
+    case EventKind::LinkDown: return "LinkDown";
+    case EventKind::LinkRestored: return "LinkRestored";
+    case EventKind::StoreOffline: return "StoreOffline";
+    case EventKind::StoreOnline: return "StoreOnline";
+    case EventKind::SiteOutage: return "SiteOutage";
+    case EventKind::SiteRecovered: return "SiteRecovered";
   }
   return "?";
 }
@@ -143,6 +149,12 @@ std::string Tracer::render_gantt(std::size_t width) const {
       case EventKind::LeaseGranted: rows[e.actor].lifecycle.emplace_back(e.t, 'L'); break;
       case EventKind::LeaseReturned: rows[e.actor].lifecycle.emplace_back(e.t, '='); break;
       case EventKind::JobRejected: rows[e.actor].lifecycle.emplace_back(e.t, '#'); break;
+      case EventKind::LinkDown: rows[e.actor].lifecycle.emplace_back(e.t, 'W'); break;
+      case EventKind::LinkRestored: rows[e.actor].lifecycle.emplace_back(e.t, 'w'); break;
+      case EventKind::StoreOffline: rows[e.actor].lifecycle.emplace_back(e.t, 'S'); break;
+      case EventKind::StoreOnline: rows[e.actor].lifecycle.emplace_back(e.t, 's'); break;
+      case EventKind::SiteOutage: rows[e.actor].lifecycle.emplace_back(e.t, 'O'); break;
+      case EventKind::SiteRecovered: rows[e.actor].lifecycle.emplace_back(e.t, 'o'); break;
       case EventKind::JobFinished: {
         auto& row = rows[e.actor];
         const auto it = row.open_run.find(e.a);

@@ -63,6 +63,13 @@ enum class EventKind : std::uint8_t {
   LeaseGranted,        ///< actor = node name, a = job id, b = 1 for a cold boot
   LeaseReturned,       ///< actor = node name, a = job id, b = leases still active
   JobRejected,         ///< actor = job name, a = job id, b = quota reason (QuotaReject)
+  // Chaos windows (scripted WAN / site fault injection):
+  LinkDown,            ///< actor = "chaos", a = link id, b = capacity permille
+  LinkRestored,        ///< actor = "chaos", a = link id
+  StoreOffline,        ///< actor = "chaos", a = store id
+  StoreOnline,         ///< actor = "chaos", a = store id
+  SiteOutage,          ///< actor = "chaos", a = site, b = flows cancelled
+  SiteRecovered,       ///< actor = "chaos", a = site
 };
 
 const char* to_string(EventKind kind);
@@ -98,7 +105,10 @@ class Tracer {
   /// Replication marks share that rank: '+' replica created, '~' replica
   /// lost, 'r' replica repaired. Control-plane marks likewise: '>' service
   /// registered, '<' service retired, 'L' pool lease granted, '=' lease
-  /// returned, '#' job rejected by an admission quota.
+  /// returned, '#' job rejected by an admission quota. Chaos marks: 'W' a
+  /// WAN link went down/degraded, 'w' it was restored, 'S' a store went
+  /// offline, 's' it came back, 'O' a site outage began, 'o' the site
+  /// recovered.
   std::string render_gantt(std::size_t width = 80) const;
 
  private:

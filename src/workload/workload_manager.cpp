@@ -110,6 +110,18 @@ WorkloadManager::WorkloadManager(cluster::Platform& platform, WorkloadOptions op
             case directory::DirectoryEvent::Kind::NodeDraining:
               begin_cross_job_drain(ev.site, ev.node_index);
               break;
+            case directory::DirectoryEvent::Kind::NodeRetired:
+              // Abrupt retirement (site blackout, hard decommission): no
+              // drain preceded it, so close the node's pool billing window
+              // right now and stop leasing it. A later re-registration
+              // returns it to the pool Cold through the arrival case above.
+              if (pool_) {
+                const auto& nodes = platform_.nodes(ev.site);
+                if (ev.node_index < nodes.size()) {
+                  pool_->retire_node(nodes[ev.node_index].endpoint, ev.at_seconds);
+                }
+              }
+              break;
             default:
               break;
           }

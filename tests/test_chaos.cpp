@@ -1,0 +1,543 @@
+// Chaos-plan tests: scripted WAN link faults, store outages, whole-site
+// blackouts with head-driven work re-granting, the recovery invariants the
+// ChaosAuditor enforces (exactly-once execution, honest bills, restored
+// replica coverage, deterministic replay), the chaos-off byte-identity pin,
+// seeded retry-backoff jitter determinism, and the in-flight flow teardown
+// regression for dead endpoints.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/wordcount.hpp"
+#include "chaos/chaos.hpp"
+#include "common/units.hpp"
+#include "directory/platform_directory.hpp"
+#include "engine/memory_dataset.hpp"
+#include "middleware/runtime.hpp"
+#include "net/network.hpp"
+#include "qos/store_qos.hpp"
+#include "replica/replica_set.hpp"
+#include "storage/data_layout.hpp"
+#include "storage/retry.hpp"
+#include "trace/trace.hpp"
+#include "workload/workload_manager.hpp"
+
+namespace cloudburst {
+namespace {
+
+using namespace cloudburst::units;
+using chaos::ChaosEvent;
+using chaos::ChaosPlan;
+using cluster::kLocalSite;
+using cluster::Platform;
+using cluster::PlatformSpec;
+using middleware::RunOptions;
+using middleware::RunResult;
+using storage::DataLayout;
+
+/// Local cluster plus two cloud providers, data split three ways.
+PlatformSpec three_site_spec() {
+  PlatformSpec spec;
+  spec.sites.push_back(PlatformSpec::paper_local_site(8));
+  spec.sites.push_back(PlatformSpec::paper_cloud_site(4, "east"));
+  spec.sites.push_back(PlatformSpec::paper_cloud_site(4, "west"));
+  spec.wan_bandwidth = MBps(125);
+  spec.wan_latency = des::from_seconds(ms(25));
+  spec.set_wan(1, 2, MBps(60), des::from_seconds(ms(60)));
+  return spec;
+}
+
+/// Real-execution rig whose dataset marks every unit with its chunk id, so
+/// the head's final HashCountRobj *is* the per-chunk execution count —
+/// exactly what chaos::audit_exactly_once consumes.
+struct MarkerRig {
+  apps::WordCountTask task;
+  DataLayout layout;
+  engine::MemoryDataset data;
+
+  MarkerRig(std::uint32_t files, std::uint32_t chunks_per_file, std::uint64_t units)
+      : layout(storage::build_layout_for_units(units, sizeof(apps::WordRecord), files,
+                                               chunks_per_file)),
+        data(make_data(layout)) {}
+
+  static engine::MemoryDataset make_data(const DataLayout& layout) {
+    std::vector<apps::WordRecord> records;
+    for (const auto& chunk : layout.chunks()) {
+      for (std::uint64_t u = 0; u < chunk.units; ++u) {
+        records.push_back(apps::WordRecord{chunk.id});
+      }
+    }
+    return engine::MemoryDataset::from_records(records);
+  }
+
+  void spread_over(Platform& platform) {
+    storage::assign_stores_by_weights(layout, {1.0, 1.0, 1.0},
+                                      {platform.store_of_cluster(0),
+                                       platform.store_of_cluster(1),
+                                       platform.store_of_cluster(2)});
+  }
+
+  RunOptions options() {
+    RunOptions o;
+    o.profile.name = "chaos-marker";
+    o.profile.unit_bytes = sizeof(apps::WordRecord);
+    o.profile.bytes_per_second_per_core = KiB(512);  // slow: faults land mid-run
+    o.profile.per_job_overhead_seconds = 0.2;
+    o.profile.robj_bytes = KiB(16);
+    o.reduction_tree = false;
+    o.task = &task;
+    o.dataset = &data;
+    return o;
+  }
+
+  /// Per-chunk execution counts from the finished run's reduction object.
+  std::vector<std::uint32_t> executions(const RunResult& result) const {
+    const auto& got = dynamic_cast<const api::HashCountRobj&>(*result.robj);
+    std::vector<std::uint32_t> counts(layout.chunks().size(), 0);
+    for (const auto& chunk : layout.chunks()) {
+      const double units = static_cast<double>(chunk.units);
+      counts[chunk.id] =
+          static_cast<std::uint32_t>(got.get(chunk.id) / units + 0.5);
+      // Fractional residue would mean a *partial* double count — report it
+      // as a hard failure rather than rounding it away.
+      EXPECT_NEAR(counts[chunk.id] * units, got.get(chunk.id), 1e-6)
+          << "chunk " << chunk.id;
+    }
+    return counts;
+  }
+};
+
+// --- plan generation ---------------------------------------------------------
+
+TEST(ChaosPlanGen, SeededPlansAreDeterministicAndRespectProtection) {
+  chaos::RandomPlanOptions opts;
+  opts.seed = 1234;
+  opts.sites = 3;
+  opts.site_outages = 4;
+  opts.store_outages = 4;
+  const ChaosPlan a = chaos::random_plan(opts);
+  const ChaosPlan b = chaos::random_plan(opts);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].site_a, b.events[i].site_a);
+    EXPECT_DOUBLE_EQ(a.events[i].at_seconds, b.events[i].at_seconds);
+  }
+  for (const auto& ev : a.events) {
+    if (ev.kind == ChaosEvent::Kind::SiteOutage ||
+        ev.kind == ChaosEvent::Kind::StoreOutage) {
+      EXPECT_NE(ev.site_a, opts.protected_site);
+    }
+    if (ev.kind == ChaosEvent::Kind::LinkFault) {
+      EXPECT_NE(ev.site_a, ev.site_b);
+    }
+  }
+  opts.seed = 99;
+  const ChaosPlan c = chaos::random_plan(opts);
+  bool differs = c.events.size() != a.events.size();
+  for (std::size_t i = 0; !differs && i < a.events.size(); ++i) {
+    differs = a.events[i].at_seconds != c.events[i].at_seconds;
+  }
+  EXPECT_TRUE(differs);
+
+  chaos::RandomPlanOptions bad;
+  bad.sites = 1;
+  EXPECT_THROW(chaos::random_plan(bad), std::invalid_argument);
+}
+
+// --- validation --------------------------------------------------------------
+
+TEST(ChaosValidate, RejectsBadPlans) {
+  Platform platform(three_site_spec());
+  storage::LayoutSpec lspec;
+  lspec.total_bytes = MiB(12);
+  lspec.num_files = 3;
+  lspec.chunks_per_file = 2;
+  lspec.unit_bytes = 64;
+  const DataLayout layout = storage::build_layout(lspec);
+
+  auto expect_reject = [&](const ChaosPlan& plan, bool tree = false) {
+    RunOptions o;
+    o.profile.unit_bytes = 64;
+    o.reduction_tree = tree;
+    o.chaos = &plan;
+    EXPECT_THROW(middleware::validate_run(platform, layout, o), std::invalid_argument);
+  };
+
+  ChaosPlan any;
+  any.events.push_back({});  // default LinkFault site 0 -> site 0
+  expect_reject(any, /*tree=*/true);  // chaos requires direct mode
+  expect_reject(any);                 // link fault needs two distinct sites
+
+  ChaosPlan head_blackout;
+  ChaosEvent outage;
+  outage.kind = ChaosEvent::Kind::SiteOutage;
+  outage.site_a = kLocalSite;
+  head_blackout.events.push_back(outage);
+  expect_reject(head_blackout);  // cannot black out the head's site
+
+  ChaosPlan bad_factor;
+  ChaosEvent fault;
+  fault.kind = ChaosEvent::Kind::LinkFault;
+  fault.site_a = 0;
+  fault.site_b = 1;
+  fault.factor = 1.5;
+  bad_factor.events.push_back(fault);
+  expect_reject(bad_factor);
+
+  ChaosPlan bad_node;
+  ChaosEvent crash;
+  crash.kind = ChaosEvent::Kind::NodeCrash;
+  crash.site_a = 1;
+  crash.node_index = 99;
+  bad_node.events.push_back(crash);
+  expect_reject(bad_node);
+}
+
+// --- chaos-off byte identity -------------------------------------------------
+
+TEST(ChaosOff, EmptyPlanIsByteIdenticalToNoPlan) {
+  MarkerRig rig(6, 2, 60000);
+  trace::Tracer base_trace;
+  trace::Tracer empty_trace;
+
+  RunOptions base = rig.options();
+  base.tracer = &base_trace;
+  {
+    Platform platform(three_site_spec());
+    rig.spread_over(platform);
+    middleware::run_distributed(platform, rig.layout, base);
+  }
+
+  const ChaosPlan empty_plan;  // attached but empty: must change nothing
+  RunOptions with_empty = rig.options();
+  with_empty.tracer = &empty_trace;
+  with_empty.chaos = &empty_plan;
+  {
+    Platform platform(three_site_spec());
+    middleware::run_distributed(platform, rig.layout, with_empty);
+  }
+
+  const auto replay = chaos::audit_replay(base_trace.to_jsonl(), empty_trace.to_jsonl());
+  EXPECT_TRUE(replay.ok) << replay.detail;
+}
+
+// --- retry-backoff jitter (satellite: de-synchronized retries) ---------------
+
+TEST(RetryJitter, SeededJitterIsDeterministicAndDefaultsOff) {
+  // Default policy carries no jitter: the field exists but is disengaged.
+  EXPECT_EQ(storage::RetryPolicy{}.jitter_fraction, 0.0);
+
+  // A flaky object store forces retry cycles to exhaust; with jitter each
+  // re-opened cycle backs off by a seeded per-(node, chunk, cycle) factor.
+  auto run_once = [](double jitter, trace::Tracer& tracer) {
+    MarkerRig rig(6, 2, 60000);
+    PlatformSpec spec = three_site_spec();
+    spec.sites[1].store->fault.fail_probability = 0.6;
+    spec.sites[1].store->fault.seed = 77;
+    Platform platform(spec);
+    storage::assign_stores_by_weights(rig.layout, {1.0, 2.0, 1.0},
+                                      {platform.store_of_cluster(0),
+                                       platform.store_of_cluster(1),
+                                       platform.store_of_cluster(2)});
+    RunOptions o = rig.options();
+    o.retry.max_attempts = 1;  // every failure exhausts a cycle -> backoff
+    o.retry.backoff_base_seconds = 0.05;
+    o.retry.jitter_fraction = jitter;
+    o.tracer = &tracer;
+    const RunResult result = middleware::run_distributed(platform, rig.layout, o);
+    EXPECT_GT(result.store_faults(), 0u);
+    EXPECT_GT(result.fetch_retries(), 0u);
+  };
+
+  trace::Tracer jittered_a, jittered_b, plain;
+  run_once(0.5, jittered_a);
+  run_once(0.5, jittered_b);
+  run_once(0.0, plain);
+
+  // Same seed, same jitter -> bit-identical replay.
+  const auto replay = chaos::audit_replay(jittered_a.to_jsonl(), jittered_b.to_jsonl());
+  EXPECT_TRUE(replay.ok) << replay.detail;
+  // Jitter actually perturbs the schedule relative to the lockstep default.
+  EXPECT_NE(jittered_a.to_jsonl(), plain.to_jsonl());
+}
+
+// --- WAN link faults ---------------------------------------------------------
+
+TEST(ChaosLinkFault, WindowStallsFlowsAndRunRecovers) {
+  MarkerRig rig(6, 2, 600000);
+  trace::Tracer clean_trace;
+  RunOptions clean = rig.options();
+  clean.tracer = &clean_trace;
+  double clean_time = 0.0;
+  {
+    Platform platform(three_site_spec());
+    rig.spread_over(platform);
+    clean_time = middleware::run_distributed(platform, rig.layout, clean).total_time;
+  }
+
+  // Hard-cut the local<->east link from mid-run until past the clean finish:
+  // in-flight flows stall (traffic delayed, not lost) — at minimum east's
+  // end-of-run robj shipment to the head cannot cross until restoration, so
+  // the makespan must inflate.
+  ChaosPlan plan;
+  ChaosEvent fault;
+  fault.kind = ChaosEvent::Kind::LinkFault;
+  fault.site_a = 0;
+  fault.site_b = 1;
+  fault.factor = 0.0;
+  fault.at_seconds = 0.5 * clean_time;
+  fault.duration_seconds = 1.0 * clean_time;
+  plan.events.push_back(fault);
+
+  trace::Tracer faulted_trace;
+  RunOptions faulted = rig.options();
+  faulted.tracer = &faulted_trace;
+  faulted.chaos = &plan;
+  Platform platform(three_site_spec());
+  const RunResult result = middleware::run_distributed(platform, rig.layout, faulted);
+
+  EXPECT_EQ(faulted_trace.count(trace::EventKind::LinkDown), 1u);
+  EXPECT_EQ(faulted_trace.count(trace::EventKind::LinkRestored), 1u);
+  EXPECT_GT(result.total_time, clean_time);  // the cut cost wall-clock time
+  const auto once = chaos::audit_exactly_once(rig.executions(result));
+  EXPECT_TRUE(once.ok) << once.detail;
+}
+
+// --- whole-site blackout -----------------------------------------------------
+
+TEST(ChaosSiteOutage, BlackoutLosesNoWorkAndReplaysBitIdentically) {
+  // k = 2 cross-site replication: every chunk survives any single-site loss.
+  ChaosPlan plan;
+  ChaosEvent outage;
+  outage.kind = ChaosEvent::Kind::SiteOutage;
+  outage.site_a = 2;  // "west" goes dark mid-run...
+  outage.at_seconds = 1.0;
+  outage.duration_seconds = 8.0;  // ...and comes back later
+  plan.events.push_back(outage);
+
+  auto run_once = [&plan](trace::Tracer& tracer, std::vector<std::uint32_t>* counts,
+                          bool check_coverage) {
+    MarkerRig rig(6, 2, 600000);
+    replica::ReplicationConfig rcfg;
+    rcfg.replication_factor = 2;
+    rcfg.placement = replica::PlacementPolicy::CrossSite;
+    replica::ReplicaSet rs{rcfg};
+    Platform platform(three_site_spec());
+    rig.spread_over(platform);
+    RunOptions o = rig.options();
+    o.replication = &rs;
+    o.retry.max_attempts = 3;
+    o.retry.backoff_base_seconds = 0.05;
+    o.chaos = &plan;
+    o.tracer = &tracer;
+    const RunResult result = middleware::run_distributed(platform, rig.layout, o);
+    if (counts) *counts = rig.executions(result);
+    // Drive repair to quiescence post-run (the background actor stops with
+    // the run): coverage must be restorable from the surviving copies.
+    if (check_coverage) {
+      for (int rounds = 0; rounds < 256; ++rounds) {
+        const auto tasks = rs.plan_repairs(8, 1e9);
+        if (tasks.empty()) break;
+        for (const auto& t : tasks) rs.repair_done(t, true, 1e9);
+      }
+      const auto coverage = chaos::audit_coverage(rs, rig.layout);
+      EXPECT_TRUE(coverage.ok) << coverage.detail;
+    }
+  };
+
+  trace::Tracer first, second;
+  std::vector<std::uint32_t> counts;
+  run_once(first, &counts, /*check_coverage=*/true);
+
+  // Invariant 1: exactly-once — the dead cluster's robj never merged, and
+  // every chunk it had been granted was re-executed exactly once elsewhere.
+  const auto once = chaos::audit_exactly_once(counts);
+  EXPECT_TRUE(once.ok) << once.detail;
+
+  // The blackout actually happened: slaves died, the store went dark, the
+  // site recovered.
+  EXPECT_EQ(first.count(trace::EventKind::SiteOutage), 1u);
+  EXPECT_EQ(first.count(trace::EventKind::SiteRecovered), 1u);
+  EXPECT_GT(first.count(trace::EventKind::SlaveFailed), 0u);
+  EXPECT_EQ(first.count(trace::EventKind::StoreOffline), 1u);
+
+  // Invariant 4: bit-identical replay under the same seed and plan.
+  run_once(second, nullptr, /*check_coverage=*/false);
+  const auto replay = chaos::audit_replay(first.to_jsonl(), second.to_jsonl());
+  EXPECT_TRUE(replay.ok) << replay.detail;
+}
+
+TEST(ChaosSiteOutage, PermanentBlackoutStillCompletes) {
+  // duration <= 0: the site never comes back; survivors finish the job.
+  ChaosPlan plan;
+  ChaosEvent outage;
+  outage.kind = ChaosEvent::Kind::SiteOutage;
+  outage.site_a = 1;
+  outage.at_seconds = 1.0;
+  outage.duration_seconds = 0.0;
+  plan.events.push_back(outage);
+
+  MarkerRig rig(6, 2, 600000);
+  replica::ReplicationConfig rcfg;
+  rcfg.replication_factor = 2;
+  rcfg.placement = replica::PlacementPolicy::CrossSite;
+  replica::ReplicaSet rs{rcfg};
+  Platform platform(three_site_spec());
+  rig.spread_over(platform);
+  trace::Tracer tracer;
+  RunOptions o = rig.options();
+  o.replication = &rs;
+  o.retry.max_attempts = 3;
+  o.retry.backoff_base_seconds = 0.05;
+  o.chaos = &plan;
+  o.tracer = &tracer;
+  const RunResult result = middleware::run_distributed(platform, rig.layout, o);
+
+  const auto once = chaos::audit_exactly_once(rig.executions(result));
+  EXPECT_TRUE(once.ok) << once.detail;
+  EXPECT_EQ(tracer.count(trace::EventKind::SiteOutage), 1u);
+  EXPECT_EQ(tracer.count(trace::EventKind::SiteRecovered), 0u);
+}
+
+// --- seeded soak over a full workload stack ----------------------------------
+
+TEST(ChaosSoak, RandomPlansPreserveInvariantsUnderFullStack) {
+  // Replicated + QoS'd + pooled workload over the paper testbed, hammered by
+  // seeded random plans. Every run must terminate (the ctest TIMEOUT is the
+  // watchdog) with complete work and exactly-partitioned bills.
+  for (const std::uint64_t seed : {11u, 23u, 47u}) {
+    chaos::RandomPlanOptions po;
+    po.seed = seed * 7919;
+    po.sites = 2;  // paper testbed: local + cloud
+    po.nodes_per_site = 1;  // testbed local site has a single (multi-core) node
+    po.horizon_seconds = 20.0;
+    po.max_window_seconds = 8.0;
+    po.link_faults = 2;
+    po.store_outages = 1;
+    po.node_crashes = 1;
+    po.node_drains = 1;
+    po.spot_reclaims = 1;
+    po.site_outages = 1;
+    const ChaosPlan plan = chaos::random_plan(po);
+
+    Platform platform(PlatformSpec::paper_testbed(4, 4));
+    directory::PlatformDirectory dir(platform);
+    dir.bootstrap();
+
+    replica::ReplicationConfig rcfg;
+    rcfg.replication_factor = 2;
+    rcfg.placement = replica::PlacementPolicy::CrossSite;
+    replica::ReplicaSet rs{rcfg};
+
+    qos::QosConfig qcfg;
+    qcfg.tenant_weights = {{"alice", 1.0}, {"bob", 2.0}};
+    qos::StoreQos q{qcfg};
+
+    workload::WorkloadOptions wopts;
+    wopts.policy = workload::SchedulingPolicy::FairShare;
+    wopts.directory = &dir;
+    wopts.pool.enabled = true;
+    wopts.pool.boot_seconds = 2.0;
+    workload::WorkloadManager manager(platform, wopts);
+
+    storage::LayoutSpec lspec;
+    lspec.total_bytes = MiB(32);
+    lspec.num_files = 8;
+    lspec.chunks_per_file = 2;
+    lspec.unit_bytes = 64;
+    DataLayout layout = storage::build_layout(lspec);
+    storage::assign_stores_by_fraction(layout, 0.5, platform.local_store_id(),
+                                       platform.cloud_store_id());
+
+    // Both jobs carry the same plan: platform-scoped faults (links, stores,
+    // directory) are idempotent across jobs; actor-scoped faults (kills,
+    // master evacuation) are per job. All jobs submit at t = 0 because chaos
+    // times are relative to job construction.
+    for (int i = 0; i < 2; ++i) {
+      workload::JobSpec spec;
+      spec.name = i == 0 ? "scan" : "probe";
+      spec.tenant = i == 0 ? "alice" : "bob";
+      spec.layout = layout;
+      spec.options.profile.name = "chaos-soak";
+      spec.options.profile.unit_bytes = 64;
+      spec.options.profile.bytes_per_second_per_core = KiB(512);
+      spec.options.profile.robj_bytes = KiB(32);
+      spec.options.reduction_tree = false;
+      spec.options.retry.max_attempts = 3;
+      spec.options.retry.backoff_base_seconds = 0.05;
+      spec.options.replication = &rs;
+      spec.options.qos = &q;
+      spec.options.chaos = &plan;
+      manager.submit(std::move(spec), 0.0);
+    }
+    const auto result = manager.run();
+
+    ASSERT_EQ(result.jobs.size(), 2u) << "seed " << seed;
+    for (const auto& job : result.jobs) {
+      // No completed work lost: every chunk was processed (faults may force
+      // re-execution, never loss).
+      EXPECT_GE(job.run.total_jobs(), 16u) << job.name << " seed " << seed;
+    }
+    const auto bills = chaos::audit_bills(result);
+    EXPECT_TRUE(bills.ok) << bills.detail << " (seed " << seed << ")";
+  }
+}
+
+// --- flow teardown on endpoint death (regression) ----------------------------
+
+TEST(NetTeardown, DeadEndpointFlowsSettleAndFreeTheirShare) {
+  des::Simulator sim;
+  net::Network net{sim};
+  const net::SiteId sa = net.add_site("A");
+  const net::SiteId sb = net.add_site("B");
+  const net::LinkId link = net.add_link("ab", 1e6, 0);
+  const net::EndpointId a1 = net.add_endpoint("a1", sa);
+  const net::EndpointId a2 = net.add_endpoint("a2", sa);
+  const net::EndpointId b1 = net.add_endpoint("b1", sb);
+  const net::EndpointId b2 = net.add_endpoint("b2", sb);
+  net.set_route_symmetric(sa, sb, {link});
+
+  bool doomed_fired = false;
+  double survivor_done = -1.0;
+  net.start_flow(a1, b1, 1000000, 0, [&] { doomed_fired = true; });
+  net.start_flow(b1, a2, 1000000, 0, [&] { doomed_fired = true; });
+  net.start_flow(a2, b2, 1000000, 0,
+                 [&] { survivor_done = des::to_seconds(sim.now()); });
+
+  // Kill b1 shortly in: both of its flows (one as dst, one as src) must
+  // leave the link's active list so the survivor gets the whole 1 MB/s.
+  sim.schedule(des::from_seconds(0.1), [&] {
+    EXPECT_EQ(net.cancel_flows_with_endpoint(b1), 2u);
+  });
+  sim.run();
+
+  EXPECT_FALSE(doomed_fired);
+  ASSERT_GT(survivor_done, 0.0);
+  // 0.1 s of a three-way split (~33 KB moved) then full rate for the rest:
+  // well under the 3 s a leaked share would cost.
+  EXPECT_NEAR(survivor_done, 0.1 + (1e6 - 1e6 / 3 * 0.1) / 1e6, 0.05);
+}
+
+// --- auditor unit checks -----------------------------------------------------
+
+TEST(ChaosAuditor, ExactlyOnceFlagsLossAndDoubleCount) {
+  EXPECT_TRUE(chaos::audit_exactly_once({1, 1, 1}).ok);
+  const auto lost = chaos::audit_exactly_once({1, 0, 1});
+  EXPECT_FALSE(lost.ok);
+  EXPECT_NE(lost.detail.find("chunk 1"), std::string::npos);
+  const auto twice = chaos::audit_exactly_once({1, 1, 2});
+  EXPECT_FALSE(twice.ok);
+  EXPECT_NE(twice.detail.find("2 times"), std::string::npos);
+}
+
+TEST(ChaosAuditor, ReplayReportsFirstDivergingLine) {
+  EXPECT_TRUE(chaos::audit_replay("a\nb\n", "a\nb\n").ok);
+  const auto diff = chaos::audit_replay("a\nb\nc\n", "a\nB\nc\n");
+  EXPECT_FALSE(diff.ok);
+  EXPECT_NE(diff.detail.find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudburst
